@@ -1,0 +1,66 @@
+// Ablation: Chebyshev model capacity (Section 6.4's design choices).
+// Sweeps the macro-grid side g and polynomial degree k and reports
+// accuracy (vs exact FR), query CPU, and per-update maintenance CPU, so
+// the accuracy/CPU/memory trade the paper discusses is visible in one
+// table.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pdr;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::Banner(env, "bench_ablation_cheb",
+                "ablation: PA grid side g x degree k (Sec. 6.4)");
+
+  const int objects = env.ScaledObjects(100000);
+  const double l = 30.0;
+  const int varrho = 2;
+  std::printf("dataset: CH100K-scaled = %d objects, l=%g, varrho=%d\n",
+              objects, l, varrho);
+  const bench::SteadyWorkload workload =
+      bench::MakeSteadyWorkload(env, objects);
+
+  FrEngine fr(bench::FrOptionsFor(env, objects));
+  {
+    SinkAdapter<FrEngine> sink(&fr);
+    Replay(workload.dataset, {&sink});
+  }
+  const double rho = env.Rho(objects, varrho);
+  const std::vector<Tick> ticks = workload.QueryTicks(env.paper, 3);
+  std::vector<Region> truths;
+  for (Tick q_t : ticks) truths.push_back(fr.Query(q_t, rho, l).region);
+
+  bench::SeriesPrinter table(
+      "ablation_cheb",
+      {"g", "k", "mem_MB", "update_us", "query_ms", "rfp_pct", "rfn_pct"});
+  const double domain_area = env.paper.extent * env.paper.extent;
+
+  for (int g : {5, 10, 20, 40}) {
+    for (int k : {3, 5, 7}) {
+      PaEngine pa(bench::PaOptionsFor(env, l, g, k));
+      SinkAdapter<PaEngine> sink(&pa);
+      const auto timings = Replay(workload.dataset, {&sink});
+      double rfp = 0, rfn = 0, query_ms = 0;
+      for (size_t q = 0; q < ticks.size(); ++q) {
+        const auto result = pa.Query(ticks[q], rho);
+        query_ms += result.cost.cpu_ms;
+        const AccuracyMetrics m =
+            CompareRegions(truths[q], result.region, domain_area);
+        rfp += m.false_positive_ratio;
+        rfn += m.false_negative_ratio;
+      }
+      const double n = ticks.size();
+      table.Row({static_cast<double>(g), static_cast<double>(k),
+                 static_cast<double>(pa.model().ModelBytes()) / 1e6,
+                 timings[0].UsPerUpdate(), query_ms / n, 100 * rfp / n,
+                 100 * rfn / n});
+    }
+  }
+  std::printf(
+      "\nExpected: error falls with g and k; update cost grows with k (and "
+      "with g only through multi-cell squares); memory grows with g^2.\n");
+  return 0;
+}

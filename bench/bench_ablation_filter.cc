@@ -1,0 +1,63 @@
+// Ablation: density-histogram granularity (the filter step's m, Sec. 5.2).
+// Finer grids classify more cells decisively (fewer candidates => fewer
+// TPR range queries and less plane-sweep work) at the price of histogram
+// memory and filter CPU. Reports the accept/reject/candidate mix and the
+// end-to-end FR query cost per m.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pdr;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::Banner(env, "bench_ablation_filter",
+                "ablation: filter grid m (Sec. 5.2)");
+
+  const int objects = env.ScaledObjects(100000);
+  const double l = 30.0;
+  const int varrho = 2;
+  std::printf("dataset: CH100K-scaled = %d objects, l=%g, varrho=%d\n",
+              objects, l, varrho);
+  const bench::SteadyWorkload workload =
+      bench::MakeSteadyWorkload(env, objects);
+  const double rho = env.Rho(objects, varrho);
+
+  bench::SeriesPrinter table(
+      "ablation_filter",
+      {"m", "mem_MB", "accept_pct", "reject_pct", "cand_pct", "update_us",
+       "query_ms", "io_reads"});
+
+  for (int m : {50, 100, 200, 250}) {
+    FrEngine fr(bench::FrOptionsFor(env, objects, m));
+    SinkAdapter<FrEngine> sink(&fr);
+    const auto timings = Replay(workload.dataset, {&sink});
+    const std::vector<Tick> ticks = workload.QueryTicks(env.paper, 3);
+    double accept = 0, reject = 0, cand = 0, query_ms = 0, io_reads = 0;
+    for (Tick q_t : ticks) {
+      const auto result = fr.Query(q_t, rho, l, /*cold_cache=*/true);
+      const double cells = static_cast<double>(m) * m;
+      accept += 100.0 * result.accepted_cells / cells;
+      reject += 100.0 * result.rejected_cells / cells;
+      cand += 100.0 * result.candidate_cells / cells;
+      query_ms += result.cost.TotalMs();
+      io_reads += result.cost.io_reads;
+    }
+    const double n = ticks.size();
+    table.Row({static_cast<double>(m),
+               static_cast<double>(fr.histogram().MemoryBytes()) / 1e6,
+               accept / n, reject / n, cand / n, timings[0].UsPerUpdate(),
+               query_ms / n, io_reads / n});
+  }
+  std::printf(
+      "\nExpected: candidate fraction shrinks as m grows; query cost falls "
+      "until filter CPU (O(m^2)) dominates; update cost is ~flat (one cell "
+      "per tick regardless of m).\n"
+      "Note: m=50 gives l_c = %g > l/2, violating Algorithm 1's "
+      "requirement — the conservative accept test is then vacuous "
+      "(accept_pct = 0) though rejects stay sound; m=200 aligns perfectly "
+      "(l/l_c integral) while m=250 wastes half a cell per side, which is "
+      "why it can regress.\n",
+      env.paper.extent / 50);
+  return 0;
+}

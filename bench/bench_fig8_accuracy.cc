@@ -1,0 +1,69 @@
+// Reproduces Fig. 8(a) and 8(b): accuracy of the PA method versus the
+// DH-only baselines (optimistic DH for the false-positive ratio,
+// pessimistic DH for the false-negative ratio) as a function of the
+// relative density threshold varrho, for l in {30, 60}.
+//
+// Ground truth D is the exact FR answer. Expected shape (paper): PA error
+// stays below ~10%, DH errors reach tens-to-hundreds of percent, and all
+// error ratios grow as varrho increases (the dense area shrinks).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pdr;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::Banner(env, "bench_fig8_accuracy",
+                "Fig. 8(a) r_fp vs varrho, Fig. 8(b) r_fn vs varrho");
+
+  const int objects = env.ScaledObjects(100000);  // CH100K
+  std::printf("dataset: CH100K-scaled = %d objects\n", objects);
+  const bench::SteadyWorkload workload = bench::MakeSteadyWorkload(env, objects);
+
+  FrEngine fr(bench::FrOptionsFor(env, objects));
+  PaEngine pa30(bench::PaOptionsFor(env, 30.0));
+  PaEngine pa60(bench::PaOptionsFor(env, 60.0));
+  ReplayInto(workload.dataset, -1, &fr, &pa30, &pa60);
+
+  const std::vector<Tick> query_ticks = workload.QueryTicks(env.paper, 3);
+  const double domain_area = env.paper.extent * env.paper.extent;
+
+  bench::SeriesPrinter fp("fig8a_false_positive_ratio",
+                          {"l", "varrho", "PA_rfp", "optDH_rfp",
+                           "truth_area"});
+  bench::SeriesPrinter fn("fig8b_false_negative_ratio",
+                          {"l", "varrho", "PA_rfn", "pessDH_rfn",
+                           "truth_area"});
+
+  for (double l : env.paper.l_values) {
+    PaEngine& pa = l == 30.0 ? pa30 : pa60;
+    for (int varrho : env.paper.rel_thresholds) {
+      const double rho = env.Rho(objects, varrho);
+      double pa_fp = 0, pa_fn = 0, opt_fp = 0, pess_fn = 0, truth_area = 0;
+      for (Tick q_t : query_ticks) {
+        const Region truth = fr.Query(q_t, rho, l).region;
+        const AccuracyMetrics pa_m =
+            CompareRegions(truth, pa.Query(q_t, rho).region, domain_area);
+        const AccuracyMetrics opt_m = CompareRegions(
+            truth, fr.DhOnlyQuery(q_t, rho, l, true).region, domain_area);
+        const AccuracyMetrics pess_m = CompareRegions(
+            truth, fr.DhOnlyQuery(q_t, rho, l, false).region, domain_area);
+        pa_fp += pa_m.false_positive_ratio;
+        pa_fn += pa_m.false_negative_ratio;
+        opt_fp += opt_m.false_positive_ratio;
+        pess_fn += pess_m.false_negative_ratio;
+        truth_area += truth.Area();
+      }
+      const double n = query_ticks.size();
+      fp.Row({l, static_cast<double>(varrho), 100 * pa_fp / n,
+              100 * opt_fp / n, truth_area / n});
+      fn.Row({l, static_cast<double>(varrho), 100 * pa_fn / n,
+              100 * pess_fn / n, truth_area / n});
+    }
+  }
+  std::printf(
+      "\nExpected shape: PA errors well below DH errors; errors grow with "
+      "varrho as the true dense area shrinks.\n");
+  return 0;
+}

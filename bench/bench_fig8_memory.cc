@@ -1,0 +1,133 @@
+// Reproduces Fig. 8(c) and 8(d): accuracy versus memory footprint at
+// l = 30, varrho = 1 (dataset CH100K).
+//
+//  * DH points: m^2 in {10000, 40000, 62500}; model bytes use the paper's
+//    16-bit counters. Optimistic DH gives the r_fp curve (8c), pessimistic
+//    the r_fn curve (8d).
+//  * PA points: (g^2, k) in {100, 1600} x {3, 4, 5}; model bytes use
+//    float32 coefficients.
+//
+// Expected shape: both methods improve with memory, and PA reaches far
+// lower error than DH even when DH is given several times more memory.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pdr;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::Banner(env, "bench_fig8_memory",
+                "Fig. 8(c) r_fp vs memory, Fig. 8(d) r_fn vs memory");
+
+  const int objects = env.ScaledObjects(100000);
+  const double l = 30.0;
+  const int varrho = 1;
+  std::printf("dataset: CH100K-scaled = %d objects, l=%g, varrho=%d\n",
+              objects, l, varrho);
+  const bench::SteadyWorkload workload =
+      bench::MakeSteadyWorkload(env, objects);
+  const Tick horizon = env.paper.horizon();
+
+  // Reference engine (for exact ground truth) plus DH variants.
+  const std::vector<int> dh_sides = {100, 200, 250};
+  std::vector<std::unique_ptr<FrEngine>> fr_variants;
+  for (int m : dh_sides) {
+    fr_variants.push_back(
+        std::make_unique<FrEngine>(bench::FrOptionsFor(env, objects, m)));
+  }
+  // PA variants: (g, k).
+  struct PaVariant {
+    int g;
+    int k;
+    std::unique_ptr<PaEngine> engine;
+  };
+  std::vector<PaVariant> pa_variants;
+  for (int g : {10, 40}) {
+    for (int k : {3, 4, 5}) {
+      pa_variants.push_back(
+          {g, k,
+           std::make_unique<PaEngine>(bench::PaOptionsFor(env, l, g, k))});
+    }
+  }
+
+  // One pass over the update stream feeds every variant.
+  {
+    std::vector<UpdateSink*> sinks;
+    std::vector<std::unique_ptr<UpdateSink>> adapters;
+    for (auto& fr : fr_variants) {
+      adapters.push_back(std::make_unique<SinkAdapter<FrEngine>>(fr.get()));
+    }
+    for (auto& pv : pa_variants) {
+      adapters.push_back(
+          std::make_unique<SinkAdapter<PaEngine>>(pv.engine.get()));
+    }
+    for (auto& a : adapters) sinks.push_back(a.get());
+    Replay(workload.dataset, sinks);
+  }
+
+  const double rho = env.Rho(objects, varrho);
+  const std::vector<Tick> query_ticks = workload.QueryTicks(env.paper, 3);
+  const double domain_area = env.paper.extent * env.paper.extent;
+
+  // Exact truth from the finest FR variant.
+  std::vector<Region> truths;
+  for (Tick q_t : query_ticks) {
+    truths.push_back(fr_variants.back()->Query(q_t, rho, l).region);
+  }
+
+  bench::SeriesPrinter fp("fig8c_rfp_vs_memory",
+                          {"method", "m_or_g", "k", "mem_MB", "r_fp_pct"});
+  bench::SeriesPrinter fn("fig8d_rfn_vs_memory",
+                          {"method", "m_or_g", "k", "mem_MB", "r_fn_pct"});
+  // method code: 0 = DH (m_or_g = m, k unused), 1 = PA (m_or_g = g).
+
+  for (size_t v = 0; v < fr_variants.size(); ++v) {
+    const double mb = static_cast<double>(dh_sides[v]) * dh_sides[v] *
+                      (horizon + 1) * 2 / 1e6;
+    double rfp = 0, rfn = 0;
+    for (size_t q = 0; q < query_ticks.size(); ++q) {
+      rfp += CompareRegions(truths[q],
+                            fr_variants[v]
+                                ->DhOnlyQuery(query_ticks[q], rho, l, true)
+                                .region,
+                            domain_area)
+                 .false_positive_ratio;
+      rfn += CompareRegions(truths[q],
+                            fr_variants[v]
+                                ->DhOnlyQuery(query_ticks[q], rho, l, false)
+                                .region,
+                            domain_area)
+                 .false_negative_ratio;
+    }
+    fp.Row({0, static_cast<double>(dh_sides[v]), 0, mb,
+            100 * rfp / query_ticks.size()});
+    fn.Row({0, static_cast<double>(dh_sides[v]), 0, mb,
+            100 * rfn / query_ticks.size()});
+  }
+
+  for (const PaVariant& pv : pa_variants) {
+    const double mb =
+        static_cast<double>(pv.engine->model().ModelBytes()) / 1e6;
+    double rfp = 0, rfn = 0;
+    for (size_t q = 0; q < query_ticks.size(); ++q) {
+      const AccuracyMetrics m = CompareRegions(
+          truths[q], pv.engine->Query(query_ticks[q], rho).region,
+          domain_area);
+      rfp += m.false_positive_ratio;
+      rfn += m.false_negative_ratio;
+    }
+    fp.Row({1, static_cast<double>(pv.g), static_cast<double>(pv.k), mb,
+            100 * rfp / query_ticks.size()});
+    fn.Row({1, static_cast<double>(pv.g), static_cast<double>(pv.k), mb,
+            100 * rfn / query_ticks.size()});
+  }
+  fp.Flush();
+  fn.Flush();
+
+  std::printf(
+      "\nExpected shape: errors fall with memory; PA (method=1) beats DH "
+      "(method=0) even at a fraction of the memory.\n");
+  return 0;
+}

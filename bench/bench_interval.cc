@@ -1,0 +1,48 @@
+// Extension bench: interval PDR queries (Definition 5) — the union of
+// snapshot answers over [q_t1, q_t2]. The paper defines them but
+// evaluates snapshots only; this bench characterizes how both engines
+// scale with the interval length (both evaluate one snapshot per tick,
+// so cost is ~linear in the window — the honest baseline any future
+// incremental algorithm would have to beat), plus the answer growth.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pdr;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::Banner(env, "bench_interval",
+                "extension: interval PDR query (Definition 5)");
+
+  const int objects = env.ScaledObjects(100000);
+  const double l = 30.0;
+  const int varrho = 2;
+  std::printf("dataset: CH100K-scaled = %d objects, l=%g, varrho=%d\n",
+              objects, l, varrho);
+  const bench::SteadyWorkload workload =
+      bench::MakeSteadyWorkload(env, objects);
+  FrEngine fr(bench::FrOptionsFor(env, objects));
+  PaEngine pa(bench::PaOptionsFor(env, l));
+  ReplayInto(workload.dataset, -1, &fr, &pa);
+
+  const double rho = env.Rho(objects, varrho);
+  const Tick start = workload.now;
+  const double snapshot_area = fr.Query(start, rho, l).region.Area();
+
+  bench::SeriesPrinter table("interval_query",
+                             {"window", "FR_ms", "PA_ms", "area",
+                              "area_vs_snapshot"});
+  for (Tick window : {0, 5, 10, 20, 40}) {
+    const auto fr_result = fr.QueryInterval(start, start + window, rho, l);
+    const auto pa_result = pa.QueryInterval(start, start + window, rho);
+    table.Row({static_cast<double>(window), fr_result.cost.TotalMs(),
+               pa_result.cost.TotalMs(), fr_result.region.Area(),
+               fr_result.region.Area() / std::max(1.0, snapshot_area)});
+  }
+  std::printf(
+      "\nExpected: cost ~linear in the window for both engines (one "
+      "snapshot per tick); the union area grows sub-linearly because "
+      "consecutive snapshots overlap heavily.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Micro-benchmarks of the hot primitives (google-benchmark): histogram
+// and Chebyshev-grid update paths, TPR-tree operations, the plane sweep,
+// region algebra, and polynomial evaluation/bounding. These back the
+// per-operation numbers quoted in EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace pdr {
+namespace {
+
+constexpr double kExtent = 1000.0;
+constexpr Tick kHorizon = 120;
+
+std::vector<UpdateEvent> SomeInserts(int n, uint64_t seed = 7) {
+  return MakeUniformInserts(n, kExtent, 1.5, seed);
+}
+
+void BM_HistogramApplyInsert(benchmark::State& state) {
+  DensityHistogram dh({kExtent, 100, kHorizon});
+  const auto events = SomeInserts(10000);
+  size_t i = 0;
+  ObjectId next_id = 100000;
+  for (auto _ : state) {
+    UpdateEvent e = events[i++ % events.size()];
+    e.id = next_id++;
+    dh.Apply(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramApplyInsert);
+
+void BM_ChebGridApplyInsert(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  ChebGrid grid({kExtent, 10, degree, kHorizon, 30.0});
+  const auto events = SomeInserts(10000);
+  size_t i = 0;
+  ObjectId next_id = 100000;
+  for (auto _ : state) {
+    UpdateEvent e = events[i++ % events.size()];
+    e.id = next_id++;
+    grid.Apply(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChebGridApplyInsert)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_TprInsert(benchmark::State& state) {
+  TprTree tree({.buffer_pages = 4096, .horizon = kHorizon});
+  const auto events = SomeInserts(50000);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = events[i % events.size()];
+    tree.Insert(static_cast<ObjectId>(i), *e.new_state);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TprInsert);
+
+void BM_TprRangeQuery(benchmark::State& state) {
+  TprTree tree({.buffer_pages = 4096, .horizon = kHorizon});
+  for (const auto& e : SomeInserts(50000)) tree.Apply(e);
+  Rng rng(3);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, kExtent - 50);
+    const double y = rng.Uniform(0, kExtent - 50);
+    benchmark::DoNotOptimize(
+        tree.RangeQuery(Rect(x, y, x + 50, y + 50), 30));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TprRangeQuery);
+
+void BM_TprUpdate(benchmark::State& state) {
+  TprTree tree({.buffer_pages = 4096, .horizon = kHorizon});
+  auto events = SomeInserts(50000);
+  for (const auto& e : events) tree.Apply(e);
+  Rng rng(4);
+  for (auto _ : state) {
+    const size_t idx = rng.UniformInt(0, events.size() - 1);
+    const MotionState old_state = *events[idx].new_state;
+    const MotionState fresh{{rng.Uniform(0, kExtent), rng.Uniform(0, kExtent)},
+                            {rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                            old_state.t_ref};
+    tree.Apply({old_state.t_ref, events[idx].id, old_state, fresh});
+    events[idx].new_state = fresh;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TprUpdate);
+
+void BM_SweepCell(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<Vec2> positions;
+  positions.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    positions.push_back({rng.Uniform(-15, 25), rng.Uniform(-15, 25)});
+  }
+  const Rect cell(0, 0, 10, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SweepCell(cell, positions, 30.0, n / 4));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SweepCell)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Cheb2DEval(benchmark::State& state) {
+  Cheb2D poly(5);
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    poly.AddIndicator(rng.Uniform(-1, 0), rng.Uniform(0, 1),
+                      rng.Uniform(-1, 0), rng.Uniform(0, 1), 1.0);
+  }
+  double x = -1.0;
+  for (auto _ : state) {
+    x += 1e-4;
+    if (x > 1) x = -1;
+    benchmark::DoNotOptimize(poly.Eval(x, -x));
+  }
+}
+BENCHMARK(BM_Cheb2DEval);
+
+void BM_Cheb2DBound(benchmark::State& state) {
+  Cheb2D poly(5);
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    poly.AddIndicator(rng.Uniform(-1, 0), rng.Uniform(0, 1),
+                      rng.Uniform(-1, 0), rng.Uniform(0, 1), 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.Bound(-0.5, 0.25, -0.1, 0.9));
+  }
+}
+BENCHMARK(BM_Cheb2DBound);
+
+void BM_Cheb2DAddIndicator(benchmark::State& state) {
+  Cheb2D poly(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    poly.AddIndicator(-0.4, 0.3, -0.2, 0.6, 1.0);
+  }
+}
+BENCHMARK(BM_Cheb2DAddIndicator)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_RegionCoalesce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  Region region;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 900);
+    const double y = rng.Uniform(0, 900);
+    region.Add(Rect(x, y, x + rng.Uniform(5, 60), y + rng.Uniform(5, 60)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.Coalesced());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RegionCoalesce)->Arg(100)->Arg(1000);
+
+void BM_IntersectionArea(benchmark::State& state) {
+  Rng rng(9);
+  Region a, b;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+    a.Add(Rect(x, y, x + 40, y + 40));
+    x = rng.Uniform(0, 900);
+    y = rng.Uniform(0, 900);
+    b.Add(Rect(x, y, x + 40, y + 40));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectionArea(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionArea);
+
+void BM_FilterCells(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  DensityHistogram dh({kExtent, m, 4});
+  for (const auto& e : SomeInserts(50000)) dh.Apply(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterCells(dh, 0, 0.05, 30.0));
+  }
+}
+BENCHMARK(BM_FilterCells)->Arg(100)->Arg(250);
+
+}  // namespace
+}  // namespace pdr
+
+BENCHMARK_MAIN();

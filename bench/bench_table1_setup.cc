@@ -1,0 +1,45 @@
+// Reproduces Table 1: the experimental setup, as reconstructed in
+// DESIGN.md, plus the derived memory budgets the paper quotes in the text
+// (DH ~2.4 MB with 16-bit counters; PA ~1.0 MB with float32 coefficients
+// in the default setting).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pdr;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::Banner(env, "bench_table1_setup", "Table 1 (experimental setup)");
+
+  std::printf("%s\n", env.paper.ToString().c_str());
+
+  const Tick horizon = env.paper.horizon();
+  std::printf("Derived memory budgets (paper representations):\n");
+  for (int cells : env.paper.histogram_cells) {
+    const double mb = static_cast<double>(cells) * (horizon + 1) * 2 / 1e6;
+    std::printf("  DH, m^2 = %6d cells      : %5.2f MB (16-bit counters)\n",
+                cells, mb);
+  }
+  for (int polys : env.paper.polynomial_counts) {
+    for (int k : env.paper.degrees) {
+      const int coeffs_per_poly = (k + 1) * (k + 2) / 2;
+      const double mb = static_cast<double>(polys) * coeffs_per_poly *
+                        (horizon + 1) * 4 / 1e6;
+      std::printf(
+          "  PA, g^2 = %5d polys, k=%d : %5.2f MB (float32 coefficients)\n",
+          polys, k, mb);
+    }
+  }
+
+  std::printf("\nScaled dataset sizes for this run (scale=%.3g):\n",
+              env.scale);
+  for (int n : env.paper.object_counts) {
+    std::printf("  CH%-4dK -> %d objects, rho(varrho=1) = %.4g /sq-mile\n",
+                n / 1000, env.ScaledObjects(n),
+                env.Rho(env.ScaledObjects(n), 1));
+  }
+  std::printf("\nTPR buffer pool: %zu pages for CH100K-scaled\n",
+              env.paper.BufferPagesFor(env.ScaledObjects(100000)));
+  return 0;
+}

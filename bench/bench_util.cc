@@ -1,0 +1,119 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace pdr::bench {
+
+int BenchEnv::ScaledObjects(int paper_objects) const {
+  const int scaled = static_cast<int>(paper_objects * scale);
+  return std::max(scaled, 2000);
+}
+
+BenchEnv ParseArgs(int argc, char** argv) {
+  BenchEnv env;
+  env.scale = BenchScaleFromEnv();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      env.full = true;
+      env.scale = 1.0;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      env.scale = std::max(0.001, std::atof(arg.c_str() + 8));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      env.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    }
+  }
+  return env;
+}
+
+std::vector<Tick> SteadyWorkload::QueryTicks(const PaperConfig& paper,
+                                             int count) const {
+  std::vector<Tick> ticks;
+  ticks.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    ticks.push_back(now + static_cast<Tick>(
+                              paper.prediction_window *
+                              static_cast<double>(i) / std::max(1, count - 1)));
+  }
+  return ticks;
+}
+
+SteadyWorkload MakeSteadyWorkload(const BenchEnv& env, int scaled_objects) {
+  WorkloadConfig config;
+  config.WithExtent(env.paper.extent);
+  config.num_objects = scaled_objects;
+  config.max_update_interval = env.paper.max_update_interval;
+  config.seed = env.seed;
+  config.network.seed = env.seed ^ 0x9E37;
+  const Tick duration = env.paper.max_update_interval + 10;
+  SteadyWorkload workload{GenerateDataset(config, duration), duration};
+  return workload;
+}
+
+FrEngine::Options FrOptionsFor(const BenchEnv& env, int objects,
+                               int histogram_side) {
+  FrEngine::Options options;
+  options.extent = env.paper.extent;
+  options.histogram_side = histogram_side > 0
+                               ? histogram_side
+                               : env.paper.default_histogram_side;
+  options.horizon = env.paper.horizon();
+  options.buffer_pages = env.paper.BufferPagesFor(objects);
+  options.io_ms = env.paper.io_ms;
+  return options;
+}
+
+PaEngine::Options PaOptionsFor(const BenchEnv& env, double l, int poly_side,
+                               int degree) {
+  PaEngine::Options options;
+  options.extent = env.paper.extent;
+  options.poly_side =
+      poly_side > 0 ? poly_side : env.paper.default_poly_side;
+  options.degree = degree > 0 ? degree : env.paper.default_degree;
+  options.horizon = env.paper.horizon();
+  options.l = l;
+  options.eval_grid = env.paper.eval_grid;
+  return options;
+}
+
+SeriesPrinter::SeriesPrinter(std::string name,
+                             std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+void SeriesPrinter::Row(const std::vector<double>& values) {
+  rows_.push_back(values);
+}
+
+void SeriesPrinter::Note(const std::string& text) { notes_.push_back(text); }
+
+void SeriesPrinter::Flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  std::printf("\n== %s ==\n", name_.c_str());
+  for (const std::string& c : columns_) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (double v : row) std::printf("%14.5g", v);
+    std::printf("\n");
+  }
+  for (const auto& row : rows_) {
+    std::printf("csv,%s", name_.c_str());
+    for (double v : row) std::printf(",%.6g", v);
+    std::printf("\n");
+  }
+  for (const std::string& n : notes_) std::printf("   %s\n", n.c_str());
+}
+
+void Banner(const BenchEnv& env, const std::string& bench,
+            const std::string& reproduces) {
+  std::printf("=======================================================\n");
+  std::printf("%s — reproduces %s\n", bench.c_str(), reproduces.c_str());
+  std::printf("scale=%.3g (PDR_BENCH_SCALE or --full), seed=%llu\n",
+              env.scale, static_cast<unsigned long long>(env.seed));
+  std::printf("=======================================================\n");
+}
+
+}  // namespace pdr::bench

@@ -1,0 +1,92 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary:
+//  * honors PDR_BENCH_SCALE (default 0.1) and the --full flag (scale 1.0),
+//    which multiply the paper's dataset sizes so the default `for b in
+//    build/bench/*` loop stays laptop-quick;
+//  * prints the series it reproduces both as an aligned text table and as
+//    CSV lines prefixed with "csv," for machine consumption;
+//  * reproduces *shapes* (who wins, by what factor, where crossovers are),
+//    not the paper's absolute 2007-era numbers.
+
+#ifndef PDR_BENCH_BENCH_UTIL_H_
+#define PDR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "pdr/pdr.h"
+
+namespace pdr::bench {
+
+struct BenchEnv {
+  PaperConfig paper;
+  double scale = 0.1;       ///< dataset-size multiplier
+  bool full = false;        ///< --full: paper scale
+  uint64_t seed = 20070415; ///< ICDE 2007 vintage
+
+  /// Paper object count scaled down (never below 2000).
+  int ScaledObjects(int paper_objects) const;
+
+  /// Absolute density threshold for a scaled dataset: the paper's rho
+  /// formula applied to the *scaled* N keeps the same relative threshold.
+  double Rho(int scaled_objects, int rel_threshold) const {
+    return paper.RhoFor(scaled_objects, rel_threshold);
+  }
+};
+
+/// Parses --full / --scale=X / --seed=N; everything else is ignored.
+BenchEnv ParseArgs(int argc, char** argv);
+
+/// The steady-state workload every figure bench queries: a paper-config
+/// dataset replayed for U + 10 ticks so that every object has re-reported
+/// at least once and reference ticks are spread over the update interval.
+struct SteadyWorkload {
+  Dataset dataset;
+  Tick now = 0;  ///< dataset.duration(); engines should be advanced here
+
+  /// Query timestamps uniformly spread over the prediction window
+  /// [now, now + W].
+  std::vector<Tick> QueryTicks(const PaperConfig& paper, int count) const;
+};
+
+SteadyWorkload MakeSteadyWorkload(const BenchEnv& env, int scaled_objects);
+
+/// Builds an FrEngine with the paper's defaults for `objects`.
+FrEngine::Options FrOptionsFor(const BenchEnv& env, int objects,
+                               int histogram_side = -1);
+
+/// Builds a PaEngine with the paper's defaults.
+PaEngine::Options PaOptionsFor(const BenchEnv& env, double l,
+                               int poly_side = -1, int degree = -1);
+
+// ---------------------------------------------------------------------------
+// Output helpers
+
+/// Aligned text table. Rows are buffered so that several series can be
+/// filled concurrently; Flush() (or destruction) prints the whole table,
+/// each row also echoed as "csv,<name>,v1,v2,...".
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string name, std::vector<std::string> columns);
+  ~SeriesPrinter() { Flush(); }
+
+  void Row(const std::vector<double>& values);
+  void Note(const std::string& text);
+  void Flush();
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::string> notes_;
+  bool flushed_ = false;
+};
+
+/// Prints the standard bench banner (name, scale, seed).
+void Banner(const BenchEnv& env, const std::string& bench,
+            const std::string& reproduces);
+
+}  // namespace pdr::bench
+
+#endif  // PDR_BENCH_BENCH_UTIL_H_

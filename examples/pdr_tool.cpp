@@ -1,0 +1,210 @@
+// pdr_tool — command-line workbench over the full library API.
+//
+//   pdr_tool gen  --out city.pdrd [--objects N] [--extent E]
+//                 [--duration T] [--seed S] [--interval U]
+//   pdr_tool info --in city.pdrd
+//   pdr_tool query --in city.pdrd --varrho R --l L [--qt T]
+//                  [--engine fr|pa|both] [--index tpr|bx]
+//   pdr_tool monitor --in city.pdrd --varrho R --l L [--lookahead W]
+//                    [--every K]
+//
+// `gen` synthesizes and saves a dataset; `query` replays it and answers a
+// snapshot PDR query with the chosen engine(s); `monitor` replays while a
+// standing query reports appeared/vanished dense regions.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "pdr/mobility/dataset_io.h"
+#include "pdr/pdr.h"
+
+namespace {
+
+using namespace pdr;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags[body] = argv[++i];
+    } else {
+      flags[body] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pdr_tool <gen|info|query|monitor> [--flag value]...\n"
+               "  gen:     --out FILE [--objects N] [--extent E] "
+               "[--duration T] [--seed S] [--interval U]\n"
+               "  info:    --in FILE\n"
+               "  query:   --in FILE --varrho R --l L [--qt T] "
+               "[--engine fr|pa|both] [--index tpr|bx]\n"
+               "  monitor: --in FILE --varrho R --l L [--lookahead W] "
+               "[--every K]\n");
+  return 2;
+}
+
+int RunGen(const std::map<std::string, std::string>& flags) {
+  WorkloadConfig config;
+  config.WithExtent(std::stod(FlagOr(flags, "extent", "1000")));
+  config.num_objects = std::stoi(FlagOr(flags, "objects", "10000"));
+  config.max_update_interval =
+      std::stoi(FlagOr(flags, "interval", "60"));
+  config.seed = std::stoull(FlagOr(flags, "seed", "42"));
+  const Tick duration = std::stoi(FlagOr(flags, "duration", "70"));
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return Usage();
+
+  std::printf("generating %d objects over %d ticks (U=%d, extent=%g)...\n",
+              config.num_objects, duration, config.max_update_interval,
+              config.extent);
+  const Dataset ds = GenerateDataset(config, duration);
+  SaveDataset(ds, out);
+  std::printf("wrote %s: %zu updates\n", out.c_str(), ds.TotalUpdates());
+  return 0;
+}
+
+int RunInfo(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  std::printf("objects   : %d\n", ds.config.num_objects);
+  std::printf("extent    : %g x %g miles\n", ds.config.extent,
+              ds.config.extent);
+  std::printf("U         : %d ticks\n", ds.config.max_update_interval);
+  std::printf("duration  : %d ticks\n", ds.duration());
+  std::printf("updates   : %zu total (%.1f%% of objects per tick)\n",
+              ds.TotalUpdates(),
+              ds.duration() > 0
+                  ? 100.0 *
+                        (static_cast<double>(ds.TotalUpdates()) -
+                         ds.config.num_objects) /
+                        ds.duration() / ds.config.num_objects
+                  : 0.0);
+  std::printf("seed      : %llu\n",
+              static_cast<unsigned long long>(ds.config.seed));
+  return 0;
+}
+
+int RunQuery(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
+  const double l = std::stod(FlagOr(flags, "l", "30"));
+  const double extent = ds.config.extent;
+  const double rho =
+      varrho * ds.config.num_objects / (extent * extent);
+  const Tick now = ds.duration();
+  const Tick q_t = std::stoi(FlagOr(
+      flags, "qt",
+      std::to_string(now + ds.config.max_update_interval / 2)));
+  const std::string engine = FlagOr(flags, "engine", "both");
+  const std::string index_name = FlagOr(flags, "index", "tpr");
+
+  std::printf("query: rho=%.4g (varrho=%g), l=%g, q_t=%d (now=%d)\n", rho,
+              varrho, l, q_t, now);
+
+  const Tick horizon = 2 * ds.config.max_update_interval;
+  if (engine == "fr" || engine == "both") {
+    FrEngine fr({.extent = extent,
+                 .histogram_side = 100,
+                 .horizon = horizon,
+                 .buffer_pages = PaperConfig().BufferPagesFor(
+                     ds.config.num_objects),
+                 .io_ms = 10.0,
+                 .index = index_name == "bx" ? IndexKind::kBxTree
+                                             : IndexKind::kTprTree,
+                 .max_update_interval = ds.config.max_update_interval});
+    ReplayInto(ds, -1, &fr);
+    const auto result = fr.Query(q_t, rho, l, /*cold_cache=*/true);
+    std::printf(
+        "FR (%s): %zu rects, %.1f sq-miles | %.1f ms CPU + %.0f ms I/O "
+        "(%lld reads) | cells a/c/r = %lld/%lld/%lld\n",
+        index_name.c_str(), result.region.size(), result.region.Area(),
+        result.cost.cpu_ms, result.cost.io_ms,
+        static_cast<long long>(result.cost.io_reads),
+        static_cast<long long>(result.accepted_cells),
+        static_cast<long long>(result.candidate_cells),
+        static_cast<long long>(result.rejected_cells));
+    for (size_t i = 0; i < result.region.size() && i < 10; ++i) {
+      std::printf("  %s\n", result.region.rects()[i].ToString().c_str());
+    }
+  }
+  if (engine == "pa" || engine == "both") {
+    PaEngine pa({.extent = extent,
+                 .poly_side = 10,
+                 .degree = 5,
+                 .horizon = horizon,
+                 .l = l,
+                 .eval_grid = 1000});
+    ReplayInto(ds, -1, &pa);
+    const auto result = pa.Query(q_t, rho);
+    std::printf("PA: %zu rects, %.1f sq-miles | %.1f ms CPU, no I/O\n",
+                result.region.size(), result.region.Area(),
+                result.cost.cpu_ms);
+  }
+  return 0;
+}
+
+int RunMonitor(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
+  const double l = std::stod(FlagOr(flags, "l", "30"));
+  const Tick lookahead = std::stoi(FlagOr(flags, "lookahead", "10"));
+  const Tick every = std::max(1, std::stoi(FlagOr(flags, "every", "5")));
+  const double extent = ds.config.extent;
+  const double rho =
+      varrho * ds.config.num_objects / (extent * extent);
+
+  FrEngine fr({.extent = extent,
+               .histogram_side = 100,
+               .horizon = 2 * ds.config.max_update_interval,
+               .buffer_pages =
+                   PaperConfig().BufferPagesFor(ds.config.num_objects),
+               .io_ms = 10.0});
+  PdrMonitor monitor(&fr, {.rho = rho, .l = l, .lookahead = lookahead});
+
+  for (Tick now = 0; now <= ds.duration(); ++now) {
+    fr.AdvanceTo(now);
+    for (const UpdateEvent& e : ds.ticks[now]) fr.Apply(e);
+    if (now % every != 0) continue;
+    const auto delta = monitor.OnTick(now);
+    std::printf("t=%-4d dense %8.1f sq-mi | +%8.1f appeared, -%8.1f "
+                "vanished | %.0f ms\n",
+                now, delta.current.Area(), delta.appeared.Area(),
+                delta.vanished.Area(), delta.cost.TotalMs());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  try {
+    if (command == "gen") return RunGen(flags);
+    if (command == "info") return RunInfo(flags);
+    if (command == "query") return RunQuery(flags);
+    if (command == "monitor") return RunMonitor(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

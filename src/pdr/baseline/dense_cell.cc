@@ -1,0 +1,22 @@
+#include "pdr/baseline/dense_cell.h"
+
+#include <cmath>
+
+namespace pdr {
+
+Region DenseCellQuery(const DensityHistogram& dh, Tick q_t, double rho) {
+  const Grid& grid = dh.grid();
+  const auto& slice = dh.Slice(q_t);
+  const double threshold = rho * grid.cell_area();
+  Region out;
+  for (int row = 0; row < grid.cells_per_side(); ++row) {
+    for (int col = 0; col < grid.cells_per_side(); ++col) {
+      const double count =
+          static_cast<double>(slice[grid.FlatIndex(col, row)]);
+      if (count >= threshold - 1e-9) out.Add(grid.CellRect(col, row));
+    }
+  }
+  return out.Coalesced();
+}
+
+}  // namespace pdr

@@ -1,0 +1,25 @@
+// Dense-cell query baseline (Hadjieleftheriou et al., SSTD 2004; the
+// paper's reference [4] / "[]").
+//
+// The space is partitioned into the histogram's disjoint grid cells; a
+// cell is reported iff its own object count divided by its area meets the
+// density threshold. This is the method the paper criticizes for *answer
+// loss* (Fig. 1a): a dense square straddling several cells is missed
+// entirely. Implemented here as a comparator for the example programs and
+// the generality tests (a PDR answer always covers the centers of the
+// cells this method reports; Section 3.1).
+
+#ifndef PDR_BASELINE_DENSE_CELL_H_
+#define PDR_BASELINE_DENSE_CELL_H_
+
+#include "pdr/common/region.h"
+#include "pdr/histogram/density_histogram.h"
+
+namespace pdr {
+
+/// All grid cells whose own density (count / cell area) is >= rho at q_t.
+Region DenseCellQuery(const DensityHistogram& dh, Tick q_t, double rho);
+
+}  // namespace pdr
+
+#endif  // PDR_BASELINE_DENSE_CELL_H_

@@ -1,0 +1,84 @@
+#include "pdr/baseline/edq.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdr {
+namespace {
+
+struct CandidateSquare {
+  int col = 0;  // anchor cell (bottom-left) of the eta x eta block
+  int row = 0;
+  int64_t count = 0;
+};
+
+}  // namespace
+
+EdqResult EffectiveDensityQuery(const DensityHistogram& dh, Tick q_t,
+                                double rho, double l, EdqStrategy strategy) {
+  const Grid& grid = dh.grid();
+  const int m = grid.cells_per_side();
+  const auto& slice = dh.Slice(q_t);
+  const int eta =
+      std::max(1, static_cast<int>(std::llround(l / grid.cell_edge())));
+  const double square_edge = eta * grid.cell_edge();
+  const int64_t n_min = static_cast<int64_t>(
+      std::ceil(rho * square_edge * square_edge - 1e-9));
+
+  // Prefix sums for O(1) block counts.
+  std::vector<int64_t> sums(static_cast<size_t>(m + 1) * (m + 1), 0);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m; ++c) {
+      sums[(r + 1) * (m + 1) + (c + 1)] =
+          sums[r * (m + 1) + (c + 1)] + sums[(r + 1) * (m + 1) + c] -
+          sums[r * (m + 1) + c] + slice[static_cast<size_t>(r) * m + c];
+    }
+  }
+  const auto block_count = [&](int col, int row) {
+    const auto at = [&](int r, int c) {
+      return sums[static_cast<size_t>(r) * (m + 1) + c];
+    };
+    return at(row + eta, col + eta) - at(row, col + eta) -
+           at(row + eta, col) + at(row, col);
+  };
+
+  std::vector<CandidateSquare> candidates;
+  for (int row = 0; row + eta <= m; ++row) {
+    for (int col = 0; col + eta <= m; ++col) {
+      const int64_t count = block_count(col, row);
+      if (count >= n_min) candidates.push_back({col, row, count});
+    }
+  }
+
+  EdqResult result;
+  result.candidate_squares = static_cast<int64_t>(candidates.size());
+  if (strategy == EdqStrategy::kDensestFirst) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const CandidateSquare& a, const CandidateSquare& b) {
+                       return a.count > b.count;
+                     });
+  }  // kScanOrder keeps row-major enumeration order.
+
+  // Greedy non-overlap selection on anchor distance: two eta-blocks
+  // overlap iff their anchors differ by < eta in both axes.
+  std::vector<std::pair<int, int>> chosen;
+  for (const CandidateSquare& cand : candidates) {
+    bool overlaps = false;
+    for (const auto& [col, row] : chosen) {
+      if (std::abs(col - cand.col) < eta && std::abs(row - cand.row) < eta) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    chosen.emplace_back(cand.col, cand.row);
+    const Rect square(cand.col * grid.cell_edge(), cand.row * grid.cell_edge(),
+                      (cand.col + eta) * grid.cell_edge(),
+                      (cand.row + eta) * grid.cell_edge());
+    result.squares.push_back(square);
+    result.region.Add(square);
+  }
+  return result;
+}
+
+}  // namespace pdr

@@ -1,0 +1,42 @@
+// Effective density query baseline (Jensen et al., ICDE 2006; the paper's
+// reference [7]).
+//
+// An EDQ reports *non-overlapping* dense regions of a fixed shape and
+// size: squares of edge l, grid-aligned at the histogram's cell
+// granularity, whose object count is at least rho * l^2. When several
+// overlapping squares qualify, only a maximal non-overlapping subset is
+// reported — the source of the *ambiguity* problem the paper illustrates
+// in Fig. 1(b): different tie-breaking strategies return different, each
+// individually valid, answers. Both of the strategies discussed there are
+// provided so the ambiguity can be demonstrated (examples/, tests/).
+
+#ifndef PDR_BASELINE_EDQ_H_
+#define PDR_BASELINE_EDQ_H_
+
+#include <vector>
+
+#include "pdr/common/region.h"
+#include "pdr/histogram/density_histogram.h"
+
+namespace pdr {
+
+/// Tie-breaking strategy for choosing among overlapping dense squares.
+enum class EdqStrategy {
+  kDensestFirst,   ///< greedily keep the square with the highest count
+  kScanOrder,      ///< keep the first qualifying square in row-major order
+};
+
+struct EdqResult {
+  Region region;                ///< union of the reported squares
+  std::vector<Rect> squares;    ///< the individual non-overlapping squares
+  int64_t candidate_squares = 0;  ///< dense squares before de-overlapping
+};
+
+/// Runs the effective density query (rho, l, q_t) over the histogram.
+/// `l` is rounded to a whole number of grid cells (at least one).
+EdqResult EffectiveDensityQuery(const DensityHistogram& dh, Tick q_t,
+                                double rho, double l, EdqStrategy strategy);
+
+}  // namespace pdr
+
+#endif  // PDR_BASELINE_EDQ_H_

@@ -1,0 +1,301 @@
+#include "pdr/bx/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pdr {
+
+struct BPlusTree::NodeHeader {
+  uint8_t is_leaf = 0;
+  uint8_t pad = 0;
+  uint16_t count = 0;
+  PageId next_leaf = kInvalidPageId;  // leaves only
+};
+
+struct BPlusTree::InternalEntry {
+  uint64_t min_key;  // minimum key reachable through `child`
+  PageId child;
+  uint32_t pad;
+};
+
+namespace {
+
+constexpr size_t kHeaderSize = 8;
+
+}  // namespace
+
+static constexpr size_t kBPlusLeafCapacity =
+    (kPageSize - kHeaderSize) / sizeof(BPlusRecord);
+static constexpr size_t kBPlusInternalCapacity =
+    (kPageSize - kHeaderSize) / sizeof(BPlusTree::InternalEntry);
+
+namespace {
+
+struct LeafLayout {
+  BPlusTree::NodeHeader header;
+  BPlusRecord records[kBPlusLeafCapacity];
+};
+struct InternalLayout {
+  BPlusTree::NodeHeader header;
+  BPlusTree::InternalEntry entries[kBPlusInternalCapacity];
+};
+static_assert(sizeof(LeafLayout) <= kPageSize);
+static_assert(sizeof(InternalLayout) <= kPageSize);
+
+/// Index of the child to descend into: the last entry with min_key <= key
+/// (entry 0 acts as catch-all for smaller keys).
+int ChildIndexFor(const InternalLayout* node, uint64_t key) {
+  int lo = 0, hi = node->header.count - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (node->entries[mid].min_key <= key) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+/// Position of the first record with key >= `key`.
+int LowerBound(const LeafLayout* leaf, uint64_t key) {
+  int lo = 0, hi = leaf->header.count;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (leaf->records[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(BufferPool* pool) : pool_(pool) {
+  auto root = pool_->Create(&root_);
+  auto* node = root->As<LeafLayout>();
+  node->header = NodeHeader{1, 0, 0, kInvalidPageId};
+  first_leaf_ = root_;
+  node_count_ = 1;
+}
+
+PageId BPlusTree::FindLeaf(uint64_t key, std::vector<PageId>* path) {
+  PageId page = root_;
+  while (true) {
+    auto ref = pool_->Fetch(page);
+    const NodeHeader* header = ref->As<NodeHeader>();
+    if (header->is_leaf) return page;
+    if (path != nullptr) path->push_back(page);
+    const auto* node = ref->As<InternalLayout>();
+    page = node->entries[ChildIndexFor(node, key)].child;
+  }
+}
+
+void BPlusTree::Insert(const BPlusRecord& record) {
+  std::vector<PageId> path;
+  const PageId leaf_id = FindLeaf(record.key, &path);
+  auto ref = pool_->FetchMut(leaf_id);
+  auto* leaf = ref->As<LeafLayout>();
+  const int pos = LowerBound(leaf, record.key);
+  assert((pos == leaf->header.count || leaf->records[pos].key != record.key) &&
+         "duplicate key");
+
+  if (leaf->header.count < kBPlusLeafCapacity) {
+    std::move_backward(leaf->records + pos,
+                       leaf->records + leaf->header.count,
+                       leaf->records + leaf->header.count + 1);
+    leaf->records[pos] = record;
+    ++leaf->header.count;
+    ++size_;
+    return;
+  }
+
+  // Split: keep the lower half here, move the upper half to a new leaf.
+  PageId sibling_id = kInvalidPageId;
+  auto sibling_ref = pool_->Create(&sibling_id);
+  auto* sibling = sibling_ref->As<LeafLayout>();
+  const int split = static_cast<int>(kBPlusLeafCapacity) / 2;
+  sibling->header = NodeHeader{1, 0,
+                               static_cast<uint16_t>(leaf->header.count -
+                                                     split),
+                               leaf->header.next_leaf};
+  std::copy(leaf->records + split, leaf->records + leaf->header.count,
+            sibling->records);
+  leaf->header.count = static_cast<uint16_t>(split);
+  leaf->header.next_leaf = sibling_id;
+  ++node_count_;
+
+  // Insert the record into the proper half.
+  LeafLayout* target = record.key < sibling->records[0].key ? leaf : sibling;
+  const int tpos = LowerBound(target, record.key);
+  std::move_backward(target->records + tpos,
+                     target->records + target->header.count,
+                     target->records + target->header.count + 1);
+  target->records[tpos] = record;
+  ++target->header.count;
+  ++size_;
+
+  const uint64_t sibling_min = sibling->records[0].key;
+  sibling_ref.Reset();
+  ref.Reset();
+  InsertIntoParent(std::move(path), sibling_min, sibling_id);
+}
+
+void BPlusTree::InsertIntoParent(std::vector<PageId> path, uint64_t key,
+                                 PageId child) {
+  if (path.empty()) {
+    // Grow a new root above the old one.
+    const PageId old_root = root_;
+    uint64_t old_min = 0;
+    {
+      auto ref = pool_->Fetch(old_root);
+      const NodeHeader* header = ref->As<NodeHeader>();
+      old_min = header->is_leaf ? ref->As<LeafLayout>()->records[0].key
+                                : ref->As<InternalLayout>()->entries[0].min_key;
+    }
+    PageId new_root = kInvalidPageId;
+    auto root_ref = pool_->Create(&new_root);
+    auto* node = root_ref->As<InternalLayout>();
+    node->header = NodeHeader{0, 0, 2, kInvalidPageId};
+    node->entries[0] = {old_min, old_root, 0};
+    node->entries[1] = {key, child, 0};
+    root_ = new_root;
+    ++height_;
+    ++node_count_;
+    return;
+  }
+
+  const PageId parent_id = path.back();
+  path.pop_back();
+  auto ref = pool_->FetchMut(parent_id);
+  auto* node = ref->As<InternalLayout>();
+  // Position: after the last entry with min_key <= key.
+  int pos = ChildIndexFor(node, key) + 1;
+  if (node->header.count < kBPlusInternalCapacity) {
+    std::move_backward(node->entries + pos,
+                       node->entries + node->header.count,
+                       node->entries + node->header.count + 1);
+    node->entries[pos] = {key, child, 0};
+    ++node->header.count;
+    return;
+  }
+
+  // Split the internal node.
+  PageId sibling_id = kInvalidPageId;
+  auto sibling_ref = pool_->Create(&sibling_id);
+  auto* sibling = sibling_ref->As<InternalLayout>();
+  const int split = static_cast<int>(kBPlusInternalCapacity) / 2;
+  sibling->header = NodeHeader{0, 0,
+                               static_cast<uint16_t>(node->header.count -
+                                                     split),
+                               kInvalidPageId};
+  std::copy(node->entries + split, node->entries + node->header.count,
+            sibling->entries);
+  node->header.count = static_cast<uint16_t>(split);
+  ++node_count_;
+
+  InternalLayout* target =
+      key < sibling->entries[0].min_key ? node : sibling;
+  pos = ChildIndexFor(target, key) + 1;
+  std::move_backward(target->entries + pos,
+                     target->entries + target->header.count,
+                     target->entries + target->header.count + 1);
+  target->entries[pos] = {key, child, 0};
+  ++target->header.count;
+
+  const uint64_t sibling_min = sibling->entries[0].min_key;
+  sibling_ref.Reset();
+  ref.Reset();
+  InsertIntoParent(std::move(path), sibling_min, sibling_id);
+}
+
+bool BPlusTree::Delete(uint64_t key) {
+  const PageId leaf_id = FindLeaf(key, nullptr);
+  auto ref = pool_->FetchMut(leaf_id);
+  auto* leaf = ref->As<LeafLayout>();
+  const int pos = LowerBound(leaf, key);
+  if (pos == leaf->header.count || leaf->records[pos].key != key) {
+    return false;
+  }
+  std::move(leaf->records + pos + 1, leaf->records + leaf->header.count,
+            leaf->records + pos);
+  --leaf->header.count;
+  --size_;
+  return true;
+}
+
+bool BPlusTree::Find(uint64_t key, BPlusRecord* out) {
+  const PageId leaf_id = FindLeaf(key, nullptr);
+  auto ref = pool_->Fetch(leaf_id);
+  const auto* leaf = ref->As<LeafLayout>();
+  const int pos = LowerBound(leaf, key);
+  if (pos == leaf->header.count || leaf->records[pos].key != key) {
+    return false;
+  }
+  if (out != nullptr) *out = leaf->records[pos];
+  return true;
+}
+
+void BPlusTree::ScanRange(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(const BPlusRecord&)>& visit) {
+  PageId page = FindLeaf(lo, nullptr);
+  while (page != kInvalidPageId) {
+    auto ref = pool_->Fetch(page);
+    const auto* leaf = ref->As<LeafLayout>();
+    for (int i = LowerBound(leaf, lo); i < leaf->header.count; ++i) {
+      if (leaf->records[i].key > hi) return;
+      if (!visit(leaf->records[i])) return;
+    }
+    page = leaf->header.next_leaf;
+  }
+}
+
+void BPlusTree::CheckInvariants() {
+  // Walk the leaf chain: keys strictly increasing, total count matches.
+  size_t seen = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  PageId page = first_leaf_;
+  while (page != kInvalidPageId) {
+    auto ref = pool_->Fetch(page);
+    const auto* leaf = ref->As<LeafLayout>();
+    if (!leaf->header.is_leaf) throw std::logic_error("non-leaf in chain");
+    for (int i = 0; i < leaf->header.count; ++i) {
+      if (!first && leaf->records[i].key <= prev) {
+        throw std::logic_error("keys not strictly increasing");
+      }
+      prev = leaf->records[i].key;
+      first = false;
+      ++seen;
+    }
+    page = leaf->header.next_leaf;
+  }
+  if (seen != size_) throw std::logic_error("leaf chain count mismatch");
+
+  // Every key must be findable from the root.
+  page = first_leaf_;
+  while (page != kInvalidPageId) {
+    PageId next;
+    std::vector<uint64_t> keys;
+    {
+      auto ref = pool_->Fetch(page);
+      const auto* leaf = ref->As<LeafLayout>();
+      for (int i = 0; i < leaf->header.count; ++i) {
+        keys.push_back(leaf->records[i].key);
+      }
+      next = leaf->header.next_leaf;
+    }
+    for (uint64_t key : keys) {
+      if (FindLeaf(key, nullptr) != page) {
+        throw std::logic_error("root descent does not reach the leaf");
+      }
+    }
+    page = next;
+  }
+}
+
+}  // namespace pdr

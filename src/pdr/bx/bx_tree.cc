@@ -1,0 +1,126 @@
+#include "pdr/bx/bx_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdr {
+namespace {
+
+constexpr uint64_t kOidBits = 24;
+constexpr uint64_t kOidMask = (1ull << kOidBits) - 1;
+constexpr uint64_t kZShift = kOidBits;              // z occupies bits 24..47
+constexpr uint64_t kPartitionShift = kZShift + 24;  // partition bits 48..50
+constexpr int64_t kPartitionSlots = 8;
+
+}  // namespace
+
+BxTree::BxTree(const Options& options)
+    : options_(options),
+      phase_span_(std::max<Tick>(1, options.max_update_interval / 2)),
+      pool_(&pager_, options.buffer_pages),
+      tree_(&pool_) {}
+
+uint32_t BxTree::CellCoord(double v) const {
+  const double cell = options_.extent / (1u << kBxZBits);
+  const double clamped = Clamp(v, 0.0, options_.extent);
+  return std::min(kBxMaxCell,
+                  static_cast<uint32_t>(std::floor(clamped / cell)));
+}
+
+uint64_t BxTree::KeyFor(ObjectId id, const MotionState& state) const {
+  assert(id <= kOidMask && "object id exceeds the 24-bit key field");
+  const int64_t partition = PartitionOf(state.t_ref);
+  const Vec2 at_label = state.PositionAt(LabelTime(partition));
+  const uint64_t z = ZEncode(CellCoord(at_label.x), CellCoord(at_label.y));
+  return (static_cast<uint64_t>(partition % kPartitionSlots)
+          << kPartitionShift) |
+         (z << kZShift) | (static_cast<uint64_t>(id) & kOidMask);
+}
+
+void BxTree::Insert(ObjectId id, const MotionState& state) {
+  assert(key_of_.find(id) == key_of_.end() && "duplicate insert");
+  const uint64_t key = KeyFor(id, state);
+  tree_.Insert(BPlusRecord::From(key, id, state));
+  key_of_[id] = key;
+  max_speed_x_ = std::max(max_speed_x_, std::fabs(state.vel.x));
+  max_speed_y_ = std::max(max_speed_y_, std::fabs(state.vel.y));
+}
+
+bool BxTree::Delete(ObjectId id) {
+  auto it = key_of_.find(id);
+  if (it == key_of_.end()) return false;
+  const bool removed = tree_.Delete(it->second);
+  assert(removed && "key map out of sync with B+-tree");
+  key_of_.erase(it);
+  return removed;
+}
+
+void BxTree::Apply(const UpdateEvent& update) {
+  if (update.old_state) {
+    const bool removed = Delete(update.id);
+    assert(removed && "update deletes an object that is not indexed");
+    (void)removed;
+  }
+  if (update.new_state) Insert(update.id, *update.new_state);
+}
+
+void BxTree::AdvanceTo(Tick now) {
+  assert(now >= now_);
+  now_ = now;
+}
+
+std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
+    const Rect& window, Tick t) {
+  std::vector<std::pair<ObjectId, MotionState>> out;
+  if (tree_.size() == 0) return out;
+
+  // Partitions that can hold live entries: reference ticks in
+  // [now - U, now].
+  const int64_t p_lo =
+      PartitionOf(std::max<Tick>(0, now_ - options_.max_update_interval));
+  const int64_t p_hi = PartitionOf(now_);
+
+  for (int64_t partition = p_lo; partition <= p_hi; ++partition) {
+    const Tick label = LabelTime(partition);
+    // Enlarge the query window back (or forward) to the label time using
+    // the maximum observed speeds, then clamp to the domain: every object
+    // whose position at t is in `window` has its label-time position in
+    // the enlarged window (see DESIGN.md for the clamping argument).
+    const double dt = std::fabs(static_cast<double>(t) - label);
+    const Rect enlarged(window.x_lo - max_speed_x_ * dt,
+                        window.y_lo - max_speed_y_ * dt,
+                        window.x_hi + max_speed_x_ * dt,
+                        window.y_hi + max_speed_y_ * dt);
+    // CellCoord clamps into the domain monotonically, so the cell range
+    // below covers the clamped label position of every candidate — even
+    // objects whose predicted positions leave the domain.
+    const uint32_t cx_lo = CellCoord(enlarged.x_lo);
+    const uint32_t cy_lo = CellCoord(enlarged.y_lo);
+    const uint32_t cx_hi = CellCoord(enlarged.x_hi);
+    const uint32_t cy_hi = CellCoord(enlarged.y_hi);
+
+    const uint64_t partition_bits =
+        static_cast<uint64_t>(partition % kPartitionSlots) << kPartitionShift;
+    for (const ZInterval& iv :
+         ZDecomposeWindow(cx_lo, cy_lo, cx_hi, cy_hi,
+                          options_.max_scan_intervals)) {
+      const uint64_t lo = partition_bits | (iv.lo << kZShift);
+      const uint64_t hi = partition_bits | (iv.hi << kZShift) | kOidMask;
+      tree_.ScanRange(lo, hi, [&](const BPlusRecord& record) {
+        ++scanned_records_;
+        // Entries from other (old) partitions cannot appear: partition
+        // bits differ for all live generations. Filter exactly.
+        const MotionState state = record.ToState();
+        if (PartitionOf(state.t_ref) == partition &&
+            window.ContainsClosed(state.PositionAt(t))) {
+          out.emplace_back(record.oid, state);
+        }
+        return true;
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace pdr

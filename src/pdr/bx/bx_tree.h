@@ -1,0 +1,101 @@
+// B^x-tree: B+-tree-based indexing of moving objects
+// (Jensen, Lin, Ooi — VLDB 2004; the paper's reference [6]).
+//
+// Each object is mapped to a single 64-bit key:
+//
+//     key = (partition mod 8) << 48  |  Z(cell at label time) << 24  |  oid
+//
+// where the *partition* is the object's reference tick divided by the
+// phase span (half the maximum update interval), the *label time* is the
+// end of that partition, and Z is the Morton code of the object's
+// predicted position at the label time on a 2^12 x 2^12 grid. Keys are
+// unique because the object id is embedded (oid < 2^24).
+//
+// A range query at tick t visits every partition that can hold live
+// entries, *enlarges* the query window per axis by the maximum observed
+// speed times |t - label|, decomposes the enlarged window into Z-value
+// intervals, range-scans the B+-tree, and filters candidates by their
+// exact predicted position. Maximum speeds are tracked monotonically
+// (a conservative stand-in for the original's velocity histogram).
+//
+// Implements ObjectIndex, so FrEngine can run its refinement step on
+// either this or the TPR-tree (bench_ablation_index compares them).
+
+#ifndef PDR_BX_BX_TREE_H_
+#define PDR_BX_BX_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "pdr/bx/bplus_tree.h"
+#include "pdr/bx/zcurve.h"
+#include "pdr/index/object_index.h"
+
+namespace pdr {
+
+class BxTree : public ObjectIndex {
+ public:
+  struct Options {
+    size_t buffer_pages = 256;     ///< LRU buffer pool capacity
+    double extent = 1000.0;        ///< domain edge
+    Tick max_update_interval = 60; ///< U; the phase span is U/2
+    int max_scan_intervals = 256;  ///< Z-decomposition budget per query
+  };
+
+  explicit BxTree(const Options& options);
+
+  void Insert(ObjectId id, const MotionState& state) override;
+  bool Delete(ObjectId id) override;
+  void Apply(const UpdateEvent& update) override;
+  void AdvanceTo(Tick now) override;
+  std::vector<std::pair<ObjectId, MotionState>> RangeQuery(
+      const Rect& window, Tick t) override;
+
+  size_t size() const override { return tree_.size(); }
+  size_t node_count() const override { return tree_.node_count(); }
+  const IoStats& io_stats() const override { return pool_.stats(); }
+  void ResetIoStats() override { pool_.ResetStats(); }
+  void DropCaches() override { pool_.Clear(); }
+
+  Tick now() const { return now_; }
+  Tick phase_span() const { return phase_span_; }
+  BPlusTree& btree() { return tree_; }
+
+  /// Records visited by range scans since construction (the enlargement
+  /// overhead: scanned minus returned candidates were false positives).
+  int64_t scanned_records() const { return scanned_records_; }
+
+  /// The key an object state maps to (exposed for tests).
+  uint64_t KeyFor(ObjectId id, const MotionState& state) const;
+
+ private:
+  int64_t PartitionOf(Tick t_ref) const {
+    return static_cast<int64_t>(t_ref) / phase_span_;
+  }
+  Tick LabelTime(int64_t partition) const {
+    return static_cast<Tick>((partition + 1) * phase_span_);
+  }
+  uint32_t CellCoord(double v) const;
+
+  Options options_;
+  Tick phase_span_;
+  Pager pager_;
+  BufferPool pool_;
+  BPlusTree tree_;
+  Tick now_ = 0;
+  double max_speed_x_ = 0.0;  // monotone max |vx| over all inserts
+  double max_speed_y_ = 0.0;
+  // Key of each live object (deletes re-derive the record to remove; the
+  // TPR-tree keeps the analogous object->leaf map).
+  std::unordered_map<ObjectId, uint64_t> key_of_;
+  int64_t scanned_records_ = 0;
+};
+
+/// Bits per axis of the B^x cell grid (coarser than the full Z curve so
+/// window decompositions stay small; candidates are filtered exactly).
+inline constexpr int kBxZBits = 12;
+inline constexpr uint32_t kBxMaxCell = (1u << kBxZBits) - 1;
+
+}  // namespace pdr
+
+#endif  // PDR_BX_BX_TREE_H_

@@ -1,0 +1,94 @@
+#include "pdr/bx/zcurve.h"
+
+#include <cassert>
+
+namespace pdr {
+namespace {
+
+/// Spreads the low 32 bits of v so bit i lands at position 2i.
+uint64_t SpreadBits(uint64_t v) {
+  v &= 0xFFFFFFFFull;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+/// Inverse of SpreadBits.
+uint32_t CompactBits(uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<uint32_t>(v);
+}
+
+struct Window {
+  uint32_t x_lo, y_lo, x_hi, y_hi;
+};
+
+void Recurse(uint32_t x0, uint32_t y0, uint32_t size, const Window& w,
+             int max_intervals, std::vector<ZInterval>* out) {
+  const uint32_t x1 = x0 + size - 1;
+  const uint32_t y1 = y0 + size - 1;
+  if (x1 < w.x_lo || x0 > w.x_hi || y1 < w.y_lo || y0 > w.y_hi) return;
+  const bool fully_inside = x0 >= w.x_lo && x1 <= w.x_hi && y0 >= w.y_lo &&
+                            y1 <= w.y_hi;
+  if (fully_inside || size == 1 ||
+      static_cast<int>(out->size()) >= max_intervals) {
+    // An axis-aligned, Z-aligned square of side `size` covers a contiguous
+    // Z range of size^2 values. When emitted due to the interval budget
+    // the range conservatively covers cells outside the window; callers
+    // filter exact positions afterwards.
+    const uint64_t z0 = ZEncode(x0, y0);
+    out->push_back(
+        {z0, z0 + static_cast<uint64_t>(size) * size - 1});
+    return;
+  }
+  const uint32_t half = size / 2;
+  // Children in increasing Z order (x is the low interleaved bit).
+  Recurse(x0, y0, half, w, max_intervals, out);
+  Recurse(x0 + half, y0, half, w, max_intervals, out);
+  Recurse(x0, y0 + half, half, w, max_intervals, out);
+  Recurse(x0 + half, y0 + half, half, w, max_intervals, out);
+}
+
+}  // namespace
+
+uint64_t ZEncode(uint32_t x, uint32_t y) {
+  assert(x <= kZMaxCoord && y <= kZMaxCoord);
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void ZDecode(uint64_t z, uint32_t* x, uint32_t* y) {
+  *x = CompactBits(z);
+  *y = CompactBits(z >> 1);
+}
+
+std::vector<ZInterval> ZDecomposeWindow(uint32_t x_lo, uint32_t y_lo,
+                                        uint32_t x_hi, uint32_t y_hi,
+                                        int max_intervals) {
+  assert(x_lo <= x_hi && y_lo <= y_hi);
+  x_hi = std::min(x_hi, kZMaxCoord);
+  y_hi = std::min(y_hi, kZMaxCoord);
+  std::vector<ZInterval> out;
+  Recurse(0, 0, 1u << kZBits, {x_lo, y_lo, x_hi, y_hi}, max_intervals, &out);
+  // The recursion emits intervals in increasing Z order; merge touching
+  // neighbors.
+  std::vector<ZInterval> merged;
+  merged.reserve(out.size());
+  for (const ZInterval& iv : out) {
+    if (!merged.empty() && merged.back().hi + 1 >= iv.lo) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+}  // namespace pdr

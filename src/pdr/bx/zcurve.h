@@ -1,0 +1,44 @@
+// Z-order (Morton) space-filling curve over a 2^kZBits x 2^kZBits grid.
+//
+// The B^x-tree linearizes positions with a space-filling curve so that a
+// B+-tree can index them. This module provides bit-interleaved encoding
+// and the decomposition of an axis-aligned cell window into a small set of
+// Z-value intervals (by recursive quadrant descent with an interval
+// budget; intervals may conservatively cover extra cells, which the
+// exact-position filter removes later).
+
+#ifndef PDR_BX_ZCURVE_H_
+#define PDR_BX_ZCURVE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pdr {
+
+/// Bits per axis; Z values use 2 * kZBits = 40 bits.
+inline constexpr int kZBits = 20;
+inline constexpr uint32_t kZMaxCoord = (1u << kZBits) - 1;
+
+/// Interleaves the low kZBits of x (even positions) and y (odd positions).
+uint64_t ZEncode(uint32_t x, uint32_t y);
+
+/// Inverse of ZEncode.
+void ZDecode(uint64_t z, uint32_t* x, uint32_t* y);
+
+/// An inclusive Z-value interval [lo, hi].
+struct ZInterval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+/// Decomposes the inclusive cell window [x_lo, x_hi] x [y_lo, y_hi] into
+/// at most `max_intervals` disjoint, sorted Z intervals that together
+/// cover the window (possibly covering extra cells when the budget stops
+/// the quadrant recursion early).
+std::vector<ZInterval> ZDecomposeWindow(uint32_t x_lo, uint32_t y_lo,
+                                        uint32_t x_hi, uint32_t y_hi,
+                                        int max_intervals = 64);
+
+}  // namespace pdr
+
+#endif  // PDR_BX_ZCURVE_H_

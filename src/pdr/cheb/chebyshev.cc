@@ -1,0 +1,82 @@
+#include "pdr/cheb/chebyshev.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdr {
+
+Interval Interval::operator*(const Interval& o) const {
+  const double a = lo * o.lo, b = lo * o.hi, c = hi * o.lo, d = hi * o.hi;
+  return {std::min(std::min(a, b), std::min(c, d)),
+          std::max(std::max(a, b), std::max(c, d))};
+}
+
+Interval Interval::operator*(double s) const {
+  return s >= 0 ? Interval{lo * s, hi * s} : Interval{hi * s, lo * s};
+}
+
+double ChebT(int k, double x) {
+  const double xc = std::clamp(x, -1.0, 1.0);
+  return std::cos(k * std::acos(xc));
+}
+
+void ChebTAll(int degree, double x, double* out) {
+  out[0] = 1.0;
+  if (degree == 0) return;
+  out[1] = x;
+  for (int k = 2; k <= degree; ++k) {
+    out[k] = 2.0 * x * out[k - 1] - out[k - 2];
+  }
+}
+
+Interval ChebTRange(int k, double z1, double z2) {
+  assert(z1 <= z2);
+  if (k == 0) return {1.0, 1.0};
+  const double a = ChebT(k, z1);
+  const double b = ChebT(k, z2);
+  Interval range{std::min(a, b), std::max(a, b)};
+  // Interior extrema of T_k are at cos(j*pi/k), value (-1)^j, j = 1..k-1.
+  for (int j = 1; j < k; ++j) {
+    const double xj = std::cos(j * M_PI / k);
+    if (xj >= z1 && xj <= z2) {
+      if (j % 2 == 1) {
+        range.lo = -1.0;
+      } else {
+        range.hi = 1.0;
+      }
+    }
+    if (range.lo == -1.0 && range.hi == 1.0) break;
+  }
+  return range;
+}
+
+double ChebWeightedIntegral(int i, double z1, double z2) {
+  const double t1 = std::acos(std::clamp(z1, -1.0, 1.0));
+  const double t2 = std::acos(std::clamp(z2, -1.0, 1.0));
+  if (i == 0) return t1 - t2;
+  return (std::sin(i * t1) - std::sin(i * t2)) / i;
+}
+
+void ChebWeightedIntegralAll(int degree, double z1, double z2, double* out) {
+  const double t1 = std::acos(std::clamp(z1, -1.0, 1.0));
+  const double t2 = std::acos(std::clamp(z2, -1.0, 1.0));
+  out[0] = t1 - t2;
+  if (degree == 0) return;
+  // sin(i*t) via the multiple-angle recurrence seeded with sin/cos once.
+  const double c1 = 2.0 * std::cos(t1), c2 = 2.0 * std::cos(t2);
+  double s1_prev = 0.0, s1 = std::sin(t1);
+  double s2_prev = 0.0, s2 = std::sin(t2);
+  out[1] = s1 - s2;
+  for (int i = 2; i <= degree; ++i) {
+    const double s1_next = c1 * s1 - s1_prev;
+    const double s2_next = c2 * s2 - s2_prev;
+    s1_prev = s1;
+    s1 = s1_next;
+    s2_prev = s2;
+    s2 = s2_next;
+    out[i] = (s1 - s2) / i;
+  }
+}
+
+}  // namespace pdr

@@ -1,0 +1,198 @@
+#include "pdr/cheb/contour.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace pdr {
+namespace {
+
+// A segment endpoint snapped to an integer key so that endpoints produced
+// by neighboring cells match exactly during stitching.
+struct PointKey {
+  int64_t x;
+  int64_t y;
+  bool operator<(const PointKey& o) const {
+    return x != o.x ? x < o.x : y < o.y;
+  }
+};
+
+PointKey KeyOf(Vec2 p, double quantum) {
+  return {static_cast<int64_t>(std::llround(p.x / quantum)),
+          static_cast<int64_t>(std::llround(p.y / quantum))};
+}
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+};
+
+// Interpolated crossing of the level set along the edge (p, q).
+Vec2 Crossing(Vec2 p, double vp, Vec2 q, double vq, double level) {
+  const double denom = vq - vp;
+  const double t = std::fabs(denom) < 1e-300 ? 0.5 : (level - vp) / denom;
+  const double tc = Clamp(t, 0.0, 1.0);
+  return {p.x + (q.x - p.x) * tc, p.y + (q.y - p.y) * tc};
+}
+
+}  // namespace
+
+std::vector<Contour> ExtractContours(
+    const std::function<double(Vec2)>& field, const Rect& domain,
+    double level, int resolution) {
+  assert(resolution >= 1);
+  const int n = resolution;
+  const double dx = domain.Width() / n;
+  const double dy = domain.Height() / n;
+
+  // Sample the lattice once.
+  std::vector<double> values(static_cast<size_t>(n + 1) * (n + 1));
+  std::vector<Vec2> coords(values.size());
+  for (int r = 0; r <= n; ++r) {
+    for (int c = 0; c <= n; ++c) {
+      const Vec2 p{domain.x_lo + c * dx, domain.y_lo + r * dy};
+      coords[static_cast<size_t>(r) * (n + 1) + c] = p;
+      values[static_cast<size_t>(r) * (n + 1) + c] = field(p);
+    }
+  }
+  const auto at = [&](int r, int c) -> std::pair<Vec2, double> {
+    const size_t idx = static_cast<size_t>(r) * (n + 1) + c;
+    return {coords[idx], values[idx]};
+  };
+
+  // Marching squares: emit one or two segments per lattice cell.
+  std::vector<Segment> segments;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const auto [p00, v00] = at(r, c);          // bottom-left
+      const auto [p10, v10] = at(r, c + 1);      // bottom-right
+      const auto [p01, v01] = at(r + 1, c);      // top-left
+      const auto [p11, v11] = at(r + 1, c + 1);  // top-right
+      int mask = 0;
+      if (v00 >= level) mask |= 1;
+      if (v10 >= level) mask |= 2;
+      if (v11 >= level) mask |= 4;
+      if (v01 >= level) mask |= 8;
+      if (mask == 0 || mask == 15) continue;
+
+      const Vec2 bottom = Crossing(p00, v00, p10, v10, level);
+      const Vec2 right = Crossing(p10, v10, p11, v11, level);
+      const Vec2 top = Crossing(p01, v01, p11, v11, level);
+      const Vec2 left = Crossing(p00, v00, p01, v01, level);
+
+      switch (mask) {
+        case 1:
+        case 14:
+          segments.push_back({left, bottom});
+          break;
+        case 2:
+        case 13:
+          segments.push_back({bottom, right});
+          break;
+        case 3:
+        case 12:
+          segments.push_back({left, right});
+          break;
+        case 4:
+        case 11:
+          segments.push_back({right, top});
+          break;
+        case 6:
+        case 9:
+          segments.push_back({bottom, top});
+          break;
+        case 7:
+        case 8:
+          segments.push_back({left, top});
+          break;
+        case 5:  // saddle: resolve with the cell-center sample
+        case 10: {
+          const Vec2 center = {(p00.x + p11.x) / 2, (p00.y + p11.y) / 2};
+          const bool center_in = field(center) >= level;
+          if ((mask == 5) == center_in) {
+            segments.push_back({left, top});
+            segments.push_back({bottom, right});
+          } else {
+            segments.push_back({left, bottom});
+            segments.push_back({right, top});
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Stitch segments into polylines by matching quantized endpoints.
+  const double quantum = std::min(dx, dy) * 1e-6;
+  // Drop zero-length segments (the level set passing exactly through a
+  // lattice corner produces them); they would otherwise appear as
+  // spurious two-point loops.
+  std::erase_if(segments, [&](const Segment& s) {
+    const PointKey a = KeyOf(s.a, quantum), b = KeyOf(s.b, quantum);
+    return !(a < b) && !(b < a);
+  });
+  std::multimap<PointKey, size_t> by_endpoint;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    by_endpoint.emplace(KeyOf(segments[i].a, quantum), i);
+    by_endpoint.emplace(KeyOf(segments[i].b, quantum), i);
+  }
+  std::vector<bool> used(segments.size(), false);
+  const auto take_neighbor = [&](Vec2 p, size_t self) -> int {
+    auto [lo, hi] = by_endpoint.equal_range(KeyOf(p, quantum));
+    for (auto it = lo; it != hi; ++it) {
+      if (!used[it->second] && it->second != self) {
+        return static_cast<int>(it->second);
+      }
+    }
+    return -1;
+  };
+
+  const auto same_point = [&](Vec2 p, Vec2 q) {
+    const PointKey a = KeyOf(p, quantum), b = KeyOf(q, quantum);
+    return !(a < b) && !(b < a);
+  };
+
+  std::vector<Contour> contours;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    Contour contour;
+    contour.points = {segments[i].a, segments[i].b};
+    // Extend forward from the tail.
+    while (true) {
+      const Vec2 tail = contour.points.back();
+      const int next = take_neighbor(tail, static_cast<size_t>(-1));
+      if (next < 0) break;
+      used[next] = true;
+      const Segment& s = segments[next];
+      contour.points.push_back(same_point(s.a, tail) ? s.b : s.a);
+    }
+    // Extend backward from the head.
+    while (true) {
+      const Vec2 head = contour.points.front();
+      const int next = take_neighbor(head, static_cast<size_t>(-1));
+      if (next < 0) break;
+      used[next] = true;
+      const Segment& s = segments[next];
+      contour.points.insert(contour.points.begin(),
+                            same_point(s.a, head) ? s.b : s.a);
+    }
+    contour.closed =
+        same_point(contour.points.front(), contour.points.back());
+    contours.push_back(std::move(contour));
+  }
+  return contours;
+}
+
+std::vector<Contour> ExtractDensityContours(const ChebGrid& grid, Tick t,
+                                            double level, int resolution) {
+  return ExtractContours(
+      [&](Vec2 p) { return grid.Density(t, p); },
+      Rect(0, 0, grid.options().extent, grid.options().extent), level,
+      resolution);
+}
+
+}  // namespace pdr

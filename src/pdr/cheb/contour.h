@@ -1,0 +1,39 @@
+// Density contour extraction (Section 6: the Chebyshev model "can also
+// compute contour lines for the approximated distribution in explicit
+// form, which provide a clear overview of the distribution of moving
+// objects").
+//
+// Implemented as marching squares over a sampled lattice of the smooth
+// approximated field, with linear interpolation along cell edges and
+// greedy stitching of segments into polylines.
+
+#ifndef PDR_CHEB_CONTOUR_H_
+#define PDR_CHEB_CONTOUR_H_
+
+#include <functional>
+#include <vector>
+
+#include "pdr/cheb/cheb_grid.h"
+#include "pdr/common/geometry.h"
+
+namespace pdr {
+
+/// One iso-density polyline; `closed` when the line forms a loop.
+struct Contour {
+  std::vector<Vec2> points;
+  bool closed = false;
+};
+
+/// Extracts the iso-lines of `field` == `level` over `domain`, sampling a
+/// (resolution+1)^2 lattice.
+std::vector<Contour> ExtractContours(
+    const std::function<double(Vec2)>& field, const Rect& domain,
+    double level, int resolution);
+
+/// Convenience overload: iso-lines of the PA density model at tick `t`.
+std::vector<Contour> ExtractDensityContours(const ChebGrid& grid, Tick t,
+                                            double level, int resolution);
+
+}  // namespace pdr
+
+#endif  // PDR_CHEB_CONTOUR_H_

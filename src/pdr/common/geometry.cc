@@ -1,0 +1,29 @@
+#include "pdr/common/geometry.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace pdr {
+
+std::string Vec2::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.x_lo << ", " << r.x_hi << ") x [" << r.y_lo << ", "
+            << r.y_hi << ")";
+}
+
+}  // namespace pdr

@@ -1,0 +1,84 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Everything in the library that needs randomness (the road-network
+// generator, object trips, query workloads, Monte-Carlo checks in tests)
+// draws from SplitMix-seeded xoshiro256++ so that every experiment is
+// reproducible from a single 64-bit seed.
+
+#ifndef PDR_COMMON_RANDOM_H_
+#define PDR_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pdr {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Satisfies the C++ uniform random
+/// bit generator requirements so it also works with <random> distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four-word state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate (Box-Muller with caching).
+  double Normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Exponential deviate with the given rate.
+  double Exponential(double rate);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Weights need not be normalized; at least one must be positive.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Forks an independent generator; deterministic for a given parent state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Zipf(s) sampler over ranks {1..n}; rank 1 is most likely. Used for
+/// skewed hotspot popularity and skewed speed classes (the paper draws
+/// velocities "from a skewed distribution").
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double exponent);
+
+  /// Draws a rank in [0, n) (0-based; 0 is the most popular).
+  int Sample(Rng& rng) const;
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_COMMON_RANDOM_H_

@@ -1,0 +1,369 @@
+#include "pdr/common/region.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace pdr {
+namespace {
+
+// One vertical slab boundary: a rectangle either starts (+1) or ends (-1)
+// contributing its y-interval at coordinate x.
+struct XEvent {
+  double x;
+  bool open;  // true = interval becomes active, false = deactivates
+  double y_lo;
+  double y_hi;
+};
+
+std::vector<XEvent> BuildEvents(const std::vector<Rect>& rects) {
+  std::vector<XEvent> events;
+  events.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    if (r.Empty()) continue;
+    events.push_back({r.x_lo, true, r.y_lo, r.y_hi});
+    events.push_back({r.x_hi, false, r.y_lo, r.y_hi});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const XEvent& a, const XEvent& b) { return a.x < b.x; });
+  return events;
+}
+
+// Multiset of active y-intervals with O(a log a) merged-union extraction.
+class ActiveIntervals {
+ public:
+  void Add(double lo, double hi) { ++intervals_[{lo, hi}]; }
+
+  void Remove(double lo, double hi) {
+    auto it = intervals_.find({lo, hi});
+    assert(it != intervals_.end());
+    if (--it->second == 0) intervals_.erase(it);
+  }
+
+  bool Empty() const { return intervals_.empty(); }
+
+  /// Disjoint sorted union of the active intervals.
+  std::vector<std::pair<double, double>> MergedUnion() const {
+    std::vector<std::pair<double, double>> merged;
+    merged.reserve(intervals_.size());
+    for (const auto& [iv, count] : intervals_) {
+      (void)count;
+      if (!merged.empty() && iv.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, iv.second);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    return merged;
+  }
+
+  double UnionLength() const {
+    double len = 0;
+    for (const auto& [lo, hi] : MergedUnion()) len += hi - lo;
+    return len;
+  }
+
+ private:
+  // Keyed map acts as an ordered multiset of (lo, hi) with multiplicities;
+  // ordered by lo then hi, which is exactly what merging needs.
+  std::map<std::pair<double, double>, int> intervals_;
+};
+
+double MergedOverlapLength(const std::vector<std::pair<double, double>>& a,
+                           const std::vector<std::pair<double, double>>& b) {
+  double len = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) len += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return len;
+}
+
+}  // namespace
+
+Region::Region(std::vector<Rect> rects) {
+  rects_.reserve(rects.size());
+  for (const Rect& r : rects) Add(r);
+}
+
+void Region::Add(const Rect& r) {
+  if (!r.Empty()) rects_.push_back(r);
+}
+
+void Region::Add(const Region& other) {
+  rects_.insert(rects_.end(), other.rects_.begin(), other.rects_.end());
+}
+
+double Region::Area() const { return UnionArea(rects_); }
+
+bool Region::Contains(Vec2 p) const {
+  for (const Rect& r : rects_) {
+    if (r.ContainsHalfOpen(p)) return true;
+  }
+  return false;
+}
+
+Rect Region::BoundingBox() const {
+  if (rects_.empty()) return Rect();
+  Rect box = rects_.front();
+  for (const Rect& r : rects_) box = box.Union(r);
+  return box;
+}
+
+Region Region::ClippedTo(const Rect& window) const {
+  Region out;
+  for (const Rect& r : rects_) out.Add(r.Intersection(window));
+  return out;
+}
+
+Region Region::Coalesced() const {
+  if (rects_.empty()) return Region();
+  // Slab decomposition: cut the plane at every rectangle x-edge, compute the
+  // merged y-union per slab, then extend rectangles rightward across slabs
+  // whose y-union repeats.
+  std::vector<XEvent> events = BuildEvents(rects_);
+  ActiveIntervals active;
+
+  struct OpenRect {
+    double x_start;
+    double y_lo;
+    double y_hi;
+  };
+  std::vector<OpenRect> open;  // rects still extending rightward
+  Region out;
+
+  size_t i = 0;
+  while (i < events.size()) {
+    const double x = events[i].x;
+    while (i < events.size() && events[i].x == x) {
+      if (events[i].open) {
+        active.Add(events[i].y_lo, events[i].y_hi);
+      } else {
+        active.Remove(events[i].y_lo, events[i].y_hi);
+      }
+      ++i;
+    }
+    const auto merged = active.MergedUnion();
+    // Close every open rect whose interval is not exactly present anymore,
+    // keep those that continue, open the new ones.
+    std::vector<OpenRect> still_open;
+    still_open.reserve(merged.size());
+    std::vector<bool> continued(merged.size(), false);
+    for (const OpenRect& o : open) {
+      bool keep = false;
+      for (size_t k = 0; k < merged.size(); ++k) {
+        if (!continued[k] && merged[k].first == o.y_lo &&
+            merged[k].second == o.y_hi) {
+          continued[k] = true;
+          keep = true;
+          break;
+        }
+      }
+      if (keep) {
+        still_open.push_back(o);
+      } else if (x > o.x_start) {
+        out.Add(Rect(o.x_start, o.y_lo, x, o.y_hi));
+      }
+    }
+    for (size_t k = 0; k < merged.size(); ++k) {
+      if (!continued[k]) {
+        still_open.push_back({x, merged[k].first, merged[k].second});
+      }
+    }
+    open = std::move(still_open);
+  }
+  assert(open.empty());
+  return out;
+}
+
+std::string Region::ToString() const {
+  std::ostringstream os;
+  os << "Region{";
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    if (i) os << ", ";
+    os << rects_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+double UnionArea(const std::vector<Rect>& rects) {
+  std::vector<XEvent> events = BuildEvents(rects);
+  if (events.empty()) return 0.0;
+  ActiveIntervals active;
+  double area = 0.0;
+  double prev_x = events.front().x;
+  size_t i = 0;
+  while (i < events.size()) {
+    const double x = events[i].x;
+    area += active.UnionLength() * (x - prev_x);
+    while (i < events.size() && events[i].x == x) {
+      if (events[i].open) {
+        active.Add(events[i].y_lo, events[i].y_hi);
+      } else {
+        active.Remove(events[i].y_lo, events[i].y_hi);
+      }
+      ++i;
+    }
+    prev_x = x;
+  }
+  return area;
+}
+
+double IntersectionArea(const Region& a, const Region& b) {
+  std::vector<XEvent> ea = BuildEvents(a.rects());
+  std::vector<XEvent> eb = BuildEvents(b.rects());
+  if (ea.empty() || eb.empty()) return 0.0;
+
+  ActiveIntervals active_a;
+  ActiveIntervals active_b;
+  double area = 0.0;
+  size_t i = 0, j = 0;
+  double prev_x = std::min(ea.front().x, eb.front().x);
+  while (i < ea.size() || j < eb.size()) {
+    const double x = std::min(
+        i < ea.size() ? ea[i].x : std::numeric_limits<double>::infinity(),
+        j < eb.size() ? eb[j].x : std::numeric_limits<double>::infinity());
+    if (!active_a.Empty() && !active_b.Empty()) {
+      area += MergedOverlapLength(active_a.MergedUnion(),
+                                  active_b.MergedUnion()) *
+              (x - prev_x);
+    }
+    while (i < ea.size() && ea[i].x == x) {
+      if (ea[i].open) {
+        active_a.Add(ea[i].y_lo, ea[i].y_hi);
+      } else {
+        active_a.Remove(ea[i].y_lo, ea[i].y_hi);
+      }
+      ++i;
+    }
+    while (j < eb.size() && eb[j].x == x) {
+      if (eb[j].open) {
+        active_b.Add(eb[j].y_lo, eb[j].y_hi);
+      } else {
+        active_b.Remove(eb[j].y_lo, eb[j].y_hi);
+      }
+      ++j;
+    }
+    prev_x = x;
+  }
+  return area;
+}
+
+double DifferenceArea(const Region& a, const Region& b) {
+  return a.Area() - IntersectionArea(a, b);
+}
+
+namespace {
+
+/// Sorted disjoint intervals of `a` minus `b` (both sorted disjoint).
+std::vector<std::pair<double, double>> IntervalDifference(
+    const std::vector<std::pair<double, double>>& a,
+    const std::vector<std::pair<double, double>>& b) {
+  std::vector<std::pair<double, double>> out;
+  size_t j = 0;
+  for (auto [lo, hi] : a) {
+    double cursor = lo;
+    while (j < b.size() && b[j].second <= cursor) ++j;
+    size_t k = j;
+    while (k < b.size() && b[k].first < hi) {
+      if (b[k].first > cursor) out.emplace_back(cursor, b[k].first);
+      cursor = std::max(cursor, b[k].second);
+      if (cursor >= hi) break;
+      ++k;
+    }
+    if (cursor < hi) out.emplace_back(cursor, hi);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> IntervalIntersection(
+    const std::vector<std::pair<double, double>>& a,
+    const std::vector<std::pair<double, double>>& b) {
+  std::vector<std::pair<double, double>> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) out.emplace_back(lo, hi);
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Shared slab sweep for constructive boolean operations: for each x-slab
+/// the combiner maps the two active interval unions to the result's
+/// intervals on that slab.
+template <typename Combiner>
+Region BooleanCombine(const Region& a, const Region& b,
+                      const Combiner& combine) {
+  std::vector<XEvent> ea = BuildEvents(a.rects());
+  std::vector<XEvent> eb = BuildEvents(b.rects());
+  ActiveIntervals active_a;
+  ActiveIntervals active_b;
+  Region out;
+  size_t i = 0, j = 0;
+  double prev_x = 0;
+  bool have_prev = false;
+  while (i < ea.size() || j < eb.size()) {
+    const double x = std::min(
+        i < ea.size() ? ea[i].x : std::numeric_limits<double>::infinity(),
+        j < eb.size() ? eb[j].x : std::numeric_limits<double>::infinity());
+    if (have_prev && x > prev_x) {
+      for (const auto& [lo, hi] :
+           combine(active_a.MergedUnion(), active_b.MergedUnion())) {
+        out.Add(Rect(prev_x, lo, x, hi));
+      }
+    }
+    while (i < ea.size() && ea[i].x == x) {
+      if (ea[i].open) {
+        active_a.Add(ea[i].y_lo, ea[i].y_hi);
+      } else {
+        active_a.Remove(ea[i].y_lo, ea[i].y_hi);
+      }
+      ++i;
+    }
+    while (j < eb.size() && eb[j].x == x) {
+      if (eb[j].open) {
+        active_b.Add(eb[j].y_lo, eb[j].y_hi);
+      } else {
+        active_b.Remove(eb[j].y_lo, eb[j].y_hi);
+      }
+      ++j;
+    }
+    prev_x = x;
+    have_prev = true;
+  }
+  return out.Coalesced();
+}
+
+}  // namespace
+
+Region RegionDifference(const Region& a, const Region& b) {
+  if (a.IsEmpty()) return Region();
+  if (b.IsEmpty()) return a.Coalesced();
+  return BooleanCombine(a, b, IntervalDifference);
+}
+
+Region RegionIntersection(const Region& a, const Region& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Region();
+  return BooleanCombine(a, b, IntervalIntersection);
+}
+
+double SymmetricDifferenceArea(const Region& a, const Region& b) {
+  return a.Area() + b.Area() - 2.0 * IntersectionArea(a, b);
+}
+
+}  // namespace pdr

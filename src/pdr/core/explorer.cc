@@ -1,0 +1,70 @@
+#include "pdr/core/explorer.h"
+
+namespace pdr {
+namespace {
+
+/// One exact probe: is any point (n / l^2)-dense at q_t?
+bool AnyRegionAtCount(FrEngine& engine, Tick q_t, double l, int64_t n,
+                      Region* region_out) {
+  const double rho = static_cast<double>(n) / (l * l);
+  auto result = engine.Query(q_t, rho, l);
+  const bool dense = !result.region.IsEmpty();
+  if (dense && region_out != nullptr) *region_out = std::move(result.region);
+  return dense;
+}
+
+}  // namespace
+
+PeakDensity FindPeakDensity(FrEngine& engine, Tick q_t, double l) {
+  PeakDensity peak;
+  Region at_best;
+  // Exponential ascent: double n while the answer stays non-empty.
+  int64_t lo = 0;  // highest n known dense
+  int64_t hi = 1;  // candidate
+  while (true) {
+    ++peak.probes;
+    Region region;
+    if (AnyRegionAtCount(engine, q_t, l, hi, &region)) {
+      lo = hi;
+      at_best = std::move(region);
+      hi *= 2;
+    } else {
+      break;
+    }
+  }
+  if (lo == 0) return peak;  // empty domain
+  // Binary search in (lo, hi).
+  int64_t sparse = hi;  // lowest n known not dense
+  while (lo + 1 < sparse) {
+    const int64_t mid = lo + (sparse - lo) / 2;
+    ++peak.probes;
+    Region region;
+    if (AnyRegionAtCount(engine, q_t, l, mid, &region)) {
+      lo = mid;
+      at_best = std::move(region);
+    } else {
+      sparse = mid;
+    }
+  }
+  peak.count = lo;
+  peak.rho = static_cast<double>(lo) / (l * l);
+  peak.region = std::move(at_best);
+  return peak;
+}
+
+std::vector<DensityBand> DensityProfile(
+    FrEngine& engine, Tick q_t, double l,
+    const std::vector<int64_t>& levels) {
+  std::vector<DensityBand> bands;
+  bands.reserve(levels.size());
+  for (int64_t level : levels) {
+    DensityBand band;
+    band.min_count = level;
+    band.rho = static_cast<double>(level) / (l * l);
+    band.region = engine.Query(q_t, band.rho, l).region;
+    bands.push_back(std::move(band));
+  }
+  return bands;
+}
+
+}  // namespace pdr

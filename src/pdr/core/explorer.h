@@ -1,0 +1,53 @@
+// Density exploration on top of exact PDR queries.
+//
+// The paper's query model takes a threshold rho and returns all rho-dense
+// regions. Its motivating applications often ask the inverse question:
+// "how dense does it get, and where?" Because the PDR answer is monotone
+// in rho (raising the threshold only shrinks the answer — every point's
+// density is a fixed number), the largest achieved density can be found
+// by binary search over the integer object count n = rho * l^2, each
+// probe being one exact FR query. The same monotonicity yields a full
+// density profile (answers at a ladder of thresholds) usable for
+// choropleth-style displays.
+
+#ifndef PDR_CORE_EXPLORER_H_
+#define PDR_CORE_EXPLORER_H_
+
+#include <vector>
+
+#include "pdr/common/region.h"
+#include "pdr/core/fr_engine.h"
+
+namespace pdr {
+
+/// The maximum point density at one timestamp and where it is attained.
+struct PeakDensity {
+  int64_t count = 0;   ///< max objects in any l-square neighborhood
+  double rho = 0.0;    ///< count / l^2
+  Region region;       ///< the count-dense region (peak neighborhood(s))
+  int probes = 0;      ///< FR queries spent by the search
+};
+
+/// Finds the largest integer n such that some point has >= n objects in
+/// its l-square at q_t, by exponential + binary search (O(log n_max)
+/// exact FR queries). `count` is 0 and `region` empty when no objects are
+/// in the domain.
+PeakDensity FindPeakDensity(FrEngine& engine, Tick q_t, double l);
+
+/// One rung of a density profile ladder.
+struct DensityBand {
+  int64_t min_count = 0;  ///< threshold in objects per l-square
+  double rho = 0.0;
+  Region region;          ///< where density >= min_count
+};
+
+/// Exact dense regions at `levels` thresholds (expressed in objects per
+/// l-square). Bands are nested: band[i+1].region is a subset of
+/// band[i].region when levels are increasing.
+std::vector<DensityBand> DensityProfile(FrEngine& engine, Tick q_t,
+                                        double l,
+                                        const std::vector<int64_t>& levels);
+
+}  // namespace pdr
+
+#endif  // PDR_CORE_EXPLORER_H_

@@ -1,0 +1,123 @@
+#include "pdr/core/fr_engine.h"
+
+#include "pdr/bx/bx_tree.h"
+#include "pdr/tpr/tpr_tree.h"
+
+namespace pdr {
+namespace {
+
+std::unique_ptr<ObjectIndex> MakeIndex(const FrEngine::Options& options) {
+  switch (options.index) {
+    case IndexKind::kBxTree:
+      return std::make_unique<BxTree>(
+          BxTree::Options{options.buffer_pages, options.extent,
+                          options.max_update_interval});
+    case IndexKind::kTprTree:
+      break;
+  }
+  return std::make_unique<TprTree>(
+      TprTree::Options{options.buffer_pages, options.horizon});
+}
+
+}  // namespace
+
+FrEngine::FrEngine(const Options& options)
+    : options_(options),
+      histogram_({options.extent, options.histogram_side, options.horizon}),
+      index_(MakeIndex(options)) {}
+
+void FrEngine::AdvanceTo(Tick now) {
+  histogram_.AdvanceTo(now);
+  index_->AdvanceTo(now);
+}
+
+void FrEngine::Apply(const UpdateEvent& update) {
+  histogram_.Apply(update);
+  index_->Apply(update);
+}
+
+FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
+                                      bool cold_cache) {
+  if (cold_cache) index_->DropCaches();
+  const IoStats io_before = index_->io_stats();
+  Timer timer;
+
+  QueryResult result;
+  const Grid& grid = histogram_.grid();
+  const int64_t n_min = MinObjectsForDensity(rho, l);
+
+  // --- filtering step ------------------------------------------------------
+  const FilterResult filter = FilterCells(histogram_, q_t, rho, l);
+  result.accepted_cells = filter.accepted;
+  result.rejected_cells = filter.rejected;
+  result.candidate_cells = filter.candidates;
+
+  Region region;
+  const int m = grid.cells_per_side();
+  std::vector<Vec2> positions;
+  for (int row = 0; row < m; ++row) {
+    for (int col = 0; col < m; ++col) {
+      const CellClass cls = filter.At(col, row);
+      if (cls == CellClass::kAccept) {
+        region.Add(grid.CellRect(col, row));
+        continue;
+      }
+      if (cls != CellClass::kCandidate) continue;
+
+      // --- refinement step -------------------------------------------------
+      const Rect cell = grid.CellRect(col, row);
+      const Rect window = cell.Expanded(l / 2);
+      const auto objects = index_->RangeQuery(window, q_t);
+      result.objects_fetched += static_cast<int64_t>(objects.size());
+      positions.clear();
+      positions.reserve(objects.size());
+      for (const auto& [id, state] : objects) {
+        (void)id;
+        const Vec2 p = state.PositionAt(q_t);
+        if (grid.InDomain(p)) positions.push_back(p);
+      }
+      for (const Rect& r :
+           SweepCell(cell, positions, l, n_min, &result.sweep)) {
+        region.Add(r);
+      }
+    }
+  }
+  result.region = region.Coalesced();
+
+  result.cost.cpu_ms = timer.ElapsedMillis();
+  const IoStats delta = index_->io_stats() - io_before;
+  result.cost.io_reads = delta.physical_reads;
+  result.cost.io_ms = delta.ReadCostMs(options_.io_ms);
+  return result;
+}
+
+FrEngine::QueryResult FrEngine::QueryInterval(Tick q_lo, Tick q_hi,
+                                              double rho, double l) {
+  QueryResult total;
+  Region all;
+  for (Tick t = q_lo; t <= q_hi; ++t) {
+    QueryResult snap = Query(t, rho, l);
+    all.Add(snap.region);
+    total.cost += snap.cost;
+    total.accepted_cells += snap.accepted_cells;
+    total.rejected_cells += snap.rejected_cells;
+    total.candidate_cells += snap.candidate_cells;
+    total.objects_fetched += snap.objects_fetched;
+    total.sweep += snap.sweep;
+  }
+  total.region = all.Coalesced();
+  return total;
+}
+
+FrEngine::DhResult FrEngine::DhOnlyQuery(Tick q_t, double rho, double l,
+                                         bool optimistic) {
+  Timer timer;
+  DhResult result;
+  result.filter = FilterCells(histogram_, q_t, rho, l);
+  result.region =
+      CellsAsRegion(result.filter, histogram_.grid(), optimistic);
+  result.cpu_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace pdr

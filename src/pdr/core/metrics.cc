@@ -1,0 +1,22 @@
+#include "pdr/core/metrics.h"
+
+namespace pdr {
+
+AccuracyMetrics CompareRegions(const Region& truth, const Region& reported,
+                               double domain_area) {
+  AccuracyMetrics m;
+  m.truth_area = truth.Area();
+  m.reported_area = reported.Area();
+  m.overlap_area = IntersectionArea(truth, reported);
+  if (m.truth_area > 0) {
+    m.false_positive_ratio = (m.reported_area - m.overlap_area) / m.truth_area;
+    m.false_negative_ratio = (m.truth_area - m.overlap_area) / m.truth_area;
+  } else {
+    m.false_negative_ratio = 0.0;
+    m.false_positive_ratio =
+        domain_area > 0 ? m.reported_area / domain_area : 0.0;
+  }
+  return m;
+}
+
+}  // namespace pdr

@@ -1,0 +1,41 @@
+// Accuracy metrics of Section 7.2.
+//
+// With D the true union of dense regions and D' the regions a method
+// reports:
+//   r_fp = area(D' \ D) / area(D)   — can exceed 100%
+//   r_fn = area(D \ D') / area(D)   — in [0, 100%]
+// (Both are normalized by the *true* area; the paper's remark that r_fp
+// may exceed 100% while r_fn cannot pins down this reading of the garbled
+// formulas.)
+
+#ifndef PDR_CORE_METRICS_H_
+#define PDR_CORE_METRICS_H_
+
+#include "pdr/common/region.h"
+
+namespace pdr {
+
+struct AccuracyMetrics {
+  double false_positive_ratio = 0.0;  ///< r_fp
+  double false_negative_ratio = 0.0;  ///< r_fn
+  double truth_area = 0.0;            ///< area(D)
+  double reported_area = 0.0;         ///< area(D')
+  double overlap_area = 0.0;          ///< area(D ∩ D')
+
+  /// Jaccard index of the two regions (extra diagnostic, not in paper).
+  double Jaccard() const {
+    const double uni = truth_area + reported_area - overlap_area;
+    return uni > 0 ? overlap_area / uni : 1.0;
+  }
+};
+
+/// Computes r_fp / r_fn of `reported` against ground truth `truth`.
+/// When the truth is empty, r_fn = 0 and r_fp is reported as
+/// area(D') / domain_area if `domain_area` > 0 (else 0): a method that
+/// reports anything when nothing is dense is penalized but finitely.
+AccuracyMetrics CompareRegions(const Region& truth, const Region& reported,
+                               double domain_area = 0.0);
+
+}  // namespace pdr
+
+#endif  // PDR_CORE_METRICS_H_

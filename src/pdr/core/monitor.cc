@@ -1,0 +1,23 @@
+#include "pdr/core/monitor.h"
+
+namespace pdr {
+
+PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
+  Delta delta;
+  delta.now = now;
+  delta.q_t = now + options_.lookahead;
+  auto result = engine_->Query(delta.q_t, options_.rho, options_.l);
+  delta.cost = result.cost;
+  delta.current = std::move(result.region);
+  if (has_previous_) {
+    delta.appeared = RegionDifference(delta.current, previous_);
+    delta.vanished = RegionDifference(previous_, delta.current);
+  } else {
+    delta.appeared = delta.current.Coalesced();
+  }
+  previous_ = delta.current;
+  has_previous_ = true;
+  return delta;
+}
+
+}  // namespace pdr

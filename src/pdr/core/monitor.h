@@ -1,0 +1,72 @@
+// Continuous PDR monitoring.
+//
+// The paper evaluates one-shot snapshot queries; its motivating
+// applications (traffic control, resource scheduling) actually watch a
+// *standing* query — "always show the regions that will be dense W ticks
+// from now" — as updates stream in. PdrMonitor keeps the previous answer
+// and reports constructive deltas per tick:
+//
+//   appeared = current \ previous   (congestion forming: act on these)
+//   vanished = previous \ current   (congestion dissolving)
+//
+// so downstream consumers (alerting, dispatch) handle O(change) instead
+// of re-reading the full answer. This is the natural extension toward the
+// continuous density queries of the follow-up literature.
+
+#ifndef PDR_CORE_MONITOR_H_
+#define PDR_CORE_MONITOR_H_
+
+#include "pdr/common/region.h"
+#include "pdr/common/stats.h"
+#include "pdr/core/fr_engine.h"
+
+namespace pdr {
+
+class PdrMonitor {
+ public:
+  struct Options {
+    double rho = 0.0;    ///< density threshold
+    double l = 30.0;     ///< neighborhood edge
+    Tick lookahead = 0;  ///< q_t = now + lookahead (<= W for completeness)
+  };
+
+  /// The change in the standing answer at one tick.
+  struct Delta {
+    Tick now = 0;
+    Tick q_t = 0;
+    Region current;   ///< full answer at q_t
+    Region appeared;  ///< dense now, not dense at the previous evaluation
+    Region vanished;  ///< dense at the previous evaluation, not now
+    CostBreakdown cost;
+
+    bool Changed() const {
+      return !appeared.IsEmpty() || !vanished.IsEmpty();
+    }
+  };
+
+  /// The monitor evaluates through `engine` (not owned); the caller keeps
+  /// feeding the engine its update stream.
+  PdrMonitor(FrEngine* engine, const Options& options)
+      : engine_(engine), options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Evaluates the standing query at `now` (engine must be advanced to
+  /// `now` and fed all updates up to it) and returns the delta against
+  /// the previous evaluation.
+  Delta OnTick(Tick now);
+
+  /// Forgets the previous answer (the next delta reports everything as
+  /// appeared).
+  void Reset() { has_previous_ = false; }
+
+ private:
+  FrEngine* engine_;
+  Options options_;
+  Region previous_;
+  bool has_previous_ = false;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_CORE_MONITOR_H_

@@ -1,0 +1,44 @@
+#include "pdr/core/oracle.h"
+
+#include "pdr/histogram/filter.h"
+#include "pdr/sweep/plane_sweep.h"
+
+namespace pdr {
+
+std::vector<Vec2> Oracle::InDomainPositions(Tick t) const {
+  std::vector<Vec2> positions = table_.PositionsAt(t);
+  std::vector<Vec2> in_domain;
+  in_domain.reserve(positions.size());
+  for (const Vec2& p : positions) {
+    if (p.x >= 0 && p.x <= extent_ && p.y >= 0 && p.y <= extent_) {
+      in_domain.push_back(p);
+    }
+  }
+  return in_domain;
+}
+
+int64_t Oracle::CountInSquare(Tick t, Vec2 c, double l) const {
+  const Rect square = Rect::CenteredSquare(c, l);
+  int64_t count = 0;
+  for (const Vec2& p : InDomainPositions(t)) {
+    if (square.ContainsLSquare(p)) ++count;
+  }
+  return count;
+}
+
+Region Oracle::DenseRegions(Tick t, double rho, double l) const {
+  const Rect domain(0, 0, extent_, extent_);
+  const int64_t n_min = MinObjectsForDensity(rho, l);
+  const std::vector<Rect> rects =
+      SweepCell(domain, InDomainPositions(t), l, n_min);
+  return Region(rects).Coalesced();
+}
+
+Region Oracle::DenseRegionsInterval(Tick t_lo, Tick t_hi, double rho,
+                                    double l) const {
+  Region all;
+  for (Tick t = t_lo; t <= t_hi; ++t) all.Add(DenseRegions(t, rho, l));
+  return all.Coalesced();
+}
+
+}  // namespace pdr

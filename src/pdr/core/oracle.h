@@ -1,0 +1,62 @@
+// Brute-force ground-truth oracle.
+//
+// Maintains every live object's reported motion in a flat table and
+// answers PDR queries exactly by sweeping the *whole domain* as a single
+// candidate cell (reusing the plane-sweep refinement). Quadratic-ish and
+// index-free, so it is the reference implementation the exact FR engine is
+// validated against in tests; it also provides direct point-density
+// evaluation (Definition 2) for pointwise property tests.
+
+#ifndef PDR_CORE_ORACLE_H_
+#define PDR_CORE_ORACLE_H_
+
+#include <vector>
+
+#include "pdr/common/geometry.h"
+#include "pdr/common/region.h"
+#include "pdr/mobility/object.h"
+
+namespace pdr {
+
+class Oracle {
+ public:
+  explicit Oracle(double extent) : extent_(extent) {}
+
+  void AdvanceTo(Tick now) { now_ = now; }
+  Tick now() const { return now_; }
+  void Apply(const UpdateEvent& update) { table_.Apply(update); }
+
+  double extent() const { return extent_; }
+  size_t size() const { return table_.size(); }
+
+  /// Predicted positions of all live objects at tick t that fall inside
+  /// the closed domain (the counting convention shared by every engine).
+  std::vector<Vec2> InDomainPositions(Tick t) const;
+
+  /// Exact number of objects inside the half-open l-square centered at `c`
+  /// (Definition 1 edge semantics) at tick t.
+  int64_t CountInSquare(Tick t, Vec2 c, double l) const;
+
+  /// Exact point density d_t(p) (Definition 2).
+  double PointDensity(Tick t, Vec2 p, double l) const {
+    return static_cast<double>(CountInSquare(t, p, l)) / (l * l);
+  }
+
+  /// Exact union of all rho-dense regions at tick t (snapshot PDR query,
+  /// Definition 4), as coalesced half-open rectangles.
+  Region DenseRegions(Tick t, double rho, double l) const;
+
+  /// Exact interval PDR query (Definition 5): union of the snapshot
+  /// answers over q_t in [t_lo, t_hi].
+  Region DenseRegionsInterval(Tick t_lo, Tick t_hi, double rho,
+                              double l) const;
+
+ private:
+  double extent_;
+  Tick now_ = 0;
+  ObjectTable table_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_CORE_ORACLE_H_

@@ -1,0 +1,44 @@
+#include "pdr/core/pa_engine.h"
+
+namespace pdr {
+
+PaEngine::PaEngine(const Options& options)
+    : options_(options),
+      model_({options.extent, options.poly_side, options.degree,
+              options.horizon, options.l}) {}
+
+PaEngine::QueryResult PaEngine::Query(Tick q_t, double rho) {
+  Timer timer;
+  QueryResult result;
+  result.region = model_.QueryDense(q_t, rho, options_.eval_grid, &result.bnb);
+  result.cost.cpu_ms = timer.ElapsedMillis();
+  return result;
+}
+
+PaEngine::QueryResult PaEngine::QueryGridScan(Tick q_t, double rho) {
+  Timer timer;
+  QueryResult result;
+  result.region =
+      model_.QueryDenseGridScan(q_t, rho, options_.eval_grid, &result.bnb);
+  result.cost.cpu_ms = timer.ElapsedMillis();
+  return result;
+}
+
+PaEngine::QueryResult PaEngine::QueryInterval(Tick q_lo, Tick q_hi,
+                                              double rho) {
+  QueryResult total;
+  Region all;
+  for (Tick t = q_lo; t <= q_hi; ++t) {
+    QueryResult snap = Query(t, rho);
+    all.Add(snap.region);
+    total.cost += snap.cost;
+    total.bnb.nodes_visited += snap.bnb.nodes_visited;
+    total.bnb.accepted_boxes += snap.bnb.accepted_boxes;
+    total.bnb.pruned_boxes += snap.bnb.pruned_boxes;
+    total.bnb.point_evals += snap.bnb.point_evals;
+  }
+  total.region = all.Coalesced();
+  return total;
+}
+
+}  // namespace pdr

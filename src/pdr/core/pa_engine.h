@@ -1,0 +1,64 @@
+// PA: the approximate polynomial PDR engine (Section 6).
+//
+// A thin, cost-accounted facade over ChebGrid: maintains the per-tick
+// Chebyshev density model from the update stream and answers snapshot PDR
+// queries by branch-and-bound over the polynomial bounds. Incurs no I/O —
+// all coefficients stay in memory (Section 7.3: "PA incurs no I/O at
+// all") — so its total cost is CPU only.
+
+#ifndef PDR_CORE_PA_ENGINE_H_
+#define PDR_CORE_PA_ENGINE_H_
+
+#include "pdr/cheb/cheb_grid.h"
+#include "pdr/common/region.h"
+#include "pdr/common/stats.h"
+
+namespace pdr {
+
+class PaEngine {
+ public:
+  struct Options {
+    double extent = 1000.0;
+    int poly_side = 10;   ///< g: macro-cells per side (g^2 polynomials)
+    int degree = 5;       ///< k
+    Tick horizon = 120;   ///< H = U + W
+    double l = 30.0;      ///< fixed l-square edge (Section 6 limitation)
+    int eval_grid = 1000; ///< m_d: finest branch-and-bound resolution
+  };
+
+  explicit PaEngine(const Options& options);
+
+  void AdvanceTo(Tick now) { model_.AdvanceTo(now); }
+  Tick now() const { return model_.now(); }
+  void Apply(const UpdateEvent& update) { model_.Apply(update); }
+
+  struct QueryResult {
+    Region region;
+    CostBreakdown cost;  ///< io_ms always 0 for PA
+    BnbStats bnb;
+  };
+
+  /// Approximate snapshot PDR query (rho, options().l, q_t) via
+  /// branch-and-bound.
+  QueryResult Query(Tick q_t, double rho);
+
+  /// The paper's "trivial approach" (full grid scan) for the ablation.
+  QueryResult QueryGridScan(Tick q_t, double rho);
+
+  /// Interval PDR query: union of snapshot answers over [q_lo, q_hi].
+  QueryResult QueryInterval(Tick q_lo, Tick q_hi, double rho);
+
+  /// Approximated point density at `p`, tick `t`.
+  double Density(Tick t, Vec2 p) const { return model_.Density(t, p); }
+
+  const ChebGrid& model() const { return model_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  ChebGrid model_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_CORE_PA_ENGINE_H_

@@ -1,0 +1,52 @@
+#include "pdr/core/paper_config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace pdr {
+
+size_t PaperConfig::BufferPagesFor(int num_objects) const {
+  // A leaf entry is 40 bytes (position, velocity, reference tick, id).
+  const size_t dataset_bytes = static_cast<size_t>(num_objects) * 40;
+  const size_t pages =
+      static_cast<size_t>(dataset_bytes * buffer_fraction / page_size);
+  return std::max<size_t>(pages, 16);
+}
+
+std::string PaperConfig::ToString() const {
+  std::ostringstream os;
+  os << "Paper configuration (Table 1, reconstructed — see DESIGN.md):\n"
+     << "  domain                     : " << extent << " x " << extent
+     << " miles\n"
+     << "  page size                  : " << page_size << " B\n"
+     << "  buffer size                : " << buffer_fraction * 100
+     << "% of dataset size\n"
+     << "  random disk access         : " << io_ms << " ms\n"
+     << "  max update interval U      : " << max_update_interval << "\n"
+     << "  prediction window W        : " << prediction_window << "\n"
+     << "  horizon H = U + W          : " << horizon() << "\n"
+     << "  l-square edge l            : {30, 60} (default " << default_l
+     << ")\n"
+     << "  objects                    : {10K, 100K, 500K} (default "
+     << default_objects / 1000 << "K)\n"
+     << "  relative threshold varrho  : {1..5} (default "
+     << default_rel_threshold << ")\n"
+     << "  DH cells m^2               : {10000, 40000, 62500} (default "
+     << default_histogram_side * default_histogram_side << ")\n"
+     << "  polynomials g^2            : {100, 1600} (default "
+     << default_poly_side * default_poly_side << ")\n"
+     << "  polynomial degree k        : {3, 4, 5} (default " << default_degree
+     << ")\n"
+     << "  evaluation grid m_d        : " << eval_grid << "\n";
+  return os.str();
+}
+
+double BenchScaleFromEnv() {
+  const char* env = std::getenv("PDR_BENCH_SCALE");
+  if (env == nullptr) return 0.1;
+  const double v = std::atof(env);
+  return v > 0 ? v : 0.1;
+}
+
+}  // namespace pdr

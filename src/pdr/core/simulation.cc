@@ -1,0 +1,26 @@
+#include "pdr/core/simulation.h"
+
+#include <algorithm>
+
+namespace pdr {
+
+std::vector<SinkTiming> Replay(const Dataset& dataset,
+                               const std::vector<UpdateSink*>& sinks,
+                               Tick upto) {
+  const Tick last = upto < 0 ? dataset.duration()
+                             : std::min(upto, dataset.duration());
+  std::vector<SinkTiming> timings(sinks.size());
+  for (Tick t = 0; t <= last; ++t) {
+    const auto& batch = dataset.ticks[t];
+    for (size_t s = 0; s < sinks.size(); ++s) {
+      Timer timer;
+      sinks[s]->AdvanceTo(t);
+      for (const UpdateEvent& update : batch) sinks[s]->Apply(update);
+      timings[s].total_ms += timer.ElapsedMillis();
+      timings[s].updates += batch.size();
+    }
+  }
+  return timings;
+}
+
+}  // namespace pdr

@@ -1,0 +1,70 @@
+#include "pdr/histogram/density_histogram.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace pdr {
+
+DensityHistogram::DensityHistogram(const Options& options)
+    : grid_(options.extent, options.cells_per_side),
+      horizon_(options.horizon) {
+  assert(options.horizon >= 0);
+  ring_.assign(horizon_ + 1,
+               std::vector<Counter>(grid_.cell_count(), 0));
+  slot_tick_.resize(horizon_ + 1);
+  for (Tick t = 0; t <= horizon_; ++t) slot_tick_[SlotOf(t)] = t;
+}
+
+void DensityHistogram::AdvanceTo(Tick now) {
+  assert(now >= now_);
+  for (Tick t = now_ + 1; t <= now; ++t) {
+    // The slot that held tick t-1 now represents tick t+H.
+    const Tick incoming = t + horizon_;
+    const int slot = SlotOf(incoming);
+    std::fill(ring_[slot].begin(), ring_[slot].end(), 0);
+    slot_tick_[slot] = incoming;
+  }
+  now_ = now;
+}
+
+void DensityHistogram::AddTrajectory(const MotionState& state, Tick from,
+                                     Tick to, int delta) {
+  for (Tick t = from; t <= to; ++t) {
+    const Vec2 p = state.PositionAt(t);
+    if (!grid_.InDomain(p)) continue;
+    std::vector<Counter>& slice = ring_[SlotOf(t)];
+    assert(slot_tick_[SlotOf(t)] == t);
+    Counter& counter = slice[grid_.CellOf(p)];
+    assert(delta > 0 || counter > 0);
+    counter = static_cast<Counter>(static_cast<int64_t>(counter) + delta);
+  }
+}
+
+void DensityHistogram::Apply(const UpdateEvent& update) {
+  assert(update.tick == now_ && "updates must be applied at their tick");
+  if (update.old_state) {
+    // The old movement wrote ticks [old.t_ref, old.t_ref + H]; ticks before
+    // now_ have been recycled already, so undo only the still-live ones.
+    const Tick last = std::min(update.old_state->t_ref + horizon_,
+                               now_ + horizon_);
+    if (last >= now_) AddTrajectory(*update.old_state, now_, last, -1);
+  }
+  if (update.new_state) {
+    assert(update.new_state->t_ref == now_);
+    AddTrajectory(*update.new_state, now_, now_ + horizon_, +1);
+  }
+}
+
+const std::vector<DensityHistogram::Counter>& DensityHistogram::Slice(
+    Tick t) const {
+  assert(t >= now_ && t <= now_ + horizon_ && "tick outside the horizon");
+  assert(slot_tick_[SlotOf(t)] == t);
+  return ring_[SlotOf(t)];
+}
+
+int64_t DensityHistogram::TotalAt(Tick t) const {
+  const auto& slice = Slice(t);
+  return std::accumulate(slice.begin(), slice.end(), int64_t{0});
+}
+
+}  // namespace pdr

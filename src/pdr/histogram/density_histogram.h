@@ -1,0 +1,82 @@
+// Density histogram (DH), Section 5.1 of the paper.
+//
+// For every tick t in [now, now + H] the histogram keeps an m x m grid of
+// counters: the number of objects whose *reported* linear motion predicts a
+// position inside each cell at t. An insertion update increments the cell
+// that the new trajectory hits at every tick of the horizon; a deletion
+// update decrements the cells of the old trajectory over the ticks it still
+// covers. The slices are kept in a ring buffer keyed by tick so advancing
+// the clock recycles the slice that just fell out of the horizon; the
+// update-interval contract (every object reports within U, queries look at
+// most W = H - U ahead) guarantees a recycled slice is never consulted
+// before every live object has re-reported into it.
+//
+// Domain convention (see generator.h): predicted positions outside the
+// closed domain [0, extent]^2 are not counted, matching the ground-truth
+// density definition, which keeps the filter step's accept test sound.
+
+#ifndef PDR_HISTOGRAM_DENSITY_HISTOGRAM_H_
+#define PDR_HISTOGRAM_DENSITY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pdr/common/geometry.h"
+#include "pdr/mobility/object.h"
+
+namespace pdr {
+
+class DensityHistogram {
+ public:
+  using Counter = uint32_t;
+
+  struct Options {
+    double extent = 1000.0;  ///< domain edge (miles)
+    int cells_per_side = 100;  ///< m; the paper uses m^2 = 10000..62500
+    Tick horizon = 120;      ///< H = U + W
+  };
+
+  explicit DensityHistogram(const Options& options);
+
+  /// Moves the logical clock to `now`, recycling expired slices.
+  void AdvanceTo(Tick now);
+  Tick now() const { return now_; }
+  Tick horizon() const { return horizon_; }
+
+  /// Applies one update event received at `update.tick` (== now()).
+  void Apply(const UpdateEvent& update);
+
+  /// Counter of cell (col, row) at tick t; t must be in [now, now + H].
+  Counter CountAt(Tick t, int col, int row) const {
+    return Slice(t)[grid_.FlatIndex(col, row)];
+  }
+
+  /// Whole m*m counter slice for tick t (row-major).
+  const std::vector<Counter>& Slice(Tick t) const;
+
+  const Grid& grid() const { return grid_; }
+
+  /// Bytes of counter storage, the quantity on Fig. 8(c,d)'s x-axis.
+  size_t MemoryBytes() const {
+    return ring_.size() * grid_.cell_count() * sizeof(Counter);
+  }
+
+  /// Total objects recorded in the slice for tick `t` (for sanity checks).
+  int64_t TotalAt(Tick t) const;
+
+ private:
+  int SlotOf(Tick t) const {
+    return static_cast<int>(t % static_cast<Tick>(ring_.size()));
+  }
+  void AddTrajectory(const MotionState& state, Tick from, Tick to, int delta);
+
+  Grid grid_;
+  Tick horizon_;
+  Tick now_ = 0;
+  std::vector<std::vector<Counter>> ring_;  // (H+1) slices of m*m counters
+  std::vector<Tick> slot_tick_;             // tick currently held by a slot
+};
+
+}  // namespace pdr
+
+#endif  // PDR_HISTOGRAM_DENSITY_HISTOGRAM_H_

@@ -1,0 +1,151 @@
+#include "pdr/histogram/filter.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pdr {
+namespace {
+
+/// Inclusive 2-D prefix sums: sums[(r+1)*(m+1) + (c+1)] = sum of cells
+/// with row <= r, col <= c.
+std::vector<int64_t> PrefixSums(const std::vector<DensityHistogram::Counter>&
+                                    slice,
+                                int m) {
+  std::vector<int64_t> sums(static_cast<size_t>(m + 1) * (m + 1), 0);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m; ++c) {
+      sums[(r + 1) * (m + 1) + (c + 1)] =
+          sums[r * (m + 1) + (c + 1)] + sums[(r + 1) * (m + 1) + c] -
+          sums[r * (m + 1) + c] +
+          slice[static_cast<size_t>(r) * m + c];
+    }
+  }
+  return sums;
+}
+
+int64_t BlockSum(const std::vector<int64_t>& sums, int m, int col, int row,
+                 int half_width) {
+  const int c_lo = std::max(0, col - half_width);
+  const int c_hi = std::min(m - 1, col + half_width);
+  const int r_lo = std::max(0, row - half_width);
+  const int r_hi = std::min(m - 1, row + half_width);
+  if (c_lo > c_hi || r_lo > r_hi) return 0;
+  const auto at = [&](int r, int c) {
+    return sums[static_cast<size_t>(r) * (m + 1) + c];
+  };
+  return at(r_hi + 1, c_hi + 1) - at(r_lo, c_hi + 1) - at(r_hi + 1, c_lo) +
+         at(r_lo, c_lo);
+}
+
+}  // namespace
+
+int64_t MinObjectsForDensity(double rho, double l) {
+  return static_cast<int64_t>(std::ceil(rho * l * l - 1e-9));
+}
+
+int ConservativeHalfWidth(double l, double cell_edge) {
+  // Largest a with (2a+1)*l_c <= l - l_c.
+  return static_cast<int>(std::floor((l / cell_edge - 2.0) / 2.0 + 1e-12));
+}
+
+int ExpansiveHalfWidth(double l, double cell_edge) {
+  // The block [(col-b)*l_c, (col+b+1)*l_c) must cover every point of every
+  // S_l(p), p in the half-open cell: b*l_c >= l/2 on each side. The closed
+  // top/right edge of S_l needs no extra cell: an object exactly at
+  // coordinate (col+b+1)*l_c is assigned to the next cell, but p < cell_hi
+  // implies p + l/2 < cell_hi + l/2 <= (col+b+1)*l_c, so that object is in
+  // no S_l(p) anyway.
+  return static_cast<int>(std::ceil(l / (2.0 * cell_edge) - 1e-12));
+}
+
+FilterResult FilterCells(const DensityHistogram& dh, Tick q_t, double rho,
+                         double l) {
+  const Grid& grid = dh.grid();
+  const int m = grid.cells_per_side();
+  const int64_t n_min = MinObjectsForDensity(rho, l);
+  const int a = ConservativeHalfWidth(l, grid.cell_edge());
+  const int b = ExpansiveHalfWidth(l, grid.cell_edge());
+
+  const std::vector<int64_t> sums = PrefixSums(dh.Slice(q_t), m);
+
+  FilterResult result;
+  result.cells_per_side = m;
+  result.classes.resize(static_cast<size_t>(m) * m, CellClass::kCandidate);
+  for (int row = 0; row < m; ++row) {
+    for (int col = 0; col < m; ++col) {
+      CellClass cls = CellClass::kCandidate;
+      if (a >= 0 && BlockSum(sums, m, col, row, a) >= n_min) {
+        cls = CellClass::kAccept;
+        ++result.accepted;
+      } else if (BlockSum(sums, m, col, row, b) < n_min) {
+        cls = CellClass::kReject;
+        ++result.rejected;
+      } else {
+        ++result.candidates;
+      }
+      result.classes[static_cast<size_t>(row) * m + col] = cls;
+    }
+  }
+  return result;
+}
+
+FilterResult FilterCellsNaive(const DensityHistogram& dh, Tick q_t,
+                              double rho, double l) {
+  const Grid& grid = dh.grid();
+  const int m = grid.cells_per_side();
+  const int64_t n_min = MinObjectsForDensity(rho, l);
+  const int a = ConservativeHalfWidth(l, grid.cell_edge());
+  const int b = ExpansiveHalfWidth(l, grid.cell_edge());
+  const auto& slice = dh.Slice(q_t);
+
+  const auto block_sum = [&](int col, int row, int half_width) {
+    int64_t sum = 0;
+    for (int r = std::max(0, row - half_width);
+         r <= std::min(m - 1, row + half_width); ++r) {
+      for (int c = std::max(0, col - half_width);
+           c <= std::min(m - 1, col + half_width); ++c) {
+        sum += slice[static_cast<size_t>(r) * m + c];
+      }
+    }
+    return sum;
+  };
+
+  FilterResult result;
+  result.cells_per_side = m;
+  result.classes.resize(static_cast<size_t>(m) * m, CellClass::kCandidate);
+  for (int row = 0; row < m; ++row) {
+    for (int col = 0; col < m; ++col) {
+      CellClass cls = CellClass::kCandidate;
+      if (a >= 0 && block_sum(col, row, a) >= n_min) {
+        cls = CellClass::kAccept;
+        ++result.accepted;
+      } else if (block_sum(col, row, b) < n_min) {
+        cls = CellClass::kReject;
+        ++result.rejected;
+      } else {
+        ++result.candidates;
+      }
+      result.classes[static_cast<size_t>(row) * m + col] = cls;
+    }
+  }
+  return result;
+}
+
+Region CellsAsRegion(const FilterResult& filter, const Grid& grid,
+                     bool include_candidates) {
+  assert(filter.cells_per_side == grid.cells_per_side());
+  Region region;
+  const int m = filter.cells_per_side;
+  for (int row = 0; row < m; ++row) {
+    for (int col = 0; col < m; ++col) {
+      const CellClass cls = filter.At(col, row);
+      if (cls == CellClass::kAccept ||
+          (include_candidates && cls == CellClass::kCandidate)) {
+        region.Add(grid.CellRect(col, row));
+      }
+    }
+  }
+  return region.Coalesced();
+}
+
+}  // namespace pdr

@@ -1,0 +1,86 @@
+// Filtering step of the FR algorithm (Section 5.2, Algorithm 1).
+//
+// Using only the density histogram, every grid cell is classified as
+//
+//   kAccept:    the *conservative neighborhood* C_ij (the largest centered
+//               block of cells contained in S_l(p) for every point p of the
+//               cell) already holds >= rho*l^2 objects, so the whole cell
+//               is certainly dense;
+//   kReject:    the *expansive neighborhood* E_ij (the smallest centered
+//               block of cells containing S_l(p) for every p of the cell)
+//               holds < rho*l^2 objects, so no point of the cell can be
+//               dense;
+//   kCandidate: neither bound decides; the refinement step (plane sweep)
+//               must resolve the cell.
+//
+// Neighborhood sizing (derived from first principles; the OCR'd paper text
+// is ambiguous — see DESIGN.md): with cell edge l_c,
+//
+//   conservative half-width  a = floor((l/l_c - 2) / 2)   cells
+//     (block width (2a+1)*l_c must fit in l - l_c, the intersection of all
+//      l-squares centered in the cell; a < 0 means no accept is possible),
+//   expansive half-width     b = ceil(l / (2*l_c)) + 1    cells
+//     (block must cover a square of width l + l_c centered on the cell;
+//      the extra +1 absorbs the closed top/right edge of S_l).
+//
+// Both choices are *sound* — accepts are always dense and rejects never
+// dense — so FR's exactness never depends on their tightness. Block sums
+// are computed with a 2-D prefix-sum table (an implementation improvement
+// over the paper's per-cell summation; results are identical).
+
+#ifndef PDR_HISTOGRAM_FILTER_H_
+#define PDR_HISTOGRAM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pdr/common/region.h"
+#include "pdr/histogram/density_histogram.h"
+
+namespace pdr {
+
+enum class CellClass : uint8_t { kReject = 0, kCandidate = 1, kAccept = 2 };
+
+struct FilterResult {
+  std::vector<CellClass> classes;  ///< m*m, row-major
+  int cells_per_side = 0;
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  int64_t candidates = 0;
+
+  CellClass At(int col, int row) const {
+    return classes[static_cast<size_t>(row) * cells_per_side + col];
+  }
+};
+
+/// Number of objects in an l-square needed to meet density threshold rho:
+/// the smallest integer >= rho * l^2 (with a tolerance so that thresholds
+/// that are exactly integral are not bumped by rounding noise).
+int64_t MinObjectsForDensity(double rho, double l);
+
+/// Conservative-block half-width in cells; negative means "cannot accept".
+int ConservativeHalfWidth(double l, double cell_edge);
+
+/// Expansive-block half-width in cells.
+int ExpansiveHalfWidth(double l, double cell_edge);
+
+/// Runs the filter step for query (rho, l, q_t) against the histogram.
+FilterResult FilterCells(const DensityHistogram& dh, Tick q_t, double rho,
+                         double l);
+
+/// The paper-faithful variant: per-cell neighborhood summation with no
+/// prefix-sum table (O(m^2 * b^2) instead of O(m^2)). Classifications are
+/// identical to FilterCells; exists so bench_fig9_cpu can report the
+/// filter cost the paper's own DH implementation would have had.
+FilterResult FilterCellsNaive(const DensityHistogram& dh, Tick q_t,
+                              double rho, double l);
+
+/// The region formed by all cells of the given class(es): used for the
+/// DH-only baselines of Fig. 8 (optimistic DH = accepts + candidates,
+/// pessimistic DH = accepts only).
+Region CellsAsRegion(const FilterResult& filter, const Grid& grid,
+                     bool include_candidates);
+
+}  // namespace pdr
+
+#endif  // PDR_HISTOGRAM_FILTER_H_

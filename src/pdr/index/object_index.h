@@ -1,0 +1,65 @@
+// Abstraction over moving-object indexes.
+//
+// The paper's refinement step needs one operation from its index:
+// "retrieve all the objects located within S at timestamp q_t" (Section
+// 5.3) — plus maintenance under the update stream. Section 4 notes that
+// any of the predictive indexes for linear movement can be adopted; this
+// library ships two:
+//
+//   * TprTree (pdr/tpr)   — time-parameterized R-tree (the paper's choice)
+//   * BxTree  (pdr/bx)    — B+-tree over Z-order keys with query
+//                           enlargement (Jensen et al., VLDB 2004)
+//
+// Both live on the same paged storage / LRU buffer pool, so their
+// simulated I/O costs are directly comparable (bench_ablation_index).
+
+#ifndef PDR_INDEX_OBJECT_INDEX_H_
+#define PDR_INDEX_OBJECT_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "pdr/common/geometry.h"
+#include "pdr/mobility/object.h"
+#include "pdr/storage/buffer_pool.h"
+
+namespace pdr {
+
+class ObjectIndex {
+ public:
+  virtual ~ObjectIndex() = default;
+
+  /// Indexes a new object with its reported motion.
+  virtual void Insert(ObjectId id, const MotionState& state) = 0;
+
+  /// Removes an object; returns false when it is not present.
+  virtual bool Delete(ObjectId id) = 0;
+
+  /// Applies a full update event (delete old motion and/or insert new).
+  virtual void Apply(const UpdateEvent& update) = 0;
+
+  /// Moves the index's logical clock (heuristics / partition rotation).
+  virtual void AdvanceTo(Tick now) = 0;
+
+  /// All objects whose predicted position at tick `t` lies inside the
+  /// closed rectangle `window`.
+  virtual std::vector<std::pair<ObjectId, MotionState>> RangeQuery(
+      const Rect& window, Tick t) = 0;
+
+  /// Number of indexed objects.
+  virtual size_t size() const = 0;
+
+  /// Pages currently allocated to index nodes.
+  virtual size_t node_count() const = 0;
+
+  /// Buffer-pool statistics (drive the simulated I/O charge).
+  virtual const IoStats& io_stats() const = 0;
+  virtual void ResetIoStats() = 0;
+
+  /// Drops the buffer cache (cold-start measurements).
+  virtual void DropCaches() = 0;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_INDEX_OBJECT_INDEX_H_

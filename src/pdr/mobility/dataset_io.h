@@ -1,0 +1,34 @@
+// Dataset persistence: save/load the generated update streams so
+// experiments are re-runnable bit-for-bit without regenerating, and so
+// datasets can be shared between the bench binaries and the CLI tool.
+//
+// Format: a little-endian binary container ("PDRD", version 1) holding
+// the workload configuration followed by the per-tick update batches.
+// Loading validates the magic, version, and structural counts and throws
+// std::runtime_error on any corruption.
+
+#ifndef PDR_MOBILITY_DATASET_IO_H_
+#define PDR_MOBILITY_DATASET_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+
+/// Serializes `dataset` to `path` (overwrites). Throws on I/O failure.
+void SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by SaveDataset. Throws
+/// std::runtime_error on missing file, bad magic/version, or truncation.
+Dataset LoadDataset(const std::string& path);
+
+/// Stream variants (used by the file functions; exposed for tests and
+/// in-memory round trips).
+void WriteDataset(const Dataset& dataset, std::ostream& os);
+Dataset ReadDataset(std::istream& is);
+
+}  // namespace pdr
+
+#endif  // PDR_MOBILITY_DATASET_IO_H_

@@ -1,0 +1,192 @@
+#include "pdr/mobility/generator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pdr {
+
+TripSimulator::TripSimulator(const WorkloadConfig& config)
+    : config_(config),
+      network_(std::make_unique<RoadNetwork>(
+          RoadNetwork::SyntheticMetro(config.network))),
+      rng_(config.seed) {
+  assert(config_.extent == config_.network.extent &&
+         "use WorkloadConfig::WithExtent to keep extents in sync");
+}
+
+void TripSimulator::StartNextLeg(TripState& trip, Vec2 pos, double time) {
+  const RoadNetwork& net = *network_;
+  int here = trip.target;
+  if (here == trip.destination) {
+    // Trip finished: choose a fresh (hotspot-biased) destination.
+    do {
+      trip.destination = net.SampleEndpoint(rng_, config_.hotspot_trip_bias);
+    } while (trip.destination == here);
+  }
+  // Greedy routing: the neighbor closest to the destination. On the grid
+  // topology this always makes progress; ties are broken by edge order.
+  const Vec2 dest_pos = net.node(trip.destination);
+  const auto& edges = net.edges_from(here);
+  assert(!edges.empty());
+  const RoadEdge* best = &edges.front();
+  double best_d2 = (net.node(best->to) - dest_pos).Norm2();
+  for (const RoadEdge& e : edges) {
+    const double d2 = (net.node(e.to) - dest_pos).Norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = &e;
+    }
+  }
+  const auto [lo, hi] = RoadNetwork::SpeedRangeMilesPerTick(best->road_class);
+  trip.speed = rng_.Uniform(lo, hi);
+  trip.target = best->to;
+  trip.leg_origin = pos;
+  trip.leg_entry_time = time;
+  const double distance = pos.DistanceTo(net.node(best->to));
+  trip.leg_arrival_time = time + std::max(distance / trip.speed, 1e-6);
+}
+
+Vec2 TripSimulator::TruePositionAt(const TripState& trip, double t) const {
+  const Vec2 target = network_->node(trip.target);
+  const double span = trip.leg_arrival_time - trip.leg_entry_time;
+  const double f = Clamp((t - trip.leg_entry_time) / span, 0.0, 1.0);
+  return trip.leg_origin + (target - trip.leg_origin) * f;
+}
+
+TripSimulator::TripState TripSimulator::SpawnTrip(double time) {
+  TripState trip;
+  const int start =
+      network_->SampleEndpoint(rng_, config_.hotspot_start_bias);
+  trip.target = start;
+  trip.destination = start;  // StartNextLeg re-rolls it
+  StartNextLeg(trip, network_->node(start), time);
+  // Desynchronize waypoint arrivals so the update load is steady: the
+  // object starts partway into its first leg.
+  const double skip =
+      rng_.NextDouble() * (trip.leg_arrival_time - trip.leg_entry_time);
+  trip.leg_entry_time -= skip;
+  trip.leg_arrival_time -= skip;
+  const Vec2 pos = TruePositionAt(trip, time);
+  const Vec2 dir = network_->node(trip.target) - trip.leg_origin;
+  const double norm = dir.Norm();
+  const Vec2 vel = norm > 0 ? dir * (trip.speed / norm) : Vec2{0, 0};
+  const Tick tick = static_cast<Tick>(time);
+  trip.reported = MotionState{pos, vel, tick};
+  trip.last_report = tick;
+  return trip;
+}
+
+std::vector<UpdateEvent> TripSimulator::Bootstrap() {
+  assert(!bootstrapped_);
+  bootstrapped_ = true;
+  trips_.reserve(config_.num_objects);
+  std::vector<UpdateEvent> events;
+  events.reserve(config_.num_objects);
+  for (ObjectId id = 0; id < static_cast<ObjectId>(config_.num_objects);
+       ++id) {
+    trips_.push_back(SpawnTrip(0.0));
+    events.push_back(UpdateEvent{0, id, std::nullopt, trips_[id].reported});
+  }
+  return events;
+}
+
+std::vector<UpdateEvent> TripSimulator::Advance(Tick t) {
+  assert(bootstrapped_);
+  std::vector<UpdateEvent> events;
+  const size_t live_before = trips_.size();
+  for (ObjectId id = 0; id < live_before; ++id) {
+    TripState& trip = trips_[id];
+    if (!trip.alive) continue;
+    // Churn: the object leaves the system; a fresh one appears elsewhere
+    // under a new id (appended below, processed from the next tick on).
+    if (config_.churn_rate > 0 && rng_.Bernoulli(config_.churn_rate)) {
+      trip.alive = false;
+      events.push_back(UpdateEvent{t, id, trip.reported, std::nullopt});
+      const ObjectId fresh_id = static_cast<ObjectId>(trips_.size());
+      trips_.push_back(SpawnTrip(static_cast<double>(t)));
+      events.push_back(
+          UpdateEvent{t, fresh_id, std::nullopt, trips_.back().reported});
+      continue;
+    }
+    bool turned = false;
+    // Consume any waypoints reached during (t-1, t].
+    while (trip.leg_arrival_time <= static_cast<double>(t)) {
+      const double arrival = trip.leg_arrival_time;
+      StartNextLeg(trip, network_->node(trip.target), arrival);
+      turned = true;
+    }
+    const bool stale = (t - trip.last_report) >= config_.max_update_interval;
+    if (!turned && !stale) continue;
+
+    const Vec2 pos = TruePositionAt(trip, static_cast<double>(t));
+    const Vec2 dir = network_->node(trip.target) - trip.leg_origin;
+    const double norm = dir.Norm();
+    const Vec2 vel = norm > 0 ? dir * (trip.speed / norm) : Vec2{0, 0};
+    const MotionState next{pos, vel, t};
+    events.push_back(UpdateEvent{t, id, trip.reported, next});
+    trip.reported = next;
+    trip.last_report = t;
+  }
+  return events;
+}
+
+size_t Dataset::TotalUpdates() const {
+  size_t total = 0;
+  for (const auto& batch : ticks) total += batch.size();
+  return total;
+}
+
+Dataset GenerateDataset(const WorkloadConfig& config, Tick duration) {
+  TripSimulator sim(config);
+  Dataset ds;
+  ds.config = config;
+  ds.ticks.reserve(duration + 1);
+  ds.ticks.push_back(sim.Bootstrap());
+  for (Tick t = 1; t <= duration; ++t) ds.ticks.push_back(sim.Advance(t));
+  return ds;
+}
+
+std::vector<UpdateEvent> MakeClusteredInserts(int n, int k, double extent,
+                                              double cluster_sigma,
+                                              double background_fraction,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> centers;
+  centers.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    centers.push_back({rng.Uniform(0.15, 0.85) * extent,
+                       rng.Uniform(0.15, 0.85) * extent});
+  }
+  std::vector<UpdateEvent> events;
+  events.reserve(n);
+  for (ObjectId id = 0; id < static_cast<ObjectId>(n); ++id) {
+    Vec2 p;
+    if (k == 0 || rng.Bernoulli(background_fraction)) {
+      p = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
+    } else {
+      const Vec2 c = centers[rng.UniformInt(0, k - 1)];
+      p = {Clamp(c.x + rng.Normal(0, cluster_sigma), 0.0, extent),
+           Clamp(c.y + rng.Normal(0, cluster_sigma), 0.0, extent)};
+    }
+    events.push_back(UpdateEvent{0, id, std::nullopt,
+                                 MotionState{p, {0, 0}, 0}});
+  }
+  return events;
+}
+
+std::vector<UpdateEvent> MakeUniformInserts(int n, double extent,
+                                            double max_speed, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<UpdateEvent> events;
+  events.reserve(n);
+  for (ObjectId id = 0; id < static_cast<ObjectId>(n); ++id) {
+    const Vec2 p = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
+    const Vec2 v = {rng.Uniform(-max_speed, max_speed),
+                    rng.Uniform(-max_speed, max_speed)};
+    events.push_back(
+        UpdateEvent{0, id, std::nullopt, MotionState{p, v, 0}});
+  }
+  return events;
+}
+
+}  // namespace pdr

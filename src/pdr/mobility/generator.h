@@ -1,0 +1,127 @@
+// Workload generation: network-constrained trip simulation and the
+// CH10K/CH100K/CH500K-style datasets of Section 7.
+//
+// The trip simulator moves every object along road-network edges toward a
+// hotspot-biased destination, re-reporting (position, velocity) whenever it
+// turns onto a new edge and at least once every U ticks (the paper's
+// maximum update interval). The emitted UpdateEvent stream is the single
+// source of truth: every engine (density histogram, TPR-tree, Chebyshev
+// grid) and the ground-truth oracle consume exactly these reported linear
+// motions, so exactness comparisons are well defined even though the
+// "real" continuous movement turns between updates.
+//
+// Domain convention: only predicted positions inside the closed domain
+// [0, extent]^2 count toward density (objects that drift out of the service
+// area between updates are invisible until they re-report). All engines and
+// the oracle share this rule.
+
+#ifndef PDR_MOBILITY_GENERATOR_H_
+#define PDR_MOBILITY_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "pdr/common/random.h"
+#include "pdr/mobility/object.h"
+#include "pdr/mobility/road_network.h"
+
+namespace pdr {
+
+struct WorkloadConfig {
+  double extent = 1000.0;        ///< domain edge, miles
+  int num_objects = 10000;
+  Tick max_update_interval = 60; ///< U: forced re-report period
+  double hotspot_trip_bias = 0.8;  ///< P(destination near a hotspot)
+  double hotspot_start_bias = 0.5; ///< P(initial position near a hotspot)
+  /// Per-tick probability that an object leaves the system for good (a
+  /// deletion update) while a brand-new object (fresh id) appears
+  /// elsewhere, keeping the population constant. Exercises the engines'
+  /// true insert/delete paths; 0 = the paper's modify-only steady state.
+  double churn_rate = 0.0;
+  uint64_t seed = 42;
+  RoadNetworkConfig network{};
+
+  /// Keeps the network config's extent in sync with the workload extent.
+  WorkloadConfig& WithExtent(double e) {
+    extent = e;
+    network.extent = e;
+    return *this;
+  }
+};
+
+/// Simulates trips on a road network and emits the resulting update stream.
+class TripSimulator {
+ public:
+  explicit TripSimulator(const WorkloadConfig& config);
+
+  const RoadNetwork& network() const { return *network_; }
+  const WorkloadConfig& config() const { return config_; }
+
+  /// Initial insertion updates for every object, at tick 0. Must be called
+  /// once, before Advance().
+  std::vector<UpdateEvent> Bootstrap();
+
+  /// Updates issued at tick `t`; call with consecutive t = 1, 2, ...
+  std::vector<UpdateEvent> Advance(Tick t);
+
+ private:
+  struct TripState {
+    MotionState reported;    // last state sent to the server
+    Vec2 leg_origin;         // position where the current edge was entered
+    double leg_entry_time;   // fractional tick of entry
+    double leg_arrival_time; // fractional tick of arrival at `target`
+    double speed;            // miles per tick along the current edge
+    int target;              // node being driven toward
+    int destination;         // trip destination node
+    Tick last_report;        // tick of last update sent
+    bool alive = true;       // false once churned out
+  };
+
+  /// Creates trip state for a fresh object starting at fractional `time`;
+  /// the first leg is partially consumed so update load stays smooth.
+  TripState SpawnTrip(double time);
+
+  /// Picks the next edge greedily toward the trip destination, re-rolling
+  /// the destination on arrival. Updates leg fields starting at
+  /// (`pos`, `time`).
+  void StartNextLeg(TripState& trip, Vec2 pos, double time);
+
+  /// True position (on the network) at fractional time `t`.
+  Vec2 TruePositionAt(const TripState& trip, double t) const;
+
+  WorkloadConfig config_;
+  std::unique_ptr<RoadNetwork> network_;
+  Rng rng_;
+  std::vector<TripState> trips_;
+  bool bootstrapped_ = false;
+};
+
+/// A fully materialized dataset: `ticks[t]` holds the updates the server
+/// receives at tick t; `ticks[0]` is the bootstrap insert batch.
+struct Dataset {
+  WorkloadConfig config;
+  std::vector<std::vector<UpdateEvent>> ticks;
+
+  Tick duration() const { return static_cast<Tick>(ticks.size()) - 1; }
+  size_t TotalUpdates() const;
+};
+
+/// Generates `duration + 1` ticks of updates (bootstrap plus `duration`
+/// simulation ticks).
+Dataset GenerateDataset(const WorkloadConfig& config, Tick duration);
+
+/// Test helper: `n` stationary objects in `k` Gaussian clusters (plus a
+/// uniform background fraction). Deterministic for a given seed.
+std::vector<UpdateEvent> MakeClusteredInserts(int n, int k, double extent,
+                                              double cluster_sigma,
+                                              double background_fraction,
+                                              uint64_t seed);
+
+/// Test helper: `n` objects uniform in the domain with uniform velocities
+/// in [-max_speed, max_speed] per axis, inserted at tick 0.
+std::vector<UpdateEvent> MakeUniformInserts(int n, double extent,
+                                            double max_speed, uint64_t seed);
+
+}  // namespace pdr
+
+#endif  // PDR_MOBILITY_GENERATOR_H_

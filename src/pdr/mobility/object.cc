@@ -1,0 +1,51 @@
+#include "pdr/mobility/object.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace pdr {
+
+std::string MotionState::ToString() const {
+  std::ostringstream os;
+  os << "pos=" << pos << " vel=" << vel << " t_ref=" << t_ref;
+  return os.str();
+}
+
+void ObjectTable::Apply(const UpdateEvent& update) {
+  if (update.id >= states_.size()) states_.resize(update.id + 1);
+  std::optional<MotionState>& slot = states_[update.id];
+  if (update.old_state) {
+    assert(slot.has_value() && "delete of object that is not live");
+  } else {
+    assert(!slot.has_value() && "insert of object that is already live");
+  }
+  if (slot.has_value() && !update.new_state) --live_count_;
+  if (!slot.has_value() && update.new_state) ++live_count_;
+  slot = update.new_state;
+}
+
+const MotionState* ObjectTable::Find(ObjectId id) const {
+  if (id >= states_.size() || !states_[id].has_value()) return nullptr;
+  return &*states_[id];
+}
+
+std::vector<Vec2> ObjectTable::PositionsAt(Tick t) const {
+  std::vector<Vec2> out;
+  out.reserve(live_count_);
+  for (const auto& s : states_) {
+    if (s.has_value()) out.push_back(s->PositionAt(t));
+  }
+  return out;
+}
+
+std::vector<std::pair<ObjectId, MotionState>> ObjectTable::LiveObjects()
+    const {
+  std::vector<std::pair<ObjectId, MotionState>> out;
+  out.reserve(live_count_);
+  for (ObjectId id = 0; id < states_.size(); ++id) {
+    if (states_[id].has_value()) out.emplace_back(id, *states_[id]);
+  }
+  return out;
+}
+
+}  // namespace pdr

@@ -1,0 +1,96 @@
+// Moving-object model (Section 4 of the paper).
+//
+// Each object is a point moving linearly: an update at reference tick t_ref
+// reports position (x, y) and velocity (vx, vy), and the predicted position
+// at t >= t_ref is (x + (t - t_ref) * vx, y + (t - t_ref) * vy). Objects
+// re-report within the maximum update interval U, so any server-side
+// structure only needs predictions over the horizon H = U + W.
+//
+// Units: the paper's domain is 1000 x 1000 miles and one tick is one
+// minute, so speeds of 25..100 mph are 0.4167..1.667 miles/tick.
+
+#ifndef PDR_MOBILITY_OBJECT_H_
+#define PDR_MOBILITY_OBJECT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pdr/common/geometry.h"
+
+namespace pdr {
+
+/// Linear motion reported by one update: position `pos` at tick `t_ref`,
+/// constant velocity `vel` afterwards.
+struct MotionState {
+  Vec2 pos;
+  Vec2 vel;
+  Tick t_ref = 0;
+
+  /// Predicted position at tick `t` (valid for t >= t_ref).
+  Vec2 PositionAt(Tick t) const {
+    const double dt = static_cast<double>(t - t_ref);
+    return {pos.x + vel.x * dt, pos.y + vel.y * dt};
+  }
+
+  /// Predicted position at fractional time `t`.
+  Vec2 PositionAt(double t) const {
+    const double dt = t - static_cast<double>(t_ref);
+    return {pos.x + vel.x * dt, pos.y + vel.y * dt};
+  }
+
+  /// The state re-expressed with reference tick `t` (same trajectory).
+  MotionState RebasedTo(Tick t) const { return {PositionAt(t), vel, t}; }
+
+  bool operator==(const MotionState&) const = default;
+
+  std::string ToString() const;
+};
+
+/// One location-report event in the update stream. An update carries the
+/// object's previous movement (so index structures can erase it — the
+/// paper's "deletion update") and/or its new movement (the "insertion
+/// update"):
+///   * initial appearance:  old_state empty, new_state set
+///   * re-report / turn:    both set
+///   * disappearance:       old_state set, new_state empty
+struct UpdateEvent {
+  Tick tick = 0;  ///< server receipt time t_now
+  ObjectId id = 0;
+  std::optional<MotionState> old_state;
+  std::optional<MotionState> new_state;
+
+  bool IsInsert() const { return !old_state && new_state; }
+  bool IsDelete() const { return old_state && !new_state; }
+  bool IsModify() const { return old_state && new_state; }
+};
+
+/// In-memory table of current object states. Engines that receive full
+/// UpdateEvents do not need it; it backs the brute-force oracle, dataset
+/// bookkeeping, and example applications.
+class ObjectTable {
+ public:
+  /// Applies one update; checks stream consistency in debug builds.
+  void Apply(const UpdateEvent& update);
+
+  /// Number of live objects.
+  size_t size() const { return live_count_; }
+
+  /// Current state of `id`, or nullptr when the object is not live.
+  const MotionState* Find(ObjectId id) const;
+
+  /// Snapshot of every live object's position at tick `t`.
+  std::vector<Vec2> PositionsAt(Tick t) const;
+
+  /// Snapshot of (id, state) pairs for every live object.
+  std::vector<std::pair<ObjectId, MotionState>> LiveObjects() const;
+
+ private:
+  // Dense by object id; flag tracks liveness.
+  std::vector<std::optional<MotionState>> states_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_MOBILITY_OBJECT_H_

@@ -1,0 +1,127 @@
+#include "pdr/mobility/road_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdr {
+namespace {
+
+RoadClass LineClass(int index, const RoadNetworkConfig& config) {
+  if (index % config.highway_stride == config.highway_stride / 2) {
+    return RoadClass::kHighway;
+  }
+  if (index % config.arterial_stride == 0) return RoadClass::kArterial;
+  return RoadClass::kStreet;
+}
+
+}  // namespace
+
+RoadNetwork RoadNetwork::SyntheticMetro(const RoadNetworkConfig& config) {
+  assert(config.grid_nodes >= 2);
+  RoadNetwork net;
+  net.extent_ = config.extent;
+  net.grid_side_ = config.grid_nodes;
+
+  Rng rng(config.seed);
+  const int n = config.grid_nodes;
+  const double spacing = config.extent / n;
+  const double jitter = 0.15 * spacing;
+
+  net.nodes_.reserve(static_cast<size_t>(n) * n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const double x =
+          Clamp((c + 0.5) * spacing + rng.Uniform(-jitter, jitter), 0.0,
+                config.extent);
+      const double y =
+          Clamp((r + 0.5) * spacing + rng.Uniform(-jitter, jitter), 0.0,
+                config.extent);
+      net.nodes_.push_back({x, y});
+    }
+  }
+
+  net.adj_.resize(net.nodes_.size());
+  auto add_bidirectional = [&](int a, int b, RoadClass rc) {
+    const double len = net.nodes_[a].DistanceTo(net.nodes_[b]);
+    net.adj_[a].push_back({b, rc, len});
+    net.adj_[b].push_back({a, rc, len});
+  };
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const int id = r * n + c;
+      if (c + 1 < n) add_bidirectional(id, id + 1, LineClass(r, config));
+      if (r + 1 < n) add_bidirectional(id, id + n, LineClass(c, config));
+    }
+  }
+
+  // Hotspot districts: placed in the inner 80% of the domain so their
+  // scatter stays inside, with Zipf-skewed popularity.
+  net.hotspots_.reserve(config.num_hotspots);
+  for (int i = 0; i < config.num_hotspots; ++i) {
+    Hotspot h;
+    h.center = {rng.Uniform(0.1, 0.9) * config.extent,
+                rng.Uniform(0.1, 0.9) * config.extent};
+    h.radius = rng.Uniform(0.01, 0.04) * config.extent;
+    h.weight = 1.0 / std::pow(i + 1.0, config.hotspot_zipf);
+    net.hotspots_.push_back(h);
+  }
+  net.hotspot_sampler_ =
+      ZipfSampler(std::max(1, config.num_hotspots), config.hotspot_zipf);
+  return net;
+}
+
+int RoadNetwork::NearestNode(Vec2 p) const {
+  const int n = grid_side_;
+  const double spacing = extent_ / n;
+  const int c0 = std::clamp(static_cast<int>(p.x / spacing), 0, n - 1);
+  const int r0 = std::clamp(static_cast<int>(p.y / spacing), 0, n - 1);
+  int best = r0 * n + c0;
+  double best_d2 = (nodes_[best] - p).Norm2();
+  // Jitter is < spacing/2, so scanning the 3x3 neighborhood is sufficient.
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      const int r = r0 + dr, c = c0 + dc;
+      if (r < 0 || r >= n || c < 0 || c >= n) continue;
+      const int id = r * n + c;
+      const double d2 = (nodes_[id] - p).Norm2();
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = id;
+      }
+    }
+  }
+  return best;
+}
+
+std::pair<double, double> RoadNetwork::SpeedRangeMilesPerTick(RoadClass rc) {
+  // One tick is one minute: mph / 60 = miles per tick.
+  switch (rc) {
+    case RoadClass::kStreet:
+      return {25.0 / 60.0, 45.0 / 60.0};
+    case RoadClass::kArterial:
+      return {40.0 / 60.0, 65.0 / 60.0};
+    case RoadClass::kHighway:
+      return {65.0 / 60.0, 100.0 / 60.0};
+  }
+  return {25.0 / 60.0, 45.0 / 60.0};
+}
+
+int RoadNetwork::SampleEndpoint(Rng& rng, double hotspot_bias) const {
+  if (!hotspots_.empty() && rng.Bernoulli(hotspot_bias)) {
+    const Hotspot& h = hotspots_[hotspot_sampler_.Sample(rng)];
+    const Vec2 p = {Clamp(h.center.x + rng.Normal(0.0, h.radius), 0.0, extent_),
+                    Clamp(h.center.y + rng.Normal(0.0, h.radius), 0.0, extent_)};
+    return NearestNode(p);
+  }
+  return static_cast<int>(rng.UniformInt(0, node_count() - 1));
+}
+
+bool RoadNetwork::HasEdge(int i, int j) const {
+  for (const RoadEdge& e : adj_[i]) {
+    if (e.to == j) return true;
+  }
+  return false;
+}
+
+}  // namespace pdr

@@ -1,0 +1,99 @@
+// Synthetic metropolitan road network.
+//
+// The paper generates workloads with the network-based generator of
+// Forlizzi et al. [3] on the Chicago metropolitan road network. That data
+// is not redistributable, so this module builds a deterministic synthetic
+// stand-in with the properties the experiments actually depend on
+// (documented in DESIGN.md, "Substitutions"):
+//
+//  * network-constrained movement (objects travel along edges),
+//  * a hierarchy of road speeds (surface streets vs arterial highways),
+//  * strong, stable spatial skew (hotspot districts where trips start and
+//    end disproportionately often), which is what makes dense regions
+//    appear and what stresses the DH/PA approximations.
+//
+// Topology: an nxn grid of intersections covering the square domain, with
+// every k-th row/column upgraded to a highway, plus weighted hotspot
+// districts used by the trip generator to bias endpoints.
+
+#ifndef PDR_MOBILITY_ROAD_NETWORK_H_
+#define PDR_MOBILITY_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pdr/common/geometry.h"
+#include "pdr/common/random.h"
+
+namespace pdr {
+
+/// Road class; determines the speed range of edges.
+enum class RoadClass : uint8_t {
+  kStreet = 0,   ///< surface street
+  kArterial = 1, ///< major artery
+  kHighway = 2,  ///< limited-access highway
+};
+
+/// One directed road segment between two intersections.
+struct RoadEdge {
+  int to = 0;                          ///< destination node index
+  RoadClass road_class = RoadClass::kStreet;
+  double length = 0.0;                 ///< miles
+};
+
+/// A hotspot district: a disc-ish area that attracts trips.
+struct Hotspot {
+  Vec2 center;
+  double radius = 0.0;  ///< scatter radius (miles)
+  double weight = 0.0;  ///< relative popularity
+};
+
+struct RoadNetworkConfig {
+  double extent = 1000.0;     ///< domain edge (miles)
+  int grid_nodes = 33;        ///< intersections per side
+  int highway_stride = 8;     ///< every k-th row/col is a highway
+  int arterial_stride = 4;    ///< every k-th row/col (non-highway) is arterial
+  int num_hotspots = 12;      ///< hotspot districts
+  double hotspot_zipf = 0.8;  ///< skew of hotspot popularity
+  uint64_t seed = 7;          ///< node jitter + hotspot placement
+};
+
+/// Immutable road graph over the simulation domain.
+class RoadNetwork {
+ public:
+  /// Builds the deterministic synthetic metro network described above.
+  static RoadNetwork SyntheticMetro(const RoadNetworkConfig& config);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Vec2 node(int i) const { return nodes_[i]; }
+  const std::vector<RoadEdge>& edges_from(int i) const { return adj_[i]; }
+  const std::vector<Hotspot>& hotspots() const { return hotspots_; }
+  double extent() const { return extent_; }
+
+  /// Index of the node nearest to `p` (grid lookup, O(1) amortized).
+  int NearestNode(Vec2 p) const;
+
+  /// Speed range (miles per tick, i.e. per minute) for a road class.
+  /// Streets 25-45 mph, arterials 40-65 mph, highways 65-100 mph; these
+  /// jointly span the paper's 25..100 mph range.
+  static std::pair<double, double> SpeedRangeMilesPerTick(RoadClass rc);
+
+  /// Samples a node index for a trip endpoint: with probability
+  /// `hotspot_bias` near a Zipf-popular hotspot, otherwise uniform.
+  int SampleEndpoint(Rng& rng, double hotspot_bias) const;
+
+  /// True if an edge (i -> j) exists.
+  bool HasEdge(int i, int j) const;
+
+ private:
+  double extent_ = 0.0;
+  int grid_side_ = 0;
+  std::vector<Vec2> nodes_;
+  std::vector<std::vector<RoadEdge>> adj_;
+  std::vector<Hotspot> hotspots_;
+  ZipfSampler hotspot_sampler_{1, 1.0};
+};
+
+}  // namespace pdr
+
+#endif  // PDR_MOBILITY_ROAD_NETWORK_H_

@@ -1,0 +1,174 @@
+#include "pdr/storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace pdr {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager), capacity_(capacity_pages) {
+  assert(capacity_pages >= 4 && "buffer pool too small to pin a tree path");
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+// ---------------------------------------------------------------------------
+// PageRef
+
+BufferPool::PageRef::PageRef(BufferPool* pool, size_t frame)
+    : pool_(pool), frame_(frame) {}
+
+BufferPool::PageRef::PageRef(PageRef&& o) noexcept
+    : pool_(o.pool_), frame_(o.frame_) {
+  o.pool_ = nullptr;
+}
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
+  if (this != &o) {
+    Reset();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+BufferPool::PageRef::~PageRef() { Reset(); }
+
+Page& BufferPool::PageRef::operator*() const { return pool_->frames_[frame_].page; }
+Page* BufferPool::PageRef::operator->() const { return &pool_->frames_[frame_].page; }
+Page* BufferPool::PageRef::get() const {
+  return pool_ ? &pool_->frames_[frame_].page : nullptr;
+}
+PageId BufferPool::PageRef::id() const { return pool_->frames_[frame_].id; }
+
+void BufferPool::PageRef::MarkDirty() const {
+  pool_->frames_[frame_].dirty = true;
+}
+
+void BufferPool::PageRef::Reset() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+void BufferPool::Pin(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.pins == 0 && f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pins;
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.pins > 0);
+  if (--f.pins == 0) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::FlushFrame(Frame& frame) {
+  if (frame.dirty && frame.id != kInvalidPageId) {
+    pager_->PageAt(frame.id) = frame.page;
+    frame.dirty = false;
+    ++stats_.writebacks;
+  }
+}
+
+size_t BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  assert(!lru_.empty() && "buffer pool exhausted: all frames pinned");
+  const size_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  FlushFrame(f);
+  frame_of_.erase(f.id);
+  f.id = kInvalidPageId;
+  return victim;
+}
+
+BufferPool::PageRef BufferPool::Fetch(PageId id) {
+  ++stats_.logical_reads;
+  auto it = frame_of_.find(id);
+  if (it != frame_of_.end()) {
+    Pin(it->second);
+    return PageRef(this, it->second);
+  }
+  ++stats_.physical_reads;
+  const size_t frame = AcquireFrame();
+  Frame& f = frames_[frame];
+  f.id = id;
+  f.page = pager_->PageAt(id);
+  f.dirty = false;
+  frame_of_[id] = frame;
+  Pin(frame);
+  return PageRef(this, frame);
+}
+
+BufferPool::PageRef BufferPool::FetchMut(PageId id) {
+  PageRef ref = Fetch(id);
+  ref.MarkDirty();
+  return ref;
+}
+
+BufferPool::PageRef BufferPool::Create(PageId* id_out) {
+  const PageId id = pager_->Allocate();
+  if (id_out != nullptr) *id_out = id;
+  const size_t frame = AcquireFrame();
+  Frame& f = frames_[frame];
+  f.id = id;
+  f.page = Page{};
+  f.dirty = true;
+  frame_of_[id] = frame;
+  Pin(frame);
+  return PageRef(this, frame);
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = frame_of_.find(id);
+  if (it == frame_of_.end()) return;
+  Frame& f = frames_[it->second];
+  assert(f.pins == 0 && "discarding a pinned page");
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  f.id = kInvalidPageId;
+  f.dirty = false;
+  free_frames_.push_back(it->second);
+  frame_of_.erase(it);
+}
+
+void BufferPool::FlushAll() {
+  for (Frame& f : frames_) FlushFrame(f);
+}
+
+void BufferPool::Clear() {
+  FlushAll();
+  for (auto& f : frames_) {
+    assert(f.pins == 0 && "clearing a pool with pinned pages");
+    f.id = kInvalidPageId;
+    f.in_lru = false;
+  }
+  lru_.clear();
+  frame_of_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+}
+
+}  // namespace pdr

@@ -1,0 +1,128 @@
+// LRU buffer pool with simulated I/O accounting.
+//
+// Every page access from the TPR-tree goes through Fetch(); a miss copies
+// the page in from the Pager, evicting the least recently used unpinned
+// frame (writing it back if dirty), and increments the physical-read
+// counter that the query engines convert into the paper's 10 ms/IO charge.
+
+#ifndef PDR_STORAGE_BUFFER_POOL_H_
+#define PDR_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "pdr/storage/pager.h"
+
+namespace pdr {
+
+/// Simulated I/O counters. `physical_reads` drive the cost model;
+/// `logical_reads` (all fetches) measure access locality.
+struct IoStats {
+  int64_t logical_reads = 0;
+  int64_t physical_reads = 0;
+  int64_t writebacks = 0;
+
+  double ReadCostMs(double ms_per_read) const {
+    return static_cast<double>(physical_reads) * ms_per_read;
+  }
+  IoStats operator-(const IoStats& o) const {
+    return {logical_reads - o.logical_reads,
+            physical_reads - o.physical_reads, writebacks - o.writebacks};
+  }
+};
+
+class BufferPool {
+ public:
+  /// `capacity_pages` frames; at least the maximum number of concurrently
+  /// pinned pages (tree root-to-leaf path) are required.
+  BufferPool(Pager* pager, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII pin on a buffered page. While alive the frame cannot be evicted.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(BufferPool* pool, size_t frame);
+    PageRef(PageRef&& o) noexcept;
+    PageRef& operator=(PageRef&& o) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef();
+
+    Page& operator*() const;
+    Page* operator->() const;
+    Page* get() const;
+    PageId id() const;
+    explicit operator bool() const { return pool_ != nullptr; }
+
+    /// Marks the page dirty so eviction writes it back.
+    void MarkDirty() const;
+
+    /// Releases the pin early.
+    void Reset();
+
+   private:
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+  };
+
+  /// Pins the page in the pool, reading it from the pager on a miss.
+  PageRef Fetch(PageId id);
+
+  /// Pins a page for writing (Fetch + MarkDirty).
+  PageRef FetchMut(PageId id);
+
+  /// Allocates a new page (via the pager) already pinned and dirty.
+  /// Creation misses are not charged as reads.
+  PageRef Create(PageId* id_out);
+
+  /// Drops the page from the pool (e.g. after Pager::Free). Must be
+  /// unpinned.
+  void Discard(PageId id);
+
+  /// Writes all dirty frames back to the pager.
+  void FlushAll();
+
+  /// Empties the pool (flushing dirty pages); next fetches are all misses.
+  /// Used by benches to measure cold-cache query cost.
+  void Clear();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+  size_t capacity() const { return capacity_; }
+  size_t resident_pages() const { return frame_of_.size(); }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    Page page;
+    int pins = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;  // valid only when pins == 0
+    bool in_lru = false;
+  };
+
+  size_t AcquireFrame();  // free or evicted frame index
+  void Pin(size_t frame);
+  void Unpin(size_t frame);
+  void FlushFrame(Frame& frame);
+
+  Pager* pager_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = most recent, back = eviction victim
+  std::unordered_map<PageId, size_t> frame_of_;
+  IoStats stats_;
+
+  friend class PageRef;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_STORAGE_BUFFER_POOL_H_

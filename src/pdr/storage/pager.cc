@@ -1,0 +1,33 @@
+#include "pdr/storage/pager.h"
+
+#include <cassert>
+
+namespace pdr {
+
+PageId Pager::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id] = Page{};
+    return id;
+  }
+  pages_.emplace_back();
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void Pager::Free(PageId id) {
+  assert(id < pages_.size());
+  free_list_.push_back(id);
+}
+
+Page& Pager::PageAt(PageId id) {
+  assert(id < pages_.size());
+  return pages_[id];
+}
+
+const Page& Pager::PageAt(PageId id) const {
+  assert(id < pages_.size());
+  return pages_[id];
+}
+
+}  // namespace pdr

@@ -1,0 +1,72 @@
+// Paged storage: the simulated disk under the TPR-tree.
+//
+// The paper's cost model (Table 1 / Section 7.3) uses 4 KB pages, a buffer
+// of 10% of the dataset size, and charges 10 ms per random disk access.
+// Pages live in memory here, but every access goes through the buffer pool
+// (buffer_pool.h) which tracks hits/misses and converts misses into the
+// simulated I/O charge, reproducing the paper's "total cost = CPU + I/O"
+// accounting.
+
+#ifndef PDR_STORAGE_PAGER_H_
+#define PDR_STORAGE_PAGER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace pdr {
+
+/// Fixed page size (bytes).
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// One fixed-size page of raw bytes.
+struct alignas(8) Page {
+  std::array<std::byte, kPageSize> bytes{};
+
+  /// Reinterprets the page contents as a POD layout struct.
+  template <typename T>
+  T* As() {
+    static_assert(sizeof(T) <= kPageSize);
+    return reinterpret_cast<T*>(bytes.data());
+  }
+  template <typename T>
+  const T* As() const {
+    static_assert(sizeof(T) <= kPageSize);
+    return reinterpret_cast<const T*>(bytes.data());
+  }
+};
+
+/// Page allocator + backing store ("the disk"). Access from query paths
+/// must go through BufferPool so that I/O is accounted; the raw accessors
+/// here exist for the buffer pool itself and for tests.
+class Pager {
+ public:
+  /// Allocates a zeroed page and returns its id (reuses freed ids).
+  PageId Allocate();
+
+  /// Returns a page to the free list.
+  void Free(PageId id);
+
+  /// Direct access to backing storage (no I/O accounting).
+  Page& PageAt(PageId id);
+  const Page& PageAt(PageId id) const;
+
+  /// Number of pages ever allocated (including freed ones).
+  size_t allocated_pages() const { return pages_.size(); }
+
+  /// Number of live (not freed) pages.
+  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+
+ private:
+  std::deque<Page> pages_;  // deque: stable addresses across Allocate()
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_STORAGE_PAGER_H_

@@ -1,0 +1,146 @@
+#include "pdr/sweep/plane_sweep.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace pdr {
+namespace {
+
+/// Builds the sorted, deduplicated event coordinates for one axis: the two
+/// boundaries plus every object-induced stopping coordinate strictly
+/// inside (lo, hi).
+std::vector<double> BuildEvents(double lo, double hi,
+                                const std::vector<double>& candidates) {
+  std::vector<double> events;
+  events.reserve(candidates.size() + 2);
+  events.push_back(lo);
+  for (double c : candidates) {
+    if (c > lo && c < hi) events.push_back(c);
+  }
+  events.push_back(hi);
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  return events;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> SweepY(
+    const std::vector<double>& sorted_ys, double y_b, double y_t, double l,
+    int64_t n_min, SweepStats* stats) {
+  assert(std::is_sorted(sorted_ys.begin(), sorted_ys.end()));
+  // The object at oy is inside the square centered at y iff
+  // oy - l/2 <= y < oy + l/2. Count strictly in terms of the *computed*
+  // entry (oy - l/2) and exit (oy + l/2) coordinates — the same values
+  // that define the stopping events — so that membership flips exactly at
+  // the events. (Re-deriving the window as [y - l/2, y + l/2] from the
+  // strip coordinate rounds differently and can keep an object one strip
+  // past its own exit event.)
+  std::vector<double> entries, exits;
+  entries.reserve(sorted_ys.size());
+  exits.reserve(sorted_ys.size());
+  std::vector<double> candidates;
+  candidates.reserve(sorted_ys.size() * 2);
+  for (double oy : sorted_ys) {
+    entries.push_back(oy - l / 2);
+    exits.push_back(oy + l / 2);
+    candidates.push_back(oy - l / 2);
+    candidates.push_back(oy + l / 2);
+  }
+  std::sort(entries.begin(), entries.end());
+  std::sort(exits.begin(), exits.end());
+  const std::vector<double> events = BuildEvents(y_b, y_t, candidates);
+
+  std::vector<std::pair<double, double>> dense;
+  for (size_t j = 0; j + 1 < events.size(); ++j) {
+    if (stats != nullptr) ++stats->y_strips;
+    const double y = events[j];
+    const int64_t entered =
+        std::upper_bound(entries.begin(), entries.end(), y) - entries.begin();
+    const int64_t exited =
+        std::upper_bound(exits.begin(), exits.end(), y) - exits.begin();
+    const int64_t count = entered - exited;
+    if (count >= n_min) {
+      if (!dense.empty() && dense.back().second == y) {
+        dense.back().second = events[j + 1];  // extend the previous segment
+      } else {
+        dense.emplace_back(y, events[j + 1]);
+      }
+    }
+  }
+  return dense;
+}
+
+std::vector<Rect> SweepCell(const Rect& cell,
+                            const std::vector<Vec2>& positions, double l,
+                            int64_t n_min, SweepStats* stats) {
+  std::vector<Rect> result;
+  if (n_min <= 0) {
+    // Degenerate threshold: everything is dense.
+    result.push_back(cell);
+    if (stats != nullptr) ++stats->dense_rects;
+    return result;
+  }
+  if (static_cast<int64_t>(positions.size()) < n_min) return result;
+
+  // Entry/exit event lists for incremental band membership: an object at
+  // ox is inside the band centered at x iff ox - l/2 <= x < ox + l/2.
+  struct ByEntry {
+    double entry;
+    double y;
+  };
+  std::vector<ByEntry> by_entry;
+  by_entry.reserve(positions.size());
+  std::vector<std::pair<double, double>> by_exit;  // (exit coordinate, y)
+  by_exit.reserve(positions.size());
+  std::vector<double> x_candidates;
+  x_candidates.reserve(positions.size() * 2);
+  for (const Vec2& p : positions) {
+    by_entry.push_back({p.x - l / 2, p.y});
+    by_exit.emplace_back(p.x + l / 2, p.y);
+    x_candidates.push_back(p.x - l / 2);
+    x_candidates.push_back(p.x + l / 2);
+  }
+  std::sort(by_entry.begin(), by_entry.end(),
+            [](const ByEntry& a, const ByEntry& b) { return a.entry < b.entry; });
+  std::sort(by_exit.begin(), by_exit.end());
+
+  const std::vector<double> events =
+      BuildEvents(cell.x_lo, cell.x_hi, x_candidates);
+
+  // Ordered multiset of y-coordinates of current band members.
+  std::multiset<double> band_ys;
+  size_t next_entry = 0;
+  size_t next_exit = 0;
+
+  std::vector<double> ys;  // reused scratch for dense strips
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    const double x = events[i];
+    if (stats != nullptr) ++stats->x_strips;
+    // Admit objects whose entry coordinate has been reached...
+    while (next_entry < by_entry.size() && by_entry[next_entry].entry <= x) {
+      band_ys.insert(by_entry[next_entry].y);
+      ++next_entry;
+    }
+    // ...and expel objects whose exit coordinate has been reached.
+    while (next_exit < by_exit.size() && by_exit[next_exit].first <= x) {
+      auto it = band_ys.find(by_exit[next_exit].second);
+      assert(it != band_ys.end());
+      band_ys.erase(it);
+      ++next_exit;
+    }
+    if (static_cast<int64_t>(band_ys.size()) < n_min) continue;
+    if (stats != nullptr) ++stats->y_sweeps;
+
+    ys.assign(band_ys.begin(), band_ys.end());
+    const auto segments = SweepY(ys, cell.y_lo, cell.y_hi, l, n_min, stats);
+    for (const auto& [y_lo, y_hi] : segments) {
+      result.emplace_back(x, y_lo, events[i + 1], y_hi);
+      if (stats != nullptr) ++stats->dense_rects;
+    }
+  }
+  return result;
+}
+
+}  // namespace pdr

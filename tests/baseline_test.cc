@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "pdr/baseline/dense_cell.h"
+#include "pdr/baseline/edq.h"
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+DensityHistogram MakeHistogram(const std::vector<UpdateEvent>& events,
+                               double extent, int m) {
+  DensityHistogram dh({.extent = extent, .cells_per_side = m, .horizon = 2});
+  for (const UpdateEvent& e : events) dh.Apply(e);
+  return dh;
+}
+
+std::vector<UpdateEvent> PointsAt(const std::vector<Vec2>& positions) {
+  std::vector<UpdateEvent> events;
+  for (ObjectId id = 0; id < positions.size(); ++id) {
+    events.push_back(
+        {0, id, std::nullopt, MotionState{positions[id], {0, 0}, 0}});
+  }
+  return events;
+}
+
+TEST(DenseCellTest, ReportsOnlyCellsMeetingThreshold) {
+  // 10x10 grid over [0,100): cell edge 10, area 100.
+  // Put 5 objects in cell (2,3) and 2 in cell (7,7).
+  std::vector<Vec2> positions;
+  for (int i = 0; i < 5; ++i) positions.push_back({25.0 + i * 0.5, 35.0});
+  positions.push_back({75, 75});
+  positions.push_back({76, 76});
+  const DensityHistogram dh = MakeHistogram(PointsAt(positions), 100.0, 10);
+  // rho = 0.04 => threshold 4 objects per cell.
+  const Region region = DenseCellQuery(dh, 0, 0.04);
+  EXPECT_TRUE(region.Contains({25, 35}));
+  EXPECT_FALSE(region.Contains({75, 75}));
+  EXPECT_DOUBLE_EQ(region.Area(), 100.0);
+}
+
+TEST(DenseCellTest, EmptyHistogramGivesEmptyRegion) {
+  const DensityHistogram dh = MakeHistogram({}, 100.0, 10);
+  EXPECT_TRUE(DenseCellQuery(dh, 0, 0.001).IsEmpty());
+}
+
+TEST(DenseCellTest, AnswerLossScenarioFig1a) {
+  // Figure 1(a): a dense square straddling four cells. Each grid cell
+  // holds only one object so no cell is dense, yet the 4 objects sit in
+  // one l-square => the dense-cell query loses the answer.
+  const double extent = 100.0;
+  const int m = 10;  // cell edge 10
+  // Four objects around the corner (50,50), one per adjacent cell.
+  const std::vector<Vec2> positions = {{48, 48}, {52, 48}, {48, 52},
+                                       {52, 52}};
+  const DensityHistogram dh = MakeHistogram(PointsAt(positions), extent, m);
+  // Threshold: 4 objects per cell area (rho = 0.04).
+  const Region cells = DenseCellQuery(dh, 0, 0.04);
+  EXPECT_TRUE(cells.IsEmpty()) << "dense-cell method should miss the region";
+  // Yet the count in the l-square (l = 10) centered at (50,50) is 4.
+  const Rect square = Rect::CenteredSquare({50, 50}, 10.0);
+  int count = 0;
+  for (const Vec2& p : positions) count += square.ContainsLSquare(p);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(EdqTest, FindsDenseSquare) {
+  // Cluster of 6 objects within one 2x2-cell square (l = 20).
+  std::vector<Vec2> positions;
+  for (int i = 0; i < 6; ++i) positions.push_back({42.0 + i, 43.0 + i * 0.5});
+  const DensityHistogram dh = MakeHistogram(PointsAt(positions), 100.0, 10);
+  const double rho = 6.0 / 400.0;  // exactly the cluster count / l^2
+  const EdqResult result =
+      EffectiveDensityQuery(dh, 0, rho, 20.0, EdqStrategy::kDensestFirst);
+  ASSERT_FALSE(result.squares.empty());
+  EXPECT_TRUE(result.region.Contains({45, 45}));
+}
+
+TEST(EdqTest, ReportedSquaresNeverOverlap) {
+  const auto events = MakeClusteredInserts(800, 3, 100.0, 6.0, 0.2, 31);
+  const DensityHistogram dh = MakeHistogram(events, 100.0, 20);
+  const EdqResult result = EffectiveDensityQuery(
+      dh, 0, 2.0 * 800 / (100.0 * 100.0), 15.0, EdqStrategy::kDensestFirst);
+  for (size_t i = 0; i < result.squares.size(); ++i) {
+    for (size_t j = i + 1; j < result.squares.size(); ++j) {
+      EXPECT_FALSE(result.squares[i].IntersectsOpen(result.squares[j]))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(EdqTest, SquaresHaveFixedSize) {
+  const auto events = MakeClusteredInserts(500, 2, 100.0, 5.0, 0.2, 32);
+  const DensityHistogram dh = MakeHistogram(events, 100.0, 20);
+  const EdqResult result = EffectiveDensityQuery(
+      dh, 0, 500.0 / (100 * 100), 15.0, EdqStrategy::kScanOrder);
+  const double expected_edge = 15.0;  // rounds to 3 cells of edge 5
+  for (const Rect& s : result.squares) {
+    EXPECT_NEAR(s.Width(), expected_edge, 1e-9);
+    EXPECT_NEAR(s.Height(), expected_edge, 1e-9);
+  }
+}
+
+TEST(EdqTest, AmbiguityScenarioFig1b) {
+  // Figure 1(b): two overlapping squares each hold the threshold count.
+  // Different reporting strategies return different answers — the
+  // ambiguity PDR eliminates.
+  // Build: objects arranged so squares anchored at cells (2,2) and (3,3)
+  // (l = 2 cells) both qualify but overlap.
+  const double extent = 80.0;  // m=8 -> cell edge 10, l = 20 (2 cells)
+  std::vector<Vec2> positions;
+  // Shared mass in the overlap cell (3,3): 3 objects.
+  positions.push_back({32, 32});
+  positions.push_back({34, 34});
+  positions.push_back({36, 36});
+  // One object in cell (2,2) completing square A (anchor (2,2), count 4),
+  // which is first in row-major scan order.
+  positions.push_back({25, 25});
+  // Two objects in cell (4,4) make square B (anchor (3,3)) strictly
+  // denser (count 5), so densest-first prefers it over A.
+  positions.push_back({45, 45});
+  positions.push_back({46, 46});
+  const DensityHistogram dh = MakeHistogram(PointsAt(positions), extent, 8);
+  const double rho = 4.0 / 400.0;  // 4 objects per 20x20 square
+  const EdqResult densest =
+      EffectiveDensityQuery(dh, 0, rho, 20.0, EdqStrategy::kDensestFirst);
+  const EdqResult scan =
+      EffectiveDensityQuery(dh, 0, rho, 20.0, EdqStrategy::kScanOrder);
+  ASSERT_FALSE(densest.squares.empty());
+  ASSERT_FALSE(scan.squares.empty());
+  // Multiple candidate squares existed...
+  EXPECT_GT(densest.candidate_squares, 1);
+  // ...and the two valid strategies disagree on the answer.
+  EXPECT_GT(SymmetricDifferenceArea(densest.region, scan.region), 1.0)
+      << "expected strategy-dependent (ambiguous) results";
+}
+
+TEST(EdqTest, FractionalLRoundsToWholeCells) {
+  // l = 17 on a 10-mile grid rounds to 2 cells (20 miles); the count
+  // threshold must use the *rounded* square's area, matching its
+  // geometry.
+  std::vector<Vec2> positions;
+  for (int i = 0; i < 9; ++i) positions.push_back({23.0 + i * 1.5, 24.0});
+  const DensityHistogram dh = MakeHistogram(PointsAt(positions), 100.0, 10);
+  // 9 objects in a 20x20 block: qualifies iff rho <= 9/400.
+  const EdqResult ok = EffectiveDensityQuery(dh, 0, 9.0 / 400.0, 17.0,
+                                             EdqStrategy::kDensestFirst);
+  ASSERT_FALSE(ok.squares.empty());
+  EXPECT_NEAR(ok.squares[0].Width(), 20.0, 1e-9);
+  const EdqResult too_dense = EffectiveDensityQuery(
+      dh, 0, 9.5 / 400.0, 17.0, EdqStrategy::kDensestFirst);
+  EXPECT_TRUE(too_dense.squares.empty());
+}
+
+TEST(EdqTest, NoSquaresWhenSparse) {
+  const auto events = MakeUniformInserts(50, 100.0, 0.0, 33);
+  const DensityHistogram dh = MakeHistogram(events, 100.0, 10);
+  const EdqResult result = EffectiveDensityQuery(
+      dh, 0, 40.0 / 400.0, 20.0, EdqStrategy::kDensestFirst);
+  EXPECT_TRUE(result.squares.empty());
+  EXPECT_EQ(result.candidate_squares, 0);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,188 @@
+#include "pdr/bx/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pdr/common/random.h"
+
+namespace pdr {
+namespace {
+
+BPlusRecord Rec(uint64_t key) {
+  return BPlusRecord{key, static_cast<double>(key), 0, 0, 0, 0,
+                     static_cast<ObjectId>(key & 0xFFFF)};
+}
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : pool_(&pager_, 512), tree_(&pool_) {}
+  Pager pager_;
+  BufferPool pool_;
+  BPlusTree tree_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_.size(), 0u);
+  EXPECT_FALSE(tree_.Find(42, nullptr));
+  EXPECT_FALSE(tree_.Delete(42));
+  int visited = 0;
+  tree_.ScanRange(0, ~0ull, [&](const BPlusRecord&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 0);
+  tree_.CheckInvariants();
+}
+
+TEST_F(BPlusTreeTest, InsertFindSingle) {
+  tree_.Insert(Rec(7));
+  BPlusRecord out;
+  ASSERT_TRUE(tree_.Find(7, &out));
+  EXPECT_EQ(out.key, 7u);
+  EXPECT_FALSE(tree_.Find(8, nullptr));
+  EXPECT_EQ(tree_.size(), 1u);
+}
+
+TEST_F(BPlusTreeTest, ManyInsertsSortedScan) {
+  Rng rng(101);
+  std::map<uint64_t, bool> reference;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key;
+    do {
+      key = rng.Next() % 1000000;
+    } while (reference.count(key));
+    reference[key] = true;
+    tree_.Insert(Rec(key));
+  }
+  EXPECT_EQ(tree_.size(), reference.size());
+  EXPECT_GT(tree_.height(), 1);
+  tree_.CheckInvariants();
+
+  std::vector<uint64_t> scanned;
+  tree_.ScanRange(0, ~0ull, [&](const BPlusRecord& r) {
+    scanned.push_back(r.key);
+    return true;
+  });
+  ASSERT_EQ(scanned.size(), reference.size());
+  auto it = reference.begin();
+  for (size_t i = 0; i < scanned.size(); ++i, ++it) {
+    EXPECT_EQ(scanned[i], it->first);
+  }
+}
+
+TEST_F(BPlusTreeTest, RangeScanMatchesMap) {
+  Rng rng(102);
+  std::map<uint64_t, bool> reference;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t key = rng.Next() % 100000;
+    if (reference.emplace(key, true).second) tree_.Insert(Rec(key));
+  }
+  for (int q = 0; q < 50; ++q) {
+    uint64_t lo = rng.Next() % 100000;
+    uint64_t hi = rng.Next() % 100000;
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<uint64_t> got;
+    tree_.ScanRange(lo, hi, [&](const BPlusRecord& r) {
+      got.push_back(r.key);
+      return true;
+    });
+    std::vector<uint64_t> want;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      want.push_back(it->first);
+    }
+    EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanEarlyStop) {
+  for (uint64_t k = 0; k < 100; ++k) tree_.Insert(Rec(k * 2));
+  int visited = 0;
+  tree_.ScanRange(0, ~0ull, [&](const BPlusRecord&) {
+    return ++visited < 10;
+  });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST_F(BPlusTreeTest, DeleteExisting) {
+  for (uint64_t k = 0; k < 2000; ++k) tree_.Insert(Rec(k * 3));
+  EXPECT_TRUE(tree_.Delete(33));
+  EXPECT_FALSE(tree_.Find(33, nullptr));
+  EXPECT_FALSE(tree_.Delete(33));
+  EXPECT_FALSE(tree_.Delete(34));  // never existed
+  EXPECT_EQ(tree_.size(), 1999u);
+  tree_.CheckInvariants();
+}
+
+TEST_F(BPlusTreeTest, DeleteEverythingThenReuse) {
+  for (uint64_t k = 0; k < 3000; ++k) tree_.Insert(Rec(k));
+  for (uint64_t k = 0; k < 3000; ++k) EXPECT_TRUE(tree_.Delete(k));
+  EXPECT_EQ(tree_.size(), 0u);
+  tree_.CheckInvariants();
+  // Empty leaves keep routing; reinserts must work.
+  for (uint64_t k = 0; k < 3000; k += 7) tree_.Insert(Rec(k));
+  tree_.CheckInvariants();
+  EXPECT_TRUE(tree_.Find(2996, nullptr));
+}
+
+TEST_F(BPlusTreeTest, ChurnKeepsTreeConsistent) {
+  Rng rng(103);
+  std::map<uint64_t, bool> reference;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      const uint64_t key = rng.Next() % 50000;
+      if (rng.Bernoulli(0.6)) {
+        if (reference.emplace(key, true).second) tree_.Insert(Rec(key));
+      } else {
+        if (reference.erase(key)) {
+          EXPECT_TRUE(tree_.Delete(key));
+        }
+      }
+    }
+    EXPECT_EQ(tree_.size(), reference.size());
+  }
+  tree_.CheckInvariants();
+  for (const auto& [key, unused] : reference) {
+    (void)unused;
+    EXPECT_TRUE(tree_.Find(key, nullptr)) << key;
+  }
+}
+
+TEST_F(BPlusTreeTest, SequentialAndReverseInsertion) {
+  // Ascending then a second tree descending: both stay consistent.
+  for (uint64_t k = 0; k < 4000; ++k) tree_.Insert(Rec(k));
+  tree_.CheckInvariants();
+
+  Pager pager2;
+  BufferPool pool2(&pager2, 512);
+  BPlusTree tree2(&pool2);
+  for (uint64_t k = 4000; k-- > 0;) tree2.Insert(Rec(k));
+  tree2.CheckInvariants();
+  EXPECT_EQ(tree2.size(), 4000u);
+}
+
+TEST_F(BPlusTreeTest, PayloadRoundTrip) {
+  MotionState s{{1.5, -2.5}, {0.25, 4.0}, 17};
+  tree_.Insert(BPlusRecord::From(99, 1234, s));
+  BPlusRecord out;
+  ASSERT_TRUE(tree_.Find(99, &out));
+  EXPECT_EQ(out.oid, 1234u);
+  EXPECT_EQ(out.ToState(), s);
+}
+
+TEST_F(BPlusTreeTest, IoChargedThroughBufferPool) {
+  for (uint64_t k = 0; k < 20000; ++k) tree_.Insert(Rec(k));
+  pool_.Clear();
+  pool_.ResetStats();
+  int visited = 0;
+  tree_.ScanRange(5000, 6000, [&](const BPlusRecord&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 1001);
+  EXPECT_GT(pool_.stats().physical_reads, 0);
+}
+
+}  // namespace
+}  // namespace pdr

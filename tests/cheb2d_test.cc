@@ -1,0 +1,145 @@
+#include "pdr/cheb/cheb2d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pdr/common/random.h"
+
+namespace pdr {
+namespace {
+
+TEST(Cheb2DTest, CoefficientCountTriangular) {
+  EXPECT_EQ(Cheb2D(0).coefficient_count(), 1u);
+  EXPECT_EQ(Cheb2D(1).coefficient_count(), 3u);
+  EXPECT_EQ(Cheb2D(3).coefficient_count(), 10u);
+  EXPECT_EQ(Cheb2D(5).coefficient_count(), 21u);
+}
+
+TEST(Cheb2DTest, EvalOfManualCoefficients) {
+  Cheb2D poly(2);
+  poly.coeff(0, 0) = 1.0;
+  poly.coeff(1, 0) = 2.0;   // 2*T1(x)
+  poly.coeff(0, 2) = -1.0;  // -T2(y)
+  for (double x : {-0.7, 0.0, 0.4}) {
+    for (double y : {-0.2, 0.5, 1.0}) {
+      const double expected = 1.0 + 2.0 * x - (2 * y * y - 1);
+      EXPECT_NEAR(poly.Eval(x, y), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Cheb2DTest, ResetAndIsZero) {
+  Cheb2D poly(3);
+  EXPECT_TRUE(poly.IsZero());
+  poly.coeff(1, 1) = 0.5;
+  EXPECT_FALSE(poly.IsZero());
+  poly.Reset();
+  EXPECT_TRUE(poly.IsZero());
+  EXPECT_NEAR(poly.Eval(0.3, -0.3), 0.0, 1e-15);
+}
+
+TEST(Cheb2DTest, AddIndicatorMeanValueMatchesArea) {
+  // The (0,0) coefficient equals 1/pi^2 times the weighted integral of f;
+  // rather than checking coefficients directly, verify that adding an
+  // indicator then integrating the approximation against the Chebyshev
+  // weight recovers the indicator's weighted mass.
+  Cheb2D poly(7);
+  const double x1 = -0.4, x2 = 0.2, y1 = 0.1, y2 = 0.7;
+  poly.AddIndicator(x1, x2, y1, y2, 2.0);
+  // a00 = (1/pi^2) * h * A0(x1,x2) * A0(y1,y2).
+  const double expected_a00 = 2.0 / (M_PI * M_PI) *
+                              (std::acos(x1) - std::acos(x2)) *
+                              (std::acos(y1) - std::acos(y2));
+  EXPECT_NEAR(poly.coeff(0, 0), expected_a00, 1e-12);
+}
+
+TEST(Cheb2DTest, AddIndicatorApproximatesIndicator) {
+  // With a moderately high degree, the expansion should be near 0 far
+  // outside the box and near h deep inside it.
+  Cheb2D poly(12);
+  poly.AddIndicator(-0.5, 0.5, -0.5, 0.5, 1.0);
+  EXPECT_NEAR(poly.Eval(0.0, 0.0), 1.0, 0.25);
+  EXPECT_NEAR(poly.Eval(0.9, 0.9), 0.0, 0.25);
+  EXPECT_NEAR(poly.Eval(-0.9, 0.0), 0.0, 0.3);
+}
+
+TEST(Cheb2DTest, AddThenSubtractIsExactlyZero) {
+  Cheb2D poly(5);
+  poly.AddIndicator(-0.3, 0.6, -0.8, 0.1, 1.7);
+  poly.AddIndicator(0.1, 0.9, 0.2, 0.8, 0.4);
+  poly.AddIndicator(-0.3, 0.6, -0.8, 0.1, -1.7);
+  poly.AddIndicator(0.1, 0.9, 0.2, 0.8, -0.4);
+  for (double c : poly.raw()) {
+    EXPECT_NEAR(c, 0.0, 1e-12);
+  }
+}
+
+TEST(Cheb2DTest, AdditivityOfUpdates) {
+  // Coefficients after two bumps equal the sum of individual fits
+  // (Lemma 3).
+  Cheb2D separate_a(4), separate_b(4), together(4);
+  separate_a.AddIndicator(-0.5, 0.0, -0.5, 0.0, 1.0);
+  separate_b.AddIndicator(0.2, 0.7, 0.1, 0.9, 2.0);
+  together.AddIndicator(-0.5, 0.0, -0.5, 0.0, 1.0);
+  together.AddIndicator(0.2, 0.7, 0.1, 0.9, 2.0);
+  for (size_t i = 0; i < together.raw().size(); ++i) {
+    EXPECT_NEAR(together.raw()[i],
+                separate_a.raw()[i] + separate_b.raw()[i], 1e-12);
+  }
+}
+
+TEST(Cheb2DTest, BoundContainsSampledValues) {
+  Rng rng(11);
+  Cheb2D poly(5);
+  for (int i = 0; i < 6; ++i) {
+    double x1 = rng.Uniform(-1, 1), x2 = rng.Uniform(-1, 1);
+    double y1 = rng.Uniform(-1, 1), y2 = rng.Uniform(-1, 1);
+    if (x1 > x2) std::swap(x1, x2);
+    if (y1 > y2) std::swap(y1, y2);
+    poly.AddIndicator(x1, x2, y1, y2, rng.Uniform(-2, 2));
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    double x1 = rng.Uniform(-1, 1), x2 = rng.Uniform(-1, 1);
+    double y1 = rng.Uniform(-1, 1), y2 = rng.Uniform(-1, 1);
+    if (x1 > x2) std::swap(x1, x2);
+    if (y1 > y2) std::swap(y1, y2);
+    const Interval bound = poly.Bound(x1, x2, y1, y2);
+    for (int s = 0; s < 50; ++s) {
+      const double x = rng.Uniform(x1, x2);
+      const double y = rng.Uniform(y1, y2);
+      const double v = poly.Eval(x, y);
+      EXPECT_GE(v, bound.lo - 1e-9);
+      EXPECT_LE(v, bound.hi + 1e-9);
+    }
+  }
+}
+
+TEST(Cheb2DTest, BoundDegeneratePointInterval) {
+  Cheb2D poly(4);
+  poly.AddIndicator(-0.6, 0.6, -0.6, 0.6, 1.0);
+  const double x = 0.25, y = -0.4;
+  const Interval bound = poly.Bound(x, x, y, y);
+  const double v = poly.Eval(x, y);
+  EXPECT_NEAR(bound.lo, v, 1e-9);
+  EXPECT_NEAR(bound.hi, v, 1e-9);
+}
+
+TEST(Cheb2DTest, BoundTightensUnderSubdivision) {
+  Cheb2D poly(5);
+  poly.AddIndicator(-0.5, 0.5, -0.5, 0.5, 3.0);
+  const Interval whole = poly.Bound(-1, 1, -1, 1);
+  const Interval quadrant = poly.Bound(0, 1, 0, 1);
+  EXPECT_GE(quadrant.lo, whole.lo - 1e-12);
+  EXPECT_LE(quadrant.hi, whole.hi + 1e-12);
+}
+
+TEST(Cheb2DTest, DegreeZeroIsConstantFit) {
+  Cheb2D poly(0);
+  poly.AddIndicator(-1, 1, -1, 1, 5.0);
+  // Full-domain indicator of height 5: a00 = 5 (exact for constant fn).
+  EXPECT_NEAR(poly.Eval(0.1, -0.9), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pdr

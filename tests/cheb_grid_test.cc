@@ -1,0 +1,242 @@
+#include "pdr/cheb/cheb_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/common/random.h"
+#include "pdr/core/oracle.h"
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+ChebGrid::Options SmallOptions() {
+  return {.extent = 100.0, .grid_side = 4, .degree = 6, .horizon = 6,
+          .l = 10.0};
+}
+
+TEST(ChebGridTest, CoefficientAccounting) {
+  ChebGrid grid(SmallOptions());
+  // 16 cells * (6+1)(6+2)/2 = 16 * 28.
+  EXPECT_EQ(grid.CoefficientsPerSlice(), 16u * 28u);
+  EXPECT_EQ(grid.ModelBytes(), 7u * 16u * 28u * sizeof(float));
+}
+
+TEST(ChebGridTest, InsertRaisesDensityNearObject) {
+  ChebGrid grid(SmallOptions());
+  const MotionState s{{50, 50}, {0, 0}, 0};
+  grid.Apply({0, 1, std::nullopt, s});
+  // True density inside the l-square is 1/l^2 = 0.01.
+  EXPECT_NEAR(grid.Density(0, {50, 50}), 0.01, 0.005);
+  EXPECT_NEAR(grid.Density(0, {90, 10}), 0.0, 0.004);
+}
+
+TEST(ChebGridTest, DeleteRestoresExactZero) {
+  ChebGrid grid(SmallOptions());
+  const MotionState s{{37, 62}, {1.0, -0.5}, 0};
+  grid.Apply({0, 1, std::nullopt, s});
+  grid.Apply({0, 1, s, std::nullopt});
+  for (Tick t = 0; t <= 6; ++t) {
+    for (int cell = 0; cell < 16; ++cell) {
+      EXPECT_TRUE(grid.CellPoly(t, cell).IsZero()) << "t=" << t;
+    }
+  }
+}
+
+TEST(ChebGridTest, MovingObjectTrackedAcrossTicks) {
+  ChebGrid grid(SmallOptions());
+  const MotionState s{{10, 50}, {10, 0}, 0};  // crosses cells over horizon
+  grid.Apply({0, 1, std::nullopt, s});
+  for (Tick t = 0; t <= 6; ++t) {
+    const Vec2 p = s.PositionAt(t);
+    if (p.x > 95) break;
+    EXPECT_GT(grid.Density(t, p), 0.004) << "t=" << t;
+  }
+}
+
+TEST(ChebGridTest, DensityApproximatesOracleOnClusters) {
+  const double extent = 100.0;
+  ChebGrid::Options options{.extent = extent, .grid_side = 5, .degree = 6,
+                            .horizon = 2, .l = 12.0};
+  ChebGrid grid(options);
+  Oracle oracle(extent);
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(1500, 3, extent, 5.0, 0.2, 13)) {
+    grid.Apply(e);
+    oracle.Apply(e);
+  }
+  // Compare pointwise density at random probes; the approximation is
+  // smooth, so compare averages over many probes plus loose pointwise.
+  Rng rng(14);
+  double err_sum = 0;
+  const int probes = 400;
+  const double peak = 1500.0 / (extent * extent) * 30;  // rough scale
+  for (int i = 0; i < probes; ++i) {
+    const Vec2 p{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+    const double truth = oracle.PointDensity(0, p, options.l);
+    const double approx = grid.Density(0, p);
+    err_sum += std::fabs(truth - approx);
+  }
+  EXPECT_LT(err_sum / probes, 0.15 * peak);
+}
+
+TEST(ChebGridTest, AdvanceRecyclesSlices) {
+  ChebGrid grid(SmallOptions());
+  const MotionState s{{50, 50}, {0, 0}, 0};
+  grid.Apply({0, 1, std::nullopt, s});
+  EXPECT_GT(grid.Density(6, {50, 50}), 0.004);
+  grid.AdvanceTo(2);
+  // New slices (ticks 7, 8) are empty.
+  EXPECT_NEAR(grid.Density(7, {50, 50}), 0.0, 1e-12);
+  EXPECT_NEAR(grid.Density(8, {50, 50}), 0.0, 1e-12);
+  // Still-live slices keep the object.
+  EXPECT_GT(grid.Density(3, {50, 50}), 0.004);
+}
+
+TEST(ChebGridTest, OutOfDomainPredictionIgnored) {
+  ChebGrid grid(SmallOptions());
+  // Prediction leaves the domain at t >= 1.
+  const MotionState s{{99, 50}, {5, 0}, 0};
+  grid.Apply({0, 1, std::nullopt, s});
+  EXPECT_GT(grid.Density(0, {99, 50}), 0.004);
+  for (int cell = 0; cell < 16; ++cell) {
+    EXPECT_TRUE(grid.CellPoly(2, cell).IsZero());
+  }
+  // And the symmetric delete still restores zero.
+  grid.Apply({0, 1, s, std::nullopt});
+  for (int cell = 0; cell < 16; ++cell) {
+    EXPECT_TRUE(grid.CellPoly(0, cell).IsZero());
+  }
+}
+
+TEST(ChebGridTest, SquareSpanningMultipleMacroCells) {
+  // Object near a macro-cell corner: its l-square spreads over 4 cells;
+  // density must be continuous-ish across the seams.
+  ChebGrid::Options options = SmallOptions();
+  options.degree = 8;
+  ChebGrid grid(options);
+  const MotionState s{{50, 50}, {0, 0}, 0};  // cell corner at (50,50)
+  grid.Apply({0, 1, std::nullopt, s});
+  const double d_nw = grid.Density(0, {49, 51});
+  const double d_ne = grid.Density(0, {51, 51});
+  const double d_sw = grid.Density(0, {49, 49});
+  const double d_se = grid.Density(0, {51, 51});
+  for (double d : {d_nw, d_ne, d_sw, d_se}) {
+    EXPECT_NEAR(d, 0.01, 0.006);
+  }
+}
+
+TEST(ChebGridTest, QueryDenseFindsCluster) {
+  const double extent = 100.0;
+  ChebGrid::Options options{.extent = extent, .grid_side = 5, .degree = 6,
+                            .horizon = 2, .l = 12.0};
+  ChebGrid grid(options);
+  const auto events = MakeClusteredInserts(800, 1, extent, 3.0, 0.0, 15);
+  for (const UpdateEvent& e : events) grid.Apply(e);
+  // Find the cluster center (mean of positions).
+  Vec2 center{0, 0};
+  for (const UpdateEvent& e : events) center += e.new_state->pos * (1.0 / 800);
+  const double rho = 0.2 * 800 / (options.l * options.l) / 25.0;
+  BnbStats stats;
+  const Region dense = grid.QueryDense(0, rho, 200, &stats);
+  EXPECT_FALSE(dense.IsEmpty());
+  EXPECT_TRUE(dense.Contains(center))
+      << "cluster center " << center.ToString() << " not in dense region";
+  EXPECT_GT(stats.pruned_boxes, 0);
+  // Far corner must not be dense.
+  EXPECT_FALSE(dense.Contains({2, 2}));
+}
+
+TEST(ChebGridTest, BnbMatchesGridScan) {
+  // Branch-and-bound and the trivial grid scan should agree closely: the
+  // B&B leaf resolution equals the scan resolution.
+  const double extent = 100.0;
+  ChebGrid::Options options{.extent = extent, .grid_side = 4, .degree = 5,
+                            .horizon = 2, .l = 12.0};
+  ChebGrid grid(options);
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(600, 2, extent, 4.0, 0.1, 16)) {
+    grid.Apply(e);
+  }
+  const double rho = 1.5 * 600 / (extent * extent);
+  const int eval_grid = 128;
+  const Region bnb = grid.QueryDense(0, rho, eval_grid);
+  const Region scan = grid.QueryDenseGridScan(0, rho, eval_grid);
+  // They sample the field differently (box centers may differ), so allow
+  // a small relative discrepancy.
+  const double sym = SymmetricDifferenceArea(bnb, scan);
+  const double base = std::max(1.0, std::max(bnb.Area(), scan.Area()));
+  EXPECT_LT(sym / base, 0.15) << "bnb=" << bnb.Area()
+                              << " scan=" << scan.Area();
+}
+
+TEST(ChebGridTest, BnbVisitsFarFewerPointsThanScan) {
+  const double extent = 100.0;
+  ChebGrid::Options options{.extent = extent, .grid_side = 4, .degree = 5,
+                            .horizon = 2, .l = 12.0};
+  ChebGrid grid(options);
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(600, 1, extent, 3.0, 0.0, 17)) {
+    grid.Apply(e);
+  }
+  const double rho = 3.0 * 600 / (extent * extent);
+  BnbStats bnb_stats, scan_stats;
+  (void)grid.QueryDense(0, rho, 256, &bnb_stats);
+  (void)grid.QueryDenseGridScan(0, rho, 256, &scan_stats);
+  // B&B prunes most of the plane: far fewer point evaluations, and its
+  // total work (interval bounds + evaluations) stays below a full scan.
+  EXPECT_LT(bnb_stats.point_evals, scan_stats.point_evals / 4);
+  EXPECT_LT(bnb_stats.point_evals + bnb_stats.nodes_visited,
+            scan_stats.point_evals);
+}
+
+TEST(ChebGridTest, CoefficientsSurviveFloat32Storage) {
+  // ModelBytes() reports deployment storage as float32 per coefficient
+  // (the paper's 1.0 MB budget). Validate the assumption behind that
+  // accounting: rounding every coefficient to float changes evaluated
+  // densities by far less than the approximation error itself.
+  ChebGrid grid(SmallOptions());
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(2000, 3, 100.0, 5.0, 0.2, 20)) {
+    grid.Apply(e);
+  }
+  Rng rng(21);
+  const double peak = 2000.0 / (10.0 * 10.0) / 25.0;  // crude scale
+  for (int probe = 0; probe < 300; ++probe) {
+    const Vec2 p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const int cell = grid.macro_grid().CellOf(p);
+    const Cheb2D& poly = grid.CellPoly(0, cell);
+    // Re-evaluate with float-rounded coefficients.
+    Cheb2D rounded(poly.degree());
+    for (int i = 0; i <= poly.degree(); ++i) {
+      for (int j = 0; j <= poly.degree() - i; ++j) {
+        rounded.coeff(i, j) =
+            static_cast<double>(static_cast<float>(poly.coeff(i, j)));
+      }
+    }
+    const Rect cell_rect = grid.macro_grid().CellRect(cell);
+    const double nx = (p.x - cell_rect.x_lo) * 2 / cell_rect.Width() - 1;
+    const double ny = (p.y - cell_rect.y_lo) * 2 / cell_rect.Height() - 1;
+    EXPECT_NEAR(poly.Eval(nx, ny), rounded.Eval(nx, ny), 1e-5 * peak + 1e-9);
+  }
+}
+
+TEST(ChebGridTest, HigherRhoNeverGrowsDenseRegion) {
+  const double extent = 100.0;
+  ChebGrid::Options options{.extent = extent, .grid_side = 4, .degree = 5,
+                            .horizon = 2, .l = 12.0};
+  ChebGrid grid(options);
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(900, 2, extent, 4.0, 0.1, 18)) {
+    grid.Apply(e);
+  }
+  const double base_rho = 900.0 / (extent * extent);
+  double prev_area = std::numeric_limits<double>::infinity();
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    const double area = grid.QueryDense(0, scale * base_rho, 128).Area();
+    EXPECT_LE(area, prev_area + 1e-9);
+    prev_area = area;
+  }
+}
+
+}  // namespace
+}  // namespace pdr

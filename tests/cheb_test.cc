@@ -1,0 +1,195 @@
+#include "pdr/cheb/chebyshev.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pdr/common/random.h"
+
+namespace pdr {
+namespace {
+
+TEST(ChebTTest, LowDegreeClosedForms) {
+  for (double x : {-1.0, -0.5, 0.0, 0.3, 1.0}) {
+    EXPECT_NEAR(ChebT(0, x), 1.0, 1e-12);
+    EXPECT_NEAR(ChebT(1, x), x, 1e-12);
+    EXPECT_NEAR(ChebT(2, x), 2 * x * x - 1, 1e-12);
+    EXPECT_NEAR(ChebT(3, x), 4 * x * x * x - 3 * x, 1e-12);
+  }
+}
+
+TEST(ChebTTest, RecurrenceMatchesTrigForm) {
+  Rng rng(3);
+  double table[11];
+  for (int iter = 0; iter < 200; ++iter) {
+    const double x = rng.Uniform(-1, 1);
+    ChebTAll(10, x, table);
+    for (int k = 0; k <= 10; ++k) {
+      EXPECT_NEAR(table[k], ChebT(k, x), 1e-9) << "k=" << k << " x=" << x;
+    }
+  }
+}
+
+TEST(ChebTTest, BoundedByOne) {
+  Rng rng(4);
+  for (int iter = 0; iter < 500; ++iter) {
+    const double x = rng.Uniform(-1, 1);
+    const int k = static_cast<int>(rng.UniformInt(0, 12));
+    EXPECT_LE(std::fabs(ChebT(k, x)), 1.0 + 1e-12);
+  }
+}
+
+TEST(ChebTTest, ClampsOutOfRangeInput) {
+  EXPECT_NEAR(ChebT(3, 1.0 + 1e-12), ChebT(3, 1.0), 1e-9);
+  EXPECT_NEAR(ChebT(5, -1.0 - 1e-12), ChebT(5, -1.0), 1e-9);
+}
+
+TEST(ChebTRangeTest, FullIntervalIsUnit) {
+  for (int k = 1; k <= 8; ++k) {
+    const Interval r = ChebTRange(k, -1.0, 1.0);
+    EXPECT_DOUBLE_EQ(r.lo, -1.0);
+    EXPECT_DOUBLE_EQ(r.hi, 1.0);
+  }
+  const Interval r0 = ChebTRange(0, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r0.lo, 1.0);
+  EXPECT_DOUBLE_EQ(r0.hi, 1.0);
+}
+
+TEST(ChebTRangeTest, DegreeOneIsIdentityRange) {
+  const Interval r = ChebTRange(1, -0.25, 0.5);
+  EXPECT_DOUBLE_EQ(r.lo, -0.25);
+  EXPECT_DOUBLE_EQ(r.hi, 0.5);
+}
+
+// Property: the range bound is valid (contains all sampled values) and
+// tight (achieved within sampling resolution).
+TEST(ChebTRangeTest, ValidAndTightOnRandomSubintervals) {
+  Rng rng(5);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int k = static_cast<int>(rng.UniformInt(0, 9));
+    double z1 = rng.Uniform(-1, 1);
+    double z2 = rng.Uniform(-1, 1);
+    if (z1 > z2) std::swap(z1, z2);
+    const Interval r = ChebTRange(k, z1, z2);
+    double seen_lo = 1e9, seen_hi = -1e9;
+    for (int s = 0; s <= 200; ++s) {
+      const double x = z1 + (z2 - z1) * s / 200.0;
+      const double v = ChebT(k, x);
+      EXPECT_GE(v, r.lo - 1e-9);
+      EXPECT_LE(v, r.hi + 1e-9);
+      seen_lo = std::min(seen_lo, v);
+      seen_hi = std::max(seen_hi, v);
+    }
+    // Tightness: the bound is no looser than what dense sampling finds,
+    // within the sampling error of a degree-k cosine.
+    const double slack = 0.01 * (k + 1) * (k + 1);
+    EXPECT_GE(seen_lo, r.lo - 1e-9);
+    EXPECT_LE(r.lo, seen_lo + slack);
+    EXPECT_GE(r.hi, seen_hi - slack * 0 - 1e-9);
+    EXPECT_LE(seen_hi, r.hi + 1e-9);
+    EXPECT_LE(r.hi - seen_hi, slack);
+  }
+}
+
+TEST(ChebWeightedIntegralTest, MatchesNumericQuadrature) {
+  // Compare against midpoint quadrature in theta space:
+  // Int T_i(x)/sqrt(1-x^2) dx = Int cos(i*theta) dtheta.
+  Rng rng(6);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int i = static_cast<int>(rng.UniformInt(0, 8));
+    double z1 = rng.Uniform(-1, 1);
+    double z2 = rng.Uniform(-1, 1);
+    if (z1 > z2) std::swap(z1, z2);
+    const double t1 = std::acos(z1), t2 = std::acos(z2);  // t1 >= t2
+    double numeric = 0;
+    const int steps = 2000;
+    for (int s = 0; s < steps; ++s) {
+      const double theta = t2 + (t1 - t2) * (s + 0.5) / steps;
+      numeric += std::cos(i * theta);
+    }
+    numeric *= (t1 - t2) / steps;
+    EXPECT_NEAR(ChebWeightedIntegral(i, z1, z2), numeric, 1e-6)
+        << "i=" << i << " z=[" << z1 << "," << z2 << "]";
+  }
+}
+
+TEST(ChebWeightedIntegralTest, FullIntervalOrthogonality) {
+  // Over [-1,1]: integral is pi for i=0 and 0 for i>=1.
+  EXPECT_NEAR(ChebWeightedIntegral(0, -1, 1), M_PI, 1e-12);
+  for (int i = 1; i <= 8; ++i) {
+    EXPECT_NEAR(ChebWeightedIntegral(i, -1, 1), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(ChebWeightedIntegralTest, EmptyIntervalIsZero) {
+  for (int i = 0; i <= 5; ++i) {
+    EXPECT_NEAR(ChebWeightedIntegral(i, 0.3, 0.3), 0.0, 1e-12);
+  }
+}
+
+TEST(ChebWeightedIntegralTest, Additivity) {
+  Rng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int i = static_cast<int>(rng.UniformInt(0, 6));
+    double z[3] = {rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                   rng.Uniform(-1, 1)};
+    std::sort(z, z + 3);
+    EXPECT_NEAR(ChebWeightedIntegral(i, z[0], z[2]),
+                ChebWeightedIntegral(i, z[0], z[1]) +
+                    ChebWeightedIntegral(i, z[1], z[2]),
+                1e-12);
+  }
+}
+
+TEST(ChebWeightedIntegralTest, BatchMatchesScalar) {
+  Rng rng(9);
+  double out[12];
+  for (int iter = 0; iter < 200; ++iter) {
+    double z1 = rng.Uniform(-1, 1);
+    double z2 = rng.Uniform(-1, 1);
+    if (z1 > z2) std::swap(z1, z2);
+    ChebWeightedIntegralAll(11, z1, z2, out);
+    for (int i = 0; i <= 11; ++i) {
+      EXPECT_NEAR(out[i], ChebWeightedIntegral(i, z1, z2), 1e-10)
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(IntervalTest, Arithmetic) {
+  const Interval a{-1, 2};
+  const Interval b{3, 4};
+  const Interval sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.lo, 2);
+  EXPECT_DOUBLE_EQ(sum.hi, 6);
+  const Interval prod = a * b;  // {-4, 8}
+  EXPECT_DOUBLE_EQ(prod.lo, -4);
+  EXPECT_DOUBLE_EQ(prod.hi, 8);
+  const Interval neg = a * -2.0;
+  EXPECT_DOUBLE_EQ(neg.lo, -4);
+  EXPECT_DOUBLE_EQ(neg.hi, 2);
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_FALSE(a.Contains(3));
+}
+
+TEST(IntervalTest, ProductCoversAllSignCombinations) {
+  Rng rng(8);
+  for (int iter = 0; iter < 200; ++iter) {
+    Interval a{rng.Uniform(-5, 5), 0};
+    a.hi = a.lo + rng.Uniform(0, 5);
+    Interval b{rng.Uniform(-5, 5), 0};
+    b.hi = b.lo + rng.Uniform(0, 5);
+    const Interval prod = a * b;
+    for (int s = 0; s <= 10; ++s) {
+      const double x = a.lo + (a.hi - a.lo) * s / 10.0;
+      for (int t = 0; t <= 10; ++t) {
+        const double y = b.lo + (b.hi - b.lo) * t / 10.0;
+        EXPECT_GE(x * y, prod.lo - 1e-9);
+        EXPECT_LE(x * y, prod.hi + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdr

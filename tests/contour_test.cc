@@ -1,0 +1,139 @@
+#include "pdr/cheb/contour.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+TEST(ContourTest, CircleLevelSet) {
+  // f = 1 - r^2 around (5,5); level 0.5 => circle of radius sqrt(0.5).
+  const auto field = [](Vec2 p) {
+    const double dx = p.x - 5, dy = p.y - 5;
+    return 1.0 - (dx * dx + dy * dy);
+  };
+  const auto contours =
+      ExtractContours(field, Rect(0, 0, 10, 10), 0.5, 200);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_TRUE(contours[0].closed);
+  EXPECT_GT(contours[0].points.size(), 20u);
+  const double r = std::sqrt(0.5);
+  for (const Vec2& p : contours[0].points) {
+    EXPECT_NEAR(p.DistanceTo({5, 5}), r, 0.05);
+  }
+}
+
+TEST(ContourTest, NoContourWhenLevelOutOfRange) {
+  const auto field = [](Vec2) { return 1.0; };
+  EXPECT_TRUE(ExtractContours(field, Rect(0, 0, 10, 10), 5.0, 50).empty());
+  EXPECT_TRUE(ExtractContours(field, Rect(0, 0, 10, 10), -5.0, 50).empty());
+}
+
+TEST(ContourTest, OpenContourForHalfPlane) {
+  // f = x; level 5 is a vertical line crossing the whole domain: one open
+  // polyline from bottom to top.
+  const auto field = [](Vec2 p) { return p.x; };
+  const auto contours =
+      ExtractContours(field, Rect(0, 0, 10, 10), 5.0, 64);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_FALSE(contours[0].closed);
+  for (const Vec2& p : contours[0].points) {
+    EXPECT_NEAR(p.x, 5.0, 0.01);
+  }
+  // Spans the full y range.
+  double y_min = 1e9, y_max = -1e9;
+  for (const Vec2& p : contours[0].points) {
+    y_min = std::min(y_min, p.y);
+    y_max = std::max(y_max, p.y);
+  }
+  EXPECT_NEAR(y_min, 0.0, 0.2);
+  EXPECT_NEAR(y_max, 10.0, 0.2);
+}
+
+TEST(ContourTest, TwoBlobsGiveTwoLoops) {
+  const auto field = [](Vec2 p) {
+    const auto bump = [&](double cx, double cy) {
+      const double dx = p.x - cx, dy = p.y - cy;
+      return std::exp(-(dx * dx + dy * dy) / 2.0);
+    };
+    return bump(3, 3) + bump(7, 7);
+  };
+  const auto contours =
+      ExtractContours(field, Rect(0, 0, 10, 10), 0.5, 128);
+  ASSERT_EQ(contours.size(), 2u);
+  EXPECT_TRUE(contours[0].closed);
+  EXPECT_TRUE(contours[1].closed);
+}
+
+TEST(ContourTest, SeparatesInsideFromOutside) {
+  // Every contour point lies within one lattice cell of the level set;
+  // stronger: field at contour points is near the level.
+  const auto field = [](Vec2 p) {
+    return std::sin(p.x / 2.0) * std::cos(p.y / 3.0);
+  };
+  const auto contours =
+      ExtractContours(field, Rect(0, 0, 12, 12), 0.25, 96);
+  ASSERT_FALSE(contours.empty());
+  for (const Contour& c : contours) {
+    for (const Vec2& p : c.points) {
+      EXPECT_NEAR(field(p), 0.25, 0.08);
+    }
+  }
+}
+
+TEST(ContourTest, SaddleResolvedConsistently) {
+  // f = x*y has a saddle at the origin; the center-sample disambiguation
+  // must produce contours that track the level set (no crossing through
+  // the wrong diagonal). Level 0.25: hyperbola xy = 0.25.
+  const auto field = [](Vec2 p) { return (p.x - 5) * (p.y - 5); };
+  const auto contours =
+      ExtractContours(field, Rect(0, 0, 10, 10), 0.25, 80);
+  ASSERT_FALSE(contours.empty());
+  for (const Contour& c : contours) {
+    for (const Vec2& p : c.points) {
+      EXPECT_NEAR(field(p), 0.25, 0.3) << p;
+      // Both branches of the hyperbola lie where (x-5) and (y-5) share a
+      // sign; a mis-resolved saddle would emit points near the other
+      // diagonal.
+      EXPECT_GT((p.x - 5) * (p.y - 5), -0.1);
+    }
+  }
+}
+
+TEST(ContourTest, ResolutionRefinesContourAccuracy) {
+  const auto field = [](Vec2 p) {
+    const double dx = p.x - 5, dy = p.y - 5;
+    return 1.0 - (dx * dx + dy * dy);
+  };
+  const double r = std::sqrt(0.5);
+  auto max_error = [&](int resolution) {
+    double worst = 0;
+    for (const Contour& c :
+         ExtractContours(field, Rect(0, 0, 10, 10), 0.5, resolution)) {
+      for (const Vec2& p : c.points) {
+        worst = std::max(worst, std::fabs(p.DistanceTo({5, 5}) - r));
+      }
+    }
+    return worst;
+  };
+  EXPECT_LT(max_error(160), max_error(20));
+}
+
+TEST(ContourTest, DensityContoursFromChebGrid) {
+  ChebGrid grid({.extent = 100.0, .grid_side = 4, .degree = 6, .horizon = 2,
+                 .l = 15.0});
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(600, 1, 100.0, 4.0, 0.0, 19)) {
+    grid.Apply(e);
+  }
+  // A level well below the cluster peak must produce at least one loop.
+  const double level = 0.3 * 600 / (15.0 * 15.0) / 16.0;
+  const auto contours = ExtractDensityContours(grid, 0, level, 100);
+  EXPECT_FALSE(contours.empty());
+}
+
+}  // namespace
+}  // namespace pdr

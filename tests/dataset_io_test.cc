@@ -1,0 +1,115 @@
+#include "pdr/mobility/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace pdr {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.WithExtent(150.0);
+  config.num_objects = 200;
+  config.max_update_interval = 12;
+  config.network.grid_nodes = 6;
+  config.seed = 321;
+  return config;
+}
+
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  EXPECT_EQ(a.config.extent, b.config.extent);
+  EXPECT_EQ(a.config.num_objects, b.config.num_objects);
+  EXPECT_EQ(a.config.max_update_interval, b.config.max_update_interval);
+  EXPECT_EQ(a.config.seed, b.config.seed);
+  EXPECT_EQ(a.config.network.grid_nodes, b.config.network.grid_nodes);
+  ASSERT_EQ(a.ticks.size(), b.ticks.size());
+  for (size_t t = 0; t < a.ticks.size(); ++t) {
+    ASSERT_EQ(a.ticks[t].size(), b.ticks[t].size()) << "tick " << t;
+    for (size_t i = 0; i < a.ticks[t].size(); ++i) {
+      const UpdateEvent& ea = a.ticks[t][i];
+      const UpdateEvent& eb = b.ticks[t][i];
+      EXPECT_EQ(ea.tick, eb.tick);
+      EXPECT_EQ(ea.id, eb.id);
+      EXPECT_EQ(ea.old_state, eb.old_state);
+      EXPECT_EQ(ea.new_state, eb.new_state);
+    }
+  }
+}
+
+TEST(DatasetIoTest, StreamRoundTrip) {
+  const Dataset original = GenerateDataset(SmallConfig(), 15);
+  std::stringstream buffer;
+  WriteDataset(original, buffer);
+  const Dataset loaded = ReadDataset(buffer);
+  ExpectDatasetsEqual(original, loaded);
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const Dataset original = GenerateDataset(SmallConfig(), 10);
+  const std::string path = ::testing::TempDir() + "/pdr_dataset_test.pdrd";
+  SaveDataset(original, path);
+  const Dataset loaded = LoadDataset(path);
+  ExpectDatasetsEqual(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyDataset) {
+  Dataset empty;
+  empty.config = SmallConfig();
+  std::stringstream buffer;
+  WriteDataset(empty, buffer);
+  const Dataset loaded = ReadDataset(buffer);
+  EXPECT_EQ(loaded.ticks.size(), 0u);
+  EXPECT_EQ(loaded.config.num_objects, 200);
+}
+
+TEST(DatasetIoTest, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOPE and then some bytes";
+  EXPECT_THROW(ReadDataset(buffer), std::runtime_error);
+}
+
+TEST(DatasetIoTest, TruncationRejected) {
+  const Dataset original = GenerateDataset(SmallConfig(), 5);
+  std::stringstream buffer;
+  WriteDataset(original, buffer);
+  const std::string bytes = buffer.str();
+  // Chop the stream at several points; every prefix must throw, never
+  // crash or return garbage.
+  for (size_t cut : {size_t{3}, size_t{10}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(ReadDataset(truncated), std::runtime_error) << cut;
+  }
+}
+
+TEST(DatasetIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadDataset("/nonexistent/path/to/dataset.pdrd"),
+               std::runtime_error);
+}
+
+TEST(DatasetIoTest, LoadedDatasetReplaysIdentically) {
+  // The loaded stream must drive an engine to the same state as the
+  // original (bitwise-equal positions).
+  const Dataset original = GenerateDataset(SmallConfig(), 12);
+  std::stringstream buffer;
+  WriteDataset(original, buffer);
+  const Dataset loaded = ReadDataset(buffer);
+
+  ObjectTable table_a, table_b;
+  for (const auto& batch : original.ticks) {
+    for (const UpdateEvent& e : batch) table_a.Apply(e);
+  }
+  for (const auto& batch : loaded.ticks) {
+    for (const UpdateEvent& e : batch) table_b.Apply(e);
+  }
+  const auto pos_a = table_a.PositionsAt(20);
+  const auto pos_b = table_b.PositionsAt(20);
+  ASSERT_EQ(pos_a.size(), pos_b.size());
+  for (size_t i = 0; i < pos_a.size(); ++i) EXPECT_EQ(pos_a[i], pos_b[i]);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,103 @@
+#include "pdr/core/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/core/oracle.h"
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+constexpr double kExtent = 100.0;
+
+FrEngine MakeEngine() {
+  return FrEngine({.extent = kExtent, .histogram_side = 20, .horizon = 4,
+                   .buffer_pages = 64, .io_ms = 10.0});
+}
+
+void Feed(FrEngine& fr, const std::vector<Vec2>& positions) {
+  for (ObjectId id = 0; id < positions.size(); ++id) {
+    fr.Apply({0, id, std::nullopt, MotionState{positions[id], {0, 0}, 0}});
+  }
+}
+
+TEST(ExplorerTest, EmptyDomainHasZeroPeak) {
+  FrEngine fr = MakeEngine();
+  const PeakDensity peak = FindPeakDensity(fr, 0, 10.0);
+  EXPECT_EQ(peak.count, 0);
+  EXPECT_TRUE(peak.region.IsEmpty());
+}
+
+TEST(ExplorerTest, KnownStackedPeak) {
+  FrEngine fr = MakeEngine();
+  // 7 coincident objects at one spot, 2 at another: peak count must be 7.
+  std::vector<Vec2> positions(7, Vec2{30, 30});
+  positions.push_back({70, 70});
+  positions.push_back({71, 71});
+  Feed(fr, positions);
+  const PeakDensity peak = FindPeakDensity(fr, 0, 10.0);
+  EXPECT_EQ(peak.count, 7);
+  EXPECT_DOUBLE_EQ(peak.rho, 7.0 / 100.0);
+  EXPECT_TRUE(peak.region.Contains({30, 30}));
+  EXPECT_FALSE(peak.region.Contains({70, 70}));
+  // Logarithmic probe count: ~2*log2(7) + slack, not 7 linear probes...
+  EXPECT_LE(peak.probes, 8);
+}
+
+TEST(ExplorerTest, PeakMatchesOracleOnClusters) {
+  FrEngine fr = MakeEngine();
+  Oracle oracle(kExtent);
+  const auto events = MakeClusteredInserts(800, 3, kExtent, 4.0, 0.2, 91);
+  for (const UpdateEvent& e : events) {
+    fr.Apply(e);
+    oracle.Apply(e);
+  }
+  const double l = 8.0;
+  const PeakDensity peak = FindPeakDensity(fr, 0, l);
+  ASSERT_GT(peak.count, 0);
+  // The peak region is exactly the dense region at the peak count...
+  const Region at_peak = oracle.DenseRegions(
+      0, static_cast<double>(peak.count) / (l * l), l);
+  EXPECT_NEAR(SymmetricDifferenceArea(peak.region, at_peak), 0.0, 1e-9);
+  // ...and one more object would empty it.
+  const Region above = oracle.DenseRegions(
+      0, static_cast<double>(peak.count + 1) / (l * l), l);
+  EXPECT_TRUE(above.IsEmpty());
+  // Every point of the peak region actually attains the peak count.
+  for (const Rect& r : peak.region.rects()) {
+    EXPECT_GE(oracle.CountInSquare(0, r.Center(), l), peak.count);
+  }
+}
+
+TEST(ExplorerTest, ProfileBandsAreNested) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(1000, 2, kExtent, 5.0, 0.3, 92)) {
+    fr.Apply(e);
+  }
+  const auto bands = DensityProfile(fr, 0, 10.0, {1, 3, 6, 12, 24});
+  ASSERT_EQ(bands.size(), 5u);
+  for (size_t i = 0; i + 1 < bands.size(); ++i) {
+    // Higher threshold => subset.
+    EXPECT_NEAR(
+        IntersectionArea(bands[i].region, bands[i + 1].region),
+        bands[i + 1].region.Area(), 1e-9)
+        << "band " << i + 1 << " must nest within band " << i;
+    EXPECT_GE(bands[i].region.Area(), bands[i + 1].region.Area());
+  }
+  EXPECT_DOUBLE_EQ(bands[2].rho, 6.0 / 100.0);
+}
+
+TEST(ExplorerTest, ProfileConsistentWithPeak) {
+  FrEngine fr = MakeEngine();
+  std::vector<Vec2> positions(5, Vec2{50, 50});
+  Feed(fr, positions);
+  const PeakDensity peak = FindPeakDensity(fr, 0, 10.0);
+  EXPECT_EQ(peak.count, 5);
+  const auto bands = DensityProfile(fr, 0, 10.0, {5, 6});
+  EXPECT_FALSE(bands[0].region.IsEmpty());
+  EXPECT_TRUE(bands[1].region.IsEmpty());
+}
+
+}  // namespace
+}  // namespace pdr

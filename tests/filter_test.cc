@@ -1,0 +1,193 @@
+#include "pdr/histogram/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/common/random.h"
+#include "pdr/core/oracle.h"
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+TEST(ThresholdTest, MinObjectsForDensity) {
+  EXPECT_EQ(MinObjectsForDensity(0.01, 30.0), 9);   // 0.01*900 = 9 exactly
+  EXPECT_EQ(MinObjectsForDensity(0.011, 30.0), 10); // 9.9 -> 10
+  EXPECT_EQ(MinObjectsForDensity(1.0, 2.0), 4);
+  EXPECT_EQ(MinObjectsForDensity(0.0, 30.0), 0);
+}
+
+TEST(NeighborhoodTest, ConservativeHalfWidth) {
+  // (2a+1)*l_c <= l - l_c.
+  EXPECT_EQ(ConservativeHalfWidth(2.0, 1.0), 0);   // block = 1 cell
+  EXPECT_EQ(ConservativeHalfWidth(3.0, 1.0), 0);
+  EXPECT_EQ(ConservativeHalfWidth(3.9, 1.0), 0);
+  EXPECT_EQ(ConservativeHalfWidth(4.0, 1.0), 1);   // block = 3 cells
+  EXPECT_EQ(ConservativeHalfWidth(6.0, 1.0), 2);   // block = 5 cells
+  EXPECT_EQ(ConservativeHalfWidth(30.0, 10.0), 0); // eta = 3
+  // l < 2*l_c: no conservative block exists.
+  EXPECT_LT(ConservativeHalfWidth(1.5, 1.0), 0);
+}
+
+TEST(NeighborhoodTest, ExpansiveHalfWidth) {
+  EXPECT_EQ(ExpansiveHalfWidth(2.0, 1.0), 1);
+  EXPECT_EQ(ExpansiveHalfWidth(3.0, 1.0), 2);  // ceil(1.5)
+  EXPECT_EQ(ExpansiveHalfWidth(4.0, 1.0), 2);
+  EXPECT_EQ(ExpansiveHalfWidth(30.0, 10.0), 2);
+  EXPECT_EQ(ExpansiveHalfWidth(60.0, 10.0), 3);
+}
+
+TEST(NeighborhoodTest, ConservativeBlockInsideEveryLSquare) {
+  // Geometric soundness of the half-width formula itself: for any point p
+  // in a cell, the conservative block is inside S_l(p).
+  for (double l : {2.0, 3.0, 4.5, 6.0, 8.7}) {
+    const double lc = 1.0;
+    const int a = ConservativeHalfWidth(l, lc);
+    if (a < 0) continue;
+    // Cell [5,6)^2; block spans [5-a, 6+a]^2 in cell units.
+    const Rect block(5 - a, 5 - a, 6 + a, 6 + a);
+    for (const Vec2 corner :
+         {Vec2{5, 5}, Vec2{6, 5}, Vec2{5, 6}, Vec2{6, 6}}) {
+      const Rect square = Rect::CenteredSquare(corner, l);
+      EXPECT_TRUE(square.Contains(block)) << "l=" << l << " p=" << corner;
+    }
+  }
+}
+
+TEST(NeighborhoodTest, ExpansiveBlockCoversEveryLSquare) {
+  for (double l : {2.0, 3.0, 4.5, 6.0, 8.7}) {
+    const double lc = 1.0;
+    const int b = ExpansiveHalfWidth(l, lc);
+    const Rect block(5 - b, 5 - b, 6 + b, 6 + b);
+    for (const Vec2 corner :
+         {Vec2{5, 5}, Vec2{6, 5}, Vec2{5, 6}, Vec2{6, 6}}) {
+      const Rect square = Rect::CenteredSquare(corner, l);
+      EXPECT_TRUE(block.Contains(square)) << "l=" << l << " p=" << corner;
+    }
+  }
+}
+
+class FilterSoundnessTest : public ::testing::TestWithParam<
+                                std::tuple<double, double, uint64_t>> {};
+
+// The load-bearing property (Section 5.2): accepted cells contain only
+// dense points, rejected cells contain no dense point — verified against
+// the brute-force oracle at random in-cell probes.
+TEST_P(FilterSoundnessTest, AcceptsAndRejectsAreSound) {
+  const auto [rho_scale, l, seed] = GetParam();
+  const double extent = 100.0;
+  DensityHistogram dh({.extent = extent, .cells_per_side = 20, .horizon = 4});
+  Oracle oracle(extent);
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(1200, 3, extent, 4.0, 0.2, seed)) {
+    dh.Apply(e);
+    oracle.Apply(e);
+  }
+  // rho chosen near interesting territory: average count in an l-square
+  // is 1200 * l^2 / extent^2; scale around it.
+  const double rho = rho_scale * 1200.0 / (extent * extent);
+  const int64_t n_min = MinObjectsForDensity(rho, l);
+  const FilterResult filter = FilterCells(dh, 0, rho, l);
+  EXPECT_EQ(filter.accepted + filter.rejected + filter.candidates, 400);
+
+  Rng rng(seed ^ 0xabc);
+  const Grid& grid = dh.grid();
+  int accepted_checked = 0, rejected_checked = 0;
+  for (int row = 0; row < 20; ++row) {
+    for (int col = 0; col < 20; ++col) {
+      const CellClass cls = filter.At(col, row);
+      if (cls == CellClass::kCandidate) continue;
+      const Rect cell = grid.CellRect(col, row);
+      for (int probe = 0; probe < 5; ++probe) {
+        const Vec2 p{rng.Uniform(cell.x_lo, cell.x_hi),
+                     rng.Uniform(cell.y_lo, cell.y_hi)};
+        const int64_t count = oracle.CountInSquare(0, p, l);
+        if (cls == CellClass::kAccept) {
+          EXPECT_GE(count, n_min) << "accepted cell has sparse point " << p;
+          ++accepted_checked;
+        } else {
+          EXPECT_LT(count, n_min) << "rejected cell has dense point " << p;
+          ++rejected_checked;
+        }
+      }
+    }
+  }
+  // The workload must actually exercise both outcomes somewhere across
+  // the parameter sweep; at least rejects always exist.
+  EXPECT_GT(rejected_checked, 0);
+  (void)accepted_checked;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FilterSoundnessTest,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 6.0, 20.0),
+                       ::testing::Values(10.0, 17.0, 25.0),
+                       ::testing::Values(uint64_t{3}, uint64_t{77})));
+
+TEST(FilterTest, AcceptsAppearWithHighConcentration) {
+  // A tight blob far denser than rho must produce accepted cells.
+  const double extent = 100.0;
+  DensityHistogram dh({.extent = extent, .cells_per_side = 20, .horizon = 2});
+  std::vector<UpdateEvent> events =
+      MakeClusteredInserts(2000, 1, extent, 2.0, 0.0, 5);
+  for (const UpdateEvent& e : events) dh.Apply(e);
+  const double l = 20.0;
+  const double rho = 100.0 / (l * l);  // 100 objects per l-square
+  const FilterResult filter = FilterCells(dh, 0, rho, l);
+  EXPECT_GT(filter.accepted, 0);
+  EXPECT_GT(filter.rejected, 300);
+}
+
+TEST(FilterTest, EverythingRejectedWhenEmpty) {
+  DensityHistogram dh({.extent = 100.0, .cells_per_side = 10, .horizon = 2});
+  const FilterResult filter = FilterCells(dh, 0, 0.01, 20.0);
+  EXPECT_EQ(filter.rejected, 100);
+  EXPECT_EQ(filter.accepted, 0);
+  EXPECT_EQ(filter.candidates, 0);
+}
+
+TEST(FilterTest, ZeroThresholdAcceptsEverything) {
+  DensityHistogram dh({.extent = 100.0, .cells_per_side = 10, .horizon = 2});
+  const FilterResult filter = FilterCells(dh, 0, 0.0, 20.0);
+  EXPECT_EQ(filter.accepted, 100);
+}
+
+TEST(FilterTest, NaiveVariantMatchesPrefixSums) {
+  const double extent = 100.0;
+  DensityHistogram dh({.extent = extent, .cells_per_side = 20, .horizon = 2});
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(1200, 3, extent, 5.0, 0.25, 7)) {
+    dh.Apply(e);
+  }
+  for (double l : {10.0, 17.0, 30.0}) {
+    for (double rho_scale : {0.5, 2.0, 8.0}) {
+      const double rho = rho_scale * 1200 / (extent * extent);
+      const FilterResult fast = FilterCells(dh, 0, rho, l);
+      const FilterResult naive = FilterCellsNaive(dh, 0, rho, l);
+      EXPECT_EQ(fast.classes, naive.classes)
+          << "l=" << l << " rho=" << rho;
+      EXPECT_EQ(fast.accepted, naive.accepted);
+      EXPECT_EQ(fast.rejected, naive.rejected);
+      EXPECT_EQ(fast.candidates, naive.candidates);
+    }
+  }
+}
+
+TEST(FilterTest, CellsAsRegionOptimisticCoversPessimistic) {
+  const double extent = 100.0;
+  DensityHistogram dh({.extent = extent, .cells_per_side = 20, .horizon = 2});
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(1500, 2, extent, 5.0, 0.3, 6)) {
+    dh.Apply(e);
+  }
+  const double rho = 3.0 * 1500 / (extent * extent);
+  const FilterResult filter = FilterCells(dh, 0, rho, 15.0);
+  const Region optimistic = CellsAsRegion(filter, dh.grid(), true);
+  const Region pessimistic = CellsAsRegion(filter, dh.grid(), false);
+  EXPECT_GE(optimistic.Area(), pessimistic.Area());
+  // Pessimistic region is a subset of the optimistic one.
+  EXPECT_NEAR(IntersectionArea(optimistic, pessimistic), pessimistic.Area(),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,237 @@
+#include "pdr/mobility/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pdr {
+namespace {
+
+WorkloadConfig SmallWorkload(int objects = 500) {
+  WorkloadConfig config;
+  config.WithExtent(200.0);
+  config.num_objects = objects;
+  config.max_update_interval = 20;
+  config.network.grid_nodes = 10;
+  config.network.num_hotspots = 4;
+  config.seed = 3;
+  return config;
+}
+
+TEST(TripSimulatorTest, BootstrapInsertsEveryObjectOnce) {
+  TripSimulator sim(SmallWorkload());
+  const auto events = sim.Bootstrap();
+  ASSERT_EQ(events.size(), 500u);
+  std::map<ObjectId, int> seen;
+  for (const UpdateEvent& e : events) {
+    EXPECT_EQ(e.tick, 0);
+    EXPECT_TRUE(e.IsInsert());
+    EXPECT_EQ(e.new_state->t_ref, 0);
+    ++seen[e.id];
+  }
+  EXPECT_EQ(seen.size(), 500u);
+  for (const auto& [id, n] : seen) {
+    (void)id;
+    EXPECT_EQ(n, 1);
+  }
+}
+
+TEST(TripSimulatorTest, StreamIsConsistent) {
+  // Every modify's old_state must equal the previously reported state.
+  TripSimulator sim(SmallWorkload());
+  std::map<ObjectId, MotionState> current;
+  for (const UpdateEvent& e : sim.Bootstrap()) current[e.id] = *e.new_state;
+  for (Tick t = 1; t <= 40; ++t) {
+    for (const UpdateEvent& e : sim.Advance(t)) {
+      EXPECT_EQ(e.tick, t);
+      ASSERT_TRUE(e.IsModify());
+      ASSERT_TRUE(current.count(e.id));
+      EXPECT_EQ(*e.old_state, current[e.id]);
+      EXPECT_EQ(e.new_state->t_ref, t);
+      current[e.id] = *e.new_state;
+    }
+  }
+}
+
+TEST(TripSimulatorTest, EveryObjectReportsWithinU) {
+  WorkloadConfig config = SmallWorkload(300);
+  config.max_update_interval = 15;
+  TripSimulator sim(config);
+  std::map<ObjectId, Tick> last_report;
+  for (const UpdateEvent& e : sim.Bootstrap()) last_report[e.id] = 0;
+  for (Tick t = 1; t <= 60; ++t) {
+    for (const UpdateEvent& e : sim.Advance(t)) {
+      EXPECT_LE(t - last_report[e.id], config.max_update_interval);
+      last_report[e.id] = t;
+    }
+  }
+  for (const auto& [id, t] : last_report) {
+    (void)id;
+    EXPECT_GE(t, 60 - config.max_update_interval);
+  }
+}
+
+TEST(TripSimulatorTest, ReportedPositionsInsideDomain) {
+  TripSimulator sim(SmallWorkload());
+  for (const UpdateEvent& e : sim.Bootstrap()) {
+    EXPECT_GE(e.new_state->pos.x, 0);
+    EXPECT_LE(e.new_state->pos.x, 200);
+    EXPECT_GE(e.new_state->pos.y, 0);
+    EXPECT_LE(e.new_state->pos.y, 200);
+  }
+  for (Tick t = 1; t <= 30; ++t) {
+    for (const UpdateEvent& e : sim.Advance(t)) {
+      EXPECT_GE(e.new_state->pos.x, -1e-9);
+      EXPECT_LE(e.new_state->pos.x, 200 + 1e-9);
+      EXPECT_GE(e.new_state->pos.y, -1e-9);
+      EXPECT_LE(e.new_state->pos.y, 200 + 1e-9);
+    }
+  }
+}
+
+TEST(TripSimulatorTest, SpeedsWithinPaperRange) {
+  TripSimulator sim(SmallWorkload());
+  sim.Bootstrap();
+  for (Tick t = 1; t <= 20; ++t) {
+    for (const UpdateEvent& e : sim.Advance(t)) {
+      const double speed = e.new_state->vel.Norm();
+      EXPECT_GE(speed, 25.0 / 60.0 - 1e-9);
+      EXPECT_LE(speed, 100.0 / 60.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TripSimulatorTest, SteadyUpdateLoad) {
+  // At least ~1% of objects should report per tick (the paper's workload
+  // property); with U=20 the floor is 5% just from forced refreshes.
+  TripSimulator sim(SmallWorkload(1000));
+  sim.Bootstrap();
+  size_t total = 0;
+  const Tick ticks = 40;
+  for (Tick t = 1; t <= ticks; ++t) total += sim.Advance(t).size();
+  const double per_tick = static_cast<double>(total) / ticks;
+  EXPECT_GT(per_tick, 10.0);    // > 1% of 1000
+  EXPECT_LT(per_tick, 1000.0);  // not everyone every tick
+}
+
+TEST(GenerateDatasetTest, ShapeAndDeterminism) {
+  const Dataset a = GenerateDataset(SmallWorkload(), 25);
+  ASSERT_EQ(a.ticks.size(), 26u);
+  EXPECT_EQ(a.duration(), 25);
+  EXPECT_EQ(a.ticks[0].size(), 500u);
+  EXPECT_GT(a.TotalUpdates(), 500u);
+
+  const Dataset b = GenerateDataset(SmallWorkload(), 25);
+  ASSERT_EQ(a.TotalUpdates(), b.TotalUpdates());
+  for (Tick t = 0; t <= 25; ++t) {
+    ASSERT_EQ(a.ticks[t].size(), b.ticks[t].size());
+    for (size_t i = 0; i < a.ticks[t].size(); ++i) {
+      EXPECT_EQ(a.ticks[t][i].id, b.ticks[t][i].id);
+      EXPECT_EQ(a.ticks[t][i].new_state, b.ticks[t][i].new_state);
+    }
+  }
+}
+
+TEST(GenerateDatasetTest, DifferentSeedsDiffer) {
+  WorkloadConfig c1 = SmallWorkload();
+  WorkloadConfig c2 = SmallWorkload();
+  c2.seed = 999;
+  const Dataset a = GenerateDataset(c1, 5);
+  const Dataset b = GenerateDataset(c2, 5);
+  bool any_different = false;
+  for (size_t i = 0; i < a.ticks[0].size(); ++i) {
+    if (!(a.ticks[0][i].new_state == b.ticks[0][i].new_state)) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(TripSimulatorTest, ChurnEmitsRealInsertsAndDeletes) {
+  WorkloadConfig config = SmallWorkload(400);
+  config.churn_rate = 0.02;
+  TripSimulator sim(config);
+  ObjectTable table;
+  for (const UpdateEvent& e : sim.Bootstrap()) table.Apply(e);
+  size_t deletes = 0, inserts = 0;
+  for (Tick t = 1; t <= 40; ++t) {
+    for (const UpdateEvent& e : sim.Advance(t)) {
+      deletes += e.IsDelete();
+      inserts += e.IsInsert();
+      table.Apply(e);  // asserts stream consistency internally
+    }
+    // Churn keeps the population constant.
+    EXPECT_EQ(table.size(), 400u) << "t=" << t;
+  }
+  EXPECT_GT(deletes, 100u);  // ~0.02 * 400 * 40 = 320 expected
+  EXPECT_EQ(deletes, inserts);
+}
+
+TEST(TripSimulatorTest, ChurnedInObjectsGetFreshIds) {
+  WorkloadConfig config = SmallWorkload(100);
+  config.churn_rate = 0.05;
+  TripSimulator sim(config);
+  sim.Bootstrap();
+  std::vector<ObjectId> ever_deleted;
+  for (Tick t = 1; t <= 30; ++t) {
+    for (const UpdateEvent& e : sim.Advance(t)) {
+      if (e.IsDelete()) ever_deleted.push_back(e.id);
+      if (e.IsInsert()) {
+        EXPECT_GE(e.id, 100u) << "fresh objects must use new ids";
+        // A dead id never comes back.
+        for (ObjectId dead : ever_deleted) EXPECT_NE(e.id, dead);
+      }
+    }
+  }
+  EXPECT_FALSE(ever_deleted.empty());
+}
+
+TEST(TripSimulatorTest, ZeroChurnMatchesLegacyBehavior) {
+  // churn_rate = 0 produces a pure modify stream after bootstrap.
+  WorkloadConfig config = SmallWorkload(200);
+  config.churn_rate = 0.0;
+  TripSimulator sim(config);
+  sim.Bootstrap();
+  for (Tick t = 1; t <= 20; ++t) {
+    for (const UpdateEvent& e : sim.Advance(t)) {
+      EXPECT_TRUE(e.IsModify());
+    }
+  }
+}
+
+TEST(MakeClusteredInsertsTest, BasicShape) {
+  const auto events = MakeClusteredInserts(400, 3, 100.0, 2.0, 0.1, 7);
+  ASSERT_EQ(events.size(), 400u);
+  for (const UpdateEvent& e : events) {
+    EXPECT_TRUE(e.IsInsert());
+    EXPECT_EQ(e.new_state->vel, Vec2(0, 0));
+    EXPECT_GE(e.new_state->pos.x, 0);
+    EXPECT_LE(e.new_state->pos.x, 100);
+  }
+}
+
+TEST(MakeClusteredInsertsTest, ClustersAreDenserThanBackground) {
+  const auto events = MakeClusteredInserts(2000, 2, 100.0, 1.5, 0.05, 8);
+  // Count points in a fine grid; the max cell should hold far more than
+  // the uniform expectation.
+  Grid grid(100.0, 20);
+  std::vector<int> counts(grid.cell_count(), 0);
+  for (const UpdateEvent& e : events) ++counts[grid.CellOf(e.new_state->pos)];
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, 2000 / 400 * 20);  // >20x uniform density
+}
+
+TEST(MakeUniformInsertsTest, BoundsAndVelocities) {
+  const auto events = MakeUniformInserts(300, 50.0, 2.0, 9);
+  ASSERT_EQ(events.size(), 300u);
+  for (const UpdateEvent& e : events) {
+    EXPECT_GE(e.new_state->pos.x, 0);
+    EXPECT_LT(e.new_state->pos.x, 50);
+    EXPECT_LE(std::abs(e.new_state->vel.x), 2.0);
+    EXPECT_LE(std::abs(e.new_state->vel.y), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace pdr

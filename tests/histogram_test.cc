@@ -1,0 +1,179 @@
+#include "pdr/histogram/density_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pdr/common/random.h"
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+DensityHistogram::Options SmallOptions() {
+  return {.extent = 100.0, .cells_per_side = 10, .horizon = 8};
+}
+
+// Brute-force expected slice from a set of live motion states.
+std::vector<uint32_t> ExpectedSlice(
+    const std::map<ObjectId, MotionState>& objects, const Grid& grid,
+    Tick t) {
+  std::vector<uint32_t> counts(grid.cell_count(), 0);
+  for (const auto& [id, state] : objects) {
+    (void)id;
+    const Vec2 p = state.PositionAt(t);
+    if (grid.InDomain(p)) ++counts[grid.CellOf(p)];
+  }
+  return counts;
+}
+
+TEST(DensityHistogramTest, InsertCountsWholeHorizon) {
+  DensityHistogram dh(SmallOptions());
+  // Object moving right two miles per tick.
+  const MotionState s{{5, 5}, {2, 0}, 0};
+  dh.Apply({0, 1, std::nullopt, s});
+  EXPECT_EQ(dh.CountAt(0, 0, 0), 1u);
+  EXPECT_EQ(dh.CountAt(2, 0, 0), 1u);  // at (9,5), still cell 0
+  EXPECT_EQ(dh.CountAt(3, 1, 0), 1u);  // at (11,5), cell 1
+  EXPECT_EQ(dh.CountAt(8, 2, 0), 1u);  // at (21,5), cell 2
+  EXPECT_EQ(dh.TotalAt(0), 1);
+  EXPECT_EQ(dh.TotalAt(8), 1);
+}
+
+TEST(DensityHistogramTest, ObjectLeavingDomainNotCounted) {
+  DensityHistogram dh(SmallOptions());
+  // Leaves through the right edge after t = 3.
+  const MotionState s{{95, 50}, {1.5, 0}, 0};
+  dh.Apply({0, 1, std::nullopt, s});
+  EXPECT_EQ(dh.TotalAt(0), 1);
+  EXPECT_EQ(dh.TotalAt(3), 1);  // at x=99.5
+  EXPECT_EQ(dh.TotalAt(4), 0);  // at x=101: outside, dropped
+  EXPECT_EQ(dh.TotalAt(8), 0);
+}
+
+TEST(DensityHistogramTest, DeleteUndoesInsert) {
+  DensityHistogram dh(SmallOptions());
+  const MotionState s{{33, 66}, {0.5, -1}, 0};
+  dh.Apply({0, 1, std::nullopt, s});
+  dh.Apply({0, 1, s, std::nullopt});
+  for (Tick t = 0; t <= 8; ++t) EXPECT_EQ(dh.TotalAt(t), 0) << t;
+}
+
+TEST(DensityHistogramTest, ModifyMovesTrajectory) {
+  DensityHistogram dh(SmallOptions());
+  const MotionState s0{{10, 10}, {0, 0}, 0};
+  dh.Apply({0, 1, std::nullopt, s0});
+  dh.AdvanceTo(2);
+  const MotionState s1{{50, 50}, {0, 0}, 2};
+  dh.Apply({2, 1, s0, s1});
+  for (Tick t = 2; t <= 10; ++t) {
+    EXPECT_EQ(dh.CountAt(t, 5, 5), 1u);
+    EXPECT_EQ(dh.CountAt(t, 1, 1), 0u);
+  }
+}
+
+TEST(DensityHistogramTest, MatchesBruteForceAtCurrentTick) {
+  DensityHistogram dh(SmallOptions());
+  std::map<ObjectId, MotionState> live;
+  Rng rng(17);
+  ObjectId next = 0;
+  for (Tick now = 0; now <= 20; ++now) {
+    dh.AdvanceTo(now);
+    for (int i = 0; i < 30; ++i) {
+      const int action = static_cast<int>(rng.UniformInt(0, 2));
+      if (action == 0 || live.empty()) {
+        const MotionState s{{rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                            {rng.Uniform(-2, 2), rng.Uniform(-2, 2)},
+                            now};
+        dh.Apply({now, next, std::nullopt, s});
+        live[next] = s;
+        ++next;
+      } else {
+        auto it = live.begin();
+        std::advance(it, rng.UniformInt(0, live.size() - 1));
+        if (action == 1) {
+          const MotionState fresh{{rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                                  {rng.Uniform(-2, 2), rng.Uniform(-2, 2)},
+                                  now};
+          dh.Apply({now, it->first, it->second, fresh});
+          it->second = fresh;
+        } else {
+          dh.Apply({now, it->first, it->second, std::nullopt});
+          live.erase(it);
+        }
+      }
+    }
+    // The slice for "now" is always complete regardless of update recency.
+    EXPECT_EQ(dh.Slice(now), ExpectedSlice(live, dh.grid(), now))
+        << "now " << now;
+  }
+}
+
+TEST(DensityHistogramTest, SliceCompleteWithinUpdateContract) {
+  // When every object re-reports within U and W = H - U, slices up to
+  // now + W are exact. Drive with the trip simulator which enforces U.
+  WorkloadConfig config;
+  config.WithExtent(100.0);
+  config.num_objects = 200;
+  config.max_update_interval = 5;
+  config.network.grid_nodes = 6;
+  config.seed = 23;
+  TripSimulator sim(config);
+
+  DensityHistogram dh({.extent = 100.0, .cells_per_side = 10, .horizon = 10});
+  std::map<ObjectId, MotionState> live;
+  for (const UpdateEvent& e : sim.Bootstrap()) {
+    dh.Apply(e);
+    live[e.id] = *e.new_state;
+  }
+  for (Tick now = 1; now <= 25; ++now) {
+    dh.AdvanceTo(now);
+    for (const UpdateEvent& e : sim.Advance(now)) {
+      dh.Apply(e);
+      live[e.id] = *e.new_state;
+    }
+    for (Tick t = now; t <= now + 5; ++t) {  // W = H - U = 5 ahead
+      EXPECT_EQ(dh.Slice(t), ExpectedSlice(live, dh.grid(), t))
+          << "now " << now << " tick " << t;
+    }
+  }
+}
+
+TEST(DensityHistogramTest, AdvanceRecyclesSlices) {
+  DensityHistogram dh(SmallOptions());
+  const MotionState s{{50, 50}, {0, 0}, 0};
+  dh.Apply({0, 1, std::nullopt, s});
+  EXPECT_EQ(dh.TotalAt(8), 1);
+  dh.AdvanceTo(3);
+  // Ticks 9..11 are fresh slices; the stale object never wrote them.
+  EXPECT_EQ(dh.TotalAt(9), 0);
+  EXPECT_EQ(dh.TotalAt(11), 0);
+  // Ticks 3..8 still carry the object.
+  EXPECT_EQ(dh.TotalAt(3), 1);
+  EXPECT_EQ(dh.TotalAt(8), 1);
+}
+
+TEST(DensityHistogramTest, MemoryBytes) {
+  DensityHistogram dh(SmallOptions());
+  // (H+1) slices of 100 uint32 counters.
+  EXPECT_EQ(dh.MemoryBytes(), 9u * 100u * sizeof(uint32_t));
+}
+
+TEST(DensityHistogramTest, BoundaryPositionCountsInEdgeCell) {
+  DensityHistogram dh(SmallOptions());
+  dh.Apply({0, 1, std::nullopt, MotionState{{100, 100}, {0, 0}, 0}});
+  EXPECT_EQ(dh.CountAt(0, 9, 9), 1u);
+}
+
+TEST(DensityHistogramTest, DeleteAfterAdvanceOnlyTouchesLiveTicks) {
+  DensityHistogram dh(SmallOptions());
+  const MotionState s{{20, 20}, {0, 0}, 0};
+  dh.Apply({0, 1, std::nullopt, s});
+  dh.AdvanceTo(4);
+  // Old trajectory covered ticks 0..8; only 4..8 remain in the window.
+  dh.Apply({4, 1, s, std::nullopt});
+  for (Tick t = 4; t <= 12; ++t) EXPECT_EQ(dh.TotalAt(t), 0) << t;
+}
+
+}  // namespace
+}  // namespace pdr

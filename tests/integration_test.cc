@@ -1,0 +1,173 @@
+// End-to-end integration: the full paper pipeline on a generated
+// road-network workload — generator -> update stream -> (FR, PA, oracle)
+// -> queries -> accuracy metrics — plus the generality property of
+// Section 3.1 (PDR answers subsume the baselines' answers).
+
+#include <gtest/gtest.h>
+
+#include "pdr/pdr.h"
+
+namespace pdr {
+namespace {
+
+constexpr double kExtent = 300.0;
+
+struct Pipeline {
+  Dataset dataset;
+  FrEngine fr;
+  PaEngine pa;
+  Oracle oracle;
+  double rho;
+  double l;
+
+  explicit Pipeline(int objects, double rel_threshold, double l_edge,
+                    uint64_t seed)
+      : dataset(GenerateDataset(
+            [&] {
+              WorkloadConfig config;
+              config.WithExtent(kExtent);
+              config.num_objects = objects;
+              config.max_update_interval = 10;
+              config.network.grid_nodes = 12;
+              config.network.num_hotspots = 6;
+              config.seed = seed;
+              return config;
+            }(),
+            15)),
+        fr({.extent = kExtent, .histogram_side = 30, .horizon = 20,
+            .buffer_pages = 64, .io_ms = 10.0}),
+        pa({.extent = kExtent, .poly_side = 6, .degree = 6, .horizon = 20,
+            .l = l_edge, .eval_grid = 240}),
+        oracle(kExtent),
+        rho(rel_threshold * objects / (kExtent * kExtent)),
+        l(l_edge) {
+    ReplayInto(dataset, -1, &fr, &pa, &oracle);
+  }
+};
+
+TEST(IntegrationTest, FrExactPaAccurateOnRoadWorkload) {
+  Pipeline p(1500, 3.0, 30.0, 71);
+  for (Tick q_t : {15, 20, 25}) {  // within W = 10 of now = 15
+    const Region truth = p.oracle.DenseRegions(q_t, p.rho, p.l);
+    const auto fr_result = p.fr.Query(q_t, p.rho, p.l);
+    EXPECT_NEAR(SymmetricDifferenceArea(fr_result.region, truth), 0.0, 1e-6)
+        << "FR must be exact at q_t=" << q_t;
+    if (truth.Area() > 100.0) {
+      const auto pa_result = p.pa.Query(q_t, p.rho);
+      const AccuracyMetrics m = CompareRegions(truth, pa_result.region);
+      EXPECT_LT(m.false_negative_ratio, 0.8) << "q_t=" << q_t;
+      EXPECT_GT(m.Jaccard(), 0.15) << "q_t=" << q_t;
+    }
+  }
+}
+
+TEST(IntegrationTest, HotspotsProduceDenseRegions) {
+  Pipeline p(2000, 2.0, 30.0, 72);
+  const Region truth = p.oracle.DenseRegions(15, p.rho, p.l);
+  EXPECT_GT(truth.Area(), 0.0)
+      << "hotspot workload should contain dense regions";
+  // Dense regions should be a small fraction of the domain (skew).
+  EXPECT_LT(truth.Area(), 0.25 * kExtent * kExtent);
+}
+
+TEST(IntegrationTest, PdrSubsumesDenseCellAnswers) {
+  // Section 3.1: with an l-square equal to the grid cell, the center of
+  // every dense cell reported by [4] is a rho-dense point under PDR.
+  Pipeline p(2000, 3.0, 10.0, 73);  // l == cell edge (300/30)
+  const Tick q_t = 15;
+  const Region cells = DenseCellQuery(p.fr.histogram(), q_t, p.rho);
+  const Region pdr = p.fr.Query(q_t, p.rho, p.l).region;
+  const Region coalesced = cells.Coalesced();
+  for (const Rect& cell : coalesced.rects()) {
+    // Probe centers of original grid cells inside the coalesced rect.
+    const Grid& grid = p.fr.histogram().grid();
+    for (double x = cell.x_lo + grid.cell_edge() / 2; x < cell.x_hi;
+         x += grid.cell_edge()) {
+      for (double y = cell.y_lo + grid.cell_edge() / 2; y < cell.y_hi;
+           y += grid.cell_edge()) {
+        EXPECT_TRUE(pdr.Contains({x, y}))
+            << "dense-cell center (" << x << "," << y
+            << ") missing from PDR answer";
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, PdrSubsumesEdqCenters) {
+  // Section 3.1: the centers of EDQ's dense squares are rho-dense points.
+  Pipeline p(2000, 3.0, 20.0, 74);  // l = 2 cells
+  const Tick q_t = 15;
+  const EdqResult edq = EffectiveDensityQuery(p.fr.histogram(), q_t, p.rho,
+                                              p.l, EdqStrategy::kDensestFirst);
+  const Region pdr = p.fr.Query(q_t, p.rho, p.l).region;
+  for (const Rect& square : edq.squares) {
+    EXPECT_TRUE(pdr.Contains(square.Center()))
+        << "EDQ square center " << square.Center().ToString()
+        << " missing from PDR answer";
+  }
+}
+
+TEST(IntegrationTest, CostModelOrdersMethodsAsInPaper) {
+  // PA total cost (pure CPU) should be far below FR cold total cost
+  // (CPU + charged I/O) on a non-trivial workload — the Fig. 10 headline.
+  Pipeline p(4000, 2.0, 30.0, 75);
+  const Tick q_t = 18;
+  const auto fr_result = p.fr.Query(q_t, p.rho, p.l, /*cold_cache=*/true);
+  const auto pa_result = p.pa.Query(q_t, p.rho);
+  EXPECT_GT(fr_result.cost.TotalMs(), pa_result.cost.TotalMs());
+  EXPECT_EQ(pa_result.cost.io_reads, 0);
+}
+
+TEST(IntegrationTest, FullyDeterministicForSeed) {
+  // Two independent end-to-end runs with the same seed must agree on the
+  // query answers bit for bit (generator, engines, and region algebra are
+  // all deterministic).
+  auto run = [] {
+    Pipeline p(1000, 3.0, 30.0, 77);
+    return p.fr.Query(20, p.rho, p.l).region;
+  };
+  const Region a = run();
+  const Region b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.rects()[i], b.rects()[i]);
+  }
+}
+
+TEST(IntegrationTest, InterleavedQueriesAndUpdatesStayConsistent) {
+  WorkloadConfig config;
+  config.WithExtent(kExtent);
+  config.num_objects = 800;
+  config.max_update_interval = 8;
+  config.network.grid_nodes = 10;
+  config.seed = 76;
+  TripSimulator sim(config);
+
+  FrEngine fr({.extent = kExtent, .histogram_side = 30, .horizon = 16,
+               .buffer_pages = 64, .io_ms = 10.0});
+  Oracle oracle(kExtent);
+  const double rho = 3.0 * 800 / (kExtent * kExtent);
+
+  for (const UpdateEvent& e : sim.Bootstrap()) {
+    fr.Apply(e);
+    oracle.Apply(e);
+  }
+  for (Tick now = 1; now <= 20; ++now) {
+    fr.AdvanceTo(now);
+    oracle.AdvanceTo(now);
+    for (const UpdateEvent& e : sim.Advance(now)) {
+      fr.Apply(e);
+      oracle.Apply(e);
+    }
+    if (now % 5 == 0) {
+      const Tick q_t = now + 4;  // predictive, within W = 8
+      const Region got = fr.Query(q_t, rho, 20.0).region;
+      const Region want = oracle.DenseRegions(q_t, rho, 20.0);
+      EXPECT_NEAR(SymmetricDifferenceArea(got, want), 0.0, 1e-6)
+          << "now=" << now;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdr

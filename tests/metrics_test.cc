@@ -1,0 +1,84 @@
+#include "pdr/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pdr {
+namespace {
+
+Region Box(double x1, double y1, double x2, double y2) {
+  return Region(std::vector<Rect>{Rect(x1, y1, x2, y2)});
+}
+
+TEST(MetricsTest, IdenticalRegionsAreZeroError) {
+  const Region r = Box(0, 0, 10, 10);
+  const AccuracyMetrics m = CompareRegions(r, r);
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.truth_area, 100.0);
+  EXPECT_DOUBLE_EQ(m.reported_area, 100.0);
+  EXPECT_DOUBLE_EQ(m.Jaccard(), 1.0);
+}
+
+TEST(MetricsTest, HandComputedOverlap) {
+  // Truth 10x10 at origin; report shifted by 5 in x: overlap 50.
+  const AccuracyMetrics m =
+      CompareRegions(Box(0, 0, 10, 10), Box(5, 0, 15, 10));
+  EXPECT_DOUBLE_EQ(m.overlap_area, 50.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 0.5);  // 50 spurious / 100 true
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 0.5);  // 50 missed / 100 true
+  EXPECT_NEAR(m.Jaccard(), 50.0 / 150.0, 1e-12);
+}
+
+TEST(MetricsTest, FalsePositiveRatioCanExceedOne) {
+  // Tiny truth, huge report: r_fp > 100% (the property the paper notes).
+  const AccuracyMetrics m = CompareRegions(Box(0, 0, 1, 1), Box(0, 0, 10, 10));
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 99.0);
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 0.0);
+}
+
+TEST(MetricsTest, FalseNegativeRatioNeverExceedsOne) {
+  const AccuracyMetrics m = CompareRegions(Box(0, 0, 10, 10), Region());
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 0.0);
+}
+
+TEST(MetricsTest, EmptyTruthWithEmptyReportIsPerfect) {
+  const AccuracyMetrics m = CompareRegions(Region(), Region(), 100.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.Jaccard(), 1.0);
+}
+
+TEST(MetricsTest, EmptyTruthNonEmptyReportPenalizedByDomain) {
+  const AccuracyMetrics m =
+      CompareRegions(Region(), Box(0, 0, 10, 10), 1000.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 0.1);
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 0.0);
+}
+
+TEST(MetricsTest, MultiRectRegions) {
+  Region truth;
+  truth.Add(Rect(0, 0, 2, 2));
+  truth.Add(Rect(8, 8, 10, 10));
+  Region reported;
+  reported.Add(Rect(0, 0, 2, 2));   // finds the first blob
+  reported.Add(Rect(20, 20, 22, 22));  // hallucinates a third one
+  const AccuracyMetrics m = CompareRegions(truth, reported);
+  EXPECT_DOUBLE_EQ(m.truth_area, 8.0);
+  EXPECT_DOUBLE_EQ(m.overlap_area, 4.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 0.5);
+}
+
+TEST(MetricsTest, OverlappingInputRectsDoNotInflateAreas) {
+  Region truth;
+  truth.Add(Rect(0, 0, 4, 4));
+  truth.Add(Rect(0, 0, 4, 4));  // duplicate
+  const AccuracyMetrics m = CompareRegions(truth, Box(0, 0, 4, 4));
+  EXPECT_DOUBLE_EQ(m.truth_area, 16.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_negative_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,149 @@
+#include "pdr/core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/core/oracle.h"
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+constexpr double kExtent = 200.0;
+
+FrEngine MakeEngine() {
+  return FrEngine({.extent = kExtent, .histogram_side = 20, .horizon = 30,
+                   .buffer_pages = 64, .io_ms = 10.0});
+}
+
+// A convoy of objects crossing the domain creates a moving dense region.
+std::vector<UpdateEvent> Convoy(int n, Vec2 start, Vec2 vel) {
+  std::vector<UpdateEvent> events;
+  Rng rng(71);
+  for (ObjectId id = 0; id < static_cast<ObjectId>(n); ++id) {
+    const Vec2 p{start.x + rng.Uniform(-3, 3), start.y + rng.Uniform(-3, 3)};
+    events.push_back({0, id, std::nullopt, MotionState{p, vel, 0}});
+  }
+  return events;
+}
+
+TEST(PdrMonitorTest, FirstTickReportsEverythingAsAppeared) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e : Convoy(20, {50, 100}, {0, 0})) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = 15.0 / 100.0, .l = 10.0, .lookahead = 0});
+  const auto delta = monitor.OnTick(0);
+  EXPECT_EQ(delta.now, 0);
+  EXPECT_EQ(delta.q_t, 0);
+  EXPECT_FALSE(delta.current.IsEmpty());
+  EXPECT_NEAR(delta.appeared.Area(), delta.current.Area(), 1e-9);
+  EXPECT_TRUE(delta.vanished.IsEmpty());
+  EXPECT_TRUE(delta.Changed());
+}
+
+TEST(PdrMonitorTest, StationaryWorkloadProducesNoDeltas) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e : Convoy(20, {50, 100}, {0, 0})) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = 15.0 / 100.0, .l = 10.0, .lookahead = 0});
+  (void)monitor.OnTick(0);
+  for (Tick now = 1; now <= 5; ++now) {
+    fr.AdvanceTo(now);
+    const auto delta = monitor.OnTick(now);
+    EXPECT_FALSE(delta.Changed()) << "now=" << now;
+    EXPECT_TRUE(delta.appeared.IsEmpty());
+    EXPECT_TRUE(delta.vanished.IsEmpty());
+  }
+}
+
+TEST(PdrMonitorTest, MovingConvoyAppearsAheadVanishesBehind) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e : Convoy(20, {30, 100}, {4, 0})) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = 15.0 / 100.0, .l = 10.0, .lookahead = 0});
+  auto first = monitor.OnTick(0);
+  ASSERT_FALSE(first.current.IsEmpty());
+  for (Tick now = 2; now <= 10; now += 2) {
+    fr.AdvanceTo(now);
+    const auto delta = monitor.OnTick(now);
+    EXPECT_TRUE(delta.Changed()) << "now=" << now;
+    // The region moves right: appeared lies to the right of vanished.
+    ASSERT_FALSE(delta.appeared.IsEmpty());
+    ASSERT_FALSE(delta.vanished.IsEmpty());
+    EXPECT_GT(delta.appeared.BoundingBox().x_hi,
+              delta.vanished.BoundingBox().x_hi);
+    // Deltas are consistent with the full answers:
+    // current = (previous \ vanished) + appeared.
+    EXPECT_NEAR(delta.current.Area(),
+                first.current.Area() - delta.vanished.Area() +
+                    delta.appeared.Area(),
+                1e-6);
+    first = delta;
+  }
+}
+
+TEST(PdrMonitorTest, LookaheadShiftsQueryTime) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e : Convoy(20, {30, 100}, {4, 0})) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = 15.0 / 100.0, .l = 10.0, .lookahead = 10});
+  const auto delta = monitor.OnTick(0);
+  EXPECT_EQ(delta.q_t, 10);
+  // At t=10 the convoy center is near x = 70.
+  EXPECT_TRUE(delta.current.Contains({70, 100}));
+  EXPECT_FALSE(delta.current.Contains({30, 100}));
+}
+
+TEST(PdrMonitorTest, DeltasMatchIndependentQueries) {
+  // On a realistic stream, appeared/vanished must equal the set
+  // differences of the standalone snapshot answers.
+  WorkloadConfig config;
+  config.WithExtent(kExtent);
+  config.num_objects = 900;
+  config.max_update_interval = 10;
+  config.network.grid_nodes = 8;
+  config.seed = 72;
+  TripSimulator sim(config);
+  FrEngine fr = MakeEngine();
+  Oracle oracle(kExtent);
+  const double rho = 4.0 * 900 / (kExtent * kExtent);
+  PdrMonitor monitor(&fr, {.rho = rho, .l = 20.0, .lookahead = 5});
+
+  for (const UpdateEvent& e : sim.Bootstrap()) {
+    fr.Apply(e);
+    oracle.Apply(e);
+  }
+  Region prev_truth;
+  bool has_prev = false;
+  for (Tick now = 0; now <= 12; now += 3) {
+    if (now > 0) {
+      for (Tick t = std::max<Tick>(1, now - 2); t <= now; ++t) {
+        fr.AdvanceTo(t);
+        for (const UpdateEvent& e : sim.Advance(t)) {
+          fr.Apply(e);
+          oracle.Apply(e);
+        }
+      }
+    }
+    const auto delta = monitor.OnTick(now);
+    const Region truth = oracle.DenseRegions(now + 5, rho, 20.0);
+    EXPECT_NEAR(SymmetricDifferenceArea(delta.current, truth), 0.0, 1e-6);
+    if (has_prev) {
+      EXPECT_NEAR(delta.appeared.Area(), DifferenceArea(truth, prev_truth),
+                  1e-6);
+      EXPECT_NEAR(delta.vanished.Area(), DifferenceArea(prev_truth, truth),
+                  1e-6);
+    }
+    prev_truth = truth;
+    has_prev = true;
+  }
+}
+
+TEST(PdrMonitorTest, ResetReportsFullAnswerAgain) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e : Convoy(20, {50, 100}, {0, 0})) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = 15.0 / 100.0, .l = 10.0, .lookahead = 0});
+  (void)monitor.OnTick(0);
+  monitor.Reset();
+  const auto delta = monitor.OnTick(0);
+  EXPECT_NEAR(delta.appeared.Area(), delta.current.Area(), 1e-9);
+  EXPECT_TRUE(delta.vanished.IsEmpty());
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,103 @@
+#include "pdr/mobility/object.h"
+
+#include <gtest/gtest.h>
+
+namespace pdr {
+namespace {
+
+TEST(MotionStateTest, LinearPrediction) {
+  const MotionState s{{10, 20}, {1, -2}, 5};
+  EXPECT_EQ(s.PositionAt(Tick{5}), Vec2(10, 20));
+  EXPECT_EQ(s.PositionAt(Tick{8}), Vec2(13, 14));
+  EXPECT_EQ(s.PositionAt(7.5), Vec2(12.5, 15));
+}
+
+TEST(MotionStateTest, RebasePreservesTrajectory) {
+  const MotionState s{{10, 20}, {1, -2}, 5};
+  const MotionState r = s.RebasedTo(9);
+  EXPECT_EQ(r.t_ref, 9);
+  for (Tick t = 9; t < 20; ++t) {
+    EXPECT_EQ(r.PositionAt(t), s.PositionAt(t));
+  }
+}
+
+TEST(MotionStateTest, StationaryObject) {
+  const MotionState s{{3, 4}, {0, 0}, 0};
+  EXPECT_EQ(s.PositionAt(Tick{1000}), Vec2(3, 4));
+}
+
+TEST(UpdateEventTest, KindPredicates) {
+  const MotionState s{{0, 0}, {0, 0}, 0};
+  UpdateEvent insert{0, 1, std::nullopt, s};
+  EXPECT_TRUE(insert.IsInsert());
+  EXPECT_FALSE(insert.IsDelete());
+  EXPECT_FALSE(insert.IsModify());
+
+  UpdateEvent del{3, 1, s, std::nullopt};
+  EXPECT_TRUE(del.IsDelete());
+  EXPECT_FALSE(del.IsInsert());
+
+  UpdateEvent modify{3, 1, s, s.RebasedTo(3)};
+  EXPECT_TRUE(modify.IsModify());
+  EXPECT_FALSE(modify.IsInsert());
+  EXPECT_FALSE(modify.IsDelete());
+}
+
+TEST(ObjectTableTest, InsertFindDelete) {
+  ObjectTable table;
+  const MotionState s{{1, 2}, {3, 4}, 0};
+  table.Apply({0, 7, std::nullopt, s});
+  EXPECT_EQ(table.size(), 1u);
+  ASSERT_NE(table.Find(7), nullptr);
+  EXPECT_EQ(*table.Find(7), s);
+  EXPECT_EQ(table.Find(3), nullptr);
+
+  table.Apply({5, 7, s, std::nullopt});
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find(7), nullptr);
+}
+
+TEST(ObjectTableTest, ModifyReplacesState) {
+  ObjectTable table;
+  const MotionState s0{{1, 2}, {3, 4}, 0};
+  const MotionState s1{{9, 9}, {0, 0}, 4};
+  table.Apply({0, 2, std::nullopt, s0});
+  table.Apply({4, 2, s0, s1});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.Find(2), s1);
+}
+
+TEST(ObjectTableTest, PositionsAtPredicts) {
+  ObjectTable table;
+  table.Apply({0, 0, std::nullopt, MotionState{{0, 0}, {1, 0}, 0}});
+  table.Apply({0, 1, std::nullopt, MotionState{{10, 10}, {0, 2}, 0}});
+  const auto positions = table.PositionsAt(5);
+  ASSERT_EQ(positions.size(), 2u);
+  // Order is by id.
+  EXPECT_EQ(positions[0], Vec2(5, 0));
+  EXPECT_EQ(positions[1], Vec2(10, 20));
+}
+
+TEST(ObjectTableTest, LiveObjectsSkipsDeleted) {
+  ObjectTable table;
+  const MotionState s{{0, 0}, {0, 0}, 0};
+  table.Apply({0, 0, std::nullopt, s});
+  table.Apply({0, 1, std::nullopt, s});
+  table.Apply({0, 2, std::nullopt, s});
+  table.Apply({1, 1, s, std::nullopt});
+  const auto live = table.LiveObjects();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].first, 0u);
+  EXPECT_EQ(live[1].first, 2u);
+}
+
+TEST(ObjectTableTest, SparseIdsSupported) {
+  ObjectTable table;
+  const MotionState s{{0, 0}, {0, 0}, 0};
+  table.Apply({0, 1000, std::nullopt, s});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_NE(table.Find(1000), nullptr);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,98 @@
+#include "pdr/core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/common/random.h"
+#include "pdr/mobility/generator.h"
+
+namespace pdr {
+namespace {
+
+UpdateEvent InsertAt(ObjectId id, double x, double y, double vx = 0,
+                     double vy = 0, Tick t = 0) {
+  return {t, id, std::nullopt, MotionState{{x, y}, {vx, vy}, t}};
+}
+
+TEST(OracleTest, CountInSquareEdgeSemantics) {
+  Oracle oracle(100.0);
+  oracle.Apply(InsertAt(0, 50, 50));
+  // Right/top edges included, left/bottom excluded (Definition 1).
+  EXPECT_EQ(oracle.CountInSquare(0, {45, 50}, 10.0), 1);  // obj on right edge
+  EXPECT_EQ(oracle.CountInSquare(0, {55, 50}, 10.0), 0);  // obj on left edge
+  EXPECT_EQ(oracle.CountInSquare(0, {50, 45}, 10.0), 1);  // obj on top edge
+  EXPECT_EQ(oracle.CountInSquare(0, {50, 55}, 10.0), 0);  // obj on bottom
+  EXPECT_EQ(oracle.CountInSquare(0, {50, 50}, 10.0), 1);  // centered
+}
+
+TEST(OracleTest, PredictsMotion) {
+  Oracle oracle(100.0);
+  oracle.Apply(InsertAt(0, 10, 10, 2, 1));
+  EXPECT_EQ(oracle.CountInSquare(5, {20, 15}, 4.0), 1);
+  EXPECT_EQ(oracle.CountInSquare(5, {10, 10}, 4.0), 0);
+  EXPECT_DOUBLE_EQ(oracle.PointDensity(5, {20, 15}, 4.0), 1.0 / 16.0);
+}
+
+TEST(OracleTest, OutOfDomainPredictionsExcluded) {
+  Oracle oracle(100.0);
+  oracle.Apply(InsertAt(0, 95, 50, 2, 0));  // exits right edge after t=2
+  EXPECT_EQ(oracle.InDomainPositions(0).size(), 1u);
+  EXPECT_EQ(oracle.InDomainPositions(2).size(), 1u);  // x = 99
+  EXPECT_EQ(oracle.InDomainPositions(3).size(), 0u);  // x = 101
+  EXPECT_EQ(oracle.CountInSquare(3, {99, 50}, 10.0), 0);
+}
+
+TEST(OracleTest, DenseRegionsEmptyWhenSparse) {
+  Oracle oracle(100.0);
+  oracle.Apply(InsertAt(0, 20, 20));
+  oracle.Apply(InsertAt(1, 80, 80));
+  EXPECT_TRUE(oracle.DenseRegions(0, 2.0 / 25.0, 5.0).IsEmpty());
+}
+
+TEST(OracleTest, DenseRegionsMatchPointwiseChecks) {
+  Oracle oracle(100.0);
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(600, 2, 100.0, 4.0, 0.2, 61)) {
+    oracle.Apply(e);
+  }
+  const double l = 8.0;
+  const double rho = 5.0 / (l * l);
+  const Region region = oracle.DenseRegions(0, rho, l);
+  Rng rng(62);
+  for (int i = 0; i < 600; ++i) {
+    const Vec2 p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    EXPECT_EQ(region.Contains(p), oracle.PointDensity(0, p, l) >= rho)
+        << p.ToString();
+  }
+}
+
+TEST(OracleTest, IntervalQueryIsUnionOverTicks) {
+  Oracle oracle(100.0);
+  // A convoy crossing the domain: each snapshot is dense somewhere else.
+  for (ObjectId id = 0; id < 6; ++id) {
+    oracle.Apply(InsertAt(id, 10.0 + 0.2 * id, 50.0, 5.0, 0.0));
+  }
+  const double l = 5.0;
+  const double rho = 6.0 / (l * l);
+  const Region interval = oracle.DenseRegionsInterval(0, 10, rho, l);
+  for (Tick t = 0; t <= 10; ++t) {
+    const Region snap = oracle.DenseRegions(t, rho, l);
+    EXPECT_NEAR(IntersectionArea(interval, snap), snap.Area(), 1e-9)
+        << "t=" << t;
+  }
+  // And it is strictly larger than any single snapshot.
+  EXPECT_GT(interval.Area(), oracle.DenseRegions(0, rho, l).Area());
+}
+
+TEST(OracleTest, DeleteShrinksCounts) {
+  Oracle oracle(100.0);
+  const MotionState s{{50, 50}, {0, 0}, 0};
+  oracle.Apply({0, 0, std::nullopt, s});
+  oracle.Apply({0, 1, std::nullopt, s});
+  EXPECT_EQ(oracle.CountInSquare(0, {50, 50}, 4.0), 2);
+  oracle.Apply({0, 1, s, std::nullopt});
+  EXPECT_EQ(oracle.CountInSquare(0, {50, 50}, 4.0), 1);
+  EXPECT_EQ(oracle.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,63 @@
+#include "pdr/core/paper_config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pdr {
+namespace {
+
+TEST(PaperConfigTest, HorizonIsUPlusW) {
+  PaperConfig config;
+  EXPECT_EQ(config.horizon(), 120);
+  config.max_update_interval = 45;
+  config.prediction_window = 15;
+  EXPECT_EQ(config.horizon(), 60);
+}
+
+TEST(PaperConfigTest, RhoFormulaMatchesPaper) {
+  // rho = N * varrho / 10^6 (Section 7): CH500K at varrho in {1..5} spans
+  // 0.5 .. 2.5, the range the paper quotes.
+  PaperConfig config;
+  EXPECT_DOUBLE_EQ(config.RhoFor(500'000, 1), 0.5);
+  EXPECT_DOUBLE_EQ(config.RhoFor(500'000, 5), 2.5);
+  EXPECT_DOUBLE_EQ(config.RhoFor(100'000, 2), 0.2);
+}
+
+TEST(PaperConfigTest, BufferPagesTenPercentOfDataset) {
+  PaperConfig config;
+  // 100K objects * 40 B = 4 MB; 10% = 400 KB = ~97 pages of 4 KB.
+  EXPECT_EQ(config.BufferPagesFor(100'000), 97u);
+  // Tiny datasets clamp to the minimum.
+  EXPECT_EQ(config.BufferPagesFor(100), 16u);
+}
+
+TEST(PaperConfigTest, MemoryBudgetsMatchPaperQuotes) {
+  // The paper quotes ~2.4 MB for the default histogram and ~1.0 MB for
+  // the default polynomial model; our reconstruction must reproduce both.
+  PaperConfig config;
+  const double dh_mb = 10000.0 * (config.horizon() + 1) * 2 / 1e6;
+  EXPECT_NEAR(dh_mb, 2.42, 0.01);
+  const double pa_mb = 100.0 * 21 * (config.horizon() + 1) * 4 / 1e6;
+  EXPECT_NEAR(pa_mb, 1.02, 0.01);
+}
+
+TEST(PaperConfigTest, ToStringMentionsKeyValues) {
+  const std::string s = PaperConfig().ToString();
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_NE(s.find("120"), std::string::npos);
+  EXPECT_NE(s.find("10 ms"), std::string::npos);
+}
+
+TEST(PaperConfigTest, BenchScaleFromEnv) {
+  unsetenv("PDR_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 0.1);
+  setenv("PDR_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 0.5);
+  setenv("PDR_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 0.1);
+  unsetenv("PDR_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace pdr

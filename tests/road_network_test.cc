@@ -1,0 +1,156 @@
+#include "pdr/mobility/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdr {
+namespace {
+
+RoadNetworkConfig SmallConfig() {
+  RoadNetworkConfig config;
+  config.extent = 100.0;
+  config.grid_nodes = 8;
+  config.num_hotspots = 4;
+  config.seed = 11;
+  return config;
+}
+
+TEST(RoadNetworkTest, NodeCountAndBounds) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  EXPECT_EQ(net.node_count(), 64);
+  for (int i = 0; i < net.node_count(); ++i) {
+    const Vec2 p = net.node(i);
+    EXPECT_GE(p.x, 0);
+    EXPECT_LE(p.x, 100);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LE(p.y, 100);
+  }
+}
+
+TEST(RoadNetworkTest, GridConnectivityDegrees) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  // Interior nodes have 4 neighbors, corners 2, edges 3.
+  int degree2 = 0, degree3 = 0, degree4 = 0;
+  for (int i = 0; i < net.node_count(); ++i) {
+    const size_t degree = net.edges_from(i).size();
+    if (degree == 2) ++degree2;
+    if (degree == 3) ++degree3;
+    if (degree == 4) ++degree4;
+  }
+  EXPECT_EQ(degree2, 4);       // corners
+  EXPECT_EQ(degree3, 4 * 6);   // non-corner boundary
+  EXPECT_EQ(degree4, 6 * 6);   // interior
+}
+
+TEST(RoadNetworkTest, EdgesAreBidirectionalWithEqualLength) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  for (int i = 0; i < net.node_count(); ++i) {
+    for (const RoadEdge& e : net.edges_from(i)) {
+      EXPECT_TRUE(net.HasEdge(e.to, i));
+      EXPECT_NEAR(e.length, net.node(i).DistanceTo(net.node(e.to)), 1e-9);
+      EXPECT_GT(e.length, 0);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, ContainsAllRoadClasses) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  bool has_street = false, has_arterial = false, has_highway = false;
+  for (int i = 0; i < net.node_count(); ++i) {
+    for (const RoadEdge& e : net.edges_from(i)) {
+      has_street |= e.road_class == RoadClass::kStreet;
+      has_arterial |= e.road_class == RoadClass::kArterial;
+      has_highway |= e.road_class == RoadClass::kHighway;
+    }
+  }
+  EXPECT_TRUE(has_street);
+  EXPECT_TRUE(has_arterial);
+  EXPECT_TRUE(has_highway);
+}
+
+TEST(RoadNetworkTest, SpeedRangesSpanPaperInterval) {
+  const auto [street_lo, street_hi] =
+      RoadNetwork::SpeedRangeMilesPerTick(RoadClass::kStreet);
+  const auto [hwy_lo, hwy_hi] =
+      RoadNetwork::SpeedRangeMilesPerTick(RoadClass::kHighway);
+  EXPECT_NEAR(street_lo, 25.0 / 60.0, 1e-12);  // 25 mph
+  EXPECT_NEAR(hwy_hi, 100.0 / 60.0, 1e-12);    // 100 mph
+  EXPECT_LT(street_hi, hwy_lo + 0.5);
+  const auto [art_lo, art_hi] =
+      RoadNetwork::SpeedRangeMilesPerTick(RoadClass::kArterial);
+  EXPECT_GT(art_lo, street_lo);
+  EXPECT_LT(art_hi, hwy_hi);
+}
+
+TEST(RoadNetworkTest, NearestNodeMatchesBruteForce) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  Rng rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Vec2 p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    int best = 0;
+    double best_d2 = (net.node(0) - p).Norm2();
+    for (int i = 1; i < net.node_count(); ++i) {
+      const double d2 = (net.node(i) - p).Norm2();
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    const int got = net.NearestNode(p);
+    EXPECT_NEAR((net.node(got) - p).Norm2(), best_d2, 1e-9);
+  }
+}
+
+TEST(RoadNetworkTest, HotspotsConfigured) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  ASSERT_EQ(net.hotspots().size(), 4u);
+  for (const Hotspot& h : net.hotspots()) {
+    EXPECT_GT(h.radius, 0);
+    EXPECT_GT(h.weight, 0);
+    EXPECT_GE(h.center.x, 0);
+    EXPECT_LE(h.center.x, 100);
+  }
+  // Zipf weights decrease with rank.
+  EXPECT_GT(net.hotspots()[0].weight, net.hotspots()[3].weight);
+}
+
+TEST(RoadNetworkTest, SampleEndpointBiasTowardHotspots) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  Rng rng(13);
+  // With full bias, sampled endpoints should concentrate near hotspots.
+  int near_hotspot = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p = net.node(net.SampleEndpoint(rng, 1.0));
+    for (const Hotspot& h : net.hotspots()) {
+      if (p.DistanceTo(h.center) < 4 * h.radius + 20.0) {
+        ++near_hotspot;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near_hotspot, n / 2);
+}
+
+TEST(RoadNetworkTest, SampleEndpointZeroBiasCoversNetwork) {
+  const RoadNetwork net = RoadNetwork::SyntheticMetro(SmallConfig());
+  Rng rng(14);
+  std::vector<int> hits(net.node_count(), 0);
+  for (int i = 0; i < 20000; ++i) ++hits[net.SampleEndpoint(rng, 0.0)];
+  int covered = 0;
+  for (int h : hits) covered += h > 0;
+  EXPECT_GT(covered, net.node_count() * 9 / 10);
+}
+
+TEST(RoadNetworkTest, DeterministicForSeed) {
+  const RoadNetwork a = RoadNetwork::SyntheticMetro(SmallConfig());
+  const RoadNetwork b = RoadNetwork::SyntheticMetro(SmallConfig());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (int i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.node(i), b.node(i));
+  }
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,100 @@
+#include "pdr/core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/core/oracle.h"
+#include "pdr/histogram/density_histogram.h"
+
+namespace pdr {
+namespace {
+
+WorkloadConfig SmallWorkload() {
+  WorkloadConfig config;
+  config.WithExtent(100.0);
+  config.num_objects = 300;
+  config.max_update_interval = 10;
+  config.network.grid_nodes = 6;
+  config.seed = 81;
+  return config;
+}
+
+// A sink that records what it saw, to verify replay ordering.
+class RecordingSink final : public UpdateSink {
+ public:
+  void AdvanceTo(Tick now) override {
+    EXPECT_GE(now, now_);
+    now_ = now;
+    ++advances;
+  }
+  void Apply(const UpdateEvent& update) override {
+    EXPECT_EQ(update.tick, now_) << "updates must arrive at their tick";
+    ++applied;
+  }
+
+  Tick now_ = 0;
+  int advances = 0;
+  size_t applied = 0;
+};
+
+TEST(ReplayTest, DeliversEveryUpdateInTickOrder) {
+  const Dataset ds = GenerateDataset(SmallWorkload(), 12);
+  RecordingSink sink;
+  const auto timings = Replay(ds, {&sink});
+  EXPECT_EQ(sink.applied, ds.TotalUpdates());
+  EXPECT_EQ(sink.advances, 13);
+  EXPECT_EQ(sink.now_, 12);
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_EQ(timings[0].updates, ds.TotalUpdates());
+  EXPECT_GT(timings[0].total_ms, 0.0);
+}
+
+TEST(ReplayTest, UptoStopsEarly) {
+  const Dataset ds = GenerateDataset(SmallWorkload(), 12);
+  RecordingSink sink;
+  Replay(ds, {&sink}, /*upto=*/5);
+  EXPECT_EQ(sink.now_, 5);
+  size_t expected = 0;
+  for (Tick t = 0; t <= 5; ++t) expected += ds.ticks[t].size();
+  EXPECT_EQ(sink.applied, expected);
+}
+
+TEST(ReplayTest, UptoBeyondDurationIsClamped) {
+  const Dataset ds = GenerateDataset(SmallWorkload(), 8);
+  RecordingSink sink;
+  Replay(ds, {&sink}, /*upto=*/100);
+  EXPECT_EQ(sink.now_, 8);
+}
+
+TEST(ReplayTest, MultipleSinksSeeIdenticalStreams) {
+  const Dataset ds = GenerateDataset(SmallWorkload(), 10);
+  RecordingSink a, b, c;
+  const auto timings = Replay(ds, {&a, &b, &c});
+  EXPECT_EQ(a.applied, b.applied);
+  EXPECT_EQ(b.applied, c.applied);
+  EXPECT_EQ(timings.size(), 3u);
+  for (const SinkTiming& t : timings) {
+    EXPECT_EQ(t.updates, ds.TotalUpdates());
+  }
+}
+
+TEST(ReplayIntoTest, AdaptsConcreteEngines) {
+  const Dataset ds = GenerateDataset(SmallWorkload(), 10);
+  Oracle oracle(100.0);
+  DensityHistogram dh({100.0, 10, 15});
+  const auto timings = ReplayInto(ds, -1, &oracle, &dh);
+  ASSERT_EQ(timings.size(), 2u);
+  EXPECT_EQ(oracle.size(), 300u);
+  EXPECT_EQ(dh.TotalAt(10),
+            static_cast<int64_t>(oracle.InDomainPositions(10).size()));
+}
+
+TEST(SinkTimingTest, PerUpdateMath) {
+  SinkTiming t{10.0, 4000};
+  EXPECT_DOUBLE_EQ(t.MsPerUpdate(), 0.0025);
+  EXPECT_DOUBLE_EQ(t.UsPerUpdate(), 2.5);
+  SinkTiming empty;
+  EXPECT_DOUBLE_EQ(empty.MsPerUpdate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,98 @@
+#include "pdr/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pdr {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.min(), 0);
+  EXPECT_DOUBLE_EQ(s.max(), 0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0);
+}
+
+TEST(RunningStatTest, KnownValues) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, SingleValueHasZeroVariance) {
+  RunningStat s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombinedStream) {
+  RunningStat all, first, second;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37 - 3.0;
+    all.Add(v);
+    (i < 40 ? first : second).Add(v);
+  }
+  first.Merge(second);
+  EXPECT_EQ(first.count(), all.count());
+  EXPECT_NEAR(first.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(first.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(first.min(), all.min());
+  EXPECT_DOUBLE_EQ(first.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatTest, ToStringSmoke) {
+  RunningStat s;
+  s.Add(1);
+  EXPECT_NE(s.ToString().find("n=1"), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 10.0);
+  EXPECT_LT(ms, 5000.0);
+  EXPECT_NEAR(t.ElapsedSeconds() * 1000.0, t.ElapsedMillis(), 5.0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 10.0);
+}
+
+TEST(CostBreakdownTest, TotalAndAccumulate) {
+  CostBreakdown a{1.5, 3, 30.0};
+  EXPECT_DOUBLE_EQ(a.TotalMs(), 31.5);
+  CostBreakdown b{0.5, 1, 10.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cpu_ms, 2.0);
+  EXPECT_EQ(a.io_reads, 4);
+  EXPECT_DOUBLE_EQ(a.io_ms, 40.0);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -1,0 +1,253 @@
+#include "pdr/sweep/plane_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/common/random.h"
+#include "pdr/common/region.h"
+#include "pdr/histogram/filter.h"
+
+namespace pdr {
+namespace {
+
+int64_t BruteCount(const std::vector<Vec2>& positions, Vec2 center,
+                   double l) {
+  const Rect square = Rect::CenteredSquare(center, l);
+  int64_t count = 0;
+  for (const Vec2& p : positions) count += square.ContainsLSquare(p);
+  return count;
+}
+
+TEST(SweepYTest, SingleObjectSegment) {
+  // One object at y=5; l=2: centers with 4 < y <= ... in-band iff
+  // y-1 < 5 <= y+1 iff 4 <= y < 6.
+  const auto segments = SweepY({5.0}, 0.0, 10.0, 2.0, 1);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].first, 4.0);
+  EXPECT_DOUBLE_EQ(segments[0].second, 6.0);
+}
+
+TEST(SweepYTest, ThresholdTwoNeedsOverlap) {
+  // Objects at y=5 and y=6.5 with l=2: both cover iff y in [5.5, 6).
+  const auto segments = SweepY({5.0, 6.5}, 0.0, 10.0, 2.0, 2);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].first, 5.5);
+  EXPECT_DOUBLE_EQ(segments[0].second, 6.0);
+}
+
+TEST(SweepYTest, AdjacentSegmentsMerge) {
+  // Two objects close enough that their dense windows touch: one segment.
+  const auto segments = SweepY({5.0, 5.5}, 0.0, 10.0, 2.0, 1);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].first, 4.0);
+  EXPECT_DOUBLE_EQ(segments[0].second, 6.5);
+}
+
+TEST(SweepYTest, DisjointSegments) {
+  const auto segments = SweepY({2.0, 8.0}, 0.0, 10.0, 2.0, 1);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(segments[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(segments[1].first, 7.0);
+  EXPECT_DOUBLE_EQ(segments[1].second, 9.0);
+}
+
+TEST(SweepYTest, ClipsToBand) {
+  const auto segments = SweepY({0.5}, 0.0, 10.0, 2.0, 1);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].first, 0.0);  // clipped at y_b
+  EXPECT_DOUBLE_EQ(segments[0].second, 1.5);
+}
+
+TEST(SweepYTest, EmptyWhenBelowThreshold) {
+  EXPECT_TRUE(SweepY({5.0}, 0.0, 10.0, 2.0, 2).empty());
+  EXPECT_TRUE(SweepY({}, 0.0, 10.0, 2.0, 1).empty());
+}
+
+TEST(SweepCellTest, PaperExampleSingleSquare) {
+  // Four objects at the corners of a unit square; l=1, threshold 4:
+  // only the center of that square sees all four... with the half-open
+  // semantics the dense point set is {(x,y): x in [x_max-0.5... } — check
+  // via membership against brute force below; here check non-emptiness
+  // and exact count at the centroid.
+  const std::vector<Vec2> objs = {{4.6, 4.6}, {5.4, 4.6}, {4.6, 5.4},
+                                  {5.4, 5.4}};
+  const Rect cell(0, 0, 10, 10);
+  const auto rects = SweepCell(cell, objs, 1.0, 4);
+  ASSERT_FALSE(rects.empty());
+  const Region region{rects};
+  EXPECT_TRUE(region.Contains({5.0, 5.0}));
+  EXPECT_EQ(BruteCount(objs, {5.0, 5.0}, 1.0), 4);
+}
+
+TEST(SweepCellTest, ZeroThresholdReturnsWholeCell) {
+  const Rect cell(2, 3, 7, 9);
+  const auto rects = SweepCell(cell, {}, 1.0, 0);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], cell);
+}
+
+TEST(SweepCellTest, EmptyWhenNotEnoughObjects) {
+  const Rect cell(0, 0, 10, 10);
+  EXPECT_TRUE(SweepCell(cell, {{5, 5}}, 2.0, 2).empty());
+  EXPECT_TRUE(SweepCell(cell, {}, 2.0, 1).empty());
+}
+
+TEST(SweepCellTest, OutputClippedToCell) {
+  const Rect cell(0, 0, 4, 4);
+  // Dense cluster just outside the right edge whose squares reach inside.
+  const std::vector<Vec2> objs = {{4.2, 2.0}, {4.3, 2.1}, {4.4, 1.9}};
+  const auto rects = SweepCell(cell, objs, 2.0, 2);
+  for (const Rect& r : rects) {
+    EXPECT_TRUE(cell.Contains(r)) << r;
+  }
+}
+
+TEST(SweepCellTest, EdgeSemanticsHalfOpen) {
+  // Object exactly at distance l/2 left of center: center's square
+  // excludes its left edge, so the object at x = c - l/2 is OUT; the
+  // object at x = c + l/2 (right edge) is IN.
+  const Rect cell(0, 0, 10, 10);
+  const double l = 2.0;
+  {
+    // Single object at (5,5). Center x = 4 puts the object on the right
+    // edge of the square (included); x = 6 puts it on the left (excluded).
+    const auto rects = SweepCell(cell, {{5, 5}}, l, 1);
+    const Region region{rects};
+    EXPECT_TRUE(region.Contains({4.0, 5.0}));    // obj on right/top edge: in
+    EXPECT_FALSE(region.Contains({6.0, 5.0}));   // obj on left edge: out
+    EXPECT_TRUE(region.Contains({5.999, 5.0}));  // just inside
+  }
+}
+
+TEST(SweepCellTest, DuplicatePositionsCount) {
+  const Rect cell(0, 0, 10, 10);
+  const std::vector<Vec2> objs = {{5, 5}, {5, 5}, {5, 5}};
+  const Region region{SweepCell(cell, objs, 2.0, 3)};
+  EXPECT_TRUE(region.Contains({5, 5}));
+  EXPECT_TRUE(SweepCell(cell, objs, 2.0, 4).empty());
+}
+
+TEST(SweepCellTest, StatsCountWork) {
+  SweepStats stats;
+  const std::vector<Vec2> objs = {{2, 2}, {2.5, 2.5}, {7, 7}};
+  (void)SweepCell(Rect(0, 0, 10, 10), objs, 2.0, 1, &stats);
+  EXPECT_GT(stats.x_strips, 0);
+  EXPECT_GT(stats.y_sweeps, 0);
+  EXPECT_GT(stats.dense_rects, 0);
+}
+
+// The definitive property: membership in the swept region coincides with
+// the pointwise density definition at random probes (Definitions 2-3).
+class SweepPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SweepPropertyTest, RegionMatchesPointwiseDefinition) {
+  const auto [n_objs, l, n_min] = GetParam();
+  Rng rng(static_cast<uint64_t>(n_objs * 1000 + n_min) ^
+          static_cast<uint64_t>(l * 7));
+  const Rect cell(0, 0, 20, 20);
+  std::vector<Vec2> objs;
+  objs.reserve(n_objs);
+  for (int i = 0; i < n_objs; ++i) {
+    // Positions inside the expanded window, clustered to make density
+    // plausible.
+    objs.push_back({rng.Uniform(-l, 20 + l), rng.Uniform(-l, 20 + l)});
+  }
+  const Region region{SweepCell(cell, objs, l, n_min)};
+  for (int probe = 0; probe < 800; ++probe) {
+    const Vec2 p{rng.Uniform(0, 20), rng.Uniform(0, 20)};
+    const bool dense = BruteCount(objs, p, l) >= n_min;
+    EXPECT_EQ(region.Contains(p), dense)
+        << "p=" << p.ToString() << " l=" << l << " n_min=" << n_min;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SweepPropertyTest,
+    ::testing::Combine(::testing::Values(10, 60, 250),
+                       ::testing::Values(1.5, 4.0, 9.0),
+                       ::testing::Values(1, 3, 8)));
+
+// Regression property for the event-exactness contract: sweeping the
+// whole domain at once and sweeping it cell by cell (each cell given only
+// the positions inside its expanded window, as the FR engine does) must
+// produce the *identical* point set — including at strips that start at
+// cell boundaries rather than object events. A historical bug (counting
+// with re-derived window bounds instead of the event coordinates) made
+// the two disagree by slivers at exit events.
+TEST(SweepPropertyTest, CellDecompositionInvariant) {
+  Rng rng(303);
+  const double extent = 60.0;
+  for (double l : {7.0, 13.0}) {
+    for (int iter = 0; iter < 3; ++iter) {
+      std::vector<Vec2> positions;
+      for (int i = 0; i < 250; ++i) {
+        positions.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent)});
+      }
+      const int64_t n_min = 4;
+      const Region whole{
+          SweepCell(Rect(0, 0, extent, extent), positions, l, n_min)};
+
+      Region assembled;
+      const Grid grid(extent, 4);
+      for (int cell = 0; cell < grid.cell_count(); ++cell) {
+        const Rect cell_rect = grid.CellRect(cell);
+        const Rect window = cell_rect.Expanded(l / 2);
+        std::vector<Vec2> local;
+        for (const Vec2& p : positions) {
+          if (window.ContainsClosed(p)) local.push_back(p);
+        }
+        for (const Rect& r : SweepCell(cell_rect, local, l, n_min)) {
+          assembled.Add(r);
+        }
+      }
+      EXPECT_NEAR(SymmetricDifferenceArea(whole, assembled), 0.0, 1e-9)
+          << "l=" << l << " iter=" << iter;
+      for (int probe = 0; probe < 400; ++probe) {
+        const Vec2 p{rng.Uniform(0, extent), rng.Uniform(0, extent)};
+        EXPECT_EQ(whole.Contains(p), assembled.Contains(p)) << p;
+      }
+    }
+  }
+}
+
+TEST(SweepCellTest, NeighborhoodLargerThanCell) {
+  // l wider than the cell itself: the band always spans the whole cell.
+  const Rect cell(10, 10, 12, 12);
+  std::vector<Vec2> objs;
+  Rng rng(304);
+  for (int i = 0; i < 60; ++i) {
+    objs.push_back({rng.Uniform(0, 25), rng.Uniform(0, 25)});
+  }
+  const double l = 8.0;  // 4x the cell edge
+  const Region region{SweepCell(cell, objs, l, 10)};
+  for (int probe = 0; probe < 300; ++probe) {
+    const Vec2 p{rng.Uniform(10, 12), rng.Uniform(10, 12)};
+    int64_t count = 0;
+    const Rect square = Rect::CenteredSquare(p, l);
+    for (const Vec2& o : objs) count += square.ContainsLSquare(o);
+    EXPECT_EQ(region.Contains(p), count >= 10) << p;
+  }
+}
+
+// Events exactly on cell boundaries and coincident coordinates.
+TEST(SweepCellTest, CoincidentEventCoordinates) {
+  const Rect cell(0, 0, 10, 10);
+  // Objects aligned so that entry/exit events coincide.
+  const std::vector<Vec2> objs = {{3, 3}, {5, 3}, {7, 3}, {3, 5}, {5, 5}};
+  const double l = 2.0;
+  const Region region{SweepCell(cell, objs, l, 2)};
+  Rng rng(8);
+  for (int probe = 0; probe < 500; ++probe) {
+    const Vec2 p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    EXPECT_EQ(region.Contains(p), BruteCount(objs, p, l) >= 2);
+  }
+  // Probe exactly at event-aligned points.
+  for (const Vec2 p : {Vec2{4.0, 3.0}, Vec2{4.0, 4.0}, Vec2{2.0, 2.0},
+                       Vec2{6.0, 4.0}}) {
+    EXPECT_EQ(region.Contains(p), BruteCount(objs, p, l) >= 2) << p;
+  }
+}
+
+}  // namespace
+}  // namespace pdr

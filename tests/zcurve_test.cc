@@ -1,0 +1,132 @@
+#include "pdr/bx/zcurve.h"
+
+#include <gtest/gtest.h>
+
+#include "pdr/common/random.h"
+
+namespace pdr {
+namespace {
+
+TEST(ZEncodeTest, SmallValues) {
+  EXPECT_EQ(ZEncode(0, 0), 0u);
+  EXPECT_EQ(ZEncode(1, 0), 1u);  // x occupies even (low) bit positions
+  EXPECT_EQ(ZEncode(0, 1), 2u);
+  EXPECT_EQ(ZEncode(1, 1), 3u);
+  EXPECT_EQ(ZEncode(2, 0), 4u);
+  EXPECT_EQ(ZEncode(3, 3), 15u);
+}
+
+TEST(ZEncodeTest, RoundTrip) {
+  Rng rng(91);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.UniformInt(0, kZMaxCoord));
+    const uint32_t y = static_cast<uint32_t>(rng.UniformInt(0, kZMaxCoord));
+    uint32_t rx, ry;
+    ZDecode(ZEncode(x, y), &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+}
+
+TEST(ZEncodeTest, MaxCoordinate) {
+  const uint64_t z = ZEncode(kZMaxCoord, kZMaxCoord);
+  EXPECT_EQ(z, (1ull << (2 * kZBits)) - 1);
+}
+
+TEST(ZEncodeTest, QuadrantsAreContiguous) {
+  // An aligned 2^k x 2^k square covers exactly 4^k consecutive z values.
+  for (uint32_t size : {2u, 4u, 8u, 64u}) {
+    const uint32_t x0 = size * 3, y0 = size * 5;  // aligned origin
+    const uint64_t z0 = ZEncode(x0, y0);
+    uint64_t max_z = z0;
+    uint64_t min_z = z0;
+    for (uint32_t dy = 0; dy < size; ++dy) {
+      for (uint32_t dx = 0; dx < size; ++dx) {
+        const uint64_t z = ZEncode(x0 + dx, y0 + dy);
+        min_z = std::min(min_z, z);
+        max_z = std::max(max_z, z);
+      }
+    }
+    EXPECT_EQ(min_z, z0);
+    EXPECT_EQ(max_z - min_z + 1, static_cast<uint64_t>(size) * size);
+  }
+}
+
+TEST(ZDecomposeTest, SingleCell) {
+  const auto intervals = ZDecomposeWindow(5, 9, 5, 9);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].lo, ZEncode(5, 9));
+  EXPECT_EQ(intervals[0].hi, ZEncode(5, 9));
+}
+
+TEST(ZDecomposeTest, AlignedSquareIsOneInterval) {
+  const auto intervals = ZDecomposeWindow(8, 8, 15, 15);  // aligned 8x8
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].hi - intervals[0].lo + 1, 64u);
+}
+
+TEST(ZDecomposeTest, IntervalsAreSortedAndDisjoint) {
+  const auto intervals = ZDecomposeWindow(3, 7, 40, 29, 1 << 20);
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_GT(intervals[i].lo, intervals[i - 1].hi + 1)
+        << "intervals must be sorted with gaps (else they would merge)";
+  }
+}
+
+TEST(ZDecomposeTest, ExactCoverageWithoutBudget) {
+  // With an unbounded budget, the union of intervals is exactly the
+  // window's cells.
+  Rng rng(92);
+  for (int iter = 0; iter < 10; ++iter) {
+    const uint32_t x_lo = static_cast<uint32_t>(rng.UniformInt(0, 50));
+    const uint32_t y_lo = static_cast<uint32_t>(rng.UniformInt(0, 50));
+    const uint32_t x_hi = x_lo + static_cast<uint32_t>(rng.UniformInt(0, 20));
+    const uint32_t y_hi = y_lo + static_cast<uint32_t>(rng.UniformInt(0, 20));
+    const auto intervals =
+        ZDecomposeWindow(x_lo, y_lo, x_hi, y_hi, 1 << 20);
+    uint64_t covered = 0;
+    for (const ZInterval& iv : intervals) covered += iv.hi - iv.lo + 1;
+    const uint64_t expected = static_cast<uint64_t>(x_hi - x_lo + 1) *
+                              (y_hi - y_lo + 1);
+    EXPECT_EQ(covered, expected);
+    // Every covered z maps back into the window.
+    for (const ZInterval& iv : intervals) {
+      for (uint64_t z = iv.lo; z <= iv.hi; ++z) {
+        uint32_t x, y;
+        ZDecode(z, &x, &y);
+        EXPECT_GE(x, x_lo);
+        EXPECT_LE(x, x_hi);
+        EXPECT_GE(y, y_lo);
+        EXPECT_LE(y, y_hi);
+      }
+    }
+  }
+}
+
+TEST(ZDecomposeTest, BudgetedDecompositionIsSuperset) {
+  // With a small budget, intervals may cover extra cells but never miss
+  // a window cell.
+  const uint32_t x_lo = 3, y_lo = 5, x_hi = 77, y_hi = 60;
+  const auto intervals = ZDecomposeWindow(x_lo, y_lo, x_hi, y_hi, 8);
+  const auto covered = [&](uint64_t z) {
+    for (const ZInterval& iv : intervals) {
+      if (z >= iv.lo && z <= iv.hi) return true;
+    }
+    return false;
+  };
+  for (uint32_t y = y_lo; y <= y_hi; ++y) {
+    for (uint32_t x = x_lo; x <= x_hi; ++x) {
+      EXPECT_TRUE(covered(ZEncode(x, y))) << x << "," << y;
+    }
+  }
+}
+
+TEST(ZDecomposeTest, BudgetLimitsIntervalCount) {
+  const auto intervals = ZDecomposeWindow(1, 1, 1000, 999, 32);
+  // The budget is approximate (recursion in flight may add a few), but
+  // the count stays the same order of magnitude.
+  EXPECT_LE(intervals.size(), 64u);
+}
+
+}  // namespace
+}  // namespace pdr
