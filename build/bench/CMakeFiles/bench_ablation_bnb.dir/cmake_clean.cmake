@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bnb.dir/bench_ablation_bnb.cc.o"
+  "CMakeFiles/bench_ablation_bnb.dir/bench_ablation_bnb.cc.o.d"
+  "bench_ablation_bnb"
+  "bench_ablation_bnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

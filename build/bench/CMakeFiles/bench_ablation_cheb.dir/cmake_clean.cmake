@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cheb.dir/bench_ablation_cheb.cc.o"
+  "CMakeFiles/bench_ablation_cheb.dir/bench_ablation_cheb.cc.o.d"
+  "bench_ablation_cheb"
+  "bench_ablation_cheb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cheb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

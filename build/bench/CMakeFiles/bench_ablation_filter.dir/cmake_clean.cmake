@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_filter.dir/bench_ablation_filter.cc.o"
+  "CMakeFiles/bench_ablation_filter.dir/bench_ablation_filter.cc.o.d"
+  "bench_ablation_filter"
+  "bench_ablation_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tpr.dir/bench_ablation_tpr.cc.o"
+  "CMakeFiles/bench_ablation_tpr.dir/bench_ablation_tpr.cc.o.d"
+  "bench_ablation_tpr"
+  "bench_ablation_tpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

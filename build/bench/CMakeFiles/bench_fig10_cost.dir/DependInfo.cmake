@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_cost.cc" "bench/CMakeFiles/bench_fig10_cost.dir/bench_fig10_cost.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_cost.dir/bench_fig10_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pdr_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_tpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_bx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_cheb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

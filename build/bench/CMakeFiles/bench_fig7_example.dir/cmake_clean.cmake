@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_example.dir/bench_fig7_example.cc.o"
+  "CMakeFiles/bench_fig7_example.dir/bench_fig7_example.cc.o.d"
+  "bench_fig7_example"
+  "bench_fig7_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cpu.dir/bench_fig9_cpu.cc.o"
+  "CMakeFiles/bench_fig9_cpu.dir/bench_fig9_cpu.cc.o.d"
+  "bench_fig9_cpu"
+  "bench_fig9_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interval.dir/bench_interval.cc.o"
+  "CMakeFiles/bench_interval.dir/bench_interval.cc.o.d"
+  "bench_interval"
+  "bench_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

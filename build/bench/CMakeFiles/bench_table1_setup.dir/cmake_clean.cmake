@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_setup.dir/bench_table1_setup.cc.o"
+  "CMakeFiles/bench_table1_setup.dir/bench_table1_setup.cc.o.d"
+  "bench_table1_setup"
+  "bench_table1_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/pdr_bench_util.dir/bench_util.cc.o.d"
+  "libpdr_bench_util.a"
+  "libpdr_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

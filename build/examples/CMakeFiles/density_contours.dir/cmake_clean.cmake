@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_contours.dir/density_contours.cpp.o"
+  "CMakeFiles/density_contours.dir/density_contours.cpp.o.d"
+  "density_contours"
+  "density_contours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_contours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

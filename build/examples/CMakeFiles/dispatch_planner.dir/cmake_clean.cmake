@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_planner.dir/dispatch_planner.cpp.o"
+  "CMakeFiles/dispatch_planner.dir/dispatch_planner.cpp.o.d"
+  "dispatch_planner"
+  "dispatch_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_tool.dir/pdr_tool.cpp.o"
+  "CMakeFiles/pdr_tool.dir/pdr_tool.cpp.o.d"
+  "pdr_tool"
+  "pdr_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

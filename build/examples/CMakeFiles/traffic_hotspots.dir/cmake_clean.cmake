@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_hotspots.dir/traffic_hotspots.cpp.o"
+  "CMakeFiles/traffic_hotspots.dir/traffic_hotspots.cpp.o.d"
+  "traffic_hotspots"
+  "traffic_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

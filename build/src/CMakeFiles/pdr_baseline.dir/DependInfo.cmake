@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdr/baseline/dense_cell.cc" "src/CMakeFiles/pdr_baseline.dir/pdr/baseline/dense_cell.cc.o" "gcc" "src/CMakeFiles/pdr_baseline.dir/pdr/baseline/dense_cell.cc.o.d"
+  "/root/repo/src/pdr/baseline/edq.cc" "src/CMakeFiles/pdr_baseline.dir/pdr/baseline/edq.cc.o" "gcc" "src/CMakeFiles/pdr_baseline.dir/pdr/baseline/edq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdr_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_baseline.dir/pdr/baseline/dense_cell.cc.o"
+  "CMakeFiles/pdr_baseline.dir/pdr/baseline/dense_cell.cc.o.d"
+  "CMakeFiles/pdr_baseline.dir/pdr/baseline/edq.cc.o"
+  "CMakeFiles/pdr_baseline.dir/pdr/baseline/edq.cc.o.d"
+  "libpdr_baseline.a"
+  "libpdr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

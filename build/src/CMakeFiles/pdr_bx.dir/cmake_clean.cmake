@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_bx.dir/pdr/bx/bplus_tree.cc.o"
+  "CMakeFiles/pdr_bx.dir/pdr/bx/bplus_tree.cc.o.d"
+  "CMakeFiles/pdr_bx.dir/pdr/bx/bx_tree.cc.o"
+  "CMakeFiles/pdr_bx.dir/pdr/bx/bx_tree.cc.o.d"
+  "CMakeFiles/pdr_bx.dir/pdr/bx/zcurve.cc.o"
+  "CMakeFiles/pdr_bx.dir/pdr/bx/zcurve.cc.o.d"
+  "libpdr_bx.a"
+  "libpdr_bx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_bx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pdr_bx.
+# This may be replaced when dependencies are built.

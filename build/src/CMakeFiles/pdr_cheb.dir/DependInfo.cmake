@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdr/cheb/cheb2d.cc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb2d.cc.o" "gcc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb2d.cc.o.d"
+  "/root/repo/src/pdr/cheb/cheb_grid.cc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb_grid.cc.o" "gcc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb_grid.cc.o.d"
+  "/root/repo/src/pdr/cheb/chebyshev.cc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/chebyshev.cc.o" "gcc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/chebyshev.cc.o.d"
+  "/root/repo/src/pdr/cheb/contour.cc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/contour.cc.o" "gcc" "src/CMakeFiles/pdr_cheb.dir/pdr/cheb/contour.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb2d.cc.o"
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb2d.cc.o.d"
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb_grid.cc.o"
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/cheb_grid.cc.o.d"
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/chebyshev.cc.o"
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/chebyshev.cc.o.d"
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/contour.cc.o"
+  "CMakeFiles/pdr_cheb.dir/pdr/cheb/contour.cc.o.d"
+  "libpdr_cheb.a"
+  "libpdr_cheb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_cheb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdr/common/geometry.cc" "src/CMakeFiles/pdr_common.dir/pdr/common/geometry.cc.o" "gcc" "src/CMakeFiles/pdr_common.dir/pdr/common/geometry.cc.o.d"
+  "/root/repo/src/pdr/common/random.cc" "src/CMakeFiles/pdr_common.dir/pdr/common/random.cc.o" "gcc" "src/CMakeFiles/pdr_common.dir/pdr/common/random.cc.o.d"
+  "/root/repo/src/pdr/common/region.cc" "src/CMakeFiles/pdr_common.dir/pdr/common/region.cc.o" "gcc" "src/CMakeFiles/pdr_common.dir/pdr/common/region.cc.o.d"
+  "/root/repo/src/pdr/common/stats.cc" "src/CMakeFiles/pdr_common.dir/pdr/common/stats.cc.o" "gcc" "src/CMakeFiles/pdr_common.dir/pdr/common/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_common.dir/pdr/common/geometry.cc.o"
+  "CMakeFiles/pdr_common.dir/pdr/common/geometry.cc.o.d"
+  "CMakeFiles/pdr_common.dir/pdr/common/random.cc.o"
+  "CMakeFiles/pdr_common.dir/pdr/common/random.cc.o.d"
+  "CMakeFiles/pdr_common.dir/pdr/common/region.cc.o"
+  "CMakeFiles/pdr_common.dir/pdr/common/region.cc.o.d"
+  "CMakeFiles/pdr_common.dir/pdr/common/stats.cc.o"
+  "CMakeFiles/pdr_common.dir/pdr/common/stats.cc.o.d"
+  "libpdr_common.a"
+  "libpdr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdr/core/explorer.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/explorer.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/explorer.cc.o.d"
+  "/root/repo/src/pdr/core/fr_engine.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/fr_engine.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/fr_engine.cc.o.d"
+  "/root/repo/src/pdr/core/metrics.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/metrics.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/metrics.cc.o.d"
+  "/root/repo/src/pdr/core/monitor.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/monitor.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/monitor.cc.o.d"
+  "/root/repo/src/pdr/core/oracle.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/oracle.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/oracle.cc.o.d"
+  "/root/repo/src/pdr/core/pa_engine.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/pa_engine.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/pa_engine.cc.o.d"
+  "/root/repo/src/pdr/core/paper_config.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/paper_config.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/paper_config.cc.o.d"
+  "/root/repo/src/pdr/core/simulation.cc" "src/CMakeFiles/pdr_core.dir/pdr/core/simulation.cc.o" "gcc" "src/CMakeFiles/pdr_core.dir/pdr/core/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_tpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_bx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_cheb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_core.dir/pdr/core/explorer.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/explorer.cc.o.d"
+  "CMakeFiles/pdr_core.dir/pdr/core/fr_engine.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/fr_engine.cc.o.d"
+  "CMakeFiles/pdr_core.dir/pdr/core/metrics.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/metrics.cc.o.d"
+  "CMakeFiles/pdr_core.dir/pdr/core/monitor.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/monitor.cc.o.d"
+  "CMakeFiles/pdr_core.dir/pdr/core/oracle.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/oracle.cc.o.d"
+  "CMakeFiles/pdr_core.dir/pdr/core/pa_engine.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/pa_engine.cc.o.d"
+  "CMakeFiles/pdr_core.dir/pdr/core/paper_config.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/paper_config.cc.o.d"
+  "CMakeFiles/pdr_core.dir/pdr/core/simulation.cc.o"
+  "CMakeFiles/pdr_core.dir/pdr/core/simulation.cc.o.d"
+  "libpdr_core.a"
+  "libpdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

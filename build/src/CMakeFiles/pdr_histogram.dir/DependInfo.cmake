@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdr/histogram/density_histogram.cc" "src/CMakeFiles/pdr_histogram.dir/pdr/histogram/density_histogram.cc.o" "gcc" "src/CMakeFiles/pdr_histogram.dir/pdr/histogram/density_histogram.cc.o.d"
+  "/root/repo/src/pdr/histogram/filter.cc" "src/CMakeFiles/pdr_histogram.dir/pdr/histogram/filter.cc.o" "gcc" "src/CMakeFiles/pdr_histogram.dir/pdr/histogram/filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

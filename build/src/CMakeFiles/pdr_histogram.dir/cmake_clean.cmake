@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_histogram.dir/pdr/histogram/density_histogram.cc.o"
+  "CMakeFiles/pdr_histogram.dir/pdr/histogram/density_histogram.cc.o.d"
+  "CMakeFiles/pdr_histogram.dir/pdr/histogram/filter.cc.o"
+  "CMakeFiles/pdr_histogram.dir/pdr/histogram/filter.cc.o.d"
+  "libpdr_histogram.a"
+  "libpdr_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

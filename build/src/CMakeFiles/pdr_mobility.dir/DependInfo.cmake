@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdr/mobility/dataset_io.cc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/dataset_io.cc.o" "gcc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/dataset_io.cc.o.d"
+  "/root/repo/src/pdr/mobility/generator.cc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/generator.cc.o" "gcc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/generator.cc.o.d"
+  "/root/repo/src/pdr/mobility/object.cc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/object.cc.o" "gcc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/object.cc.o.d"
+  "/root/repo/src/pdr/mobility/road_network.cc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/road_network.cc.o" "gcc" "src/CMakeFiles/pdr_mobility.dir/pdr/mobility/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

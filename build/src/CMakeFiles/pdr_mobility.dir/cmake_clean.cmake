@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/dataset_io.cc.o"
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/dataset_io.cc.o.d"
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/generator.cc.o"
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/generator.cc.o.d"
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/object.cc.o"
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/object.cc.o.d"
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/road_network.cc.o"
+  "CMakeFiles/pdr_mobility.dir/pdr/mobility/road_network.cc.o.d"
+  "libpdr_mobility.a"
+  "libpdr_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

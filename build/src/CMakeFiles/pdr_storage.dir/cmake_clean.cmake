@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_storage.dir/pdr/storage/buffer_pool.cc.o"
+  "CMakeFiles/pdr_storage.dir/pdr/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/pdr_storage.dir/pdr/storage/pager.cc.o"
+  "CMakeFiles/pdr_storage.dir/pdr/storage/pager.cc.o.d"
+  "libpdr_storage.a"
+  "libpdr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

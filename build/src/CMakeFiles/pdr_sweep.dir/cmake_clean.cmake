@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_sweep.dir/pdr/sweep/plane_sweep.cc.o"
+  "CMakeFiles/pdr_sweep.dir/pdr/sweep/plane_sweep.cc.o.d"
+  "libpdr_sweep.a"
+  "libpdr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_tpr.dir/pdr/tpr/tpr_tree.cc.o"
+  "CMakeFiles/pdr_tpr.dir/pdr/tpr/tpr_tree.cc.o.d"
+  "libpdr_tpr.a"
+  "libpdr_tpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_tpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_tree_test.dir/bx_tree_test.cc.o"
+  "CMakeFiles/bx_tree_test.dir/bx_tree_test.cc.o.d"
+  "bx_tree_test"
+  "bx_tree_test.pdb"
+  "bx_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

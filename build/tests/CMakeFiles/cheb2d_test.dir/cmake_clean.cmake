@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheb2d_test.dir/cheb2d_test.cc.o"
+  "CMakeFiles/cheb2d_test.dir/cheb2d_test.cc.o.d"
+  "cheb2d_test"
+  "cheb2d_test.pdb"
+  "cheb2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheb2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

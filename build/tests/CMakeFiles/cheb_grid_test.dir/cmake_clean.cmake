@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheb_grid_test.dir/cheb_grid_test.cc.o"
+  "CMakeFiles/cheb_grid_test.dir/cheb_grid_test.cc.o.d"
+  "cheb_grid_test"
+  "cheb_grid_test.pdb"
+  "cheb_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheb_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

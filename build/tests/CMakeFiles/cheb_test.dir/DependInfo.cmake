@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cheb_test.cc" "tests/CMakeFiles/cheb_test.dir/cheb_test.cc.o" "gcc" "tests/CMakeFiles/cheb_test.dir/cheb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_tpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_bx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_cheb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

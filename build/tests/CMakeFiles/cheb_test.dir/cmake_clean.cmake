@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheb_test.dir/cheb_test.cc.o"
+  "CMakeFiles/cheb_test.dir/cheb_test.cc.o.d"
+  "cheb_test"
+  "cheb_test.pdb"
+  "cheb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

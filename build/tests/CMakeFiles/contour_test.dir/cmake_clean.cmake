@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contour_test.dir/contour_test.cc.o"
+  "CMakeFiles/contour_test.dir/contour_test.cc.o.d"
+  "contour_test"
+  "contour_test.pdb"
+  "contour_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explorer_test.dir/explorer_test.cc.o"
+  "CMakeFiles/explorer_test.dir/explorer_test.cc.o.d"
+  "explorer_test"
+  "explorer_test.pdb"
+  "explorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

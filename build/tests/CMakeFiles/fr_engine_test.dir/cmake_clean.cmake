@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_engine_test.dir/fr_engine_test.cc.o"
+  "CMakeFiles/fr_engine_test.dir/fr_engine_test.cc.o.d"
+  "fr_engine_test"
+  "fr_engine_test.pdb"
+  "fr_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_test.dir/generator_test.cc.o"
+  "CMakeFiles/generator_test.dir/generator_test.cc.o.d"
+  "generator_test"
+  "generator_test.pdb"
+  "generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

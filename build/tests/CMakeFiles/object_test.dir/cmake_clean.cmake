@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_test.dir/object_test.cc.o"
+  "CMakeFiles/object_test.dir/object_test.cc.o.d"
+  "object_test"
+  "object_test.pdb"
+  "object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_engine_test.dir/pa_engine_test.cc.o"
+  "CMakeFiles/pa_engine_test.dir/pa_engine_test.cc.o.d"
+  "pa_engine_test"
+  "pa_engine_test.pdb"
+  "pa_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

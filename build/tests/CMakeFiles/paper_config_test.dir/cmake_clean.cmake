@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_config_test.dir/paper_config_test.cc.o"
+  "CMakeFiles/paper_config_test.dir/paper_config_test.cc.o.d"
+  "paper_config_test"
+  "paper_config_test.pdb"
+  "paper_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_scenarios_test.dir/paper_scenarios_test.cc.o"
+  "CMakeFiles/paper_scenarios_test.dir/paper_scenarios_test.cc.o.d"
+  "paper_scenarios_test"
+  "paper_scenarios_test.pdb"
+  "paper_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_test.dir/region_test.cc.o"
+  "CMakeFiles/region_test.dir/region_test.cc.o.d"
+  "region_test"
+  "region_test.pdb"
+  "region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_test.dir/road_network_test.cc.o"
+  "CMakeFiles/road_network_test.dir/road_network_test.cc.o.d"
+  "road_network_test"
+  "road_network_test.pdb"
+  "road_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

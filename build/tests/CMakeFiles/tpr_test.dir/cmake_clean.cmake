@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_test.dir/tpr_test.cc.o"
+  "CMakeFiles/tpr_test.dir/tpr_test.cc.o.d"
+  "tpr_test"
+  "tpr_test.pdb"
+  "tpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

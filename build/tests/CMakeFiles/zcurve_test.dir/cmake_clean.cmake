@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcurve_test.dir/zcurve_test.cc.o"
+  "CMakeFiles/zcurve_test.dir/zcurve_test.cc.o.d"
+  "zcurve_test"
+  "zcurve_test.pdb"
+  "zcurve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcurve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
