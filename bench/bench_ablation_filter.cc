@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       reject += 100.0 * result.rejected_cells / cells;
       cand += 100.0 * result.candidate_cells / cells;
       query_ms += result.cost.TotalMs();
-      io_reads += result.cost.io_reads;
+      io_reads += result.cost.io_reads();
     }
     const double n = ticks.size();
     table.Row({static_cast<double>(m),

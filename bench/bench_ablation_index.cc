@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
     const auto a = fr_tpr.Query(q_t, rho, l, /*cold_cache=*/true);
     const auto b = fr_bx.Query(q_t, rho, l, /*cold_cache=*/true);
     table.Row({static_cast<double>(varrho),
-               static_cast<double>(a.cost.io_reads),
-               static_cast<double>(b.cost.io_reads),
+               static_cast<double>(a.cost.io_reads()),
+               static_cast<double>(b.cost.io_reads()),
                static_cast<double>(a.objects_fetched),
                static_cast<double>(bx->scanned_records() - scanned_before),
                a.cost.TotalMs(), b.cost.TotalMs(),

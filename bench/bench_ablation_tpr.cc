@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
         std::max<double>(1.0, result.candidate_cells);
     table.Row({static_cast<double>(varrho),
                static_cast<double>(result.candidate_cells),
-               static_cast<double>(result.cost.io_reads),
-               result.cost.io_reads / cands, heap_pages * cands,
+               static_cast<double>(result.cost.io_reads()),
+               result.cost.io_reads() / cands, heap_pages * cands,
                heap_pages});
   }
   std::printf(

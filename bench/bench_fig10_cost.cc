@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
       const double n = ticks.size();
       scaling.Row({static_cast<double>(objects), pa_cost.TotalMs() / n,
                    fr_cost.TotalMs() / n,
-                   static_cast<double>(fr_cost.io_reads) / n});
+                   static_cast<double>(fr_cost.io_reads()) / n});
     }
   }
   std::printf(

@@ -2,10 +2,27 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 namespace pdr::bench {
+namespace {
+
+// Opened by Banner, deliberately leaked: the atexit hook below writes the
+// final metrics snapshot through it after main() returns.
+JsonlWriter* g_jsonl = nullptr;
+std::string g_bench_name;
+
+void WriteMetricsAtExit() {
+  if (g_jsonl == nullptr) return;
+  WriteMetricsJsonl(g_jsonl, MetricsRegistry::Global().TakeSnapshot());
+  g_jsonl->Flush();
+}
+
+}  // namespace
+
+JsonlWriter* BenchJsonl() { return g_jsonl; }
 
 int BenchEnv::ScaledObjects(int paper_objects) const {
   const int scaled = static_cast<int>(paper_objects * scale);
@@ -15,6 +32,10 @@ int BenchEnv::ScaledObjects(int paper_objects) const {
 BenchEnv ParseArgs(int argc, char** argv) {
   BenchEnv env;
   env.scale = BenchScaleFromEnv();
+  if (const char* path = std::getenv("PDR_BENCH_JSONL");
+      path != nullptr && path[0] != '\0') {
+    env.jsonl_path = path;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--full") {
@@ -24,6 +45,8 @@ BenchEnv ParseArgs(int argc, char** argv) {
       env.scale = std::max(0.001, std::atof(arg.c_str() + 8));
     } else if (arg.rfind("--seed=", 0) == 0) {
       env.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--jsonl=", 0) == 0) {
+      env.jsonl_path = arg.substr(8);
     }
   }
   return env;
@@ -105,6 +128,30 @@ void SeriesPrinter::Flush() {
     std::printf("\n");
   }
   for (const std::string& n : notes_) std::printf("   %s\n", n.c_str());
+
+  // Mirror each row into the machine-readable sink, one object per stage.
+  if (g_jsonl != nullptr) {
+    for (const auto& row : rows_) {
+      std::string line = "{\"type\":\"series\",\"bench\":\"";
+      line += JsonEscape(g_bench_name);
+      line += "\",\"series\":\"";
+      line += JsonEscape(name_);
+      line += "\",\"values\":{";
+      char buf[64];
+      const size_t n = std::min(columns_.size(), row.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0) line += ',';
+        line += '"';
+        line += JsonEscape(columns_[i]);
+        line += "\":";
+        std::snprintf(buf, sizeof(buf), "%.9g", row[i]);
+        line += buf;
+      }
+      line += "}}";
+      g_jsonl->WriteLine(line);
+    }
+    g_jsonl->Flush();
+  }
 }
 
 void Banner(const BenchEnv& env, const std::string& bench,
@@ -114,6 +161,20 @@ void Banner(const BenchEnv& env, const std::string& bench,
   std::printf("scale=%.3g (PDR_BENCH_SCALE or --full), seed=%llu\n",
               env.scale, static_cast<unsigned long long>(env.seed));
   std::printf("=======================================================\n");
+
+  g_bench_name = bench;
+  if (!env.jsonl_path.empty() && g_jsonl == nullptr) {
+    auto* writer = new JsonlWriter(env.jsonl_path);  // leaked; see atexit
+    if (!writer->ok()) {
+      std::fprintf(stderr, "warning: cannot open JSONL sink %s\n",
+                   env.jsonl_path.c_str());
+      delete writer;
+    } else {
+      g_jsonl = writer;
+      std::printf("jsonl sink: %s\n", env.jsonl_path.c_str());
+      std::atexit(WriteMetricsAtExit);
+    }
+  }
 }
 
 }  // namespace pdr::bench

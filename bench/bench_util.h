@@ -24,6 +24,7 @@ struct BenchEnv {
   double scale = 0.1;       ///< dataset-size multiplier
   bool full = false;        ///< --full: paper scale
   uint64_t seed = 20070415; ///< ICDE 2007 vintage
+  std::string jsonl_path;   ///< --jsonl=FILE / PDR_BENCH_JSONL: JSONL sink
 
   /// Paper object count scaled down (never below 2000).
   int ScaledObjects(int paper_objects) const;
@@ -35,7 +36,8 @@ struct BenchEnv {
   }
 };
 
-/// Parses --full / --scale=X / --seed=N; everything else is ignored.
+/// Parses --full / --scale=X / --seed=N / --jsonl=FILE (also the
+/// PDR_BENCH_JSONL environment variable); everything else is ignored.
 BenchEnv ParseArgs(int argc, char** argv);
 
 /// The steady-state workload every figure bench queries: a paper-config
@@ -83,9 +85,15 @@ class SeriesPrinter {
   bool flushed_ = false;
 };
 
-/// Prints the standard bench banner (name, scale, seed).
+/// Prints the standard bench banner (name, scale, seed). When the env
+/// carries a JSONL path, this also opens the machine-readable sink: every
+/// SeriesPrinter row is then mirrored as a {"type":"series",...} line and
+/// a full metrics-registry snapshot is appended at process exit.
 void Banner(const BenchEnv& env, const std::string& bench,
             const std::string& reproduces);
+
+/// The process-wide bench JSONL writer opened by Banner (null when none).
+JsonlWriter* BenchJsonl();
 
 }  // namespace pdr::bench
 

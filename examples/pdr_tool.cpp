@@ -4,17 +4,27 @@
 //                 [--duration T] [--seed S] [--interval U]
 //   pdr_tool info --in city.pdrd
 //   pdr_tool query --in city.pdrd --varrho R --l L [--qt T]
-//                  [--engine fr|pa|both] [--index tpr|bx]
+//                  [--engine fr|pa|both] [--index tpr|bx] [--trace FILE]
 //   pdr_tool monitor --in city.pdrd --varrho R --l L [--lookahead W]
-//                    [--every K]
+//                    [--every K] [--trace FILE]
+//   pdr_tool stats --in city.pdrd --varrho R --l L [--qt T]
+//                  [--engine fr|pa|both] [--index tpr|bx] [--queries N]
+//                  [--json FILE]
 //
 // `gen` synthesizes and saves a dataset; `query` replays it and answers a
 // snapshot PDR query with the chosen engine(s); `monitor` replays while a
-// standing query reports appeared/vanished dense regions.
+// standing query reports appeared/vanished dense regions; `stats` runs a
+// small query workload and dumps the metrics registry (human-readable to
+// stdout, JSONL with --json).
+//
+// `--trace FILE` (query, monitor) records the per-query span trees — and a
+// final metrics snapshot — as JSONL ("-" for stdout). See EXPERIMENTS.md
+// for a walkthrough of reading a trace.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "pdr/mobility/dataset_io.h"
@@ -23,6 +33,38 @@
 namespace {
 
 using namespace pdr;
+
+// Scoped `--trace FILE` plumbing: installs a JSONL trace sink for the
+// lifetime of the object, then appends a metrics snapshot and reports.
+class TraceOutput {
+ public:
+  explicit TraceOutput(const std::string& path) {
+    if (path.empty()) return;
+    writer_ = std::make_unique<JsonlWriter>(path);
+    if (!writer_->ok()) {
+      std::fprintf(stderr, "error: cannot open trace file %s\n",
+                   path.c_str());
+      writer_.reset();
+      return;
+    }
+    sink_ = std::make_unique<JsonlTraceSink>(writer_.get());
+    PdrObs::SetEnabled(true);
+    PdrObs::SetTraceSink(sink_.get());
+  }
+
+  ~TraceOutput() {
+    if (sink_ == nullptr) return;
+    PdrObs::SetTraceSink(nullptr);
+    WriteMetricsJsonl(writer_.get(), MetricsRegistry::Global().TakeSnapshot());
+    std::fprintf(stderr, "trace: wrote %lld JSONL lines to %s\n",
+                 static_cast<long long>(writer_->lines_written()),
+                 writer_->path().c_str());
+  }
+
+ private:
+  std::unique_ptr<JsonlWriter> writer_;
+  std::unique_ptr<JsonlTraceSink> sink_;
+};
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
@@ -33,7 +75,9 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
       flags[body.substr(0, eq)] = body.substr(eq + 1);
-    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+    } else if (i + 1 < argc &&
+               (argv[i + 1][0] != '-' || argv[i + 1][1] == '\0')) {
+      // A lone "-" is a value (stdout), not a flag.
       flags[body] = argv[++i];
     } else {
       flags[body] = "1";
@@ -49,15 +93,18 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: pdr_tool <gen|info|query|monitor> [--flag value]...\n"
-               "  gen:     --out FILE [--objects N] [--extent E] "
-               "[--duration T] [--seed S] [--interval U]\n"
-               "  info:    --in FILE\n"
-               "  query:   --in FILE --varrho R --l L [--qt T] "
-               "[--engine fr|pa|both] [--index tpr|bx]\n"
-               "  monitor: --in FILE --varrho R --l L [--lookahead W] "
-               "[--every K]\n");
+  std::fprintf(
+      stderr,
+      "usage: pdr_tool <gen|info|query|monitor|stats> [--flag value]...\n"
+      "  gen:     --out FILE [--objects N] [--extent E] "
+      "[--duration T] [--seed S] [--interval U]\n"
+      "  info:    --in FILE\n"
+      "  query:   --in FILE --varrho R --l L [--qt T] "
+      "[--engine fr|pa|both] [--index tpr|bx] [--trace FILE]\n"
+      "  monitor: --in FILE --varrho R --l L [--lookahead W] "
+      "[--every K] [--trace FILE]\n"
+      "  stats:   --in FILE --varrho R --l L [--qt T] "
+      "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n");
   return 2;
 }
 
@@ -114,6 +161,7 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
       std::to_string(now + ds.config.max_update_interval / 2)));
   const std::string engine = FlagOr(flags, "engine", "both");
   const std::string index_name = FlagOr(flags, "index", "tpr");
+  TraceOutput trace(FlagOr(flags, "trace", ""));
 
   std::printf("query: rho=%.4g (varrho=%g), l=%g, q_t=%d (now=%d)\n", rho,
               varrho, l, q_t, now);
@@ -136,7 +184,7 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
         "(%lld reads) | cells a/c/r = %lld/%lld/%lld\n",
         index_name.c_str(), result.region.size(), result.region.Area(),
         result.cost.cpu_ms, result.cost.io_ms,
-        static_cast<long long>(result.cost.io_reads),
+        static_cast<long long>(result.cost.io_reads()),
         static_cast<long long>(result.accepted_cells),
         static_cast<long long>(result.candidate_cells),
         static_cast<long long>(result.rejected_cells));
@@ -166,6 +214,7 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
   const double l = std::stod(FlagOr(flags, "l", "30"));
   const Tick lookahead = std::stoi(FlagOr(flags, "lookahead", "10"));
   const Tick every = std::max(1, std::stoi(FlagOr(flags, "every", "5")));
+  TraceOutput trace(FlagOr(flags, "trace", ""));
   const double extent = ds.config.extent;
   const double rho =
       varrho * ds.config.num_objects / (extent * extent);
@@ -191,6 +240,75 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int RunStats(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
+  const double l = std::stod(FlagOr(flags, "l", "30"));
+  const double extent = ds.config.extent;
+  const double rho = varrho * ds.config.num_objects / (extent * extent);
+  const Tick now = ds.duration();
+  const int queries = std::max(1, std::stoi(FlagOr(flags, "queries", "5")));
+  const std::string engine = FlagOr(flags, "engine", "both");
+  const std::string index_name = FlagOr(flags, "index", "tpr");
+
+  PdrObs::SetEnabled(true);
+  MetricsRegistry::Global().ResetAll();
+
+  const Tick horizon = 2 * ds.config.max_update_interval;
+  // Query ticks spread over the prediction window [now, now + U/2].
+  std::vector<Tick> ticks;
+  for (int i = 0; i < queries; ++i) {
+    ticks.push_back(now + ds.config.max_update_interval * i /
+                              (2 * std::max(1, queries - 1) ));
+  }
+
+  if (engine == "fr" || engine == "both") {
+    FrEngine fr({.extent = extent,
+                 .histogram_side = 100,
+                 .horizon = horizon,
+                 .buffer_pages = PaperConfig().BufferPagesFor(
+                     ds.config.num_objects),
+                 .io_ms = 10.0,
+                 .index = index_name == "bx" ? IndexKind::kBxTree
+                                             : IndexKind::kTprTree,
+                 .max_update_interval = ds.config.max_update_interval});
+    ReplayInto(ds, -1, &fr);
+    for (const Tick q_t : ticks) {
+      fr.Query(q_t, rho, l, /*cold_cache=*/true);
+    }
+  }
+  if (engine == "pa" || engine == "both") {
+    PaEngine pa({.extent = extent,
+                 .poly_side = 10,
+                 .degree = 5,
+                 .horizon = horizon,
+                 .l = l,
+                 .eval_grid = 1000});
+    ReplayInto(ds, -1, &pa);
+    for (const Tick q_t : ticks) pa.Query(q_t, rho);
+  }
+
+  const MetricsRegistry::Snapshot snap =
+      MetricsRegistry::Global().TakeSnapshot();
+  std::printf("metrics after %d %s quer%s (rho=%.4g, l=%g):\n", queries,
+              engine.c_str(), queries == 1 ? "y" : "ies", rho, l);
+  DumpMetrics(stdout, snap);
+
+  const std::string json_path = FlagOr(flags, "json", "");
+  if (!json_path.empty()) {
+    JsonlWriter writer(json_path);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    WriteMetricsJsonl(&writer, snap);
+    std::printf("wrote %lld metric lines to %s\n",
+                static_cast<long long>(writer.lines_written()),
+                json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,6 +320,7 @@ int main(int argc, char** argv) {
     if (command == "info") return RunInfo(flags);
     if (command == "query") return RunQuery(flags);
     if (command == "monitor") return RunMonitor(flags);
+    if (command == "stats") return RunStats(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

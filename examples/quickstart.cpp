@@ -53,7 +53,7 @@ int main() {
               exact.region.size(), exact.region.Area());
   std::printf("    cost: %.2f ms CPU + %.1f ms simulated I/O (%lld reads)\n",
               exact.cost.cpu_ms, exact.cost.io_ms,
-              static_cast<long long>(exact.cost.io_reads));
+              static_cast<long long>(exact.cost.io_reads()));
   int shown = 0;
   for (const Rect& r : exact.region.rects()) {
     std::printf("    dense: %s\n", r.ToString().c_str());

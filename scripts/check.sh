@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the library in the two configurations
+# that matter — the plain release-ish default and an ASan+UBSan build
+# (-DPDR_SANITIZE=ON) that exercises the same test suite with
+# instrumentation. Uses its own build trees (build-check/, build-asan/) so it
+# never clobbers an existing build/.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "==== configure ${dir} ($*) ===="
+  cmake -B "${repo}/${dir}" -S "${repo}" "$@"
+  echo "==== build ${dir} ===="
+  cmake --build "${repo}/${dir}" -j "${jobs}"
+  echo "==== test ${dir} ===="
+  (cd "${repo}/${dir}" && ctest --output-on-failure -j "${jobs}" "${EXTRA_CTEST_ARGS[@]}")
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+run_config build-check -DCMAKE_BUILD_TYPE=Release
+run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=ON
+
+echo "==== all checks passed ===="

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "pdr/obs/obs.h"
+
 namespace pdr {
 namespace {
 
@@ -72,6 +74,15 @@ void BxTree::AdvanceTo(Tick now) {
 
 std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
     const Rect& window, Tick t) {
+  TraceSpan span("bx.range_query");
+  const IoStats io_before = span.active() ? pool_.stats() : IoStats{};
+  const int64_t scanned_before = scanned_records_;
+  static Counter& queries =
+      MetricsRegistry::Global().GetCounter("pdr.bx.range_queries");
+  static Counter& scanned_counter =
+      MetricsRegistry::Global().GetCounter("pdr.bx.scanned_records");
+  queries.Increment();
+
   std::vector<std::pair<ObjectId, MotionState>> out;
   if (tree_.size() == 0) return out;
 
@@ -119,6 +130,15 @@ std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
         return true;
       });
     }
+  }
+  scanned_counter.Add(scanned_records_ - scanned_before);
+  if (span.active()) {
+    const IoStats delta = pool_.stats() - io_before;
+    span.SetAttr("partitions", p_hi - p_lo + 1);
+    span.SetAttr("scanned", scanned_records_ - scanned_before);
+    span.SetAttr("results", static_cast<int64_t>(out.size()));
+    span.SetAttr("io_reads", delta.physical_reads);
+    span.SetAttr("io_logical", delta.logical_reads);
   }
   return out;
 }

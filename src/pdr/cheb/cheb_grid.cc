@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "pdr/obs/obs.h"
+
 namespace pdr {
 
 ChebGrid::ChebGrid(const Options& options)
@@ -83,8 +85,13 @@ void ChebGrid::Apply(const UpdateEvent& update) {
     }
   }
   if (update.new_state) {
-    assert(update.new_state->t_ref == now_);
-    for (Tick t = now_; t <= now_ + options_.horizon; ++t) {
+    // Usually t_ref == now_; rebuilds may re-insert an older state, which
+    // only covers ticks up to t_ref + H — mirror the removal clamp above so
+    // that a later delete cancels exactly what was added.
+    assert(update.new_state->t_ref <= now_);
+    const Tick last = std::min(update.new_state->t_ref + options_.horizon,
+                               now_ + options_.horizon);
+    for (Tick t = now_; t <= last; ++t) {
       AddSquare(t, update.new_state->PositionAt(t), inv_l2);
     }
   }
@@ -153,14 +160,38 @@ Region ChebGrid::QueryDense(Tick t, double rho, int eval_grid,
   const double min_edge_norm =
       2.0 * static_cast<double>(options_.grid_side) / eval_grid;
   Region out;
+  static Counter& bnb_nodes =
+      MetricsRegistry::Global().GetCounter("pdr.pa.bnb_nodes");
+  static Counter& bnb_pruned =
+      MetricsRegistry::Global().GetCounter("pdr.pa.bnb_pruned");
+  static Counter& bnb_accepted =
+      MetricsRegistry::Global().GetCounter("pdr.pa.bnb_accepted");
+  static Counter& bnb_point_evals =
+      MetricsRegistry::Global().GetCounter("pdr.pa.bnb_point_evals");
   for (int cell = 0; cell < grid_.cell_count(); ++cell) {
     const Cheb2D& poly = slice[cell];
+    // Per-macro-cell branch-and-bound: one span (and one stats scope) per
+    // cell, so traces show where the search effort concentrates.
+    TraceSpan cell_span("pa.cell");
+    BnbStats cell_stats;
     if (poly.IsZero() && rho > 0) {
-      if (stats != nullptr) ++stats->pruned_boxes;
-      continue;
+      ++cell_stats.pruned_boxes;
+    } else {
+      BnbRecurse(poly, grid_.CellRect(cell), -1.0, 1.0, -1.0, 1.0, rho,
+                 min_edge_norm, &out, &cell_stats);
     }
-    BnbRecurse(poly, grid_.CellRect(cell), -1.0, 1.0, -1.0, 1.0, rho,
-               min_edge_norm, &out, stats);
+    bnb_nodes.Add(cell_stats.nodes_visited);
+    bnb_pruned.Add(cell_stats.pruned_boxes);
+    bnb_accepted.Add(cell_stats.accepted_boxes);
+    bnb_point_evals.Add(cell_stats.point_evals);
+    if (cell_span.active()) {
+      cell_span.SetAttr("cell", cell);
+      cell_span.SetAttr("nodes_visited", cell_stats.nodes_visited);
+      cell_span.SetAttr("accepted_boxes", cell_stats.accepted_boxes);
+      cell_span.SetAttr("pruned_boxes", cell_stats.pruned_boxes);
+      cell_span.SetAttr("point_evals", cell_stats.point_evals);
+    }
+    if (stats != nullptr) *stats += cell_stats;
   }
   return out.Coalesced();
 }

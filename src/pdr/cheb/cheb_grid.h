@@ -40,6 +40,14 @@ struct BnbStats {
   int64_t accepted_boxes = 0;
   int64_t pruned_boxes = 0;
   int64_t point_evals = 0;
+
+  BnbStats& operator+=(const BnbStats& o) {
+    nodes_visited += o.nodes_visited;
+    accepted_boxes += o.accepted_boxes;
+    pruned_boxes += o.pruned_boxes;
+    point_evals += o.point_evals;
+    return *this;
+  }
 };
 
 class ChebGrid {

@@ -57,18 +57,48 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Simulated I/O counters, maintained by the storage layer's BufferPool.
+/// `physical_reads` drive the paper's cost model; `logical_reads` (all
+/// fetches) measure access locality; `writebacks` count dirty evictions.
+/// Lives here (not in pdr/storage) so the cost record below, the query
+/// engines, and the obs layer all read one accounting type.
+struct IoStats {
+  int64_t logical_reads = 0;
+  int64_t physical_reads = 0;
+  int64_t writebacks = 0;
+
+  double ReadCostMs(double ms_per_read) const {
+    return static_cast<double>(physical_reads) * ms_per_read;
+  }
+  IoStats operator-(const IoStats& o) const {
+    return {logical_reads - o.logical_reads,
+            physical_reads - o.physical_reads, writebacks - o.writebacks};
+  }
+  IoStats& operator+=(const IoStats& o) {
+    logical_reads += o.logical_reads;
+    physical_reads += o.physical_reads;
+    writebacks += o.writebacks;
+    return *this;
+  }
+};
+
 /// Cost of evaluating one query: measured CPU time plus the simulated I/O
-/// charge of the storage layer.
+/// charge of the storage layer. Carries the full IoStats delta of the
+/// query so logical reads and writebacks survive into reports, not just
+/// the charged physical reads.
 struct CostBreakdown {
   double cpu_ms = 0.0;
-  int64_t io_reads = 0;
+  IoStats io;
   double io_ms = 0.0;
+
+  /// Physical page reads — the quantity the paper charges io_ms for.
+  int64_t io_reads() const { return io.physical_reads; }
 
   double TotalMs() const { return cpu_ms + io_ms; }
 
   CostBreakdown& operator+=(const CostBreakdown& o) {
     cpu_ms += o.cpu_ms;
-    io_reads += o.io_reads;
+    io += o.io;
     io_ms += o.io_ms;
     return *this;
   }

@@ -1,6 +1,7 @@
 #include "pdr/core/fr_engine.h"
 
 #include "pdr/bx/bx_tree.h"
+#include "pdr/obs/obs.h"
 #include "pdr/tpr/tpr_tree.h"
 
 namespace pdr {
@@ -18,6 +19,29 @@ std::unique_ptr<ObjectIndex> MakeIndex(const FrEngine::Options& options) {
   return std::make_unique<TprTree>(
       TprTree::Options{options.buffer_pages, options.horizon});
 }
+
+struct FrMetrics {
+  Counter& queries;
+  Counter& cells_accepted;
+  Counter& cells_rejected;
+  Counter& cells_candidate;
+  Counter& objects_fetched;
+  Histogram& query_ms;
+  Histogram& refine_objects;
+
+  static FrMetrics& Get() {
+    static FrMetrics m{
+        MetricsRegistry::Global().GetCounter("pdr.fr.queries"),
+        MetricsRegistry::Global().GetCounter("pdr.fr.cells_accepted"),
+        MetricsRegistry::Global().GetCounter("pdr.fr.cells_rejected"),
+        MetricsRegistry::Global().GetCounter("pdr.fr.cells_candidate"),
+        MetricsRegistry::Global().GetCounter("pdr.fr.objects_fetched"),
+        MetricsRegistry::Global().GetHistogram("pdr.fr.query_ms"),
+        MetricsRegistry::Global().GetHistogram("pdr.fr.refine_objects"),
+    };
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -40,6 +64,11 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
                                       bool cold_cache) {
   if (cold_cache) index_->DropCaches();
   const IoStats io_before = index_->io_stats();
+
+  TraceSpan span("fr.query");
+  span.SetAttr("q_t", static_cast<int64_t>(q_t));
+  span.SetAttr("rho", rho);
+  span.SetAttr("l", l);
   Timer timer;
 
   QueryResult result;
@@ -47,7 +76,14 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   const int64_t n_min = MinObjectsForDensity(rho, l);
 
   // --- filtering step ------------------------------------------------------
-  const FilterResult filter = FilterCells(histogram_, q_t, rho, l);
+  FilterResult filter;
+  {
+    TraceSpan filter_span("fr.filter");
+    filter = FilterCells(histogram_, q_t, rho, l);
+    filter_span.SetAttr("accepted", filter.accepted);
+    filter_span.SetAttr("rejected", filter.rejected);
+    filter_span.SetAttr("candidates", filter.candidates);
+  }
   result.accepted_cells = filter.accepted;
   result.rejected_cells = filter.rejected;
   result.candidate_cells = filter.candidates;
@@ -65,6 +101,9 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
       if (cls != CellClass::kCandidate) continue;
 
       // --- refinement step -------------------------------------------------
+      TraceSpan cell_span("fr.cell");
+      const IoStats cell_io_before =
+          cell_span.active() ? index_->io_stats() : IoStats{};
       const Rect cell = grid.CellRect(col, row);
       const Rect window = cell.Expanded(l / 2);
       const auto objects = index_->RangeQuery(window, q_t);
@@ -76,23 +115,57 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
         const Vec2 p = state.PositionAt(q_t);
         if (grid.InDomain(p)) positions.push_back(p);
       }
+      const int64_t rects_before = result.sweep.dense_rects;
       for (const Rect& r :
            SweepCell(cell, positions, l, n_min, &result.sweep)) {
         region.Add(r);
+      }
+      if (cell_span.active()) {
+        const IoStats cell_io = index_->io_stats() - cell_io_before;
+        cell_span.SetAttr("col", col);
+        cell_span.SetAttr("row", row);
+        cell_span.SetAttr("objects", static_cast<int64_t>(objects.size()));
+        cell_span.SetAttr("dense_rects",
+                          result.sweep.dense_rects - rects_before);
+        cell_span.SetAttr("io_reads", cell_io.physical_reads);
+        cell_span.SetAttr("io_logical", cell_io.logical_reads);
       }
     }
   }
   result.region = region.Coalesced();
 
   result.cost.cpu_ms = timer.ElapsedMillis();
-  const IoStats delta = index_->io_stats() - io_before;
-  result.cost.io_reads = delta.physical_reads;
-  result.cost.io_ms = delta.ReadCostMs(options_.io_ms);
+  result.cost.io = index_->io_stats() - io_before;
+  result.cost.io_ms = result.cost.io.ReadCostMs(options_.io_ms);
+
+  FrMetrics& metrics = FrMetrics::Get();
+  metrics.queries.Increment();
+  metrics.cells_accepted.Add(filter.accepted);
+  metrics.cells_rejected.Add(filter.rejected);
+  metrics.cells_candidate.Add(filter.candidates);
+  metrics.objects_fetched.Add(result.objects_fetched);
+  metrics.query_ms.Observe(result.cost.TotalMs());
+  metrics.refine_objects.Observe(
+      static_cast<double>(result.objects_fetched));
+
+  span.SetAttr("cpu_ms", result.cost.cpu_ms);
+  span.SetAttr("io_ms", result.cost.io_ms);
+  span.SetAttr("io_reads", result.cost.io.physical_reads);
+  span.SetAttr("io_logical", result.cost.io.logical_reads);
+  span.SetAttr("io_writebacks", result.cost.io.writebacks);
+  span.SetAttr("accepted", result.accepted_cells);
+  span.SetAttr("rejected", result.rejected_cells);
+  span.SetAttr("candidates", result.candidate_cells);
+  span.SetAttr("objects_fetched", result.objects_fetched);
+  span.SetAttr("dense_rects", result.sweep.dense_rects);
   return result;
 }
 
 FrEngine::QueryResult FrEngine::QueryInterval(Tick q_lo, Tick q_hi,
                                               double rho, double l) {
+  TraceSpan span("fr.query_interval");
+  span.SetAttr("q_lo", static_cast<int64_t>(q_lo));
+  span.SetAttr("q_hi", static_cast<int64_t>(q_hi));
   QueryResult total;
   Region all;
   for (Tick t = q_lo; t <= q_hi; ++t) {
@@ -106,17 +179,21 @@ FrEngine::QueryResult FrEngine::QueryInterval(Tick q_lo, Tick q_hi,
     total.sweep += snap.sweep;
   }
   total.region = all.Coalesced();
+  span.SetAttr("io_reads", total.cost.io.physical_reads);
+  span.SetAttr("cpu_ms", total.cost.cpu_ms);
   return total;
 }
 
 FrEngine::DhResult FrEngine::DhOnlyQuery(Tick q_t, double rho, double l,
                                          bool optimistic) {
+  TraceSpan span("fr.dh_query");
   Timer timer;
   DhResult result;
   result.filter = FilterCells(histogram_, q_t, rho, l);
   result.region =
       CellsAsRegion(result.filter, histogram_.grid(), optimistic);
   result.cpu_ms = timer.ElapsedMillis();
+  span.SetAttr("cpu_ms", result.cpu_ms);
   return result;
 }
 

@@ -1,8 +1,12 @@
 #include "pdr/core/monitor.h"
 
+#include "pdr/obs/obs.h"
+
 namespace pdr {
 
 PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
+  TraceSpan span("monitor.tick");
+  Timer timer;
   Delta delta;
   delta.now = now;
   delta.q_t = now + options_.lookahead;
@@ -17,6 +21,25 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   }
   previous_ = delta.current;
   has_previous_ = true;
+
+  static Counter& ticks =
+      MetricsRegistry::Global().GetCounter("pdr.monitor.ticks");
+  static Counter& changed =
+      MetricsRegistry::Global().GetCounter("pdr.monitor.changed_ticks");
+  static Histogram& tick_ms =
+      MetricsRegistry::Global().GetHistogram("pdr.monitor.tick_ms");
+  ticks.Increment();
+  if (delta.Changed()) changed.Increment();
+  tick_ms.Observe(timer.ElapsedMillis());
+
+  if (span.active()) {
+    span.SetAttr("now", static_cast<int64_t>(now));
+    span.SetAttr("q_t", static_cast<int64_t>(delta.q_t));
+    span.SetAttr("current_area", delta.current.Area());
+    span.SetAttr("appeared_area", delta.appeared.Area());
+    span.SetAttr("vanished_area", delta.vanished.Area());
+    span.SetAttr("io_reads", delta.cost.io.physical_reads);
+  }
   return delta;
 }
 

@@ -1,6 +1,20 @@
 #include "pdr/core/pa_engine.h"
 
+#include "pdr/obs/obs.h"
+
 namespace pdr {
+namespace {
+
+void FinishPaSpan(TraceSpan* span, const PaEngine::QueryResult& result) {
+  if (!span->active()) return;
+  span->SetAttr("cpu_ms", result.cost.cpu_ms);
+  span->SetAttr("nodes_visited", result.bnb.nodes_visited);
+  span->SetAttr("accepted_boxes", result.bnb.accepted_boxes);
+  span->SetAttr("pruned_boxes", result.bnb.pruned_boxes);
+  span->SetAttr("point_evals", result.bnb.point_evals);
+}
+
+}  // namespace
 
 PaEngine::PaEngine(const Options& options)
     : options_(options),
@@ -8,36 +22,50 @@ PaEngine::PaEngine(const Options& options)
               options.horizon, options.l}) {}
 
 PaEngine::QueryResult PaEngine::Query(Tick q_t, double rho) {
+  TraceSpan span("pa.query");
+  span.SetAttr("q_t", static_cast<int64_t>(q_t));
+  span.SetAttr("rho", rho);
   Timer timer;
   QueryResult result;
   result.region = model_.QueryDense(q_t, rho, options_.eval_grid, &result.bnb);
   result.cost.cpu_ms = timer.ElapsedMillis();
+
+  static Counter& queries =
+      MetricsRegistry::Global().GetCounter("pdr.pa.queries");
+  static Histogram& query_ms =
+      MetricsRegistry::Global().GetHistogram("pdr.pa.query_ms");
+  queries.Increment();
+  query_ms.Observe(result.cost.cpu_ms);
+  FinishPaSpan(&span, result);
   return result;
 }
 
 PaEngine::QueryResult PaEngine::QueryGridScan(Tick q_t, double rho) {
+  TraceSpan span("pa.query_grid_scan");
   Timer timer;
   QueryResult result;
   result.region =
       model_.QueryDenseGridScan(q_t, rho, options_.eval_grid, &result.bnb);
   result.cost.cpu_ms = timer.ElapsedMillis();
+  FinishPaSpan(&span, result);
   return result;
 }
 
 PaEngine::QueryResult PaEngine::QueryInterval(Tick q_lo, Tick q_hi,
                                               double rho) {
+  TraceSpan span("pa.query_interval");
+  span.SetAttr("q_lo", static_cast<int64_t>(q_lo));
+  span.SetAttr("q_hi", static_cast<int64_t>(q_hi));
   QueryResult total;
   Region all;
   for (Tick t = q_lo; t <= q_hi; ++t) {
     QueryResult snap = Query(t, rho);
     all.Add(snap.region);
     total.cost += snap.cost;
-    total.bnb.nodes_visited += snap.bnb.nodes_visited;
-    total.bnb.accepted_boxes += snap.bnb.accepted_boxes;
-    total.bnb.pruned_boxes += snap.bnb.pruned_boxes;
-    total.bnb.point_evals += snap.bnb.point_evals;
+    total.bnb += snap.bnb;
   }
   total.region = all.Coalesced();
+  FinishPaSpan(&span, total);
   return total;
 }
 

@@ -1,0 +1,258 @@
+#include "pdr/obs/export.h"
+
+#include <cinttypes>
+#include <cstring>
+
+namespace pdr {
+namespace {
+
+void AppendDouble(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON has no inf/nan literals; clamp to null.
+  if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr) {
+    out->append("null");
+  } else {
+    out->append(buf);
+  }
+}
+
+void AppendInt(int64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendQuoted(std::string_view s, std::string* out) {
+  out->push_back('"');
+  out->append(JsonEscape(s));
+  out->push_back('"');
+}
+
+void AppendSpan(const SpanNode& span, std::string* out) {
+  out->append("{\"name\":");
+  AppendQuoted(span.name, out);
+  out->append(",\"start_ns\":");
+  AppendInt(span.start_ns, out);
+  out->append(",\"dur_ms\":");
+  AppendDouble(span.duration_ms(), out);
+  if (!span.int_attrs.empty() || !span.num_attrs.empty()) {
+    out->append(",\"attrs\":{");
+    bool first = true;
+    for (const auto& [k, v] : span.int_attrs) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendQuoted(k, out);
+      out->push_back(':');
+      AppendInt(v, out);
+    }
+    for (const auto& [k, v] : span.num_attrs) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendQuoted(k, out);
+      out->push_back(':');
+      AppendDouble(v, out);
+    }
+    out->push_back('}');
+  }
+  if (!span.children.empty()) {
+    out->append(",\"children\":[");
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendSpan(*span.children[i], out);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string SpanToJson(const SpanNode& span) {
+  std::string out;
+  AppendSpan(span, &out);
+  return out;
+}
+
+std::string TraceJsonLine(const SpanNode& root) {
+  std::string out = "{\"type\":\"trace\",\"span\":";
+  AppendSpan(root, &out);
+  out.push_back('}');
+  return out;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
+  if (path == "-") {
+    file_ = stdout;
+  } else {
+    file_ = std::fopen(path.c_str(), "a");
+    owns_file_ = true;
+  }
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    if (owns_file_) std::fclose(file_);
+  }
+}
+
+void JsonlWriter::WriteLine(std::string_view json) {
+  if (file_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(json.data(), 1, json.size(), file_);
+  std::fputc('\n', file_);
+  ++lines_;
+}
+
+void JsonlWriter::Flush() {
+  if (file_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(file_);
+}
+
+void JsonlTraceSink::OnTrace(std::unique_ptr<SpanNode> root) {
+  if (writer_ != nullptr && root != nullptr) {
+    writer_->WriteLine(TraceJsonLine(*root));
+  }
+}
+
+void WriteMetricsJsonl(JsonlWriter* writer,
+                       const MetricsRegistry::Snapshot& snap) {
+  if (writer == nullptr || !writer->ok()) return;
+  std::string line;
+  for (const auto& c : snap.counters) {
+    line = "{\"type\":\"counter\",\"name\":";
+    AppendQuoted(c.name, &line);
+    line.append(",\"value\":");
+    AppendInt(c.value, &line);
+    line.push_back('}');
+    writer->WriteLine(line);
+  }
+  for (const auto& g : snap.gauges) {
+    line = "{\"type\":\"gauge\",\"name\":";
+    AppendQuoted(g.name, &line);
+    line.append(",\"value\":");
+    AppendDouble(g.value, &line);
+    line.push_back('}');
+    writer->WriteLine(line);
+  }
+  for (const auto& h : snap.histograms) {
+    line = "{\"type\":\"histogram\",\"name\":";
+    AppendQuoted(h.name, &line);
+    line.append(",\"count\":");
+    AppendInt(h.stat.count(), &line);
+    line.append(",\"mean\":");
+    AppendDouble(h.stat.mean(), &line);
+    line.append(",\"min\":");
+    AppendDouble(h.stat.min(), &line);
+    line.append(",\"max\":");
+    AppendDouble(h.stat.max(), &line);
+    line.append(",\"stddev\":");
+    AppendDouble(h.stat.stddev(), &line);
+    line.append(",\"buckets\":[");
+    bool first = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first) line.push_back(',');
+      first = false;
+      line.append("{\"ge\":");
+      AppendDouble(Histogram::BucketLowerBound(i), &line);
+      line.append(",\"count\":");
+      AppendInt(h.buckets[i], &line);
+      line.push_back('}');
+    }
+    line.append("]}");
+    writer->WriteLine(line);
+  }
+  writer->Flush();
+}
+
+void DumpMetrics(std::FILE* out, const MetricsRegistry::Snapshot& snap) {
+  if (!snap.counters.empty()) {
+    std::fprintf(out, "-- counters --\n");
+    for (const auto& c : snap.counters) {
+      std::fprintf(out, "  %-44s %14" PRId64 "\n", c.name.c_str(), c.value);
+    }
+  }
+  if (!snap.gauges.empty()) {
+    std::fprintf(out, "-- gauges --\n");
+    for (const auto& g : snap.gauges) {
+      std::fprintf(out, "  %-44s %14.6g\n", g.name.c_str(), g.value);
+    }
+  }
+  if (!snap.histograms.empty()) {
+    std::fprintf(out, "-- histograms --\n");
+    for (const auto& h : snap.histograms) {
+      std::fprintf(out,
+                   "  %-44s n=%" PRId64 " mean=%.4g min=%.4g max=%.4g "
+                   "sd=%.4g\n",
+                   h.name.c_str(), h.stat.count(), h.stat.mean(),
+                   h.stat.min(), h.stat.max(), h.stat.stddev());
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        if (h.buckets[i] == 0) continue;
+        std::fprintf(out, "    >= %-12.4g %10" PRId64 "\n",
+                     Histogram::BucketLowerBound(i), h.buckets[i]);
+      }
+    }
+  }
+  if (snap.Empty()) std::fprintf(out, "(no metrics registered)\n");
+}
+
+namespace {
+
+void DumpSpanIndented(std::FILE* out, const SpanNode& span, int depth) {
+  std::fprintf(out, "%*s%s  %.3f ms", depth * 2, "", span.name.c_str(),
+               span.duration_ms());
+  for (const auto& [k, v] : span.int_attrs) {
+    std::fprintf(out, "  %s=%" PRId64, k.c_str(), v);
+  }
+  for (const auto& [k, v] : span.num_attrs) {
+    std::fprintf(out, "  %s=%.4g", k.c_str(), v);
+  }
+  std::fprintf(out, "\n");
+  for (const auto& child : span.children) {
+    DumpSpanIndented(out, *child, depth + 1);
+  }
+}
+
+}  // namespace
+
+void DumpSpanTree(std::FILE* out, const SpanNode& root) {
+  DumpSpanIndented(out, root, 0);
+}
+
+}  // namespace pdr

@@ -1,0 +1,141 @@
+// Process-wide metrics registry: named counters, gauges, and latency
+// histograms, cheap enough to stay on in hot paths and safe to touch from
+// the monitor / simulation loops concurrently.
+//
+//   * Counter — monotonically increasing int64 (one relaxed atomic add).
+//   * Gauge   — last-write-wins double (one relaxed atomic store).
+//   * Histogram — log-scaled buckets (powers of two over [kMinValue, inf))
+//     plus Welford summary stats (RunningStat) under a per-histogram mutex;
+//     intended for per-query / per-stage latencies, not per-page events.
+//
+// Lookup is by name under a registry mutex; hot paths cache the returned
+// reference once (function-local static), so steady-state cost is the
+// atomic op alone. Handles are stable for the process lifetime — the
+// registry is never destroyed.
+//
+// Every mutating entry point early-outs on !PdrObs::Enabled(), which is a
+// compile-time constant `false` when the layer is configured out.
+
+#ifndef PDR_OBS_REGISTRY_H_
+#define PDR_OBS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdr/common/stats.h"
+#include "pdr/obs/obs.h"
+
+namespace pdr {
+
+class Counter {
+ public:
+  void Add(int64_t n = 1) {
+    if (!PdrObs::Enabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!PdrObs::Enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Latency/size histogram: bucket i >= 1 counts values in
+/// [kMinValue * 2^(i-1), kMinValue * 2^i); bucket 0 counts values below
+/// kMinValue. With kMinValue = 1e-3 (1 us when observing milliseconds)
+/// and 48 buckets the range covers ~4.5 years of milliseconds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+  static constexpr double kMinValue = 1e-3;
+
+  /// Inclusive lower bound of bucket `i` (0 for bucket 0).
+  static double BucketLowerBound(int i);
+  /// Bucket index for value `v`.
+  static int BucketOf(double v);
+
+  void Observe(double v);
+
+  RunningStat stat() const;
+  std::array<int64_t, kBuckets> buckets() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  RunningStat stat_;
+  std::array<int64_t, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed).
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the metric. The returned reference is stable for
+  /// the process lifetime; cache it at hot call sites:
+  ///   static Counter& c = MetricsRegistry::Global().GetCounter("x");
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Point-in-time copy of every registered metric, sorted by name.
+  struct Snapshot {
+    struct CounterEntry {
+      std::string name;
+      int64_t value = 0;
+    };
+    struct GaugeEntry {
+      std::string name;
+      double value = 0.0;
+    };
+    struct HistogramEntry {
+      std::string name;
+      RunningStat stat;
+      std::array<int64_t, Histogram::kBuckets> buckets{};
+    };
+    std::vector<CounterEntry> counters;
+    std::vector<GaugeEntry> gauges;
+    std::vector<HistogramEntry> histograms;
+
+    bool Empty() const {
+      return counters.empty() && gauges.empty() && histograms.empty();
+    }
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes every metric (registrations survive; handles stay valid).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_OBS_REGISTRY_H_

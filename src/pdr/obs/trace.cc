@@ -1,0 +1,101 @@
+#include "pdr/obs/trace.h"
+
+#include <chrono>
+
+namespace pdr {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread trace assembly state. `root` owns the in-flight tree;
+// `current` points at the innermost open span.
+struct ThreadTrace {
+  std::unique_ptr<SpanNode> root;
+  SpanNode* current = nullptr;
+};
+
+thread_local ThreadTrace g_thread_trace;
+
+}  // namespace
+
+int64_t SpanNode::IntAttrOr(std::string_view key, int64_t fallback) const {
+  for (const auto& [k, v] : int_attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+double SpanNode::NumAttrOr(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : num_attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+size_t SpanNode::TreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->TreeSize();
+  return n;
+}
+
+void CollectingSink::OnTrace(std::unique_ptr<SpanNode> root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(root));
+}
+
+size_t CollectingSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+std::vector<std::unique_ptr<SpanNode>> CollectingSink::TakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(traces_);
+}
+
+void TraceSpan::Open(std::string_view name) {
+  ThreadTrace& tt = g_thread_trace;
+  auto node = std::make_unique<SpanNode>();
+  node->name.assign(name.data(), name.size());
+  node->start_ns = NowNs();
+  SpanNode* raw = node.get();
+  if (tt.current == nullptr) {
+    tt.root = std::move(node);
+  } else {
+    tt.current->children.push_back(std::move(node));
+  }
+  parent_ = tt.current;
+  tt.current = raw;
+  node_ = raw;
+}
+
+void TraceSpan::Close() {
+  node_->duration_ns = NowNs() - node_->start_ns;
+  ThreadTrace& tt = g_thread_trace;
+  tt.current = parent_;
+  if (parent_ == nullptr) {
+    std::unique_ptr<SpanNode> finished = std::move(tt.root);
+    // The sink may have been swapped or removed while the span was open;
+    // deliver to whatever is installed now, else drop the tree.
+    if (TraceSink* sink = PdrObs::trace_sink(); sink != nullptr) {
+      sink->OnTrace(std::move(finished));
+    }
+  }
+  node_ = nullptr;
+}
+
+void TraceSpan::SetAttr(std::string_view key, int64_t v) {
+  if (node_ == nullptr) return;
+  node_->int_attrs.emplace_back(std::string(key), v);
+}
+
+void TraceSpan::SetAttr(std::string_view key, double v) {
+  if (node_ == nullptr) return;
+  node_->num_attrs.emplace_back(std::string(key), v);
+}
+
+}  // namespace pdr

@@ -2,7 +2,30 @@
 
 #include <cassert>
 
+#include "pdr/obs/registry.h"
+
 namespace pdr {
+namespace {
+
+// Process-wide mirrors of the per-pool IoStats so cross-pool I/O pressure
+// shows up in one place (pdr_tool stats, bench JSONL exports).
+Counter& LogicalReadsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("pdr.storage.logical_reads");
+  return c;
+}
+Counter& PhysicalReadsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("pdr.storage.physical_reads");
+  return c;
+}
+Counter& WritebacksCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("pdr.storage.writebacks");
+  return c;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
     : pager_(pager), capacity_(capacity_pages) {
@@ -82,6 +105,7 @@ void BufferPool::FlushFrame(Frame& frame) {
     pager_->PageAt(frame.id) = frame.page;
     frame.dirty = false;
     ++stats_.writebacks;
+    WritebacksCounter().Increment();
   }
 }
 
@@ -104,12 +128,14 @@ size_t BufferPool::AcquireFrame() {
 
 BufferPool::PageRef BufferPool::Fetch(PageId id) {
   ++stats_.logical_reads;
+  LogicalReadsCounter().Increment();
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
     Pin(it->second);
     return PageRef(this, it->second);
   }
   ++stats_.physical_reads;
+  PhysicalReadsCounter().Increment();
   const size_t frame = AcquireFrame();
   Frame& f = frames_[frame];
   f.id = id;

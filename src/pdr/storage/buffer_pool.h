@@ -13,25 +13,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pdr/common/stats.h"  // IoStats
 #include "pdr/storage/pager.h"
 
 namespace pdr {
-
-/// Simulated I/O counters. `physical_reads` drive the cost model;
-/// `logical_reads` (all fetches) measure access locality.
-struct IoStats {
-  int64_t logical_reads = 0;
-  int64_t physical_reads = 0;
-  int64_t writebacks = 0;
-
-  double ReadCostMs(double ms_per_read) const {
-    return static_cast<double>(physical_reads) * ms_per_read;
-  }
-  IoStats operator-(const IoStats& o) const {
-    return {logical_reads - o.logical_reads,
-            physical_reads - o.physical_reads, writebacks - o.writebacks};
-  }
-};
 
 class BufferPool {
  public:

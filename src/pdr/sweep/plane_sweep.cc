@@ -4,6 +4,8 @@
 #include <cassert>
 #include <set>
 
+#include "pdr/obs/obs.h"
+
 namespace pdr {
 namespace {
 
@@ -72,9 +74,11 @@ std::vector<std::pair<double, double>> SweepY(
   return dense;
 }
 
-std::vector<Rect> SweepCell(const Rect& cell,
-                            const std::vector<Vec2>& positions, double l,
-                            int64_t n_min, SweepStats* stats) {
+namespace {
+
+std::vector<Rect> SweepCellImpl(const Rect& cell,
+                                const std::vector<Vec2>& positions, double l,
+                                int64_t n_min, SweepStats* stats) {
   std::vector<Rect> result;
   if (n_min <= 0) {
     // Degenerate threshold: everything is dense.
@@ -140,6 +144,41 @@ std::vector<Rect> SweepCell(const Rect& cell,
       if (stats != nullptr) ++stats->dense_rects;
     }
   }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Rect> SweepCell(const Rect& cell,
+                            const std::vector<Vec2>& positions, double l,
+                            int64_t n_min, SweepStats* stats) {
+  TraceSpan span("sweep.cell");
+  SweepStats local;
+  std::vector<Rect> result = SweepCellImpl(cell, positions, l, n_min, &local);
+
+  static Counter& cells =
+      MetricsRegistry::Global().GetCounter("pdr.sweep.cells");
+  static Counter& x_strips =
+      MetricsRegistry::Global().GetCounter("pdr.sweep.x_strips");
+  static Counter& y_sweeps =
+      MetricsRegistry::Global().GetCounter("pdr.sweep.y_sweeps");
+  static Counter& y_strips =
+      MetricsRegistry::Global().GetCounter("pdr.sweep.y_strips");
+  static Counter& dense_rects =
+      MetricsRegistry::Global().GetCounter("pdr.sweep.dense_rects");
+  cells.Increment();
+  x_strips.Add(local.x_strips);
+  y_sweeps.Add(local.y_sweeps);
+  y_strips.Add(local.y_strips);
+  dense_rects.Add(local.dense_rects);
+
+  if (span.active()) {
+    span.SetAttr("positions", static_cast<int64_t>(positions.size()));
+    span.SetAttr("x_strips", local.x_strips);
+    span.SetAttr("y_sweeps", local.y_sweeps);
+    span.SetAttr("dense_rects", local.dense_rects);
+  }
+  if (stats != nullptr) *stats += local;
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pdr/obs/obs.h"
+
 namespace pdr {
 
 // ---------------------------------------------------------------------------
@@ -562,12 +564,22 @@ bool TprTree::Delete(ObjectId id) {
 
 std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
     const Rect& window, Tick t) {
+  TraceSpan span("tpr.range_query");
+  const IoStats io_before = span.active() ? pool_.stats() : IoStats{};
+  static Counter& queries =
+      MetricsRegistry::Global().GetCounter("pdr.tpr.range_queries");
+  static Counter& nodes_counter =
+      MetricsRegistry::Global().GetCounter("pdr.tpr.nodes_visited");
+  queries.Increment();
+  int64_t nodes_visited = 0;
+
   std::vector<std::pair<ObjectId, MotionState>> out;
   if (root_ == kInvalidPageId) return out;
   std::vector<PageId> stack{root_};
   while (!stack.empty()) {
     const PageId node_id = stack.back();
     stack.pop_back();
+    ++nodes_visited;
     auto ref = pool_.Fetch(node_id);
     const NodeHeader* header = ref->As<NodeHeader>();
     if (header->is_leaf) {
@@ -586,6 +598,14 @@ std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
         }
       }
     }
+  }
+  nodes_counter.Add(nodes_visited);
+  if (span.active()) {
+    const IoStats delta = pool_.stats() - io_before;
+    span.SetAttr("nodes_visited", nodes_visited);
+    span.SetAttr("results", static_cast<int64_t>(out.size()));
+    span.SetAttr("io_reads", delta.physical_reads);
+    span.SetAttr("io_logical", delta.logical_reads);
   }
   return out;
 }

@@ -132,8 +132,8 @@ TEST(FrEngineTest, CostAccountingChargesIo) {
   const auto cold = fr.Query(0, rho, 20.0, /*cold_cache=*/true);
   EXPECT_GT(cold.candidate_cells, 0);
   EXPECT_GT(cold.objects_fetched, 0);
-  EXPECT_GT(cold.cost.io_reads, 0);
-  EXPECT_DOUBLE_EQ(cold.cost.io_ms, cold.cost.io_reads * 10.0);
+  EXPECT_GT(cold.cost.io_reads(), 0);
+  EXPECT_DOUBLE_EQ(cold.cost.io_ms, cold.cost.io_reads() * 10.0);
   EXPECT_GT(cold.cost.cpu_ms, 0.0);
   EXPECT_GT(cold.cost.TotalMs(), cold.cost.cpu_ms);
 }

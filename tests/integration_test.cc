@@ -115,7 +115,7 @@ TEST(IntegrationTest, CostModelOrdersMethodsAsInPaper) {
   const auto fr_result = p.fr.Query(q_t, p.rho, p.l, /*cold_cache=*/true);
   const auto pa_result = p.pa.Query(q_t, p.rho);
   EXPECT_GT(fr_result.cost.TotalMs(), pa_result.cost.TotalMs());
-  EXPECT_EQ(pa_result.cost.io_reads, 0);
+  EXPECT_EQ(pa_result.cost.io_reads(), 0);
 }
 
 TEST(IntegrationTest, FullyDeterministicForSeed) {

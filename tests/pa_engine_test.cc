@@ -25,7 +25,7 @@ TEST(PaEngineTest, NoIoCharged) {
     pa.Apply(e);
   }
   const auto result = pa.Query(0, 0.05);
-  EXPECT_EQ(result.cost.io_reads, 0);
+  EXPECT_EQ(result.cost.io_reads(), 0);
   EXPECT_DOUBLE_EQ(result.cost.io_ms, 0.0);
   EXPECT_GT(result.cost.cpu_ms, 0.0);
 }

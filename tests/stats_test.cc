@@ -85,13 +85,24 @@ TEST(TimerTest, ResetRestarts) {
 }
 
 TEST(CostBreakdownTest, TotalAndAccumulate) {
-  CostBreakdown a{1.5, 3, 30.0};
+  CostBreakdown a{1.5, {7, 3, 1}, 30.0};
   EXPECT_DOUBLE_EQ(a.TotalMs(), 31.5);
-  CostBreakdown b{0.5, 1, 10.0};
+  CostBreakdown b{0.5, {2, 1, 0}, 10.0};
   a += b;
   EXPECT_DOUBLE_EQ(a.cpu_ms, 2.0);
-  EXPECT_EQ(a.io_reads, 4);
+  EXPECT_EQ(a.io_reads(), 4);
+  EXPECT_EQ(a.io.logical_reads, 9);
+  EXPECT_EQ(a.io.writebacks, 1);
   EXPECT_DOUBLE_EQ(a.io_ms, 40.0);
+}
+
+TEST(IoStatsInCostTest, AccumulatesAllComponents) {
+  IoStats s{10, 4, 2};
+  IoStats t{5, 1, 0};
+  s += t;
+  EXPECT_EQ(s.logical_reads, 15);
+  EXPECT_EQ(s.physical_reads, 5);
+  EXPECT_EQ(s.writebacks, 2);
 }
 
 }  // namespace
