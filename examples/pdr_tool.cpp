@@ -6,7 +6,9 @@
 //   pdr_tool query --in city.pdrd --varrho R --l L [--qt T]
 //                  [--engine fr|pa|both] [--index tpr|bx] [--trace FILE]
 //   pdr_tool monitor --in city.pdrd --varrho R --l L [--lookahead W]
-//                    [--every K] [--trace FILE]
+//                    [--every K] [--trace FILE] [--audit-rate R]
+//                    [--report FILE] [--interval S] [--degree K]
+//                    [--fail-on-drift]
 //   pdr_tool stats --in city.pdrd --varrho R --l L [--qt T]
 //                  [--engine fr|pa|both] [--index tpr|bx] [--queries N]
 //                  [--json FILE]
@@ -16,6 +18,15 @@
 // standing query reports appeared/vanished dense regions; `stats` runs a
 // small query workload and dumps the metrics registry (human-readable to
 // stdout, JSONL with --json).
+//
+// `monitor --audit-rate=R` switches the standing query to the fast PA
+// engine and shadow-audits a fraction R of the answers against exact FR
+// on the same snapshot (plus cost-model calibration of every replay).
+// `--report FILE` streams one audit_window JSONL line per `--interval S`
+// ticks ("-" for stdout; per-tick human output then moves to stderr) and
+// prints a human-readable end-of-run report with percentile tables.
+// `--fail-on-drift` exits 3 when the EWMA drift detector flagged any
+// signal (PA recall/precision, predicted-vs-actual I/O ratio).
 //
 // `--trace FILE` (query, monitor) records the per-query span trees — and a
 // final metrics snapshot — as JSONL ("-" for stdout). See EXPERIMENTS.md
@@ -103,6 +114,8 @@ int Usage() {
       "[--engine fr|pa|both] [--index tpr|bx] [--trace FILE]\n"
       "  monitor: --in FILE --varrho R --l L [--lookahead W] "
       "[--every K] [--trace FILE]\n"
+      "           [--audit-rate R] [--report FILE] [--interval S] "
+      "[--degree K] [--fail-on-drift]\n"
       "  stats:   --in FILE --varrho R --l L [--qt T] "
       "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n");
   return 2;
@@ -214,28 +227,126 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
   const double l = std::stod(FlagOr(flags, "l", "30"));
   const Tick lookahead = std::stoi(FlagOr(flags, "lookahead", "10"));
   const Tick every = std::max(1, std::stoi(FlagOr(flags, "every", "5")));
+  const double audit_rate = std::stod(FlagOr(flags, "audit-rate", "0"));
+  const std::string report_path = FlagOr(flags, "report", "");
+  const Tick interval = std::max(1, std::stoi(FlagOr(flags, "interval", "10")));
+  const int degree = std::stoi(FlagOr(flags, "degree", "5"));
+  const bool fail_on_drift = flags.count("fail-on-drift") > 0;
+  const bool audit = audit_rate > 0.0;
   TraceOutput trace(FlagOr(flags, "trace", ""));
   const double extent = ds.config.extent;
   const double rho =
       varrho * ds.config.num_objects / (extent * extent);
 
+  // Per-tick human lines move to stderr when the JSONL report claims
+  // stdout.
+  std::FILE* human = report_path == "-" ? stderr : stdout;
+
+  std::unique_ptr<JsonlWriter> report;
+  if (!report_path.empty()) {
+    report = std::make_unique<JsonlWriter>(report_path);
+    if (!report->ok()) {
+      std::fprintf(stderr, "error: cannot open report file %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+  }
+
+  // The report mode and the auditor both read the metrics registry, so a
+  // monitoring run always observes (and starts from a clean registry).
+  if (audit || report != nullptr) {
+    PdrObs::SetEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+  }
+
+  const Tick horizon = 2 * ds.config.max_update_interval;
   FrEngine fr({.extent = extent,
                .histogram_side = 100,
-               .horizon = 2 * ds.config.max_update_interval,
+               .horizon = horizon,
                .buffer_pages =
                    PaperConfig().BufferPagesFor(ds.config.num_objects),
-               .io_ms = 10.0});
-  PdrMonitor monitor(&fr, {.rho = rho, .l = l, .lookahead = lookahead});
+               .io_ms = 10.0,
+               .max_update_interval = ds.config.max_update_interval});
+  CostCalibrator calibrator(&fr);
+
+  // Audit mode runs the standing query on PA and shadow-audits against
+  // FR; both engines (and the probe oracle) consume the update stream.
+  std::unique_ptr<PaEngine> pa;
+  std::unique_ptr<Oracle> oracle;
+  std::unique_ptr<ShadowAuditor> auditor;
+  std::unique_ptr<PdrMonitor> monitor;
+  if (audit) {
+    pa = std::make_unique<PaEngine>(PaEngine::Options{.extent = extent,
+                                                      .poly_side = 10,
+                                                      .degree = degree,
+                                                      .horizon = horizon,
+                                                      .l = l,
+                                                      .eval_grid = 1000});
+    oracle = std::make_unique<Oracle>(extent);
+    ShadowAuditor::Options audit_options;
+    audit_options.sample_rate = audit_rate;
+    audit_options.l = l;
+    auditor = std::make_unique<ShadowAuditor>(&fr, oracle.get(),
+                                              audit_options);
+    auditor->SetCalibrator(&calibrator);
+    auditor->SetApproxDensityProbe(
+        [&pa](Tick t, Vec2 p) { return pa->Density(t, p); });
+    monitor = std::make_unique<PdrMonitor>(
+        pa.get(),
+        PdrMonitor::Options{.rho = rho, .l = l, .lookahead = lookahead});
+    monitor->SetAuditor(auditor.get());
+  } else {
+    monitor = std::make_unique<PdrMonitor>(
+        &fr,
+        PdrMonitor::Options{.rho = rho, .l = l, .lookahead = lookahead});
+    monitor->SetCalibrator(&calibrator);
+  }
+
+  MonitorReporter::Options report_options;
+  report_options.interval = interval;
+  MonitorReporter reporter(report.get(), report_options);
+  Tick last_window = 0;
 
   for (Tick now = 0; now <= ds.duration(); ++now) {
     fr.AdvanceTo(now);
-    for (const UpdateEvent& e : ds.ticks[now]) fr.Apply(e);
-    if (now % every != 0) continue;
-    const auto delta = monitor.OnTick(now);
-    std::printf("t=%-4d dense %8.1f sq-mi | +%8.1f appeared, -%8.1f "
-                "vanished | %.0f ms\n",
-                now, delta.current.Area(), delta.appeared.Area(),
-                delta.vanished.Area(), delta.cost.TotalMs());
+    if (pa != nullptr) pa->AdvanceTo(now);
+    if (oracle != nullptr) oracle->AdvanceTo(now);
+    for (const UpdateEvent& e : ds.ticks[now]) {
+      fr.Apply(e);
+      if (pa != nullptr) pa->Apply(e);
+      if (oracle != nullptr) oracle->Apply(e);
+    }
+    if (now % every == 0) {
+      const auto delta = monitor->OnTick(now);
+      std::fprintf(human,
+                   "t=%-4d dense %8.1f sq-mi | +%8.1f appeared, -%8.1f "
+                   "vanished | %.0f ms",
+                   now, delta.current.Area(), delta.appeared.Area(),
+                   delta.vanished.Area(), delta.cost.TotalMs());
+      if (delta.audit) {
+        std::fprintf(human, " | audit P=%.3f R=%.3f io=%lld",
+                     delta.audit->precision, delta.audit->recall,
+                     static_cast<long long>(delta.audit->fr_io_reads));
+      }
+      std::fprintf(human, "\n");
+    }
+    if ((audit || report != nullptr) && now > 0 && now % interval == 0) {
+      reporter.EmitWindow(now);
+      last_window = now;
+    }
+  }
+
+  if (audit || report != nullptr) {
+    if (ds.duration() > last_window) reporter.EmitWindow(ds.duration());
+    if (report != nullptr) {
+      WriteMetricsJsonl(report.get(),
+                        MetricsRegistry::Global().TakeSnapshot());
+    }
+    reporter.WriteFinalReport(human);
+    if (fail_on_drift && reporter.drift_seen()) {
+      std::fprintf(stderr, "drift detected: failing (--fail-on-drift)\n");
+      return 3;
+    }
   }
   return 0;
 }

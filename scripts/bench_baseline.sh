@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Runs the accuracy/cost benches that track the paper's headline figures
+# (Fig. 8 accuracy, Fig. 8 memory, Fig. 10 cost) with JSONL output and
+# consolidates the series into one BENCH_baseline.json at the repo root.
+# The file is the committed reference point: re-run after a performance-
+# or accuracy-relevant change and diff to see what moved.
+#
+# Usage: scripts/bench_baseline.sh [--scale=X | --full] [--build DIR]
+#
+#   --scale=X   dataset-size multiplier forwarded to every bench
+#               (default 0.1, the benches' own default)
+#   --full      paper scale (forwarded; implies scale 1.0)
+#   --build DIR build tree holding the bench binaries (default: build)
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${repo}/build"
+bench_args=()
+scale="0.1"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build)
+      build="$2"
+      shift 2
+      ;;
+    --full)
+      bench_args+=("--full")
+      scale="1.0"
+      shift
+      ;;
+    --scale=*)
+      bench_args+=("$1")
+      scale="${1#--scale=}"
+      shift
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+benches=(bench_fig8_accuracy bench_fig8_memory bench_fig10_cost)
+for b in "${benches[@]}"; do
+  if [[ ! -x "${build}/bench/${b}" ]]; then
+    echo "error: ${build}/bench/${b} not built (cmake --build ${build})" >&2
+    exit 1
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+for b in "${benches[@]}"; do
+  echo "==== ${b} ===="
+  "${build}/bench/${b}" --jsonl="${tmpdir}/${b}.jsonl" \
+      ${bench_args[@]+"${bench_args[@]}"} >/dev/null
+done
+
+out="${repo}/BENCH_baseline.json"
+python3 - "$out" "$scale" "${tmpdir}" "${benches[@]}" <<'PY'
+import json
+import sys
+
+out_path, scale, tmpdir = sys.argv[1], sys.argv[2], sys.argv[3]
+benches = sys.argv[4:]
+
+doc = {"schema": "pdr-bench-baseline/v1", "scale": float(scale),
+       "benches": {}}
+for bench in benches:
+    series = {}
+    with open(f"{tmpdir}/{bench}.jsonl") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("type") != "series":
+                continue
+            series.setdefault(row["series"], []).append(row["values"])
+    doc["benches"][bench] = series
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+    f.write("\n")
+
+rows = sum(len(v) for b in doc["benches"].values() for v in b.values())
+print(f"wrote {out_path}: {rows} rows across "
+      f"{sum(len(b) for b in doc['benches'].values())} series")
+PY

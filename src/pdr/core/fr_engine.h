@@ -92,6 +92,7 @@ class FrEngine {
 
   const DensityHistogram& histogram() const { return histogram_; }
   ObjectIndex& index() { return *index_; }
+  const ObjectIndex& index() const { return *index_; }
   const Options& options() const { return options_; }
 
  private:

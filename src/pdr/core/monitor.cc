@@ -1,5 +1,7 @@
 #include "pdr/core/monitor.h"
 
+#include <utility>
+
 #include "pdr/obs/obs.h"
 
 namespace pdr {
@@ -10,9 +12,32 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   Delta delta;
   delta.now = now;
   delta.q_t = now + options_.lookahead;
-  auto result = engine_->Query(delta.q_t, options_.rho, options_.l);
-  delta.cost = result.cost;
-  delta.current = std::move(result.region);
+
+  if (pa_ != nullptr) {
+    Timer pa_timer;
+    auto result = pa_->Query(delta.q_t, options_.rho);
+    if (PdrObs::Enabled()) {
+      static Histogram& pa_ms =
+          MetricsRegistry::Global().GetHistogram("pdr.monitor.pa_query_ms");
+      pa_ms.Observe(pa_timer.ElapsedMillis());
+    }
+    delta.cost = result.cost;
+    delta.current = std::move(result.region);
+    if (auditor_ != nullptr) {
+      delta.audit = auditor_->MaybeAudit(delta.q_t, options_.rho,
+                                         delta.current);
+    }
+  } else {
+    std::optional<CostPrediction> predicted;
+    if (calibrator_ != nullptr && PdrObs::Enabled()) {
+      predicted = calibrator_->Predict(delta.q_t, options_.rho, options_.l);
+    }
+    auto result = engine_->Query(delta.q_t, options_.rho, options_.l);
+    if (predicted) calibrator_->Observe(*predicted, result);
+    delta.cost = result.cost;
+    delta.current = std::move(result.region);
+  }
+
   if (has_previous_) {
     delta.appeared = RegionDifference(delta.current, previous_);
     delta.vanished = RegionDifference(previous_, delta.current);
@@ -39,6 +64,10 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     span.SetAttr("appeared_area", delta.appeared.Area());
     span.SetAttr("vanished_area", delta.vanished.Area());
     span.SetAttr("io_reads", delta.cost.io.physical_reads);
+    if (delta.audit) {
+      span.SetAttr("audit_precision", delta.audit->precision);
+      span.SetAttr("audit_recall", delta.audit->recall);
+    }
   }
   return delta;
 }

@@ -12,13 +12,25 @@
 // so downstream consumers (alerting, dispatch) handle O(change) instead
 // of re-reading the full answer. This is the natural extension toward the
 // continuous density queries of the follow-up literature.
+//
+// The monitor runs over either engine: FR-primary (exact answers; the
+// original mode) or PA-primary (fast approximate answers). In PA-primary
+// mode a ShadowAuditor can be attached — each tick's answer is then
+// offered to the sampler, and ~sample_rate of them are replayed through
+// exact FR and scored; the verdict rides along on the Delta. In
+// FR-primary mode an attached CostCalibrator predicts each query's cost
+// before it runs and scores the prediction against actuals.
 
 #ifndef PDR_CORE_MONITOR_H_
 #define PDR_CORE_MONITOR_H_
 
+#include <optional>
+
 #include "pdr/common/region.h"
 #include "pdr/common/stats.h"
 #include "pdr/core/fr_engine.h"
+#include "pdr/core/pa_engine.h"
+#include "pdr/obs/audit.h"
 
 namespace pdr {
 
@@ -38,16 +50,32 @@ class PdrMonitor {
     Region appeared;  ///< dense now, not dense at the previous evaluation
     Region vanished;  ///< dense at the previous evaluation, not now
     CostBreakdown cost;
+    /// Present when this tick's answer was shadow-audited (PA-primary
+    /// with an attached auditor, sampled in).
+    std::optional<AuditVerdict> audit;
 
     bool Changed() const {
       return !appeared.IsEmpty() || !vanished.IsEmpty();
     }
   };
 
-  /// The monitor evaluates through `engine` (not owned); the caller keeps
-  /// feeding the engine its update stream.
+  /// FR-primary: the monitor evaluates through `engine` (not owned); the
+  /// caller keeps feeding the engine its update stream.
   PdrMonitor(FrEngine* engine, const Options& options)
       : engine_(engine), options_(options) {}
+
+  /// PA-primary: evaluates through the approximate engine (not owned).
+  /// `options.l` must match the engine's fixed l.
+  PdrMonitor(PaEngine* primary, const Options& options)
+      : pa_(primary), options_(options) {}
+
+  /// Attaches a shadow auditor (PA-primary mode; not owned). The auditor's
+  /// FR engine must be fed the same update stream as the PA engine.
+  void SetAuditor(ShadowAuditor* auditor) { auditor_ = auditor; }
+
+  /// Attaches a cost calibrator (FR-primary mode; not owned): each tick's
+  /// query is predicted before it runs and the prediction scored.
+  void SetCalibrator(CostCalibrator* calibrator) { calibrator_ = calibrator; }
 
   const Options& options() const { return options_; }
 
@@ -61,7 +89,10 @@ class PdrMonitor {
   void Reset() { has_previous_ = false; }
 
  private:
-  FrEngine* engine_;
+  FrEngine* engine_ = nullptr;
+  PaEngine* pa_ = nullptr;
+  ShadowAuditor* auditor_ = nullptr;
+  CostCalibrator* calibrator_ = nullptr;
   Options options_;
   Region previous_;
   bool has_previous_ = false;

@@ -183,6 +183,12 @@ void WriteMetricsJsonl(JsonlWriter* writer,
     AppendDouble(h.stat.max(), &line);
     line.append(",\"stddev\":");
     AppendDouble(h.stat.stddev(), &line);
+    line.append(",\"p50\":");
+    AppendDouble(h.Percentile(50), &line);
+    line.append(",\"p95\":");
+    AppendDouble(h.Percentile(95), &line);
+    line.append(",\"p99\":");
+    AppendDouble(h.Percentile(99), &line);
     line.append(",\"buckets\":[");
     bool first = true;
     for (int i = 0; i < Histogram::kBuckets; ++i) {
@@ -219,9 +225,10 @@ void DumpMetrics(std::FILE* out, const MetricsRegistry::Snapshot& snap) {
     for (const auto& h : snap.histograms) {
       std::fprintf(out,
                    "  %-44s n=%" PRId64 " mean=%.4g min=%.4g max=%.4g "
-                   "sd=%.4g\n",
+                   "sd=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
                    h.name.c_str(), h.stat.count(), h.stat.mean(),
-                   h.stat.min(), h.stat.max(), h.stat.stddev());
+                   h.stat.min(), h.stat.max(), h.stat.stddev(),
+                   h.Percentile(50), h.Percentile(95), h.Percentile(99));
       for (int i = 0; i < Histogram::kBuckets; ++i) {
         if (h.buckets[i] == 0) continue;
         std::fprintf(out, "    >= %-12.4g %10" PRId64 "\n",

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "pdr/common/geometry.h"
 #include "pdr/obs/trace.h"
 
 namespace pdr {
@@ -64,6 +65,51 @@ RunningStat Histogram::stat() const {
 std::array<int64_t, Histogram::kBuckets> Histogram::buckets() const {
   std::lock_guard<std::mutex> lock(mu_);
   return buckets_;
+}
+
+double HistogramPercentile(
+    const std::array<int64_t, Histogram::kBuckets>& buckets, double p) {
+  int64_t total = 0;
+  for (const int64_t c : buckets) total += c;
+  if (total <= 0) return 0.0;
+  const double clamped_p = Clamp(p, 0.0, 100.0);
+  // Rank in (0, total]: the value below which ~p% of the mass lies.
+  const double rank = clamped_p / 100.0 * static_cast<double>(total);
+  int64_t cum = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = static_cast<double>(cum + buckets[i]);
+    if (rank <= next) {
+      const double lo = Histogram::BucketLowerBound(i);
+      // The open-ended last bucket is treated as one more doubling.
+      const double hi = i + 1 < Histogram::kBuckets
+                            ? Histogram::BucketLowerBound(i + 1)
+                            : 2.0 * lo;
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * Clamp(frac, 0.0, 1.0);
+    }
+    cum += buckets[i];
+  }
+  return Histogram::BucketLowerBound(Histogram::kBuckets - 1);
+}
+
+double Histogram::Percentile(double p) const {
+  std::array<int64_t, kBuckets> snapshot_buckets;
+  RunningStat snapshot_stat;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_buckets = buckets_;
+    snapshot_stat = stat_;
+  }
+  if (snapshot_stat.count() == 0) return 0.0;
+  return Clamp(HistogramPercentile(snapshot_buckets, p), snapshot_stat.min(),
+               snapshot_stat.max());
+}
+
+double MetricsRegistry::Snapshot::HistogramEntry::Percentile(double p) const {
+  if (stat.count() == 0) return 0.0;
+  return Clamp(HistogramPercentile(buckets, p), stat.min(), stat.max());
 }
 
 void Histogram::Reset() {

@@ -81,6 +81,12 @@ class Histogram {
 
   RunningStat stat() const;
   std::array<int64_t, kBuckets> buckets() const;
+
+  /// Interpolated percentile estimate (p in [0, 100]): locates the bucket
+  /// holding the requested rank and interpolates linearly inside it, then
+  /// clamps to the observed [min, max]. Returns 0 with no observations.
+  double Percentile(double p) const;
+
   void Reset();
 
  private:
@@ -88,6 +94,14 @@ class Histogram {
   RunningStat stat_;
   std::array<int64_t, kBuckets> buckets_{};
 };
+
+/// Interpolated percentile (p in [0, 100]) over raw log2 bucket counts
+/// (shared by Histogram, snapshot entries, and windowed bucket deltas).
+/// The rank is located by cumulative count and mapped linearly within its
+/// bucket's [lower, upper) value range. Returns 0 when the counts are
+/// empty.
+double HistogramPercentile(
+    const std::array<int64_t, Histogram::kBuckets>& buckets, double p);
 
 class MetricsRegistry {
  public:
@@ -115,6 +129,10 @@ class MetricsRegistry {
       std::string name;
       RunningStat stat;
       std::array<int64_t, Histogram::kBuckets> buckets{};
+
+      /// Interpolated percentile of the snapshotted distribution, clamped
+      /// to the observed [min, max].
+      double Percentile(double p) const;
     };
     std::vector<CounterEntry> counters;
     std::vector<GaugeEntry> gauges;

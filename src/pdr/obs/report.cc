@@ -1,0 +1,241 @@
+#include "pdr/obs/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+
+namespace pdr {
+
+namespace {
+
+// JSON number with inf/nan mapped to null (JSON has no literals for them).
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendField(std::string* out, const char* key, double v) {
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+  AppendNumber(out, v);
+}
+
+void AppendField(std::string* out, const char* key, int64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, key, v);
+  out->append(buf);
+}
+
+const MetricsRegistry::Snapshot::HistogramEntry* FindHistogram(
+    const MetricsRegistry::Snapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::Snapshot::GaugeEntry* FindGauge(
+    const MetricsRegistry::Snapshot& snap, const std::string& name) {
+  for (const auto& g : snap.gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int64_t MonitorReporter::DiffCounter(const MetricsRegistry::Snapshot& now,
+                                     const MetricsRegistry::Snapshot& prev,
+                                     const std::string& name) {
+  int64_t cur = 0, old = 0;
+  for (const auto& c : now.counters) {
+    if (c.name == name) cur = c.value;
+  }
+  for (const auto& c : prev.counters) {
+    if (c.name == name) old = c.value;
+  }
+  return cur - old;
+}
+
+std::optional<WindowHistogram> MonitorReporter::DiffHistogram(
+    const MetricsRegistry::Snapshot& now, const MetricsRegistry::Snapshot& prev,
+    const std::string& name) {
+  const auto* cur = FindHistogram(now, name);
+  if (cur == nullptr) return std::nullopt;
+  const auto* old = FindHistogram(prev, name);
+
+  const int64_t old_count = old != nullptr ? old->stat.count() : 0;
+  const int64_t count = cur->stat.count() - old_count;
+  if (count <= 0) return std::nullopt;
+
+  WindowHistogram w;
+  w.count = count;
+  const double old_sum = old != nullptr ? old->stat.sum() : 0.0;
+  w.mean = (cur->stat.sum() - old_sum) / static_cast<double>(count);
+
+  std::array<int64_t, Histogram::kBuckets> delta = cur->buckets;
+  if (old != nullptr) {
+    for (int i = 0; i < Histogram::kBuckets; ++i) delta[i] -= old->buckets[i];
+  }
+  for (auto& b : delta) b = std::max<int64_t>(b, 0);
+  w.p50 = HistogramPercentile(delta, 50.0);
+  w.p95 = HistogramPercentile(delta, 95.0);
+  w.p99 = HistogramPercentile(delta, 99.0);
+  return w;
+}
+
+void MonitorReporter::EmitWindow(Tick now) {
+  MetricsRegistry::Snapshot snap = MetricsRegistry::Global().TakeSnapshot();
+  ++windows_;
+
+  const int64_t sampled = DiffCounter(snap, prev_, "pdr.audit.sampled");
+  const int64_t disagreements =
+      DiffCounter(snap, prev_, "pdr.audit.disagreements");
+  const auto precision = DiffHistogram(snap, prev_, "pdr.audit.precision");
+  const auto recall = DiffHistogram(snap, prev_, "pdr.audit.recall");
+  const auto io_ratio = DiffHistogram(snap, prev_, "pdr.calib.io_ratio");
+  const auto cand_ratio =
+      DiffHistogram(snap, prev_, "pdr.calib.candidate_ratio");
+  const auto replay = DiffHistogram(snap, prev_, "pdr.audit.fr_replay_ms");
+  const auto pa_ms = DiffHistogram(snap, prev_, "pdr.monitor.pa_query_ms");
+
+  // Feed the drift detector on window means (quality only when the window
+  // actually audited something).
+  std::vector<EwmaDriftDetector::Event> fired;
+  const size_t events_before = drift_.events().size();
+  if (precision && recall) {
+    drift_.ObserveQuality(now, precision->mean, recall->mean);
+  }
+  if (io_ratio) drift_.ObserveIoRatio(now, io_ratio->mean);
+  for (size_t i = events_before; i < drift_.events().size(); ++i) {
+    fired.push_back(drift_.events()[i]);
+  }
+
+  if (writer_ != nullptr) {
+    std::string line = "{\"type\":\"audit_window\"";
+    auto field = [&line](const char* key, auto v) {
+      line.push_back(',');
+      AppendField(&line, key, v);
+    };
+    field("window", windows_);
+    field("tick_start", static_cast<int64_t>(window_start_));
+    field("tick_end", static_cast<int64_t>(now));
+    field("interval", static_cast<int64_t>(options_.interval));
+    field("sampled", sampled);
+    field("disagreements", disagreements);
+    if (precision) {
+      field("precision_mean", precision->mean);
+      field("precision_p50", precision->p50);
+    }
+    if (recall) {
+      field("recall_mean", recall->mean);
+      field("recall_p50", recall->p50);
+    }
+    if (io_ratio) field("io_ratio_mean", io_ratio->mean);
+    if (cand_ratio) field("candidate_ratio_mean", cand_ratio->mean);
+    if (replay) {
+      field("fr_replay_ms_mean", replay->mean);
+      field("fr_replay_ms_p95", replay->p95);
+      field("fr_replay_ms_p99", replay->p99);
+    }
+    if (pa_ms) {
+      field("pa_query_ms_mean", pa_ms->mean);
+      field("pa_query_ms_p95", pa_ms->p95);
+      field("pa_query_ms_p99", pa_ms->p99);
+    }
+    if (const auto* g = FindGauge(snap, "pdr.storage.hit_ratio")) {
+      field("hit_ratio", g->value);
+    }
+    field("drift_flagged", static_cast<int64_t>(drift_.drifted() ? 1 : 0));
+    line.push_back('}');
+    writer_->WriteLine(line);
+
+    for (const auto& e : fired) {
+      std::string ev = "{\"type\":\"drift\"";
+      ev.append(",\"signal\":\"");
+      ev.append(e.signal);
+      ev.push_back('"');
+      ev.push_back(',');
+      AppendField(&ev, "tick", static_cast<int64_t>(e.tick));
+      ev.push_back(',');
+      AppendField(&ev, "value", e.value);
+      ev.push_back(',');
+      AppendField(&ev, "threshold", e.threshold);
+      ev.push_back('}');
+      writer_->WriteLine(ev);
+    }
+    writer_->Flush();
+  }
+
+  prev_ = std::move(snap);
+  window_start_ = now;
+}
+
+void MonitorReporter::WriteFinalReport(std::FILE* out) const {
+  MetricsRegistry::Snapshot snap = MetricsRegistry::Global().TakeSnapshot();
+
+  std::fprintf(out, "=== PDR monitoring report ===\n");
+  std::fprintf(out, "windows emitted: %" PRId64 "\n", windows_);
+
+  int64_t offered = 0, sampled = 0, disagreements = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "pdr.audit.offered") offered = c.value;
+    if (c.name == "pdr.audit.sampled") sampled = c.value;
+    if (c.name == "pdr.audit.disagreements") disagreements = c.value;
+  }
+  std::fprintf(out,
+               "audit: %" PRId64 " sampled of %" PRId64
+               " offered (%" PRId64 " disagreements)\n",
+               sampled, offered, disagreements);
+
+  if (const auto* h = FindHistogram(snap, "pdr.audit.precision")) {
+    std::fprintf(out, "PA precision: mean=%.4f p50=%.4f min=%.4f\n",
+                 h->stat.mean(), h->Percentile(50), h->stat.min());
+  }
+  if (const auto* h = FindHistogram(snap, "pdr.audit.recall")) {
+    std::fprintf(out, "PA recall:    mean=%.4f p50=%.4f min=%.4f\n",
+                 h->stat.mean(), h->Percentile(50), h->stat.min());
+  }
+  if (const auto* h = FindHistogram(snap, "pdr.calib.io_ratio")) {
+    std::fprintf(out,
+                 "I/O actual/predicted: mean=%.3f p50=%.3f "
+                 "[%.3f, %.3f]\n",
+                 h->stat.mean(), h->Percentile(50), h->stat.min(),
+                 h->stat.max());
+  }
+  if (const auto* g = FindGauge(snap, "pdr.storage.hit_ratio")) {
+    std::fprintf(out, "buffer-pool hit ratio: %.4f\n", g->value);
+  }
+
+  std::fprintf(out, "\ndrift: %s\n", drift_.drifted() ? "FLAGGED" : "none");
+  std::fprintf(out,
+               "  recall_ewma=%.4f precision_ewma=%.4f io_ratio_ewma=%.3f\n",
+               drift_.recall_ewma(), drift_.precision_ewma(),
+               drift_.io_ratio_ewma());
+  for (const auto& e : drift_.events()) {
+    std::fprintf(out,
+                 "  event: signal=%s tick=%lld value=%.4f threshold=%.4f\n",
+                 e.signal, static_cast<long long>(e.tick), e.value,
+                 e.threshold);
+  }
+
+  std::fprintf(out, "\npercentiles (all registry histograms):\n");
+  std::fprintf(out, "  %-34s %10s %10s %10s %10s %10s\n", "histogram", "count",
+               "mean", "p50", "p95", "p99");
+  for (const auto& h : snap.histograms) {
+    if (h.stat.count() == 0) continue;
+    std::fprintf(out, "  %-34s %10" PRId64 " %10.4g %10.4g %10.4g %10.4g\n",
+                 h.name.c_str(), h.stat.count(), h.stat.mean(),
+                 h.Percentile(50), h.Percentile(95), h.Percentile(99));
+  }
+  std::fflush(out);
+}
+
+}  // namespace pdr

@@ -1,0 +1,92 @@
+// Continuous monitoring report mode.
+//
+// MonitorReporter turns the metrics the audit/calibration layer publishes
+// into an operator-facing stream: at a configurable tick interval it
+// snapshots the metrics registry, diffs it against the previous window,
+// and emits one {"type":"audit_window",...} JSONL line holding the
+// window's PA quality (precision/recall means), cost-calibration ratio,
+// latency percentiles, and storage-layer state. Window means are exact —
+// Welford sums are subtractable even though variance/min/max are not —
+// and window percentiles come from bucket-count deltas via
+// HistogramPercentile.
+//
+// Every window also feeds the EWMA drift detector; a threshold crossing
+// emits a {"type":"drift",...} JSONL event (once per signal) and latches
+// the reporter's drift flag, which `pdr_tool monitor --fail-on-drift`
+// turns into a nonzero exit.
+//
+// At end of run, WriteFinalReport prints the human-readable summary:
+// audit verdict aggregates, a percentile table of every registry
+// histogram (p50/p95/p99 interpolated within log2 buckets), and the drift
+// state.
+
+#ifndef PDR_OBS_REPORT_H_
+#define PDR_OBS_REPORT_H_
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "pdr/obs/audit.h"
+#include "pdr/obs/export.h"
+#include "pdr/obs/registry.h"
+
+namespace pdr {
+
+/// One histogram's activity inside a report window (snapshot delta).
+struct WindowHistogram {
+  int64_t count = 0;   ///< observations inside the window
+  double mean = 0.0;   ///< exact window mean (sum delta / count delta)
+  double p50 = 0.0;    ///< interpolated from the window's bucket deltas
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class MonitorReporter {
+ public:
+  struct Options {
+    Tick interval = 10;  ///< ticks per report window (cadence is the
+                         ///< caller's; this is recorded in the output)
+    EwmaDriftDetector::Options drift{};
+  };
+
+  /// JSONL goes through `writer` (not owned; may be null for report-only
+  /// use — windows are still aggregated and drift still tracked).
+  MonitorReporter(JsonlWriter* writer, const Options& options)
+      : writer_(writer), options_(options), drift_(options.drift) {}
+
+  /// Closes the current window at tick `now`: snapshots the registry,
+  /// diffs it against the previous window's snapshot, emits the
+  /// audit_window JSONL line, and feeds the drift detector.
+  void EmitWindow(Tick now);
+
+  bool drift_seen() const { return drift_.drifted(); }
+  const EwmaDriftDetector& drift() const { return drift_; }
+  int64_t windows() const { return windows_; }
+
+  /// Human-readable end-of-run report (aggregates over the whole run).
+  void WriteFinalReport(std::FILE* out) const;
+
+  /// Window delta of one named histogram between two snapshots (exposed
+  /// for tests; returns nullopt when the histogram saw no observations).
+  static std::optional<WindowHistogram> DiffHistogram(
+      const MetricsRegistry::Snapshot& now,
+      const MetricsRegistry::Snapshot& prev, const std::string& name);
+
+  /// Window delta of one named counter between two snapshots.
+  static int64_t DiffCounter(const MetricsRegistry::Snapshot& now,
+                             const MetricsRegistry::Snapshot& prev,
+                             const std::string& name);
+
+ private:
+  JsonlWriter* writer_;
+  Options options_;
+  EwmaDriftDetector drift_;
+  MetricsRegistry::Snapshot prev_;
+  Tick window_start_ = 0;
+  int64_t windows_ = 0;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_OBS_REPORT_H_

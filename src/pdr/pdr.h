@@ -48,8 +48,10 @@
 #include "pdr/mobility/generator.h"
 #include "pdr/mobility/object.h"
 #include "pdr/mobility/road_network.h"
+#include "pdr/obs/audit.h"
 #include "pdr/obs/export.h"
 #include "pdr/obs/obs.h"
+#include "pdr/obs/report.h"
 #include "pdr/sweep/plane_sweep.h"
 #include "pdr/tpr/tpr_tree.h"
 

@@ -25,6 +25,18 @@ Counter& WritebacksCounter() {
   return c;
 }
 
+// Cross-pool cache hit ratio (1 - physical/logical), refreshed on every
+// fetch so the monitor report always sees the storage layer's current
+// effectiveness without having to divide counters itself.
+void UpdateHitRatioGauge() {
+  if (!PdrObs::Enabled()) return;
+  static Gauge& g = MetricsRegistry::Global().GetGauge("pdr.storage.hit_ratio");
+  const int64_t logical = LogicalReadsCounter().value();
+  if (logical <= 0) return;
+  const int64_t physical = PhysicalReadsCounter().value();
+  g.Set(1.0 - static_cast<double>(physical) / static_cast<double>(logical));
+}
+
 }  // namespace
 
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
@@ -132,10 +144,12 @@ BufferPool::PageRef BufferPool::Fetch(PageId id) {
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
     Pin(it->second);
+    UpdateHitRatioGauge();
     return PageRef(this, it->second);
   }
   ++stats_.physical_reads;
   PhysicalReadsCounter().Increment();
+  UpdateHitRatioGauge();
   const size_t frame = AcquireFrame();
   Frame& f = frames_[frame];
   f.id = id;

@@ -600,6 +600,15 @@ std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
     }
   }
   nodes_counter.Add(nodes_visited);
+  // Tree-shape gauges for the monitor report / cost calibration: refreshed
+  // per query so they track splits and condensations without a hook in
+  // every structural operation.
+  static Gauge& height_gauge =
+      MetricsRegistry::Global().GetGauge("pdr.tpr.height");
+  static Gauge& pages_gauge =
+      MetricsRegistry::Global().GetGauge("pdr.tpr.node_pages");
+  height_gauge.Set(static_cast<double>(height_));
+  pages_gauge.Set(static_cast<double>(node_count_));
   if (span.active()) {
     const IoStats delta = pool_.stats() - io_before;
     span.SetAttr("nodes_visited", nodes_visited);

@@ -270,6 +270,49 @@ TEST_F(ObsTest, HistogramObserveTracksWelfordStats) {
   EXPECT_EQ(Histogram::BucketOf(3.0), Histogram::BucketOf(4.0));
 }
 
+TEST_F(ObsTest, HistogramPercentilesInterpolateWithinBuckets) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.pctl");
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);  // empty
+  for (int v = 1; v <= 100; ++v) h.Observe(static_cast<double>(v));
+
+  // Log2 buckets are coarse, so within-bucket interpolation is only
+  // required to land in the right neighborhood, monotonically.
+  const double p50 = h.Percentile(50);
+  const double p95 = h.Percentile(95);
+  const double p99 = h.Percentile(99);
+  EXPECT_NEAR(p50, 50.0, 16.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Clamped to observed extremes, never beyond.
+  EXPECT_LE(p99, 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+
+  // The snapshot entry agrees with the live histogram.
+  const auto snap = MetricsRegistry::Global().TakeSnapshot();
+  for (const auto& entry : snap.histograms) {
+    if (entry.name == "test.pctl") {
+      EXPECT_DOUBLE_EQ(entry.Percentile(50), p50);
+      EXPECT_DOUBLE_EQ(entry.Percentile(99), p99);
+    }
+  }
+}
+
+TEST_F(ObsTest, HistogramPercentileOverRawBuckets) {
+  std::array<int64_t, Histogram::kBuckets> buckets{};
+  EXPECT_DOUBLE_EQ(HistogramPercentile(buckets, 50), 0.0);
+  // 10 observations in one bucket: percentiles sweep that bucket's range.
+  const int b = Histogram::BucketOf(10.0);
+  buckets[b] = 10;
+  const double lo = Histogram::BucketLowerBound(b);
+  const double hi = Histogram::BucketLowerBound(b + 1);
+  EXPECT_GE(HistogramPercentile(buckets, 1), lo);
+  EXPECT_LE(HistogramPercentile(buckets, 99), hi);
+  EXPECT_LT(HistogramPercentile(buckets, 10),
+            HistogramPercentile(buckets, 90));
+}
+
 TEST_F(ObsTest, SnapshotListsEverythingSorted) {
   REQUIRE_OBS_COMPILED_IN();
   MetricsRegistry::Global().GetCounter("test.b").Add(2);
