@@ -45,6 +45,8 @@ BenchEnv ParseArgs(int argc, char** argv) {
       env.scale = std::max(0.001, std::atof(arg.c_str() + 8));
     } else if (arg.rfind("--seed=", 0) == 0) {
       env.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      env.threads = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--jsonl=", 0) == 0) {
       env.jsonl_path = arg.substr(8);
     }
@@ -86,6 +88,7 @@ FrEngine::Options FrOptionsFor(const BenchEnv& env, int objects,
   options.horizon = env.paper.horizon();
   options.buffer_pages = env.paper.BufferPagesFor(objects);
   options.io_ms = env.paper.io_ms;
+  options.exec = env.Exec();
   return options;
 }
 
@@ -99,6 +102,7 @@ PaEngine::Options PaOptionsFor(const BenchEnv& env, double l, int poly_side,
   options.horizon = env.paper.horizon();
   options.l = l;
   options.eval_grid = env.paper.eval_grid;
+  options.exec = env.Exec();
   return options;
 }
 
@@ -158,8 +162,9 @@ void Banner(const BenchEnv& env, const std::string& bench,
             const std::string& reproduces) {
   std::printf("=======================================================\n");
   std::printf("%s — reproduces %s\n", bench.c_str(), reproduces.c_str());
-  std::printf("scale=%.3g (PDR_BENCH_SCALE or --full), seed=%llu\n",
-              env.scale, static_cast<unsigned long long>(env.seed));
+  std::printf("scale=%.3g (PDR_BENCH_SCALE or --full), seed=%llu, threads=%d\n",
+              env.scale, static_cast<unsigned long long>(env.seed),
+              env.threads);
   std::printf("=======================================================\n");
 
   g_bench_name = bench;

@@ -24,7 +24,13 @@ struct BenchEnv {
   double scale = 0.1;       ///< dataset-size multiplier
   bool full = false;        ///< --full: paper scale
   uint64_t seed = 20070415; ///< ICDE 2007 vintage
+  int threads = 1;          ///< --threads=N query parallelism (0 = hardware)
   std::string jsonl_path;   ///< --jsonl=FILE / PDR_BENCH_JSONL: JSONL sink
+
+  /// The execution policy the engines get: serial unless --threads was set.
+  ExecPolicy Exec() const {
+    return threads == 1 ? ExecPolicy::Serial() : ExecPolicy::Parallel(threads);
+  }
 
   /// Paper object count scaled down (never below 2000).
   int ScaledObjects(int paper_objects) const;
@@ -36,8 +42,8 @@ struct BenchEnv {
   }
 };
 
-/// Parses --full / --scale=X / --seed=N / --jsonl=FILE (also the
-/// PDR_BENCH_JSONL environment variable); everything else is ignored.
+/// Parses --full / --scale=X / --seed=N / --threads=N / --jsonl=FILE (also
+/// the PDR_BENCH_JSONL environment variable); everything else is ignored.
 BenchEnv ParseArgs(int argc, char** argv);
 
 /// The steady-state workload every figure bench queries: a paper-config

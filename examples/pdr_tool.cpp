@@ -4,11 +4,12 @@
 //                 [--duration T] [--seed S] [--interval U]
 //   pdr_tool info --in city.pdrd
 //   pdr_tool query --in city.pdrd --varrho R --l L [--qt T]
-//                  [--engine fr|pa|both] [--index tpr|bx] [--trace FILE]
+//                  [--engine fr|pa|both] [--index tpr|bx] [--threads N]
+//                  [--trace FILE]
 //   pdr_tool monitor --in city.pdrd --varrho R --l L [--lookahead W]
-//                    [--every K] [--trace FILE] [--audit-rate R]
-//                    [--report FILE] [--interval S] [--degree K]
-//                    [--fail-on-drift]
+//                    [--every K] [--threads N] [--trace FILE]
+//                    [--audit-rate R] [--report FILE] [--interval S]
+//                    [--degree K] [--fail-on-drift]
 //   pdr_tool stats --in city.pdrd --varrho R --l L [--qt T]
 //                  [--engine fr|pa|both] [--index tpr|bx] [--queries N]
 //                  [--json FILE]
@@ -27,6 +28,10 @@
 // prints a human-readable end-of-run report with percentile tables.
 // `--fail-on-drift` exits 3 when the EWMA drift detector flagged any
 // signal (PA recall/precision, predicted-vs-actual I/O ratio).
+//
+// `--threads N` (query, monitor) fans the parallel query stages out over
+// N threads (0 = hardware concurrency); answers are bit-identical to the
+// default serial execution, only wall-clock changes.
 //
 // `--trace FILE` (query, monitor) records the per-query span trees — and a
 // final metrics snapshot — as JSONL ("-" for stdout). See EXPERIMENTS.md
@@ -103,6 +108,12 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+// --threads=N -> ExecPolicy (1/absent = serial, 0 = hardware concurrency).
+ExecPolicy ExecFromFlags(const std::map<std::string, std::string>& flags) {
+  const int threads = std::stoi(FlagOr(flags, "threads", "1"));
+  return threads == 1 ? ExecPolicy::Serial() : ExecPolicy::Parallel(threads);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -111,9 +122,10 @@ int Usage() {
       "[--duration T] [--seed S] [--interval U]\n"
       "  info:    --in FILE\n"
       "  query:   --in FILE --varrho R --l L [--qt T] "
-      "[--engine fr|pa|both] [--index tpr|bx] [--trace FILE]\n"
+      "[--engine fr|pa|both] [--index tpr|bx] [--threads N] "
+      "[--trace FILE]\n"
       "  monitor: --in FILE --varrho R --l L [--lookahead W] "
-      "[--every K] [--trace FILE]\n"
+      "[--every K] [--threads N] [--trace FILE]\n"
       "           [--audit-rate R] [--report FILE] [--interval S] "
       "[--degree K] [--fail-on-drift]\n"
       "  stats:   --in FILE --varrho R --l L [--qt T] "
@@ -189,7 +201,8 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
                  .io_ms = 10.0,
                  .index = index_name == "bx" ? IndexKind::kBxTree
                                              : IndexKind::kTprTree,
-                 .max_update_interval = ds.config.max_update_interval});
+                 .max_update_interval = ds.config.max_update_interval,
+                 .exec = ExecFromFlags(flags)});
     ReplayInto(ds, -1, &fr);
     const auto result = fr.Query(q_t, rho, l, /*cold_cache=*/true);
     std::printf(
@@ -211,7 +224,8 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
                  .degree = 5,
                  .horizon = horizon,
                  .l = l,
-                 .eval_grid = 1000});
+                 .eval_grid = 1000,
+                 .exec = ExecFromFlags(flags)});
     ReplayInto(ds, -1, &pa);
     const auto result = pa.Query(q_t, rho);
     std::printf("PA: %zu rects, %.1f sq-miles | %.1f ms CPU, no I/O\n",
@@ -266,7 +280,8 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
                .buffer_pages =
                    PaperConfig().BufferPagesFor(ds.config.num_objects),
                .io_ms = 10.0,
-               .max_update_interval = ds.config.max_update_interval});
+               .max_update_interval = ds.config.max_update_interval,
+               .exec = ExecFromFlags(flags)});
   CostCalibrator calibrator(&fr);
 
   // Audit mode runs the standing query on PA and shadow-audits against
@@ -276,12 +291,14 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
   std::unique_ptr<ShadowAuditor> auditor;
   std::unique_ptr<PdrMonitor> monitor;
   if (audit) {
-    pa = std::make_unique<PaEngine>(PaEngine::Options{.extent = extent,
-                                                      .poly_side = 10,
-                                                      .degree = degree,
-                                                      .horizon = horizon,
-                                                      .l = l,
-                                                      .eval_grid = 1000});
+    pa = std::make_unique<PaEngine>(
+        PaEngine::Options{.extent = extent,
+                          .poly_side = 10,
+                          .degree = degree,
+                          .horizon = horizon,
+                          .l = l,
+                          .eval_grid = 1000,
+                          .exec = ExecFromFlags(flags)});
     oracle = std::make_unique<Oracle>(extent);
     ShadowAuditor::Options audit_options;
     audit_options.sample_rate = audit_rate;
@@ -295,6 +312,7 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
         pa.get(),
         PdrMonitor::Options{.rho = rho, .l = l, .lookahead = lookahead});
     monitor->SetAuditor(auditor.get());
+    monitor->SetExecPolicy(ExecFromFlags(flags));
   } else {
     monitor = std::make_unique<PdrMonitor>(
         &fr,

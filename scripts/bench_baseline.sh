@@ -2,8 +2,12 @@
 # Runs the accuracy/cost benches that track the paper's headline figures
 # (Fig. 8 accuracy, Fig. 8 memory, Fig. 10 cost) with JSONL output and
 # consolidates the series into one BENCH_baseline.json at the repo root.
-# The file is the committed reference point: re-run after a performance-
-# or accuracy-relevant change and diff to see what moved.
+# The timing-relevant cost bench runs twice — serial (--threads=1) and at
+# hardware concurrency (--threads=0) — so the baseline records the scaling
+# headroom of the parallel query paths; answers are bit-identical across
+# the two runs, only the cost columns move. The file is the committed
+# reference point: re-run after a performance- or accuracy-relevant change
+# and diff to see what moved.
 #
 # Usage: scripts/bench_baseline.sh [--scale=X | --full] [--build DIR]
 #
@@ -54,10 +58,18 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 
 for b in "${benches[@]}"; do
-  echo "==== ${b} ===="
+  echo "==== ${b} (threads=1) ===="
   "${build}/bench/${b}" --jsonl="${tmpdir}/${b}.jsonl" \
       ${bench_args[@]+"${bench_args[@]}"} >/dev/null
 done
+
+# The cost bench again at hardware concurrency: same answers, parallel
+# refinement/branch-and-bound timings.
+hw="$(nproc 2>/dev/null || echo 0)"
+echo "==== bench_fig10_cost (threads=${hw}) ===="
+"${build}/bench/bench_fig10_cost" --threads=0 \
+    --jsonl="${tmpdir}/bench_fig10_cost.threads_hw.jsonl" \
+    ${bench_args[@]+"${bench_args[@]}"} >/dev/null
 
 out="${repo}/BENCH_baseline.json"
 python3 - "$out" "$scale" "${tmpdir}" "${benches[@]}" <<'PY'
@@ -67,11 +79,13 @@ import sys
 out_path, scale, tmpdir = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = sys.argv[4:]
 
-doc = {"schema": "pdr-bench-baseline/v1", "scale": float(scale),
+doc = {"schema": "pdr-bench-baseline/v2", "scale": float(scale),
        "benches": {}}
-for bench in benches:
+
+
+def collect(path):
     series = {}
-    with open(f"{tmpdir}/{bench}.jsonl") as f:
+    with open(path) as f:
         for line in f:
             line = line.strip()
             if not line:
@@ -80,7 +94,15 @@ for bench in benches:
             if row.get("type") != "series":
                 continue
             series.setdefault(row["series"], []).append(row["values"])
-    doc["benches"][bench] = series
+    return series
+
+
+for bench in benches:
+    doc["benches"][bench] = collect(f"{tmpdir}/{bench}.jsonl")
+# Hardware-concurrency rerun of the cost bench (threads=hw vs the
+# threads=1 series above).
+doc["benches"]["bench_fig10_cost.threads_hw"] = collect(
+    f"{tmpdir}/bench_fig10_cost.threads_hw.jsonl")
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the library in the two configurations
-# that matter — the plain release-ish default and an ASan+UBSan build
-# (-DPDR_SANITIZE=ON) that exercises the same test suite with
-# instrumentation. Uses its own build trees (build-check/, build-asan/) so it
-# never clobbers an existing build/.
+# Full pre-merge check: build and test the library in the three
+# configurations that matter — the plain release-ish default, an ASan+UBSan
+# build (-DPDR_SANITIZE=ON) that exercises the same test suite with
+# instrumentation, and a TSan build (-DPDR_SANITIZE=thread) that runs the
+# concurrency-sensitive subset (thread pool, parallel engines, buffer pool,
+# tracing). Uses its own build trees (build-check/, build-asan/,
+# build-tsan/) so it never clobbers an existing build/.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 
@@ -12,20 +14,33 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# ctest -R filter per configuration; empty means the whole suite.
 run_config() {
   local dir="$1"
-  shift
+  local filter="$2"
+  shift 2
   echo "==== configure ${dir} ($*) ===="
   cmake -B "${repo}/${dir}" -S "${repo}" "$@"
   echo "==== build ${dir} ===="
   cmake --build "${repo}/${dir}" -j "${jobs}"
   echo "==== test ${dir} ===="
-  (cd "${repo}/${dir}" && ctest --output-on-failure -j "${jobs}" "${EXTRA_CTEST_ARGS[@]}")
+  local ctest_args=(--output-on-failure -j "${jobs}")
+  if [[ -n "${filter}" ]]; then
+    ctest_args+=(-R "${filter}")
+  fi
+  (cd "${repo}/${dir}" && ctest "${ctest_args[@]}" "${EXTRA_CTEST_ARGS[@]}")
 }
 
 EXTRA_CTEST_ARGS=("$@")
 
-run_config build-check -DCMAKE_BUILD_TYPE=Release
-run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=ON
+# Everything that touches the thread pool, the parallel query paths, the
+# buffer pool's read phase, or cross-thread tracing. TSan runs ~10x slower,
+# so the single-threaded math/geometry suites are skipped there (ASan
+# covers them above).
+tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest)'
+
+run_config build-check "" -DCMAKE_BUILD_TYPE=Release
+run_config build-asan "" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=ON
+run_config build-tsan "${tsan_filter}" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=thread
 
 echo "==== all checks passed ===="

@@ -82,7 +82,7 @@ BPlusTree::BPlusTree(BufferPool* pool) : pool_(pool) {
   node_count_ = 1;
 }
 
-PageId BPlusTree::FindLeaf(uint64_t key, std::vector<PageId>* path) {
+PageId BPlusTree::FindLeaf(uint64_t key, std::vector<PageId>* path) const {
   PageId page = root_;
   while (true) {
     auto ref = pool_->Fetch(page);
@@ -241,7 +241,7 @@ bool BPlusTree::Find(uint64_t key, BPlusRecord* out) {
 
 void BPlusTree::ScanRange(
     uint64_t lo, uint64_t hi,
-    const std::function<bool(const BPlusRecord&)>& visit) {
+    const std::function<bool(const BPlusRecord&)>& visit) const {
   PageId page = FindLeaf(lo, nullptr);
   while (page != kInvalidPageId) {
     auto ref = pool_->Fetch(page);

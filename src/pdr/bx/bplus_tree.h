@@ -55,9 +55,10 @@ class BPlusTree {
   bool Find(uint64_t key, BPlusRecord* out);
 
   /// Visits every record with lo <= key <= hi in key order. The visitor
-  /// returns false to stop early.
+  /// returns false to stop early. Read-only; concurrent scans are safe
+  /// when the shared pool is in its read-mostly phase.
   void ScanRange(uint64_t lo, uint64_t hi,
-                 const std::function<bool(const BPlusRecord&)>& visit);
+                 const std::function<bool(const BPlusRecord&)>& visit) const;
 
   size_t size() const { return size_; }
   size_t node_count() const { return node_count_; }
@@ -74,7 +75,7 @@ class BPlusTree {
  private:
   /// Descends to the leaf whose range covers `key`, collecting the path
   /// of internal pages when `path` is non-null.
-  PageId FindLeaf(uint64_t key, std::vector<PageId>* path);
+  PageId FindLeaf(uint64_t key, std::vector<PageId>* path) const;
 
   void InsertIntoParent(std::vector<PageId> path, uint64_t key,
                         PageId child);

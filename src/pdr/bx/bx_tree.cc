@@ -73,10 +73,15 @@ void BxTree::AdvanceTo(Tick now) {
 }
 
 std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
-    const Rect& window, Tick t) {
+    const Rect& window, Tick t) const {
   TraceSpan span("bx.range_query");
-  const IoStats io_before = span.active() ? pool_.stats() : IoStats{};
-  const int64_t scanned_before = scanned_records_;
+  // Inside a concurrent-reads phase, pool-wide stats mix in other threads'
+  // I/O; attribute this query's span from the calling thread's delta.
+  const bool phased = pool_.in_read_phase();
+  const IoStats io_before =
+      span.active() ? (phased ? pool_.PeekThreadIoDelta() : pool_.stats())
+                    : IoStats{};
+  int64_t scanned = 0;  // local tally, folded into the atomic once at exit
   static Counter& queries =
       MetricsRegistry::Global().GetCounter("pdr.bx.range_queries");
   static Counter& scanned_counter =
@@ -119,7 +124,7 @@ std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
       const uint64_t lo = partition_bits | (iv.lo << kZShift);
       const uint64_t hi = partition_bits | (iv.hi << kZShift) | kOidMask;
       tree_.ScanRange(lo, hi, [&](const BPlusRecord& record) {
-        ++scanned_records_;
+        ++scanned;
         // Entries from other (old) partitions cannot appear: partition
         // bits differ for all live generations. Filter exactly.
         const MotionState state = record.ToState();
@@ -131,11 +136,13 @@ std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
       });
     }
   }
-  scanned_counter.Add(scanned_records_ - scanned_before);
+  scanned_records_.fetch_add(scanned, std::memory_order_relaxed);
+  scanned_counter.Add(scanned);
   if (span.active()) {
-    const IoStats delta = pool_.stats() - io_before;
+    const IoStats delta =
+        (phased ? pool_.PeekThreadIoDelta() : pool_.stats()) - io_before;
     span.SetAttr("partitions", p_hi - p_lo + 1);
-    span.SetAttr("scanned", scanned_records_ - scanned_before);
+    span.SetAttr("scanned", scanned);
     span.SetAttr("results", static_cast<int64_t>(out.size()));
     span.SetAttr("io_reads", delta.physical_reads);
     span.SetAttr("io_logical", delta.logical_reads);

@@ -24,6 +24,7 @@
 #ifndef PDR_BX_BX_TREE_H_
 #define PDR_BX_BX_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
@@ -49,13 +50,16 @@ class BxTree : public ObjectIndex {
   void Apply(const UpdateEvent& update) override;
   void AdvanceTo(Tick now) override;
   std::vector<std::pair<ObjectId, MotionState>> RangeQuery(
-      const Rect& window, Tick t) override;
+      const Rect& window, Tick t) const override;
 
   size_t size() const override { return tree_.size(); }
   size_t node_count() const override { return tree_.node_count(); }
-  const IoStats& io_stats() const override { return pool_.stats(); }
+  IoStats io_stats() const override { return pool_.stats(); }
   void ResetIoStats() override { pool_.ResetStats(); }
   void DropCaches() override { pool_.Clear(); }
+  void BeginConcurrentReads() override { pool_.BeginReadPhase(); }
+  void EndConcurrentReads() override { pool_.EndReadPhase(); }
+  IoStats TakeThreadIoDelta() override { return pool_.TakeThreadIoDelta(); }
 
   Tick now() const { return now_; }
   Tick phase_span() const { return phase_span_; }
@@ -63,7 +67,9 @@ class BxTree : public ObjectIndex {
 
   /// Records visited by range scans since construction (the enlargement
   /// overhead: scanned minus returned candidates were false positives).
-  int64_t scanned_records() const { return scanned_records_; }
+  int64_t scanned_records() const {
+    return scanned_records_.load(std::memory_order_relaxed);
+  }
 
   /// The key an object state maps to (exposed for tests).
   uint64_t KeyFor(ObjectId id, const MotionState& state) const;
@@ -88,7 +94,8 @@ class BxTree : public ObjectIndex {
   // Key of each live object (deletes re-derive the record to remove; the
   // TPR-tree keeps the analogous object->leaf map).
   std::unordered_map<ObjectId, uint64_t> key_of_;
-  int64_t scanned_records_ = 0;
+  // Concurrent const RangeQuery calls all bump the scan tally.
+  mutable std::atomic<int64_t> scanned_records_{0};
 };
 
 /// Bits per axis of the B^x cell grid (coarser than the full Z curve so

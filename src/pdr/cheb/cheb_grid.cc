@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "pdr/obs/obs.h"
+#include "pdr/parallel/thread_pool.h"
 
 namespace pdr {
 
@@ -152,14 +153,13 @@ void BnbRecurse(const Cheb2D& poly, const Rect& cell_world, double x1,
 }  // namespace
 
 Region ChebGrid::QueryDense(Tick t, double rho, int eval_grid,
-                            BnbStats* stats) const {
+                            BnbStats* stats, ThreadPool* pool) const {
   assert(eval_grid >= options_.grid_side);
   const std::vector<Cheb2D>& slice = Slice(t);
   // Leaf resolution: eval_grid cells across the whole domain => normalized
   // edge 2 * g / eval_grid inside one macro-cell.
   const double min_edge_norm =
       2.0 * static_cast<double>(options_.grid_side) / eval_grid;
-  Region out;
   static Counter& bnb_nodes =
       MetricsRegistry::Global().GetCounter("pdr.pa.bnb_nodes");
   static Counter& bnb_pruned =
@@ -168,30 +168,50 @@ Region ChebGrid::QueryDense(Tick t, double rho, int eval_grid,
       MetricsRegistry::Global().GetCounter("pdr.pa.bnb_accepted");
   static Counter& bnb_point_evals =
       MetricsRegistry::Global().GetCounter("pdr.pa.bnb_point_evals");
-  for (int cell = 0; cell < grid_.cell_count(); ++cell) {
-    const Cheb2D& poly = slice[cell];
+
+  // Each macro-cell's search writes its own region and counters; cell
+  // regions are concatenated in cell order below, so serial and parallel
+  // execution build the identical rectangle sequence before Coalesced().
+  const int cell_count = grid_.cell_count();
+  std::vector<Region> cell_out(static_cast<size_t>(cell_count));
+  std::vector<BnbStats> cell_stats(static_cast<size_t>(cell_count));
+
+  const auto search_cell = [&](int64_t cell) {
+    const Cheb2D& poly = slice[static_cast<size_t>(cell)];
     // Per-macro-cell branch-and-bound: one span (and one stats scope) per
     // cell, so traces show where the search effort concentrates.
     TraceSpan cell_span("pa.cell");
-    BnbStats cell_stats;
+    BnbStats& cs = cell_stats[static_cast<size_t>(cell)];
     if (poly.IsZero() && rho > 0) {
-      ++cell_stats.pruned_boxes;
+      ++cs.pruned_boxes;
     } else {
-      BnbRecurse(poly, grid_.CellRect(cell), -1.0, 1.0, -1.0, 1.0, rho,
-                 min_edge_norm, &out, &cell_stats);
+      BnbRecurse(poly, grid_.CellRect(static_cast<int>(cell)), -1.0, 1.0,
+                 -1.0, 1.0, rho, min_edge_norm,
+                 &cell_out[static_cast<size_t>(cell)], &cs);
     }
-    bnb_nodes.Add(cell_stats.nodes_visited);
-    bnb_pruned.Add(cell_stats.pruned_boxes);
-    bnb_accepted.Add(cell_stats.accepted_boxes);
-    bnb_point_evals.Add(cell_stats.point_evals);
+    bnb_nodes.Add(cs.nodes_visited);
+    bnb_pruned.Add(cs.pruned_boxes);
+    bnb_accepted.Add(cs.accepted_boxes);
+    bnb_point_evals.Add(cs.point_evals);
     if (cell_span.active()) {
-      cell_span.SetAttr("cell", cell);
-      cell_span.SetAttr("nodes_visited", cell_stats.nodes_visited);
-      cell_span.SetAttr("accepted_boxes", cell_stats.accepted_boxes);
-      cell_span.SetAttr("pruned_boxes", cell_stats.pruned_boxes);
-      cell_span.SetAttr("point_evals", cell_stats.point_evals);
+      cell_span.SetAttr("cell", static_cast<int64_t>(cell));
+      cell_span.SetAttr("nodes_visited", cs.nodes_visited);
+      cell_span.SetAttr("accepted_boxes", cs.accepted_boxes);
+      cell_span.SetAttr("pruned_boxes", cs.pruned_boxes);
+      cell_span.SetAttr("point_evals", cs.point_evals);
     }
-    if (stats != nullptr) *stats += cell_stats;
+  };
+
+  if (pool != nullptr && cell_count > 1) {
+    pool->ParallelFor(cell_count, search_cell);
+  } else {
+    for (int64_t cell = 0; cell < cell_count; ++cell) search_cell(cell);
+  }
+
+  Region out;
+  for (int cell = 0; cell < cell_count; ++cell) {
+    out.Add(cell_out[static_cast<size_t>(cell)]);
+    if (stats != nullptr) *stats += cell_stats[static_cast<size_t>(cell)];
   }
   return out.Coalesced();
 }

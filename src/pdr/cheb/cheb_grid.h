@@ -34,6 +34,8 @@
 
 namespace pdr {
 
+class ThreadPool;
+
 /// Work counters for the branch-and-bound search.
 struct BnbStats {
   int64_t nodes_visited = 0;
@@ -76,9 +78,13 @@ class ChebGrid {
   double Density(Tick t, Vec2 p) const;
 
   /// All regions with approximated density >= rho at tick t, found by
-  /// branch-and-bound with leaf resolution extent/eval_grid.
+  /// branch-and-bound with leaf resolution extent/eval_grid. With a
+  /// non-null `pool`, the per-macro-cell searches fan out over its
+  /// threads; per-cell regions are merged in cell order, so the result is
+  /// bit-identical to the serial search.
   Region QueryDense(Tick t, double rho, int eval_grid,
-                    BnbStats* stats = nullptr) const;
+                    BnbStats* stats = nullptr,
+                    ThreadPool* pool = nullptr) const;
 
   /// The paper's "trivial approach": evaluate the density at the centers
   /// of an eval_grid x eval_grid lattice and report dense lattice cells.

@@ -2,6 +2,7 @@
 
 #include "pdr/bx/bx_tree.h"
 #include "pdr/obs/obs.h"
+#include "pdr/parallel/thread_pool.h"
 #include "pdr/tpr/tpr_tree.h"
 
 namespace pdr {
@@ -50,6 +51,21 @@ FrEngine::FrEngine(const Options& options)
       histogram_({options.extent, options.histogram_side, options.horizon}),
       index_(MakeIndex(options)) {}
 
+FrEngine::~FrEngine() = default;
+
+void FrEngine::SetExecPolicy(const ExecPolicy& exec) {
+  options_.exec = exec;
+  pool_.reset();  // rebuilt lazily at the new width
+}
+
+ThreadPool* FrEngine::PoolForQuery() {
+  if (!options_.exec.IsParallel()) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.exec.threads);
+  }
+  return pool_.get();
+}
+
 void FrEngine::AdvanceTo(Tick now) {
   histogram_.AdvanceTo(now);
   index_->AdvanceTo(now);
@@ -88,47 +104,96 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   result.rejected_cells = filter.rejected;
   result.candidate_cells = filter.candidates;
 
-  Region region;
+  // --- refinement step -----------------------------------------------------
+  // Three sub-phases so serial and parallel execution produce the same
+  // rectangle sequence: collect candidate cells in row-major order, refine
+  // each candidate independently (inline and in order when serial, fanned
+  // out over the pool when parallel), then merge per-cell outputs back in
+  // row-major order, interleaved with the accepted cells' rectangles.
   const int m = grid.cells_per_side();
-  std::vector<Vec2> positions;
+  struct Candidate {
+    int col, row;
+  };
+  struct CellOut {
+    std::vector<Rect> rects;
+    int64_t objects = 0;
+    SweepStats sweep;
+  };
+  std::vector<Candidate> candidates;
+  for (int row = 0; row < m; ++row) {
+    for (int col = 0; col < m; ++col) {
+      if (filter.At(col, row) == CellClass::kCandidate) {
+        candidates.push_back({col, row});
+      }
+    }
+  }
+
+  ThreadPool* pool = PoolForQuery();
+  const bool fan_out = pool != nullptr && candidates.size() > 1;
+  std::vector<CellOut> outs(candidates.size());
+
+  const auto refine_cell = [&](int64_t i) {
+    const Candidate c = candidates[static_cast<size_t>(i)];
+    CellOut& out = outs[static_cast<size_t>(i)];
+    TraceSpan cell_span("fr.cell");
+    // Serial: per-cell I/O is a pool-stats delta (nothing else touches the
+    // pool). Parallel: pool-wide stats mix all threads, so attribute from
+    // this thread's delta instead (cleared here, read after the work).
+    const IoStats cell_io_before =
+        cell_span.active() && !fan_out ? index_->io_stats() : IoStats{};
+    if (fan_out) index_->TakeThreadIoDelta();
+    const Rect cell = grid.CellRect(c.col, c.row);
+    const Rect window = cell.Expanded(l / 2);
+    const auto objects = index_->RangeQuery(window, q_t);
+    out.objects = static_cast<int64_t>(objects.size());
+    std::vector<Vec2> positions;
+    positions.reserve(objects.size());
+    for (const auto& [id, state] : objects) {
+      (void)id;
+      const Vec2 p = state.PositionAt(q_t);
+      if (grid.InDomain(p)) positions.push_back(p);
+    }
+    out.rects = SweepCell(cell, positions, l, n_min, &out.sweep);
+    if (cell_span.active()) {
+      const IoStats cell_io = fan_out ? index_->TakeThreadIoDelta()
+                                      : index_->io_stats() - cell_io_before;
+      cell_span.SetAttr("col", c.col);
+      cell_span.SetAttr("row", c.row);
+      cell_span.SetAttr("objects", out.objects);
+      cell_span.SetAttr("dense_rects", out.sweep.dense_rects);
+      cell_span.SetAttr("io_reads", cell_io.physical_reads);
+      cell_span.SetAttr("io_logical", cell_io.logical_reads);
+    }
+  };
+
+  if (fan_out) {
+    index_->BeginConcurrentReads();
+    try {
+      pool->ParallelFor(static_cast<int64_t>(candidates.size()), refine_cell);
+    } catch (...) {
+      index_->EndConcurrentReads();
+      throw;
+    }
+    index_->EndConcurrentReads();
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(candidates.size()); ++i) {
+      refine_cell(i);
+    }
+  }
+
+  // --- deterministic merge -------------------------------------------------
+  Region region;
+  size_t next_candidate = 0;
   for (int row = 0; row < m; ++row) {
     for (int col = 0; col < m; ++col) {
       const CellClass cls = filter.At(col, row);
       if (cls == CellClass::kAccept) {
         region.Add(grid.CellRect(col, row));
-        continue;
-      }
-      if (cls != CellClass::kCandidate) continue;
-
-      // --- refinement step -------------------------------------------------
-      TraceSpan cell_span("fr.cell");
-      const IoStats cell_io_before =
-          cell_span.active() ? index_->io_stats() : IoStats{};
-      const Rect cell = grid.CellRect(col, row);
-      const Rect window = cell.Expanded(l / 2);
-      const auto objects = index_->RangeQuery(window, q_t);
-      result.objects_fetched += static_cast<int64_t>(objects.size());
-      positions.clear();
-      positions.reserve(objects.size());
-      for (const auto& [id, state] : objects) {
-        (void)id;
-        const Vec2 p = state.PositionAt(q_t);
-        if (grid.InDomain(p)) positions.push_back(p);
-      }
-      const int64_t rects_before = result.sweep.dense_rects;
-      for (const Rect& r :
-           SweepCell(cell, positions, l, n_min, &result.sweep)) {
-        region.Add(r);
-      }
-      if (cell_span.active()) {
-        const IoStats cell_io = index_->io_stats() - cell_io_before;
-        cell_span.SetAttr("col", col);
-        cell_span.SetAttr("row", row);
-        cell_span.SetAttr("objects", static_cast<int64_t>(objects.size()));
-        cell_span.SetAttr("dense_rects",
-                          result.sweep.dense_rects - rects_before);
-        cell_span.SetAttr("io_reads", cell_io.physical_reads);
-        cell_span.SetAttr("io_logical", cell_io.logical_reads);
+      } else if (cls == CellClass::kCandidate) {
+        const CellOut& out = outs[next_candidate++];
+        for (const Rect& r : out.rects) region.Add(r);
+        result.objects_fetched += out.objects;
+        result.sweep += out.sweep;
       }
     }
   }

@@ -32,9 +32,12 @@
 #include "pdr/histogram/density_histogram.h"
 #include "pdr/histogram/filter.h"
 #include "pdr/index/object_index.h"
+#include "pdr/parallel/exec_policy.h"
 #include "pdr/sweep/plane_sweep.h"
 
 namespace pdr {
+
+class ThreadPool;
 
 /// Which predictive index backs the refinement step (Section 4: "Several
 /// indexing methods have been proposed for linear movement, which we can
@@ -54,9 +57,17 @@ class FrEngine {
     double io_ms = 10.0;       ///< charge per physical page read
     IndexKind index = IndexKind::kTprTree;
     Tick max_update_interval = 60;  ///< U (B^x-tree phase sizing)
+    ExecPolicy exec;           ///< serial by default; see SetExecPolicy
   };
 
   explicit FrEngine(const Options& options);
+  ~FrEngine();
+
+  /// Switches how refinement fans out. Per-candidate-cell results merge in
+  /// row-major cell order, so the answer (and every counter derived from
+  /// it) is bit-identical to serial execution at any thread count.
+  void SetExecPolicy(const ExecPolicy& exec);
+  const ExecPolicy& exec_policy() const { return options_.exec; }
 
   void AdvanceTo(Tick now);
   Tick now() const { return histogram_.now(); }
@@ -96,9 +107,12 @@ class FrEngine {
   const Options& options() const { return options_; }
 
  private:
+  ThreadPool* PoolForQuery();  // null when the policy is serial
+
   Options options_;
   DensityHistogram histogram_;
   std::unique_ptr<ObjectIndex> index_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on first parallel query
 };
 
 }  // namespace pdr

@@ -1,10 +1,27 @@
 #include "pdr/core/monitor.h"
 
+#include <future>
 #include <utility>
 
 #include "pdr/obs/obs.h"
+#include "pdr/parallel/thread_pool.h"
 
 namespace pdr {
+
+PdrMonitor::~PdrMonitor() = default;
+
+void PdrMonitor::SetExecPolicy(const ExecPolicy& exec) {
+  exec_ = exec;
+  pool_.reset();  // rebuilt lazily at the new width
+}
+
+ThreadPool* PdrMonitor::PoolForTick() {
+  if (!exec_.IsParallel()) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(exec_.threads);
+  }
+  return pool_.get();
+}
 
 PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   TraceSpan span("monitor.tick");
@@ -23,10 +40,6 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     }
     delta.cost = result.cost;
     delta.current = std::move(result.region);
-    if (auditor_ != nullptr) {
-      delta.audit = auditor_->MaybeAudit(delta.q_t, options_.rho,
-                                         delta.current);
-    }
   } else {
     std::optional<CostPrediction> predicted;
     if (calibrator_ != nullptr && PdrObs::Enabled()) {
@@ -38,12 +51,34 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     delta.current = std::move(result.region);
   }
 
+  // Shadow audit (PA-primary only). The sampling roll stays on this thread
+  // — the RNG stream, and therefore which ticks get audited, must not
+  // depend on scheduling. With a pool, the audit's exact FR replay runs
+  // concurrently with the delta computation below (both only read
+  // delta.current); the previous_ update waits for the join.
+  std::future<void> audit_done;
+  ThreadPool* pool = pa_ != nullptr ? PoolForTick() : nullptr;
+  if (pa_ != nullptr && auditor_ != nullptr) {
+    if (pool != nullptr) {
+      if (auditor_->ShouldSample()) {
+        audit_done = pool->Submit([this, &delta] {
+          delta.audit =
+              auditor_->Audit(delta.q_t, options_.rho, delta.current);
+        });
+      }
+    } else {
+      delta.audit =
+          auditor_->MaybeAudit(delta.q_t, options_.rho, delta.current);
+    }
+  }
+
   if (has_previous_) {
     delta.appeared = RegionDifference(delta.current, previous_);
     delta.vanished = RegionDifference(previous_, delta.current);
   } else {
     delta.appeared = delta.current.Coalesced();
   }
+  if (audit_done.valid()) pool->Wait(audit_done);
   previous_ = delta.current;
   has_previous_ = true;
 

@@ -24,6 +24,7 @@
 #ifndef PDR_CORE_MONITOR_H_
 #define PDR_CORE_MONITOR_H_
 
+#include <memory>
 #include <optional>
 
 #include "pdr/common/region.h"
@@ -31,6 +32,8 @@
 #include "pdr/core/fr_engine.h"
 #include "pdr/core/pa_engine.h"
 #include "pdr/obs/audit.h"
+#include "pdr/parallel/exec_policy.h"
+#include "pdr/parallel/thread_pool.h"
 
 namespace pdr {
 
@@ -77,6 +80,16 @@ class PdrMonitor {
   /// query is predicted before it runs and the prediction scored.
   void SetCalibrator(CostCalibrator* calibrator) { calibrator_ = calibrator; }
 
+  ~PdrMonitor();
+
+  /// With a parallel policy, a sampled-in shadow audit runs off the query
+  /// thread, overlapping the appeared/vanished delta computation; the tick
+  /// joins it before returning, and the sampling dice stay on the query
+  /// thread, so which ticks get audited — and every verdict — is identical
+  /// to serial execution.
+  void SetExecPolicy(const ExecPolicy& exec);
+  const ExecPolicy& exec_policy() const { return exec_; }
+
   const Options& options() const { return options_; }
 
   /// Evaluates the standing query at `now` (engine must be advanced to
@@ -89,11 +102,15 @@ class PdrMonitor {
   void Reset() { has_previous_ = false; }
 
  private:
+  ThreadPool* PoolForTick();  // null when the policy is serial
+
   FrEngine* engine_ = nullptr;
   PaEngine* pa_ = nullptr;
   ShadowAuditor* auditor_ = nullptr;
   CostCalibrator* calibrator_ = nullptr;
   Options options_;
+  ExecPolicy exec_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on first parallel tick
   Region previous_;
   bool has_previous_ = false;
 };

@@ -1,6 +1,7 @@
 #include "pdr/core/pa_engine.h"
 
 #include "pdr/obs/obs.h"
+#include "pdr/parallel/thread_pool.h"
 
 namespace pdr {
 namespace {
@@ -21,13 +22,29 @@ PaEngine::PaEngine(const Options& options)
       model_({options.extent, options.poly_side, options.degree,
               options.horizon, options.l}) {}
 
+PaEngine::~PaEngine() = default;
+
+void PaEngine::SetExecPolicy(const ExecPolicy& exec) {
+  options_.exec = exec;
+  pool_.reset();  // rebuilt lazily at the new width
+}
+
+ThreadPool* PaEngine::PoolForQuery() {
+  if (!options_.exec.IsParallel()) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.exec.threads);
+  }
+  return pool_.get();
+}
+
 PaEngine::QueryResult PaEngine::Query(Tick q_t, double rho) {
   TraceSpan span("pa.query");
   span.SetAttr("q_t", static_cast<int64_t>(q_t));
   span.SetAttr("rho", rho);
   Timer timer;
   QueryResult result;
-  result.region = model_.QueryDense(q_t, rho, options_.eval_grid, &result.bnb);
+  result.region = model_.QueryDense(q_t, rho, options_.eval_grid, &result.bnb,
+                                    PoolForQuery());
   result.cost.cpu_ms = timer.ElapsedMillis();
 
   static Counter& queries =

@@ -9,11 +9,16 @@
 #ifndef PDR_CORE_PA_ENGINE_H_
 #define PDR_CORE_PA_ENGINE_H_
 
+#include <memory>
+
 #include "pdr/cheb/cheb_grid.h"
 #include "pdr/common/region.h"
 #include "pdr/common/stats.h"
+#include "pdr/parallel/exec_policy.h"
 
 namespace pdr {
+
+class ThreadPool;
 
 class PaEngine {
  public:
@@ -24,9 +29,17 @@ class PaEngine {
     Tick horizon = 120;   ///< H = U + W
     double l = 30.0;      ///< fixed l-square edge (Section 6 limitation)
     int eval_grid = 1000; ///< m_d: finest branch-and-bound resolution
+    ExecPolicy exec;      ///< serial by default; see SetExecPolicy
   };
 
   explicit PaEngine(const Options& options);
+  ~PaEngine();
+
+  /// Switches how Query fans the per-macro-cell branch-and-bound out.
+  /// Results stay bit-identical to serial at any thread count (per-cell
+  /// regions merge in cell order).
+  void SetExecPolicy(const ExecPolicy& exec);
+  const ExecPolicy& exec_policy() const { return options_.exec; }
 
   void AdvanceTo(Tick now) { model_.AdvanceTo(now); }
   Tick now() const { return model_.now(); }
@@ -55,8 +68,11 @@ class PaEngine {
   const Options& options() const { return options_; }
 
  private:
+  ThreadPool* PoolForQuery();  // null when the policy is serial
+
   Options options_;
   ChebGrid model_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on first parallel query
 };
 
 }  // namespace pdr

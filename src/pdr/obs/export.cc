@@ -36,6 +36,8 @@ void AppendSpan(const SpanNode& span, std::string* out) {
   AppendInt(span.start_ns, out);
   out->append(",\"dur_ms\":");
   AppendDouble(span.duration_ms(), out);
+  out->append(",\"tid\":");
+  AppendInt(span.thread_id, out);
   if (!span.int_attrs.empty() || !span.num_attrs.empty()) {
     out->append(",\"attrs\":{");
     bool first = true;
@@ -241,9 +243,15 @@ void DumpMetrics(std::FILE* out, const MetricsRegistry::Snapshot& snap) {
 
 namespace {
 
-void DumpSpanIndented(std::FILE* out, const SpanNode& span, int depth) {
+void DumpSpanIndented(std::FILE* out, const SpanNode& span, int depth,
+                      int64_t parent_tid) {
   std::fprintf(out, "%*s%s  %.3f ms", depth * 2, "", span.name.c_str(),
                span.duration_ms());
+  // Cross-thread children (parallel query stages) are the only case where
+  // the id adds signal; same-thread subtrees keep the old compact form.
+  if (span.thread_id != parent_tid) {
+    std::fprintf(out, "  tid=%" PRId64, span.thread_id);
+  }
   for (const auto& [k, v] : span.int_attrs) {
     std::fprintf(out, "  %s=%" PRId64, k.c_str(), v);
   }
@@ -252,14 +260,14 @@ void DumpSpanIndented(std::FILE* out, const SpanNode& span, int depth) {
   }
   std::fprintf(out, "\n");
   for (const auto& child : span.children) {
-    DumpSpanIndented(out, *child, depth + 1);
+    DumpSpanIndented(out, *child, depth + 1, span.thread_id);
   }
 }
 
 }  // namespace
 
 void DumpSpanTree(std::FILE* out, const SpanNode& root) {
-  DumpSpanIndented(out, root, 0);
+  DumpSpanIndented(out, root, 0, root.thread_id);
 }
 
 }  // namespace pdr

@@ -12,13 +12,30 @@ int64_t NowNs() {
 }
 
 // Per-thread trace assembly state. `root` owns the in-flight tree;
-// `current` points at the innermost open span.
+// `current` points at the innermost open span; `adopted` is a cross-thread
+// parent installed by TraceContextScope (children the thread opens while
+// `current` is null attach there instead of starting a new tree).
 struct ThreadTrace {
   std::unique_ptr<SpanNode> root;
   SpanNode* current = nullptr;
+  SpanNode* adopted = nullptr;
 };
 
 thread_local ThreadTrace g_thread_trace;
+
+// Guards child attachment: workers adopted into the same parent span
+// push_back into one shared children vector concurrently. A single global
+// mutex is enough — attachment happens once per span open, only while
+// tracing is active.
+std::mutex g_attach_mu;
+
+// Small sequential per-thread ids (more readable than pthread handles and
+// stable across a trace).
+int64_t ThreadId() {
+  static std::atomic<int64_t> next{0};
+  thread_local int64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 }  // namespace
 
@@ -62,13 +79,19 @@ void TraceSpan::Open(std::string_view name) {
   auto node = std::make_unique<SpanNode>();
   node->name.assign(name.data(), name.size());
   node->start_ns = NowNs();
+  node->thread_id = ThreadId();
   SpanNode* raw = node.get();
-  if (tt.current == nullptr) {
+  prev_current_ = tt.current;
+  SpanNode* parent = tt.current != nullptr ? tt.current : tt.adopted;
+  if (parent == nullptr) {
     tt.root = std::move(node);
   } else {
-    tt.current->children.push_back(std::move(node));
+    // The parent may be shared with other adopting threads; serialize the
+    // children push_back (see g_attach_mu).
+    std::lock_guard<std::mutex> lock(g_attach_mu);
+    parent->children.push_back(std::move(node));
   }
-  parent_ = tt.current;
+  parent_ = parent;
   tt.current = raw;
   node_ = raw;
 }
@@ -76,7 +99,7 @@ void TraceSpan::Open(std::string_view name) {
 void TraceSpan::Close() {
   node_->duration_ns = NowNs() - node_->start_ns;
   ThreadTrace& tt = g_thread_trace;
-  tt.current = parent_;
+  tt.current = prev_current_;
   if (parent_ == nullptr) {
     std::unique_ptr<SpanNode> finished = std::move(tt.root);
     // The sink may have been swapped or removed while the span was open;
@@ -86,6 +109,27 @@ void TraceSpan::Close() {
     }
   }
   node_ = nullptr;
+}
+
+TraceContext TraceContext::Current() {
+  const ThreadTrace& tt = g_thread_trace;
+  return TraceContext(tt.current != nullptr ? tt.current : tt.adopted);
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& context) {
+  ThreadTrace& tt = g_thread_trace;
+  saved_current_ = tt.current;
+  saved_adopted_ = tt.adopted;
+  // The scope suspends the thread's own chain: new spans attach under the
+  // adopted parent (or form fresh trees when the context is invalid).
+  tt.current = nullptr;
+  tt.adopted = context.node_;
+}
+
+TraceContextScope::~TraceContextScope() {
+  ThreadTrace& tt = g_thread_trace;
+  tt.current = saved_current_;
+  tt.adopted = saved_adopted_;
 }
 
 void TraceSpan::SetAttr(std::string_view key, int64_t v) {

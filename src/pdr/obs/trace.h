@@ -12,9 +12,10 @@
 //      └─ sweep.cell
 //
 // without any explicit plumbing between layers. Spans carry wall time
-// (steady-clock start + duration) and named numeric attributes (I/O
-// deltas, cell ids, counter values). When the outermost span of a thread
-// closes, the finished tree is handed to the installed TraceSink.
+// (steady-clock start + duration), the opening thread's id, and named
+// numeric attributes (I/O deltas, cell ids, counter values). When the
+// outermost span of a thread closes, the finished tree is handed to the
+// installed TraceSink.
 //
 // Cost: with no sink installed the TraceSpan constructor is one relaxed
 // atomic load and the destructor a null check; when the layer is compiled
@@ -22,6 +23,16 @@
 //
 // Threading: the span stack is thread-local (each thread builds its own
 // trees); sinks receive trees from any thread and must be thread-safe.
+//
+// Parallel query stages fan work out to pool threads but should still
+// assemble ONE tree per query, so a span can be adopted across threads:
+// capture TraceContext::Current() on the submitting thread, and install a
+// TraceContextScope on the worker — spans the worker opens then attach as
+// children of the captured span (each tagged with its own thread id).
+// Attachment to a shared parent is mutex-guarded, so any number of workers
+// may add children to the same open span concurrently. The captured span
+// must remain open until every adopting worker has finished (the fork/join
+// query stages guarantee this by joining before the span closes).
 
 #ifndef PDR_OBS_TRACE_H_
 #define PDR_OBS_TRACE_H_
@@ -42,6 +53,7 @@ struct SpanNode {
   std::string name;
   int64_t start_ns = 0;     ///< steady-clock time at open
   int64_t duration_ns = 0;  ///< close - open
+  int64_t thread_id = 0;    ///< small per-process id of the opening thread
   std::vector<std::pair<std::string, int64_t>> int_attrs;
   std::vector<std::pair<std::string, double>> num_attrs;
   std::vector<std::unique_ptr<SpanNode>> children;
@@ -107,7 +119,45 @@ class TraceSpan {
   void Close();
 
   SpanNode* node_ = nullptr;    // owned by the thread's tree while open
-  SpanNode* parent_ = nullptr;  // nullptr => root of its tree
+  SpanNode* parent_ = nullptr;  // chain parent on THIS thread (may be null)
+  SpanNode* prev_current_ = nullptr;  // thread's innermost span at open
+};
+
+/// Copyable handle to the calling thread's innermost open span, for handing
+/// to worker threads (see the file comment). Invalid (and harmless) when no
+/// span is open or tracing is inactive.
+class TraceContext {
+ public:
+  TraceContext() = default;
+
+  /// The calling thread's innermost open span (its own or adopted).
+  static TraceContext Current();
+
+  bool valid() const { return node_ != nullptr; }
+
+ private:
+  friend class TraceContextScope;
+  explicit TraceContext(SpanNode* node) : node_(node) {}
+
+  SpanNode* node_ = nullptr;
+};
+
+/// RAII adoption of a cross-thread parent span: while in scope, spans the
+/// calling thread opens attach as children of the context's span instead of
+/// starting a new tree. Scopes nest; an invalid context detaches the thread
+/// from any surrounding adoption (its spans form their own trees again).
+/// The adopted span must stay open for the lifetime of the scope.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  SpanNode* saved_current_ = nullptr;
+  SpanNode* saved_adopted_ = nullptr;
 };
 
 }  // namespace pdr

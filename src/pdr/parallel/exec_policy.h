@@ -1,0 +1,32 @@
+// Execution policy threaded through the query engines.
+//
+// Every engine runs serial by default (thread count 1, no pool, behavior
+// identical to the pre-parallel code paths). ExecPolicy::Parallel(n) asks
+// a query's embarrassingly parallel stage — FR candidate-cell refinement,
+// PA per-macro-cell branch-and-bound, the monitor's shadow audit — to fan
+// out over n threads (n = 0 picks the hardware concurrency). Results are
+// merged deterministically, so the answer is bit-identical to serial
+// execution at any thread count; only wall-clock changes.
+
+#ifndef PDR_PARALLEL_EXEC_POLICY_H_
+#define PDR_PARALLEL_EXEC_POLICY_H_
+
+namespace pdr {
+
+struct ExecPolicy {
+  /// Worker threads a parallel stage may use. 1 = serial (never touches a
+  /// pool); 0 = resolve to the hardware concurrency at pool creation.
+  int threads = 1;
+
+  static ExecPolicy Serial() { return ExecPolicy{1}; }
+
+  /// Parallel over `n` threads; `n` = 0 (the default) resolves to the
+  /// hardware thread count.
+  static ExecPolicy Parallel(int n = 0) { return ExecPolicy{n}; }
+
+  bool IsParallel() const { return threads != 1; }
+};
+
+}  // namespace pdr
+
+#endif  // PDR_PARALLEL_EXEC_POLICY_H_

@@ -563,9 +563,14 @@ bool TprTree::Delete(ObjectId id) {
 }
 
 std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
-    const Rect& window, Tick t) {
+    const Rect& window, Tick t) const {
   TraceSpan span("tpr.range_query");
-  const IoStats io_before = span.active() ? pool_.stats() : IoStats{};
+  // Inside a concurrent-reads phase, pool-wide stats mix in other threads'
+  // I/O; attribute this query's span from the calling thread's delta.
+  const bool phased = pool_.in_read_phase();
+  const IoStats io_before =
+      span.active() ? (phased ? pool_.PeekThreadIoDelta() : pool_.stats())
+                    : IoStats{};
   static Counter& queries =
       MetricsRegistry::Global().GetCounter("pdr.tpr.range_queries");
   static Counter& nodes_counter =
@@ -610,7 +615,8 @@ std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
   height_gauge.Set(static_cast<double>(height_));
   pages_gauge.Set(static_cast<double>(node_count_));
   if (span.active()) {
-    const IoStats delta = pool_.stats() - io_before;
+    const IoStats delta =
+        (phased ? pool_.PeekThreadIoDelta() : pool_.stats()) - io_before;
     span.SetAttr("nodes_visited", nodes_visited);
     span.SetAttr("results", static_cast<int64_t>(out.size()));
     span.SetAttr("io_reads", delta.physical_reads);

@@ -89,9 +89,10 @@ class TprTree : public ObjectIndex {
   Tick now() const { return now_; }
 
   /// All objects whose predicted position at tick `t` lies inside the
-  /// closed rectangle `window`.
+  /// closed rectangle `window`. Read-only; safe to call from many threads
+  /// inside a BeginConcurrentReads/EndConcurrentReads bracket.
   std::vector<std::pair<ObjectId, MotionState>> RangeQuery(
-      const Rect& window, Tick t) override;
+      const Rect& window, Tick t) const override;
 
   /// Number of indexed objects.
   size_t size() const override { return leaf_of_.size(); }
@@ -102,8 +103,14 @@ class TprTree : public ObjectIndex {
   size_t node_count() const override { return node_count_; }
 
   /// Cumulative buffer-pool statistics (reset with ResetIoStats).
-  const IoStats& io_stats() const override { return pool_.stats(); }
+  IoStats io_stats() const override { return pool_.stats(); }
   void ResetIoStats() override { pool_.ResetStats(); }
+
+  /// Concurrent-reads bracket: flips the buffer pool into its read-mostly
+  /// mode so parallel RangeQuery calls share the pool latch.
+  void BeginConcurrentReads() override { pool_.BeginReadPhase(); }
+  void EndConcurrentReads() override { pool_.EndReadPhase(); }
+  IoStats TakeThreadIoDelta() override { return pool_.TakeThreadIoDelta(); }
 
   /// Drops the whole buffer cache (cold-start measurement).
   void DropCaches() override { pool_.Clear(); }

@@ -1,0 +1,271 @@
+// Differential-testing harness for the parallel query paths.
+//
+// Hundreds of seeded random scenarios assert that (a) the FR engine's
+// answer is bit-identical across execution policies — serial, 2, 4, and 8
+// threads — down to the exact rectangle sequence and every derived
+// counter, (b) the answer matches the brute-force oracle as a point set,
+// and (c) the PA engine and its shadow-audit metrics are likewise
+// policy-independent and internally consistent.
+//
+// On failure the harness *shrinks*: it halves the object count while the
+// scenario still fails and reports the seed plus the minimal failing
+// size, so a reproduction is one line:
+//   differential_test --gtest_filter=... (seed and size in the message).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pdr/common/random.h"
+#include "pdr/core/fr_engine.h"
+#include "pdr/core/oracle.h"
+#include "pdr/core/pa_engine.h"
+#include "pdr/mobility/generator.h"
+#include "pdr/obs/audit.h"
+#include "pdr/parallel/exec_policy.h"
+
+namespace pdr {
+namespace {
+
+constexpr double kExtent = 200.0;
+const int kPolicies[] = {2, 4, 8};
+
+// Exact bitwise comparison of two rectangle sequences (no tolerance: the
+// parallel merge is defined to reproduce the serial sequence).
+bool SameRects(const Region& a, const Region& b, std::string* why) {
+  if (a.size() != b.size()) {
+    *why = "rect count " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Rect& ra = a.rects()[i];
+    const Rect& rb = b.rects()[i];
+    if (ra.x_lo != rb.x_lo || ra.y_lo != rb.y_lo || ra.x_hi != rb.x_hi ||
+        ra.y_hi != rb.y_hi) {
+      std::ostringstream os;
+      os << "rect " << i << ": " << ra.ToString() << " vs " << rb.ToString();
+      *why = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+struct FrScenario {
+  uint64_t seed = 0;
+  int objects = 0;
+  bool clustered = false;
+  int clusters = 1;
+  double rho = 0.0;
+  double l = 20.0;
+  Tick q_t = 0;
+};
+
+FrScenario MakeFrScenario(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  FrScenario s;
+  s.seed = seed;
+  s.objects = static_cast<int>(rng.UniformInt(40, 250));
+  s.clustered = rng.NextDouble() < 0.5;
+  s.clusters = static_cast<int>(rng.UniformInt(1, 4));
+  s.l = rng.Uniform(12.0, 30.0);
+  const double rho_scale = rng.Uniform(0.5, 8.0);
+  s.rho = rho_scale * s.objects / (kExtent * kExtent);
+  s.q_t = static_cast<Tick>(rng.UniformInt(0, 5));
+  return s;
+}
+
+std::vector<UpdateEvent> FrWorkload(const FrScenario& s, int objects) {
+  return s.clustered
+             ? MakeClusteredInserts(objects, s.clusters, kExtent, 8.0, 0.3,
+                                    s.seed)
+             : MakeUniformInserts(objects, kExtent, 1.5, s.seed);
+}
+
+// Runs one scenario at the given object count; false (with a reason) on
+// any serial/parallel or FR/oracle disagreement.
+bool RunFrScenario(const FrScenario& s, int objects, std::string* why) {
+  FrEngine fr({.extent = kExtent,
+               .histogram_side = 16,
+               .horizon = 20,
+               .buffer_pages = 64});
+  Oracle oracle(kExtent);
+  for (const UpdateEvent& e : FrWorkload(s, objects)) {
+    fr.Apply(e);
+    oracle.Apply(e);
+  }
+
+  const auto serial = fr.Query(s.q_t, s.rho, s.l);
+
+  // Oracle check: same point set (decompositions may differ).
+  const Region truth = oracle.DenseRegions(s.q_t, s.rho, s.l);
+  const double sym = SymmetricDifferenceArea(serial.region, truth);
+  if (std::fabs(sym) > 1e-6) {
+    *why = "FR vs oracle symmetric difference " + std::to_string(sym);
+    return false;
+  }
+
+  // Policy check: bit-identical result and counters at every width.
+  for (int threads : kPolicies) {
+    fr.SetExecPolicy(ExecPolicy::Parallel(threads));
+    const auto par = fr.Query(s.q_t, s.rho, s.l);
+    std::string detail;
+    if (!SameRects(serial.region, par.region, &detail)) {
+      *why = "threads=" + std::to_string(threads) + ": " + detail;
+      return false;
+    }
+    if (par.objects_fetched != serial.objects_fetched ||
+        par.candidate_cells != serial.candidate_cells ||
+        par.accepted_cells != serial.accepted_cells ||
+        par.rejected_cells != serial.rejected_cells ||
+        par.sweep.dense_rects != serial.sweep.dense_rects ||
+        par.sweep.x_strips != serial.sweep.x_strips ||
+        par.sweep.y_sweeps != serial.sweep.y_sweeps ||
+        par.cost.io.logical_reads != serial.cost.io.logical_reads) {
+      *why = "threads=" + std::to_string(threads) + ": counter mismatch";
+      return false;
+    }
+  }
+  fr.SetExecPolicy(ExecPolicy::Serial());
+  return true;
+}
+
+// Shrinks a failing scenario by halving the object count while it still
+// fails; reports the minimal failing size with the original seed.
+void ShrinkAndFail(const FrScenario& s, const std::string& first_why) {
+  int failing = s.objects;
+  std::string why = first_why;
+  while (failing > 1) {
+    const int half = failing / 2;
+    std::string half_why;
+    if (RunFrScenario(s, half, &half_why)) break;
+    failing = half;
+    why = half_why;
+  }
+  ADD_FAILURE() << "seed=" << s.seed << " objects=" << failing
+                << " (shrunk from " << s.objects << ") rho=" << s.rho
+                << " l=" << s.l << " q_t=" << s.q_t
+                << (s.clustered ? " clustered" : " uniform") << ": " << why;
+}
+
+TEST(DifferentialTest, FrSerialParallelOracleAgreeAcross160Seeds) {
+  for (uint64_t seed = 1; seed <= 160; ++seed) {
+    const FrScenario s = MakeFrScenario(seed);
+    std::string why;
+    if (!RunFrScenario(s, s.objects, &why)) ShrinkAndFail(s, why);
+  }
+}
+
+// PA scenarios: the approximate engine must also be policy-independent,
+// and its shadow-audit verdict (scored against an exact FR replay) must
+// be internally consistent and identical at every thread count.
+TEST(DifferentialTest, PaSerialParallelAndAuditAgreeAcross40Seeds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 0x51ed270cULL + 7);
+    const int objects = static_cast<int>(rng.UniformInt(40, 250));
+    const double l = 25.0;
+    const double rho = rng.Uniform(0.5, 4.0) * objects / (kExtent * kExtent);
+
+    PaEngine pa({.extent = kExtent,
+                 .poly_side = 4,
+                 .degree = 5,
+                 .horizon = 10,
+                 .l = l,
+                 .eval_grid = 64});
+    FrEngine fr({.extent = kExtent,
+                 .histogram_side = 16,
+                 .horizon = 20,
+                 .buffer_pages = 64});
+    Oracle oracle(kExtent);
+    for (const UpdateEvent& e :
+         MakeClusteredInserts(objects, 2, kExtent, 10.0, 0.2, seed)) {
+      pa.Apply(e);
+      fr.Apply(e);
+      oracle.Apply(e);
+    }
+
+    const auto serial = pa.Query(0, rho);
+    ShadowAuditor auditor(&fr, &oracle, {.sample_rate = 1.0, .l = l});
+    const AuditVerdict verdict = auditor.Audit(0, rho, serial.region);
+
+    // Audit-metric bounds: precision/recall are area ratios in [0, 1],
+    // the overlap can exceed neither side, and Agrees() must coincide
+    // with a zero symmetric difference.
+    EXPECT_GE(verdict.precision, 0.0) << "seed=" << seed;
+    EXPECT_LE(verdict.precision, 1.0 + 1e-9) << "seed=" << seed;
+    EXPECT_GE(verdict.recall, 0.0) << "seed=" << seed;
+    EXPECT_LE(verdict.recall, 1.0 + 1e-9) << "seed=" << seed;
+    EXPECT_GE(verdict.false_reject_frac, -1e-9) << "seed=" << seed;
+    EXPECT_LE(verdict.false_reject_frac, 1.0 + 1e-9) << "seed=" << seed;
+    EXPECT_LE(verdict.overlap_area,
+              std::min(verdict.pa_area, verdict.fr_area) + 1e-6)
+        << "seed=" << seed;
+    EXPECT_NEAR(verdict.pa_area, serial.region.Area(), 1e-6)
+        << "seed=" << seed;
+
+    for (int threads : kPolicies) {
+      pa.SetExecPolicy(ExecPolicy::Parallel(threads));
+      const auto par = pa.Query(0, rho);
+      std::string detail;
+      if (!SameRects(serial.region, par.region, &detail)) {
+        ADD_FAILURE() << "PA seed=" << seed << " threads=" << threads << ": "
+                      << detail;
+        continue;
+      }
+      EXPECT_EQ(par.bnb.nodes_visited, serial.bnb.nodes_visited)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(par.bnb.accepted_boxes, serial.bnb.accepted_boxes)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(par.bnb.pruned_boxes, serial.bnb.pruned_boxes)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(par.bnb.point_evals, serial.bnb.point_evals)
+          << "seed=" << seed << " threads=" << threads;
+      // The audit scores areas, so identical regions must produce an
+      // identical verdict.
+      const AuditVerdict v2 = auditor.Audit(0, rho, par.region);
+      EXPECT_EQ(v2.precision, verdict.precision)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(v2.recall, verdict.recall)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+// Calibrated quality floor on one fixed, heavily clustered workload: PA
+// with a fine evaluation grid must find most of the truly dense area and
+// not hallucinate much. Loose bounds — this guards against gross
+// regressions in the PA-vs-FR agreement, not approximation noise.
+TEST(DifferentialTest, PaQualityFloorOnClusteredWorkload) {
+  const double l = 25.0;
+  PaEngine pa({.extent = kExtent,
+               .poly_side = 4,
+               .degree = 6,
+               .horizon = 10,
+               .l = l,
+               .eval_grid = 128});
+  FrEngine fr({.extent = kExtent,
+               .histogram_side = 16,
+               .horizon = 20,
+               .buffer_pages = 64});
+  Oracle oracle(kExtent);
+  for (const UpdateEvent& e :
+       MakeClusteredInserts(600, 2, kExtent, 12.0, 0.1, 2027)) {
+    pa.Apply(e);
+    fr.Apply(e);
+    oracle.Apply(e);
+  }
+  const double rho = 1.5 * 600 / (kExtent * kExtent);
+  const auto result = pa.Query(0, rho);
+  ShadowAuditor auditor(&fr, &oracle, {.sample_rate = 1.0, .l = l});
+  const AuditVerdict verdict = auditor.Audit(0, rho, result.region);
+  ASSERT_GT(verdict.fr_area, 0.0) << "workload not dense enough to score";
+  EXPECT_GE(verdict.recall, 0.3) << "PA missed most of the dense area";
+  EXPECT_GE(verdict.precision, 0.3) << "PA mostly hallucinated density";
+}
+
+}  // namespace
+}  // namespace pdr

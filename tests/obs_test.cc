@@ -9,6 +9,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <variant>
@@ -452,6 +453,63 @@ TEST_F(ObsTest, SpanJsonRoundTrip) {
   EXPECT_EQ(child.Find("name")->str(), "fr.filter");
   EXPECT_DOUBLE_EQ(child.Find("attrs")->Find("candidates")->number(), 7.0);
   EXPECT_EQ(child.Find("children"), nullptr);  // leaf spans omit the key
+}
+
+// Regression for the cross-thread child-attachment race: several workers
+// adopting the same open parent and opening spans concurrently must yield
+// ONE well-formed tree (attachment is mutex-guarded; before the guard this
+// corrupted the children vector, visible under TSan). Also checks that
+// per-thread ids survive into the tree and the JSONL export.
+TEST_F(ObsTest, ConcurrentChildSpansAssembleIntoOneTree) {
+  REQUIRE_OBS_COMPILED_IN();
+  CollectingSink sink;
+  PdrObs::SetTraceSink(&sink);
+  constexpr int kWorkers = 4;
+  constexpr int kSpansEach = 50;
+  {
+    TraceSpan root("query.root");
+    ASSERT_TRUE(root.active());
+    const TraceContext ctx = TraceContext::Current();
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&ctx, w] {
+        TraceContextScope adopt(ctx);
+        for (int i = 0; i < kSpansEach; ++i) {
+          TraceSpan child("worker.span");
+          child.SetAttr("worker", static_cast<int64_t>(w));
+          // Same-thread nesting below an adopted parent must still chain.
+          TraceSpan nested("worker.nested");
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  PdrObs::SetTraceSink(nullptr);
+
+  ASSERT_EQ(sink.size(), 1u);  // one tree, not kWorkers * kSpansEach trees
+  const auto traces = sink.TakeAll();
+  const SpanNode& root = *traces[0];
+  ASSERT_EQ(root.children.size(),
+            static_cast<size_t>(kWorkers) * kSpansEach);
+  std::set<int64_t> tids;
+  for (const auto& child : root.children) {
+    EXPECT_EQ(child->name, "worker.span");
+    ASSERT_EQ(child->children.size(), 1u);
+    EXPECT_EQ(child->children[0]->name, "worker.nested");
+    EXPECT_EQ(child->children[0]->thread_id, child->thread_id);
+    tids.insert(child->thread_id);
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kWorkers));
+  EXPECT_EQ(tids.count(root.thread_id), 0u);
+
+  const std::string line = TraceJsonLine(root);
+  JsonParser parser(line);
+  const JsonValue doc = parser.Parse();
+  const JsonValue* span = doc.Find("span");
+  ASSERT_NE(span, nullptr);
+  ASSERT_NE(span->Find("tid"), nullptr);
+  EXPECT_DOUBLE_EQ(span->Find("tid")->number(),
+                   static_cast<double>(root.thread_id));
 }
 
 TEST_F(ObsTest, MetricsJsonlRoundTrip) {

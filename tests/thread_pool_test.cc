@@ -1,0 +1,199 @@
+#include "pdr/parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "pdr/storage/buffer_pool.h"
+#include "pdr/storage/pager.h"
+
+namespace pdr {
+namespace {
+
+TEST(ThreadPoolTest, ConstructAndDestroyIdle) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveToHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::HardwareThreads());
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.Submit([&] { ran.fetch_add(1); });
+  pool.Wait(f);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    // Flood with more tasks than the single worker can start immediately;
+    // graceful shutdown must still run every one.
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionSurfacesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Wait(f);
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 4}) {
+    for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{1000}}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+      pool.ParallelFor(n, [&](int64_t i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "index " << i << " with " << threads << " threads, n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](int64_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 3) throw std::logic_error("bad");
+                                }),
+               std::logic_error);
+  // Unstarted indices are abandoned after the failure, so the count is
+  // anywhere between 1 (thrower only) and 100.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 100);
+}
+
+// Regression: waiting on a submitted task from inside a pool task used to
+// deadlock a single-worker pool (the only worker blocks on work that has
+// no thread left to run it). Help-first stealing makes it finish.
+TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlockSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_ran{0};
+  auto outer = pool.Submit([&] {
+    auto inner = pool.Submit([&] { inner_ran.fetch_add(1); });
+    pool.Wait(inner);
+  });
+  pool.Wait(outer);
+  EXPECT_EQ(inner_ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(8, [&](int64_t) {
+    pool.ParallelFor(8, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, RunOnePendingStealsFromQueue) {
+  ThreadPool pool(1);
+  // Park the worker so the queue backs up. Wait until the worker has
+  // actually begun the parking task — otherwise RunOnePending below could
+  // steal it instead and spin on `release` forever.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto parked = pool.Submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  auto queued = pool.Submit([&] { ran.fetch_add(1); });
+  while (!pool.RunOnePending()) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 1);
+  release.store(true);
+  pool.Wait(parked);
+  pool.Wait(queued);
+}
+
+// TSan stress: many tasks hammering shared atomics plus ParallelFor
+// overlap. Runs under every build; only the TSan configuration turns
+// latent races into failures.
+TEST(ThreadPoolTest, StressManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::future<void>> fs;
+  fs.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    fs.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  pool.ParallelFor(500, [&](int64_t) { sum.fetch_add(1); });
+  for (auto& f : fs) pool.Wait(f);
+  EXPECT_EQ(sum.load(), 199 * 200 / 2 + 500);
+}
+
+// TSan stress for the BufferPool's read-mostly phase: concurrent Fetch
+// of a working set larger than the pool, so hits, misses, evictions, and
+// the loose-frame fallback all interleave.
+TEST(ThreadPoolTest, StressBufferPoolReadPhase) {
+  Pager pager;
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(pager.Allocate());
+  BufferPool pool(&pager, 32);
+  for (PageId id : ids) pool.Fetch(id);  // warm what fits
+
+  ThreadPool workers(4);
+  const IoStats before = pool.stats();
+  pool.BeginReadPhase();
+  workers.ParallelFor(2000, [&](int64_t i) {
+    auto ref = pool.Fetch(ids[static_cast<size_t>(i) % ids.size()]);
+    ASSERT_TRUE(static_cast<bool>(ref));
+  });
+  pool.EndReadPhase();
+  const IoStats delta = pool.stats() - before;
+  EXPECT_EQ(delta.logical_reads, 2000);
+  EXPECT_GE(delta.physical_reads, 0);
+  // Phase over: pool must behave normally again.
+  pool.Fetch(ids[0]);
+  EXPECT_EQ((pool.stats() - before).logical_reads, 2001);
+}
+
+TEST(ThreadPoolTest, ThreadIoDeltaAttributesPerThread) {
+  Pager pager;
+  std::vector<PageId> ids;
+  for (int i = 0; i < 16; ++i) ids.push_back(pager.Allocate());
+  BufferPool pool(&pager, 32);
+
+  pool.BeginReadPhase();
+  ThreadPool workers(2);
+  std::atomic<int64_t> attributed{0};
+  workers.ParallelFor(16, [&](int64_t i) {
+    pool.TakeThreadIoDelta();  // clear this thread's residue
+    auto ref = pool.Fetch(ids[static_cast<size_t>(i)]);
+    ref.Reset();
+    const IoStats mine = pool.TakeThreadIoDelta();
+    EXPECT_EQ(mine.logical_reads, 1);
+    attributed.fetch_add(mine.logical_reads);
+  });
+  pool.EndReadPhase();
+  EXPECT_EQ(attributed.load(), 16);
+  // Outside a phase the thread delta is defined to be empty.
+  EXPECT_EQ(pool.TakeThreadIoDelta().logical_reads, 0);
+}
+
+}  // namespace
+}  // namespace pdr
