@@ -13,6 +13,10 @@
 //   pdr_tool stats --in city.pdrd --varrho R --l L [--qt T]
 //                  [--engine fr|pa|both] [--index tpr|bx] [--queries N]
 //                  [--json FILE]
+//   pdr_tool save --in city.pdrd --wal-dir DIR [--index tpr|bx]
+//                 [--checkpoint-every K]
+//   pdr_tool recover --in city.pdrd --wal-dir DIR [--index tpr|bx]
+//                    [--varrho R] [--l L] [--qt T]
 //
 // `gen` synthesizes and saves a dataset; `query` replays it and answers a
 // snapshot PDR query with the chosen engine(s); `monitor` replays while a
@@ -36,7 +40,17 @@
 // `--trace FILE` (query, monitor) records the per-query span trees — and a
 // final metrics snapshot — as JSONL ("-" for stdout). See EXPERIMENTS.md
 // for a walkthrough of reading a trace.
+//
+// `save` replays a dataset into a *durable* FR engine (WAL + checkpoints
+// in --wal-dir; see DESIGN.md §10), checkpointing every K ticks and once
+// at the end. `recover` reopens that directory — recovering from the WAL
+// if the last run died mid-checkpoint — and answers a query from the
+// recovered state alone, without replaying the dataset (--in supplies
+// only the workload configuration, which must match the save run).
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -117,7 +131,8 @@ ExecPolicy ExecFromFlags(const std::map<std::string, std::string>& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: pdr_tool <gen|info|query|monitor|stats> [--flag value]...\n"
+      "usage: pdr_tool <gen|info|query|monitor|stats|save|recover> "
+      "[--flag value]...\n"
       "  gen:     --out FILE [--objects N] [--extent E] "
       "[--duration T] [--seed S] [--interval U]\n"
       "  info:    --in FILE\n"
@@ -129,7 +144,11 @@ int Usage() {
       "           [--audit-rate R] [--report FILE] [--interval S] "
       "[--degree K] [--fail-on-drift]\n"
       "  stats:   --in FILE --varrho R --l L [--qt T] "
-      "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n");
+      "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n"
+      "  save:    --in FILE --wal-dir DIR [--index tpr|bx] "
+      "[--checkpoint-every K]\n"
+      "  recover: --in FILE --wal-dir DIR [--index tpr|bx] "
+      "[--varrho R] [--l L] [--qt T]\n");
   return 2;
 }
 
@@ -438,6 +457,124 @@ int RunStats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Shared FR options for the durable subcommands: save and recover must
+// construct the engine identically (extent, histogram, horizon, index) or
+// the recovered metadata will refuse to attach.
+FrEngine::Options DurableOptions(const Dataset& ds,
+                                 const std::string& index_name,
+                                 const std::string& dir) {
+  return {.extent = ds.config.extent,
+          .histogram_side = 100,
+          .horizon = 2 * ds.config.max_update_interval,
+          .buffer_pages =
+              PaperConfig().BufferPagesFor(ds.config.num_objects),
+          .io_ms = 10.0,
+          .index = index_name == "bx" ? IndexKind::kBxTree
+                                      : IndexKind::kTprTree,
+          .max_update_interval = ds.config.max_update_interval,
+          .storage_dir = dir};
+}
+
+int RunSave(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const std::string dir = FlagOr(flags, "wal-dir", "");
+  if (dir.empty()) return Usage();
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  struct stat st;
+  if (stat((dir + "/checkpoint.pdr").c_str(), &st) == 0 ||
+      stat((dir + "/data.pdr").c_str(), &st) == 0) {
+    std::fprintf(stderr,
+                 "error: %s already holds a store; delete it first\n",
+                 dir.c_str());
+    return 1;
+  }
+  const std::string index_name = FlagOr(flags, "index", "tpr");
+  const Tick every = std::stoi(FlagOr(flags, "checkpoint-every", "0"));
+
+  FrEngine fr(DurableOptions(ds, index_name, dir));
+  Timer timer;
+  Tick since_checkpoint = 0;
+  for (Tick now = 0; now <= ds.duration(); ++now) {
+    fr.AdvanceTo(now);
+    for (const UpdateEvent& e : ds.ticks[now]) fr.Apply(e);
+    if (every > 0 && ++since_checkpoint >= every) {
+      since_checkpoint = 0;
+      fr.Checkpoint();
+    }
+  }
+  fr.Checkpoint();
+  const double total_ms = timer.ElapsedMillis();
+
+  const DiskPager* disk = fr.index().disk();
+  const CheckpointStats& cs = disk->checkpoint_stats();
+  const WalStats& ws = disk->wal_stats();
+  std::printf("saved %s store to %s (%zu objects, %d ticks, %.0f ms)\n",
+              index_name.c_str(), dir.c_str(), fr.index().size(),
+              ds.duration(), total_ms);
+  std::printf("checkpoints : %lld (%lld page images, last %.2f ms)\n",
+              static_cast<long long>(cs.checkpoints),
+              static_cast<long long>(cs.pages_logged), cs.last_ms);
+  std::printf("wal         : %lld records, %lld commits, %lld bytes, "
+              "%lld fsyncs\n",
+              static_cast<long long>(ws.records),
+              static_cast<long long>(ws.commits),
+              static_cast<long long>(ws.bytes_appended),
+              static_cast<long long>(ws.fsyncs));
+  std::printf("pages       : %zu allocated, %zu live\n",
+              disk->allocated_pages(), disk->live_pages());
+  return 0;
+}
+
+int RunRecover(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const std::string dir = FlagOr(flags, "wal-dir", "");
+  if (dir.empty()) return Usage();
+
+  FrEngine fr(DurableOptions(ds, FlagOr(flags, "index", "tpr"), dir));
+  if (!fr.recovered()) {
+    std::fprintf(stderr, "error: no durable store in %s\n", dir.c_str());
+    return 1;
+  }
+  const DiskPager* disk = fr.index().disk();
+  const RecoveryStats& rs = disk->recovery_stats();
+  std::printf("recovered store in %s: %zu objects at tick %d "
+              "(epoch %llu, %.2f ms)\n",
+              dir.c_str(), fr.index().size(), fr.now(),
+              static_cast<unsigned long long>(disk->epoch()),
+              rs.recovery_ms);
+  std::printf("wal redo    : %lld committed batches, %lld page images "
+              "applied, %lld record%s discarded%s\n",
+              static_cast<long long>(rs.batches_applied),
+              static_cast<long long>(rs.redo_records),
+              static_cast<long long>(rs.discarded_records),
+              rs.discarded_records == 1 ? "" : "s",
+              rs.torn_tail ? " (torn tail)" : "");
+
+  if (flags.count("varrho") > 0) {
+    const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
+    const double l = std::stod(FlagOr(flags, "l", "30"));
+    const double extent = ds.config.extent;
+    const double rho = varrho * ds.config.num_objects / (extent * extent);
+    const Tick q_t = std::stoi(FlagOr(
+        flags, "qt",
+        std::to_string(fr.now() + ds.config.max_update_interval / 2)));
+    const auto result = fr.Query(q_t, rho, l, /*cold_cache=*/true);
+    std::printf("FR: %zu rects, %.1f sq-miles | %.1f ms CPU + %.0f ms I/O "
+                "(%lld reads)\n",
+                result.region.size(), result.region.Area(),
+                result.cost.cpu_ms, result.cost.io_ms,
+                static_cast<long long>(result.cost.io_reads()));
+    for (size_t i = 0; i < result.region.size() && i < 10; ++i) {
+      std::printf("  %s\n", result.region.rects()[i].ToString().c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -450,6 +587,8 @@ int main(int argc, char** argv) {
     if (command == "query") return RunQuery(flags);
     if (command == "monitor") return RunMonitor(flags);
     if (command == "stats") return RunStats(flags);
+    if (command == "save") return RunSave(flags);
+    if (command == "recover") return RunRecover(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

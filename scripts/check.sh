@@ -4,8 +4,10 @@
 # build (-DPDR_SANITIZE=ON) that exercises the same test suite with
 # instrumentation, and a TSan build (-DPDR_SANITIZE=thread) that runs the
 # concurrency-sensitive subset (thread pool, parallel engines, buffer pool,
-# tracing). Uses its own build trees (build-check/, build-asan/,
-# build-tsan/) so it never clobbers an existing build/.
+# tracing) — then re-runs the durability fault-injection suites in the
+# ASan tree with the full crash matrix (PDR_CRASH_SWEEP=full). Uses its
+# own build trees (build-check/, build-asan/, build-tsan/) so it never
+# clobbers an existing build/.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 
@@ -42,5 +44,15 @@ tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|Pa
 run_config build-check "" -DCMAKE_BUILD_TYPE=Release
 run_config build-asan "" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=ON
 run_config build-tsan "${tsan_filter}" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=thread
+
+# Crash matrix: the durability suites once more in the ASan tree, this
+# time sweeping every kill point in every crash mode (the default run
+# above thins the torn/truncated modes to every third point; see
+# tests/recovery_test.cc). The tree is already built — this only re-runs
+# the fault-injection tests.
+crash_filter='RecoverySweepTest|MonitorDurabilityTest|WalTest|StorageFileTest|FaultInjectorTest|DiskPagerTest'
+echo "==== crash matrix (build-asan, PDR_CRASH_SWEEP=full) ===="
+(cd "${repo}/build-asan" && PDR_CRASH_SWEEP=full ctest --output-on-failure \
+    -j "${jobs}" -R "${crash_filter}" "${EXTRA_CTEST_ARGS[@]+"${EXTRA_CTEST_ARGS[@]}"}")
 
 echo "==== all checks passed ===="

@@ -298,4 +298,20 @@ void BPlusTree::CheckInvariants() {
   }
 }
 
+void BPlusTree::SerializeMeta(std::string* out) const {
+  PutPod(out, root_);
+  PutPod(out, first_leaf_);
+  PutPod(out, static_cast<int32_t>(height_));
+  PutPod(out, static_cast<uint64_t>(size_));
+  PutPod(out, static_cast<uint64_t>(node_count_));
+}
+
+void BPlusTree::RestoreMeta(ByteReader* reader) {
+  root_ = reader->Get<PageId>();
+  first_leaf_ = reader->Get<PageId>();
+  height_ = reader->Get<int32_t>();
+  size_ = reader->Get<uint64_t>();
+  node_count_ = reader->Get<uint64_t>();
+}
+
 }  // namespace pdr

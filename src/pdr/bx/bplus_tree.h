@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "pdr/mobility/object.h"
 #include "pdr/storage/buffer_pool.h"
 #include "pdr/storage/pager.h"
+#include "pdr/storage/serde.h"
 
 namespace pdr {
 
@@ -67,6 +69,12 @@ class BPlusTree {
   /// Structural self-check (sorted keys, fence correctness, leaf chain,
   /// record count); throws std::logic_error on violation. For tests.
   void CheckInvariants();
+
+  /// Durability: the tree's off-page state (roots, height, counts) —
+  /// appended to / restored from a checkpoint metadata byte string. The
+  /// pages themselves persist through the shared pool's pager.
+  void SerializeMeta(std::string* out) const;
+  void RestoreMeta(ByteReader* reader);
 
   // On-page layout structs; defined in the .cc, incomplete for callers.
   struct NodeHeader;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "pdr/obs/obs.h"
+#include "pdr/storage/disk_pager.h"
+#include "pdr/storage/serde.h"
 
 namespace pdr {
 namespace {
@@ -14,14 +17,81 @@ constexpr uint64_t kOidMask = (1ull << kOidBits) - 1;
 constexpr uint64_t kZShift = kOidBits;              // z occupies bits 24..47
 constexpr uint64_t kPartitionShift = kZShift + 24;  // partition bits 48..50
 constexpr int64_t kPartitionSlots = 8;
+constexpr uint32_t kBxMetaMagic = 0x4d585842u;  // "BXXM"
+
+std::unique_ptr<Pager> MakeTreePager(const BxTree::Options& options) {
+  if (options.storage_dir.empty()) return std::make_unique<MemPager>();
+  return std::make_unique<DiskPager>(options.storage_dir,
+                                     options.fault_injector);
+}
 
 }  // namespace
 
 BxTree::BxTree(const Options& options)
     : options_(options),
       phase_span_(std::max<Tick>(1, options.max_update_interval / 2)),
-      pool_(&pager_, options.buffer_pages),
-      tree_(&pool_) {}
+      pager_(MakeTreePager(options)),
+      pool_(pager_.get(), options.buffer_pages),
+      tree_(&pool_) {
+  disk_ = dynamic_cast<DiskPager*>(pager_.get());
+  if (disk_ != nullptr && disk_->recovered()) {
+    RestoreMeta(disk_->recovered_meta());
+  }
+}
+
+bool BxTree::recovered() const {
+  return disk_ != nullptr && disk_->recovered();
+}
+
+std::string BxTree::SerializeMeta(const std::string& app_meta) const {
+  std::string out;
+  PutPod(&out, kBxMetaMagic);
+  PutPod(&out, now_);
+  PutPod(&out, max_speed_x_);
+  PutPod(&out, max_speed_y_);
+  PutPod(&out, scanned_records_.load(std::memory_order_relaxed));
+  // Sorted by object id so the checkpoint bytes are a pure function of the
+  // logical tree state, not of hash-map iteration order.
+  std::vector<std::pair<ObjectId, uint64_t>> entries(key_of_.begin(),
+                                                     key_of_.end());
+  std::sort(entries.begin(), entries.end());
+  PutPod(&out, static_cast<uint64_t>(entries.size()));
+  for (const auto& [id, key] : entries) {
+    PutPod(&out, id);
+    PutPod(&out, key);
+  }
+  tree_.SerializeMeta(&out);
+  PutBlob(&out, app_meta);
+  return out;
+}
+
+void BxTree::RestoreMeta(const std::string& blob) {
+  ByteReader reader(blob);
+  if (reader.Get<uint32_t>() != kBxMetaMagic) {
+    throw std::runtime_error(
+        "recovered store does not hold a B^x-tree (index kind mismatch?)");
+  }
+  now_ = reader.Get<Tick>();
+  max_speed_x_ = reader.Get<double>();
+  max_speed_y_ = reader.Get<double>();
+  scanned_records_.store(reader.Get<int64_t>(), std::memory_order_relaxed);
+  const uint64_t objects = reader.Get<uint64_t>();
+  key_of_.clear();
+  key_of_.reserve(objects);
+  for (uint64_t i = 0; i < objects; ++i) {
+    const ObjectId id = reader.Get<ObjectId>();
+    const uint64_t key = reader.Get<uint64_t>();
+    key_of_.emplace(id, key);
+  }
+  tree_.RestoreMeta(&reader);
+  recovered_app_meta_ = std::string(reader.GetBlob());
+}
+
+void BxTree::Checkpoint(const std::string& app_meta) {
+  if (disk_ == nullptr) return;
+  pool_.FlushAll();  // drain the dirty-page table into the store
+  disk_->Checkpoint(SerializeMeta(app_meta));
+}
 
 uint32_t BxTree::CellCoord(double v) const {
   const double cell = options_.extent / (1u << kBxZBits);

@@ -26,13 +26,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "pdr/bx/bplus_tree.h"
 #include "pdr/bx/zcurve.h"
 #include "pdr/index/object_index.h"
+#include "pdr/storage/fault_injector.h"
 
 namespace pdr {
+
+class DiskPager;
 
 class BxTree : public ObjectIndex {
  public:
@@ -41,6 +46,11 @@ class BxTree : public ObjectIndex {
     double extent = 1000.0;        ///< domain edge
     Tick max_update_interval = 60; ///< U; the phase span is U/2
     int max_scan_intervals = 256;  ///< Z-decomposition budget per query
+    /// Non-empty: back the tree with a durable DiskPager in this directory
+    /// (recovering any existing store). Empty: in-memory MemPager.
+    std::string storage_dir;
+    /// Crash-fault injection for the durable store (tests only; not owned).
+    FaultInjector* fault_injector = nullptr;
   };
 
   explicit BxTree(const Options& options);
@@ -65,6 +75,19 @@ class BxTree : public ObjectIndex {
   Tick phase_span() const { return phase_span_; }
   BPlusTree& btree() { return tree_; }
 
+  // Durability (ObjectIndex hooks): flushes the pool and checkpoints the
+  // DiskPager with the B^x metadata (clock, max speeds, object->key map,
+  // B+-tree roots) + `app_meta` as one atomic unit.
+  bool durable() const override { return disk_ != nullptr; }
+  void Checkpoint(const std::string& app_meta) override;
+  bool recovered() const override;
+  const std::string& recovered_app_meta() const override {
+    return recovered_app_meta_;
+  }
+
+  /// The durable store behind the tree (null when in-memory).
+  DiskPager* disk() const override { return disk_; }
+
   /// Records visited by range scans since construction (the enlargement
   /// overhead: scanned minus returned candidates were false positives).
   int64_t scanned_records() const {
@@ -82,10 +105,13 @@ class BxTree : public ObjectIndex {
     return static_cast<Tick>((partition + 1) * phase_span_);
   }
   uint32_t CellCoord(double v) const;
+  std::string SerializeMeta(const std::string& app_meta) const;
+  void RestoreMeta(const std::string& blob);
 
   Options options_;
   Tick phase_span_;
-  Pager pager_;
+  std::unique_ptr<Pager> pager_;
+  DiskPager* disk_ = nullptr;  // pager_ downcast when durable, else null
   BufferPool pool_;
   BPlusTree tree_;
   Tick now_ = 0;
@@ -96,6 +122,7 @@ class BxTree : public ObjectIndex {
   std::unordered_map<ObjectId, uint64_t> key_of_;
   // Concurrent const RangeQuery calls all bump the scan tally.
   mutable std::atomic<int64_t> scanned_records_{0};
+  std::string recovered_app_meta_;
 };
 
 /// Bits per axis of the B^x cell grid (coarser than the full Z curve so

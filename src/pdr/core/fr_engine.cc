@@ -1,8 +1,11 @@
 #include "pdr/core/fr_engine.h"
 
+#include <stdexcept>
+
 #include "pdr/bx/bx_tree.h"
 #include "pdr/obs/obs.h"
 #include "pdr/parallel/thread_pool.h"
+#include "pdr/storage/serde.h"
 #include "pdr/tpr/tpr_tree.h"
 
 namespace pdr {
@@ -10,16 +13,28 @@ namespace {
 
 std::unique_ptr<ObjectIndex> MakeIndex(const FrEngine::Options& options) {
   switch (options.index) {
-    case IndexKind::kBxTree:
-      return std::make_unique<BxTree>(
-          BxTree::Options{options.buffer_pages, options.extent,
-                          options.max_update_interval});
+    case IndexKind::kBxTree: {
+      BxTree::Options bx;
+      bx.buffer_pages = options.buffer_pages;
+      bx.extent = options.extent;
+      bx.max_update_interval = options.max_update_interval;
+      bx.storage_dir = options.storage_dir;
+      bx.fault_injector = options.fault_injector;
+      return std::make_unique<BxTree>(bx);
+    }
     case IndexKind::kTprTree:
       break;
   }
-  return std::make_unique<TprTree>(
-      TprTree::Options{options.buffer_pages, options.horizon});
+  TprTree::Options tpr;
+  tpr.buffer_pages = options.buffer_pages;
+  tpr.horizon = options.horizon;
+  tpr.storage_dir = options.storage_dir;
+  tpr.fault_injector = options.fault_injector;
+  return std::make_unique<TprTree>(tpr);
 }
+
+constexpr uint32_t kEngineMetaMagic = 0x454d5246u;  // "FRME"
+constexpr uint32_t kEngineMetaVersion = 1;
 
 struct FrMetrics {
   Counter& queries;
@@ -49,9 +64,37 @@ struct FrMetrics {
 FrEngine::FrEngine(const Options& options)
     : options_(options),
       histogram_({options.extent, options.histogram_side, options.horizon}),
-      index_(MakeIndex(options)) {}
+      index_(MakeIndex(options)) {
+  if (index_->recovered()) {
+    // The index restored its pages and metadata from the store; the
+    // engine-level blob riding on the same checkpoint restores the filter
+    // side, so filter and refinement resume from one consistent instant.
+    ByteReader reader(index_->recovered_app_meta());
+    if (reader.Get<uint32_t>() != kEngineMetaMagic ||
+        reader.Get<uint32_t>() != kEngineMetaVersion) {
+      throw std::runtime_error(
+          "recovered store does not hold FR engine state");
+    }
+    const auto kind = static_cast<IndexKind>(reader.Get<uint8_t>());
+    if (kind != options_.index) {
+      throw std::runtime_error(
+          "recovered store was checkpointed with a different index kind");
+    }
+    histogram_.Restore(&reader);
+  }
+}
 
 FrEngine::~FrEngine() = default;
+
+void FrEngine::Checkpoint() {
+  if (!index_->durable()) return;
+  std::string meta;
+  PutPod(&meta, kEngineMetaMagic);
+  PutPod(&meta, kEngineMetaVersion);
+  PutPod(&meta, static_cast<uint8_t>(options_.index));
+  histogram_.Serialize(&meta);
+  index_->Checkpoint(meta);
+}
 
 void FrEngine::SetExecPolicy(const ExecPolicy& exec) {
   options_.exec = exec;

@@ -26,6 +26,7 @@
 #define PDR_CORE_FR_ENGINE_H_
 
 #include <memory>
+#include <string>
 
 #include "pdr/common/region.h"
 #include "pdr/common/stats.h"
@@ -33,6 +34,7 @@
 #include "pdr/histogram/filter.h"
 #include "pdr/index/object_index.h"
 #include "pdr/parallel/exec_policy.h"
+#include "pdr/storage/fault_injector.h"
 #include "pdr/sweep/plane_sweep.h"
 
 namespace pdr {
@@ -58,6 +60,13 @@ class FrEngine {
     IndexKind index = IndexKind::kTprTree;
     Tick max_update_interval = 60;  ///< U (B^x-tree phase sizing)
     ExecPolicy exec;           ///< serial by default; see SetExecPolicy
+    /// Non-empty: durable storage — the index lives on a DiskPager in this
+    /// directory (WAL + checkpoints; see storage/disk_pager.h), and
+    /// construction recovers any existing store, restoring the index, the
+    /// histogram, and both clocks to the last checkpoint. Empty: in-memory.
+    std::string storage_dir;
+    /// Crash-fault injection for the durable store (tests only; not owned).
+    FaultInjector* fault_injector = nullptr;
   };
 
   explicit FrEngine(const Options& options);
@@ -105,6 +114,19 @@ class FrEngine {
   ObjectIndex& index() { return *index_; }
   const ObjectIndex& index() const { return *index_; }
   const Options& options() const { return options_; }
+
+  /// Durability: makes the whole engine state (index pages + tree metadata
+  /// + histogram + clocks) durable as one atomic checkpoint. No-op when
+  /// `storage_dir` is empty. Throws CrashError under fault injection; the
+  /// engine must then be discarded (as a killed process would be).
+  void Checkpoint();
+
+  /// True when the engine writes durable storage.
+  bool durable() const { return index_->durable(); }
+
+  /// True when construction recovered a pre-existing store (queries then
+  /// answer exactly as the engine that wrote the last checkpoint did).
+  bool recovered() const { return index_->recovered(); }
 
  private:
   ThreadPool* PoolForQuery();  // null when the policy is serial

@@ -92,6 +92,12 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   if (delta.Changed()) changed.Increment();
   tick_ms.Observe(timer.ElapsedMillis());
 
+  if (checkpoint_hook_ && checkpoint_every_ > 0 &&
+      ++ticks_since_checkpoint_ >= checkpoint_every_) {
+    ticks_since_checkpoint_ = 0;
+    checkpoint_hook_();
+  }
+
   if (span.active()) {
     span.SetAttr("now", static_cast<int64_t>(now));
     span.SetAttr("q_t", static_cast<int64_t>(delta.q_t));

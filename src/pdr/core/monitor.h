@@ -24,6 +24,7 @@
 #ifndef PDR_CORE_MONITOR_H_
 #define PDR_CORE_MONITOR_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -101,6 +102,16 @@ class PdrMonitor {
   /// appeared).
   void Reset() { has_previous_ = false; }
 
+  /// Durability cadence: after every `every_ticks` evaluated ticks the
+  /// monitor invokes `hook` — typically FrEngine::Checkpoint on the engine
+  /// it watches, so the standing query's state hits disk at a bounded
+  /// recovery distance. `every_ticks <= 0` (or an empty hook) disables.
+  void SetCheckpointHook(std::function<void()> hook, Tick every_ticks) {
+    checkpoint_hook_ = std::move(hook);
+    checkpoint_every_ = every_ticks;
+    ticks_since_checkpoint_ = 0;
+  }
+
  private:
   ThreadPool* PoolForTick();  // null when the policy is serial
 
@@ -113,6 +124,9 @@ class PdrMonitor {
   std::unique_ptr<ThreadPool> pool_;  // created lazily on first parallel tick
   Region previous_;
   bool has_previous_ = false;
+  std::function<void()> checkpoint_hook_;
+  Tick checkpoint_every_ = 0;
+  Tick ticks_since_checkpoint_ = 0;
 };
 
 }  // namespace pdr

@@ -67,4 +67,36 @@ int64_t DensityHistogram::TotalAt(Tick t) const {
   return std::accumulate(slice.begin(), slice.end(), int64_t{0});
 }
 
+namespace {
+constexpr uint32_t kDhMetaMagic = 0x54534844u;  // "DHST"
+}
+
+void DensityHistogram::Serialize(std::string* out) const {
+  PutPod(out, kDhMetaMagic);
+  PutPod(out, static_cast<int32_t>(grid_.cells_per_side()));
+  PutPod(out, horizon_);
+  PutPod(out, now_);
+  for (const Tick t : slot_tick_) PutPod(out, t);
+  for (const std::vector<Counter>& slice : ring_) {
+    out->append(reinterpret_cast<const char*>(slice.data()),
+                slice.size() * sizeof(Counter));
+  }
+}
+
+void DensityHistogram::Restore(ByteReader* reader) {
+  if (reader->Get<uint32_t>() != kDhMetaMagic) {
+    throw std::runtime_error("density histogram state: bad magic");
+  }
+  if (reader->Get<int32_t>() != grid_.cells_per_side() ||
+      reader->Get<Tick>() != horizon_) {
+    throw std::runtime_error(
+        "density histogram state was checkpointed under different options");
+  }
+  now_ = reader->Get<Tick>();
+  for (Tick& t : slot_tick_) t = reader->Get<Tick>();
+  for (std::vector<Counter>& slice : ring_) {
+    for (Counter& c : slice) c = reader->Get<Counter>();
+  }
+}
+
 }  // namespace pdr

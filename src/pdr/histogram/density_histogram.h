@@ -19,10 +19,12 @@
 #define PDR_HISTOGRAM_DENSITY_HISTOGRAM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pdr/common/geometry.h"
 #include "pdr/mobility/object.h"
+#include "pdr/storage/serde.h"
 
 namespace pdr {
 
@@ -63,6 +65,16 @@ class DensityHistogram {
 
   /// Total objects recorded in the slice for tick `t` (for sanity checks).
   int64_t TotalAt(Tick t) const;
+
+  /// Durability: appends the full counter state to `out`. The ring is a
+  /// function of the whole update *history* (recycled slices refill
+  /// gradually as objects re-report), not of the live object set, so it
+  /// must persist verbatim for recovered queries to be bit-identical.
+  void Serialize(std::string* out) const;
+
+  /// Restores state written by Serialize. Throws std::runtime_error when
+  /// the blob is truncated or was produced under different Options.
+  void Restore(ByteReader* reader);
 
  private:
   int SlotOf(Tick t) const {

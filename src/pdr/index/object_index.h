@@ -16,6 +16,7 @@
 #ifndef PDR_INDEX_OBJECT_INDEX_H_
 #define PDR_INDEX_OBJECT_INDEX_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "pdr/storage/buffer_pool.h"
 
 namespace pdr {
+
+class DiskPager;
 
 class ObjectIndex {
  public:
@@ -71,6 +74,32 @@ class ObjectIndex {
 
   /// Drops the buffer cache (cold-start measurements).
   virtual void DropCaches() = 0;
+
+  // Durability hooks — implemented by indexes sitting on a DiskPager
+  // (storage_dir set in their options); the defaults describe a
+  // memory-only index.
+
+  /// True when the index is backed by a durable (file-backed) store.
+  virtual bool durable() const { return false; }
+
+  /// Flushes the buffer pool and checkpoints the underlying store; the
+  /// index's own metadata (root, clocks, object maps) and the caller's
+  /// `app_meta` blob become durable atomically with the page images.
+  /// No-op when not durable.
+  virtual void Checkpoint(const std::string& app_meta) { (void)app_meta; }
+
+  /// True when construction recovered pre-existing durable state.
+  virtual bool recovered() const { return false; }
+
+  /// The `app_meta` blob from the recovered checkpoint ("" when none).
+  virtual const std::string& recovered_app_meta() const {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+
+  /// The durable store behind the index (stats inspection); null when the
+  /// index is memory-only.
+  virtual DiskPager* disk() const { return nullptr; }
 };
 
 }  // namespace pdr

@@ -1,5 +1,6 @@
 #include "pdr/mobility/dataset_io.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -26,7 +27,26 @@ T Get(std::istream& is) {
   return value;
 }
 
+// Every coordinate that enters or leaves a file must be finite: a NaN
+// position poisons the histogram counts and every Rect comparison, and an
+// Inf velocity explodes the TPR bounding rectangles — far from where the
+// bad value entered. Reject at the I/O boundary with a message naming the
+// field instead.
+void CheckFinite(double v, const char* field, const char* verb) {
+  if (std::isfinite(v)) return;
+  throw std::runtime_error(std::string(verb) + ": non-finite " + field +
+                           " (NaN or Inf) in motion state");
+}
+
+void ValidateState(const MotionState& s, const char* verb) {
+  CheckFinite(s.pos.x, "position x", verb);
+  CheckFinite(s.pos.y, "position y", verb);
+  CheckFinite(s.vel.x, "velocity x", verb);
+  CheckFinite(s.vel.y, "velocity y", verb);
+}
+
 void PutState(std::ostream& os, const MotionState& s) {
+  ValidateState(s, "dataset write rejected");
   Put(os, s.pos.x);
   Put(os, s.pos.y);
   Put(os, s.vel.x);
@@ -41,6 +61,7 @@ MotionState GetState(std::istream& is) {
   s.vel.x = Get<double>(is);
   s.vel.y = Get<double>(is);
   s.t_ref = Get<Tick>(is);
+  ValidateState(s, "corrupt dataset");
   return s;
 }
 
@@ -108,6 +129,14 @@ Dataset ReadDataset(std::istream& is) {
   c.network.num_hotspots = Get<int32_t>(is);
   c.network.hotspot_zipf = Get<double>(is);
   c.network.seed = Get<uint64_t>(is);
+  if (!std::isfinite(c.extent) || c.extent <= 0.0) {
+    throw std::runtime_error(
+        "corrupt dataset: extent must be finite and positive");
+  }
+  if (c.num_objects < 0 || c.max_update_interval <= 0) {
+    throw std::runtime_error(
+        "corrupt dataset: negative object count or non-positive U");
+  }
 
   const uint32_t num_ticks = Get<uint32_t>(is);
   if (num_ticks > (1u << 24)) {

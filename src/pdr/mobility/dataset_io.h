@@ -4,8 +4,10 @@
 //
 // Format: a little-endian binary container ("PDRD", version 1) holding
 // the workload configuration followed by the per-tick update batches.
-// Loading validates the magic, version, and structural counts and throws
-// std::runtime_error on any corruption.
+// Loading validates the magic, version, structural counts, the workload
+// configuration, and every motion state's coordinates (NaN/Inf are
+// rejected — on write too, so a poisoned simulation cannot produce a
+// file that parses) and throws std::runtime_error naming the problem.
 
 #ifndef PDR_MOBILITY_DATASET_IO_H_
 #define PDR_MOBILITY_DATASET_IO_H_

@@ -52,6 +52,9 @@
 #include "pdr/obs/export.h"
 #include "pdr/obs/obs.h"
 #include "pdr/obs/report.h"
+#include "pdr/storage/disk_pager.h"
+#include "pdr/storage/fault_injector.h"
+#include "pdr/storage/wal.h"
 #include "pdr/sweep/plane_sweep.h"
 #include "pdr/tpr/tpr_tree.h"
 

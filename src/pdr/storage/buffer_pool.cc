@@ -158,7 +158,7 @@ void BufferPool::Unpin(size_t frame) {
 
 void BufferPool::FlushFrameLocked(Frame& frame) {
   if (frame.dirty && frame.id != kInvalidPageId) {
-    pager_->PageAt(frame.id) = frame.page;
+    pager_->WritePage(frame.id, frame.page);
     frame.dirty = false;
     if (read_phase_.load(std::memory_order_relaxed)) {
       ThreadSlot(this, phase_epoch_.load(std::memory_order_relaxed))
@@ -250,7 +250,7 @@ BufferPool::PageRef BufferPool::FetchMissLocked(PageId id) {
   const size_t frame = AcquireFrameLocked();
   Frame& f = frames_[frame];
   f.id = id;
-  f.page = pager_->PageAt(id);
+  pager_->ReadPage(id, &f.page);
   f.dirty = false;
   frame_of_[id] = frame;
   PinLocked(frame);
@@ -294,7 +294,7 @@ BufferPool::PageRef BufferPool::Fetch(PageId id) {
   const size_t frame = AcquireFrameLocked();
   Frame& f = frames_[frame];
   f.id = id;
-  f.page = pager_->PageAt(id);
+  pager_->ReadPage(id, &f.page);
   f.dirty = false;
   frame_of_[id] = frame;
   PinLocked(frame);
@@ -437,6 +437,15 @@ void BufferPool::ResetStats() {
 size_t BufferPool::resident_pages() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return frame_of_.size();
+}
+
+size_t BufferPool::dirty_pages() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t n = 0;
+  for (size_t i = 0; i < capacity_; ++i) {
+    if (frames_[i].id != kInvalidPageId && frames_[i].dirty) ++n;
+  }
+  return n;
 }
 
 }  // namespace pdr

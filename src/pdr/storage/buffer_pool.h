@@ -129,6 +129,10 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   size_t resident_pages() const;
 
+  /// Number of dirty resident frames — the dirty-page table a checkpoint
+  /// drains with FlushAll().
+  size_t dirty_pages() const;
+
  private:
   struct Frame {
     PageId id = kInvalidPageId;

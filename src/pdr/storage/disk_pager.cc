@@ -1,0 +1,270 @@
+#include "pdr/storage/disk_pager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "pdr/obs/registry.h"
+#include "pdr/obs/trace.h"
+#include "pdr/storage/serde.h"
+
+namespace pdr {
+namespace {
+
+constexpr uint32_t kDataMagic = 0x50524450u;  // "PDRP"
+constexpr uint32_t kDataVersion = 1;
+constexpr uint32_t kCkptMagic = 0x43524450u;  // "PDRC"
+constexpr uint32_t kCkptVersion = 1;
+
+struct DataFileHeader {
+  uint32_t magic = kDataMagic;
+  uint32_t version = kDataVersion;
+};
+
+uint64_t PageOffset(PageId id) {
+  return (static_cast<uint64_t>(id) + 1) * kPageSize;
+}
+
+/// The state a commit record / checkpoint descriptor carries: everything
+/// besides the page images needed to reconstruct the pager + application.
+std::string EncodeState(size_t page_count, const std::vector<PageId>& free_list,
+                        const std::string& app_meta) {
+  std::string out;
+  PutPod(&out, static_cast<uint64_t>(page_count));
+  PutPod(&out, static_cast<uint64_t>(free_list.size()));
+  for (const PageId id : free_list) PutPod(&out, id);
+  PutBlob(&out, app_meta);
+  return out;
+}
+
+struct DecodedState {
+  uint64_t page_count = 0;
+  std::vector<PageId> free_list;
+  std::string app_meta;
+};
+
+DecodedState DecodeState(ByteReader* reader) {
+  DecodedState state;
+  state.page_count = reader->Get<uint64_t>();
+  const uint64_t frees = reader->Get<uint64_t>();
+  state.free_list.reserve(frees);
+  for (uint64_t i = 0; i < frees; ++i) {
+    state.free_list.push_back(reader->Get<PageId>());
+  }
+  state.app_meta = std::string(reader->GetBlob());
+  return state;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+DiskPager::DiskPager(const std::string& dir, FaultInjector* injector,
+                     const WalOptions& wal_options)
+    : dir_(dir),
+      injector_(injector),
+      wal_(dir + "/wal.log", wal_options, injector) {
+  data_.Open(dir + "/data.pdr", "data", injector);
+  const uint64_t size = data_.Size();
+  if (size < sizeof(DataFileHeader)) {
+    // Fresh store, or a creation-time crash tore the header before any
+    // checkpoint could commit — either way (re)stamp it; it becomes
+    // durable with the first data fsync.
+    const DataFileHeader header;
+    data_.WriteAt(0, &header, sizeof(header));
+  } else {
+    DataFileHeader header;
+    data_.ReadAt(0, &header, sizeof(header));
+    if (header.magic != kDataMagic || header.version != kDataVersion) {
+      throw std::runtime_error("not a PDR data file: " + dir + "/data.pdr");
+    }
+  }
+  try {
+    Recover();
+  } catch (const CrashError&) {
+    Poison();
+    throw;
+  }
+}
+
+PageId DiskPager::Allocate() {
+  const PageId id = mirror_.Allocate();
+  dirty_.insert(id);
+  return id;
+}
+
+void DiskPager::Free(PageId id) {
+  mirror_.Free(id);
+  dirty_.erase(id);  // freed content never needs to reach the WAL
+}
+
+void DiskPager::ReadPage(PageId id, Page* out) const {
+  mirror_.ReadPage(id, out);
+}
+
+void DiskPager::WritePage(PageId id, const Page& page) {
+  mirror_.WritePage(id, page);
+  dirty_.insert(id);
+}
+
+std::string DiskPager::EncodeCheckpoint(const std::string& app_meta) const {
+  std::string out;
+  PutPod(&out, kCkptMagic);
+  PutPod(&out, kCkptVersion);
+  PutPod(&out, epoch_);
+  PutPod(&out, wal_.next_lsn());
+  out += EncodeState(mirror_.allocated_pages(), mirror_.free_list(), app_meta);
+  PutPod(&out, Fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+void DiskPager::ConvergeFiles(const std::set<PageId>& dirty,
+                              const std::string& app_meta) {
+  for (const PageId id : dirty) {
+    data_.WriteAt(PageOffset(id), mirror_.PageAt(id).bytes.data(), kPageSize);
+  }
+  data_.Sync();
+  ++epoch_;
+  AtomicWriteFile(dir_ + "/checkpoint.pdr", EncodeCheckpoint(app_meta), "ckpt",
+                  injector_);
+  wal_.Reset();
+}
+
+void DiskPager::Checkpoint(const std::string& app_meta) {
+  if (poisoned_) {
+    throw CrashError("checkpoint on a store that already crashed");
+  }
+  TraceSpan span("storage.checkpoint");
+  const auto start = std::chrono::steady_clock::now();
+  const int64_t pages = static_cast<int64_t>(dirty_.size());
+  try {
+    for (const PageId id : dirty_) wal_.AppendPage(id, mirror_.PageAt(id));
+    wal_.AppendCommit(
+        EncodeState(mirror_.allocated_pages(), mirror_.free_list(), app_meta));
+    wal_.Sync();  // the durable point
+    ConvergeFiles(dirty_, app_meta);
+  } catch (const CrashError&) {
+    Poison();
+    throw;
+  }
+  meta_ = app_meta;
+  dirty_.clear();
+  checkpoint_stats_.checkpoints++;
+  checkpoint_stats_.pages_logged += pages;
+  checkpoint_stats_.last_ms = ElapsedMs(start);
+  span.SetAttr("pages", pages);
+  if (PdrObs::Enabled()) {
+    MetricsRegistry::Global().GetCounter("pdr.storage.checkpoints").Increment();
+    MetricsRegistry::Global()
+        .GetCounter("pdr.storage.checkpoint_pages")
+        .Add(pages);
+    MetricsRegistry::Global()
+        .GetHistogram("pdr.storage.checkpoint_ms")
+        .Observe(checkpoint_stats_.last_ms);
+  }
+}
+
+void DiskPager::Recover() {
+  TraceSpan span("storage.recover");
+  const auto start = std::chrono::steady_clock::now();
+
+  uint64_t ckpt_next_lsn = 0;
+  DecodedState state;
+  std::string ckpt_raw;
+  const bool have_ckpt =
+      ReadFileIfExists(dir_ + "/checkpoint.pdr", &ckpt_raw);
+  if (have_ckpt) {
+    // checkpoint.pdr is published atomically, so a torn copy can only mean
+    // external damage — surface it instead of silently starting empty.
+    if (ckpt_raw.size() < sizeof(uint64_t)) {
+      throw std::runtime_error("checkpoint file corrupt: " + dir_);
+    }
+    uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, ckpt_raw.data() + ckpt_raw.size() - 8, 8);
+    if (Fnv1a64(ckpt_raw.data(), ckpt_raw.size() - 8) != stored_sum) {
+      throw std::runtime_error("checkpoint file corrupt: " + dir_);
+    }
+    ByteReader reader(
+        std::string_view(ckpt_raw.data(), ckpt_raw.size() - 8));
+    if (reader.Get<uint32_t>() != kCkptMagic ||
+        reader.Get<uint32_t>() != kCkptVersion) {
+      throw std::runtime_error("checkpoint file corrupt: " + dir_);
+    }
+    epoch_ = reader.Get<uint64_t>();
+    ckpt_next_lsn = reader.Get<uint64_t>();
+    state = DecodeState(&reader);
+  }
+
+  const Wal::ScanResult scan = wal_.Scan();
+  recovery_stats_.discarded_records = scan.records_discarded;
+  recovery_stats_.torn_tail = scan.torn_tail;
+  recovered_ = have_ckpt || !scan.batches.empty();
+  if (!recovered_ && scan.records_scanned == 0 && !scan.torn_tail) {
+    return;  // fresh store
+  }
+  recovery_stats_.ran = recovered_;
+
+  // The last committed batch (if any) supersedes the checkpoint's state.
+  if (!scan.batches.empty()) {
+    ByteReader reader(scan.batches.back().commit_payload);
+    state = DecodeState(&reader);
+  }
+
+  mirror_.Restore(state.page_count, state.free_list);
+  for (uint64_t id = 0; id < state.page_count; ++id) {
+    data_.ReadAt(PageOffset(static_cast<PageId>(id)),
+                 mirror_.PageAt(static_cast<PageId>(id)).bytes.data(),
+                 kPageSize);  // zero-fills past EOF
+  }
+
+  std::set<PageId> redo_dirty;
+  for (const Wal::Batch& batch : scan.batches) {
+    for (const auto& [id, image] : batch.pages) {
+      if (id >= state.page_count) continue;  // superseded allocation state
+      mirror_.PageAt(id) = image;
+      redo_dirty.insert(id);
+      recovery_stats_.redo_records++;
+    }
+    recovery_stats_.batches_applied++;
+  }
+  meta_ = state.app_meta;
+  wal_.set_next_lsn(std::max(scan.next_lsn, ckpt_next_lsn));
+
+  if (!scan.batches.empty()) {
+    // Redo changed the picture relative to the files: converge so the next
+    // crash recovers from the checkpoint alone. Idempotent — a crash in
+    // here re-runs this same redo from the still-intact WAL.
+    ConvergeFiles(redo_dirty, meta_);
+  } else if (scan.records_scanned > 0 || scan.torn_tail) {
+    wal_.Reset();  // drop the uncommitted tail
+  }
+
+  recovery_stats_.recovery_ms = ElapsedMs(start);
+  span.SetAttr("batches", recovery_stats_.batches_applied);
+  span.SetAttr("redo_records", recovery_stats_.redo_records);
+  if (PdrObs::Enabled()) {
+    MetricsRegistry::Global().GetCounter("pdr.storage.recoveries").Increment();
+    MetricsRegistry::Global()
+        .GetCounter("pdr.storage.redo_records")
+        .Add(recovery_stats_.redo_records);
+    MetricsRegistry::Global()
+        .GetCounter("pdr.storage.discarded_records")
+        .Add(recovery_stats_.discarded_records);
+    MetricsRegistry::Global()
+        .GetHistogram("pdr.storage.recovery_ms")
+        .Observe(recovery_stats_.recovery_ms);
+  }
+}
+
+void DiskPager::Poison() {
+  poisoned_ = true;
+  data_.Poison();
+  wal_.Poison();
+}
+
+}  // namespace pdr

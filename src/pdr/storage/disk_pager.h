@@ -1,0 +1,137 @@
+// File-backed pager: WAL + fuzzy checkpoints + crash recovery.
+//
+// A DiskPager keeps the working copy of every page in an in-memory mirror
+// (a MemPager) and tracks which pages changed since the last checkpoint.
+// Between checkpoints NO file I/O happens — reads and writes hit the
+// mirror, exactly as fast as the simulated disk. Durability is produced in
+// bulk by Checkpoint(), which runs a redo-only protocol over three files
+// in the store directory:
+//
+//   data.pdr        page images, page id i at offset (i + 1) * kPageSize
+//   wal.log         physical-page write-ahead log (wal.h)
+//   checkpoint.pdr  last published snapshot descriptor: {epoch, next LSN,
+//                   page count, free list, application metadata blob,
+//                   checksum}, replaced atomically (tmp + fsync + rename)
+//
+// Checkpoint(meta):
+//   1. append a WAL after-image record for every dirty page (buffered)
+//   2. append a WAL commit record carrying {page count, free list, meta}
+//   3. wal fsync                      <- THE durable point (group commit)
+//   4. write the dirty pages into data.pdr
+//   5. data fsync
+//   6. atomically publish checkpoint.pdr
+//   7. reset the WAL (the checkpoint now carries everything)
+//
+// Recovery (automatic in the constructor when the store exists):
+//   load checkpoint.pdr (or empty-store defaults) -> load data.pdr into
+//   the mirror -> scan the WAL for committed batches (checksummed records
+//   closed by a commit; a torn tail is discarded) -> apply each batch's
+//   after-images and adopt its {page count, free list, meta} -> if redo
+//   was applied, converge the files (steps 4-7 above). A crash at ANY
+//   write/fsync boundary — including during recovery itself — leaves a
+//   state this procedure maps back to the last committed checkpoint:
+//   before step 3 the old state survives untouched; from step 3 on, redo
+//   reconstructs the new state idempotently.
+//
+// The application metadata blob carries whatever the index/engine needs to
+// reattach to its pages (tree roots, object->leaf maps, clocks, histogram
+// state); it travels inside the commit record so pages and metadata are
+// atomic as a unit.
+
+#ifndef PDR_STORAGE_DISK_PAGER_H_
+#define PDR_STORAGE_DISK_PAGER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pdr/storage/fault_injector.h"
+#include "pdr/storage/pager.h"
+#include "pdr/storage/storage_file.h"
+#include "pdr/storage/wal.h"
+
+namespace pdr {
+
+struct CheckpointStats {
+  int64_t checkpoints = 0;
+  int64_t pages_logged = 0;   ///< after-images appended across all ckpts
+  double last_ms = 0.0;
+};
+
+struct RecoveryStats {
+  bool ran = false;             ///< an existing store was opened
+  int64_t batches_applied = 0;  ///< committed WAL batches redone
+  int64_t redo_records = 0;     ///< page images applied from the WAL
+  int64_t discarded_records = 0;  ///< valid but uncommitted tail records
+  bool torn_tail = false;         ///< WAL scan hit a checksum/cut boundary
+  double recovery_ms = 0.0;
+};
+
+class DiskPager : public Pager {
+ public:
+  /// Opens (creating or recovering) the store in directory `dir`, which
+  /// must already exist. `injector` may be null (no fault injection).
+  explicit DiskPager(const std::string& dir, FaultInjector* injector = nullptr,
+                     const WalOptions& wal_options = {});
+
+  // Pager interface — mirror-backed, no file I/O.
+  PageId Allocate() override;
+  void Free(PageId id) override;
+  void ReadPage(PageId id, Page* out) const override;
+  void WritePage(PageId id, const Page& page) override;
+  size_t allocated_pages() const override { return mirror_.allocated_pages(); }
+  size_t live_pages() const override { return mirror_.live_pages(); }
+
+  /// Makes the current state durable together with `app_meta` (see file
+  /// comment for the protocol). Throws CrashError when an injected fault
+  /// fires; the pager is poisoned afterwards and must be discarded (as a
+  /// killed process would be).
+  void Checkpoint(const std::string& app_meta);
+
+  /// True when the constructor recovered pre-existing durable state (as
+  /// opposed to initializing an empty store).
+  bool recovered() const { return recovered_; }
+
+  /// Application metadata from the last durable checkpoint ("" for a
+  /// fresh store).
+  const std::string& recovered_meta() const { return meta_; }
+
+  /// Pages dirtied since the last checkpoint.
+  size_t dirty_page_count() const { return dirty_.size(); }
+
+  uint64_t epoch() const { return epoch_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  const CheckpointStats& checkpoint_stats() const { return checkpoint_stats_; }
+  const WalStats& wal_stats() const { return wal_.stats(); }
+  uint64_t wal_bytes() const { return wal_.file_bytes(); }
+  bool poisoned() const { return poisoned_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void Recover();
+  /// Steps 4-7 of the protocol: pages in `dirty` are durable in the WAL
+  /// (or being re-applied from it); push them to data.pdr, publish the
+  /// checkpoint descriptor, reset the WAL.
+  void ConvergeFiles(const std::set<PageId>& dirty,
+                     const std::string& app_meta);
+  std::string EncodeCheckpoint(const std::string& app_meta) const;
+  void Poison();
+
+  std::string dir_;
+  FaultInjector* injector_;
+  MemPager mirror_;
+  std::set<PageId> dirty_;  // ordered: deterministic WAL append order
+  StorageFile data_;
+  Wal wal_;
+  std::string meta_;
+  uint64_t epoch_ = 0;
+  bool recovered_ = false;
+  bool poisoned_ = false;
+  RecoveryStats recovery_stats_;
+  CheckpointStats checkpoint_stats_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_STORAGE_DISK_PAGER_H_

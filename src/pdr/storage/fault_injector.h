@@ -1,0 +1,119 @@
+// Deterministic crash-fault injection for the durability layer.
+//
+// Every write/fsync boundary in the storage files (WAL appends, WAL
+// fsyncs, data-page writes, data fsyncs, checkpoint-file publication) is a
+// numbered *fault point*: before executing, the operation asks the
+// injector whether to proceed. A test arms the injector to crash at the
+// k-th point in one of three modes:
+//
+//   * kClean         — the operation does not happen at all (power lost
+//                      just before the syscall).
+//   * kTornWrite     — a deterministic prefix of the byte range is written
+//                      and the rest lost (interrupted pwrite).
+//   * kTruncatedTail — for appends: the bytes are written, then the file
+//                      tail is chopped mid-record (filesystem dropping
+//                      not-yet-durable tail data). Non-append writes fall
+//                      back to kTornWrite, which is the physical
+//                      equivalent for in-place updates.
+//
+// The "crash" is a CrashError exception thrown by the storage primitive;
+// the store object that observes it poisons itself (no further file
+// writes, including from destructors), so the on-disk state is exactly
+// what a killed process would leave behind. The injector fires at most
+// once per arming and counts points identically whether armed or not, so
+// a fault-free rehearsal run yields the exact number of kill points a
+// sweep must cover.
+
+#ifndef PDR_STORAGE_FAULT_INJECTOR_H_
+#define PDR_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdr {
+
+/// Thrown by a storage primitive when the armed fault point fires. The
+/// durability tests catch it where a real deployment would be SIGKILLed.
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class CrashMode {
+  kClean,
+  kTornWrite,
+  kTruncatedTail,
+};
+
+class FaultInjector {
+ public:
+  /// What the intercepted operation must do.
+  enum class Action {
+    kProceed,
+    kCrash,          ///< skip the operation and throw CrashError
+    kTornThenCrash,  ///< write a prefix / chop the tail, then throw
+  };
+
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  /// Arms a crash at fault point `point` (0-based, counted across every
+  /// intercepted operation since construction or the last ResetCount).
+  void Arm(int64_t point, CrashMode mode) {
+    crash_at_ = point;
+    mode_ = mode;
+    fired_ = false;
+  }
+  void Disarm() { crash_at_ = -1; }
+
+  /// Called by a storage primitive before each write/fsync. Counts the
+  /// point, records `op` for post-hoc inspection, and reports whether the
+  /// armed crash fires here. Fires at most once per arming.
+  Action OnOp(const char* op) {
+    const int64_t index = ops_seen_++;
+    op_log_.emplace_back(op);
+    if (fired_ || index != crash_at_) return Action::kProceed;
+    fired_ = true;
+    return mode_ == CrashMode::kClean ? Action::kCrash
+                                      : Action::kTornThenCrash;
+  }
+
+  CrashMode mode() const { return mode_; }
+
+  /// Fraction of the byte range a torn write persists, deterministic in
+  /// (seed, point index) so a sweep is reproducible bit-for-bit.
+  double TornFraction() const {
+    const uint64_t h =
+        (seed_ * 0x9e3779b97f4a7c15ull) ^
+        (static_cast<uint64_t>(crash_at_) * 0xff51afd7ed558ccdull);
+    return 0.1 + 0.8 * static_cast<double>((h >> 16) % 1000) / 1000.0;
+  }
+
+  /// Fault points seen so far (armed or not); a fault-free run's total is
+  /// the sweep size.
+  int64_t ops_seen() const { return ops_seen_; }
+  void ResetCount() {
+    ops_seen_ = 0;
+    op_log_.clear();
+  }
+
+  /// Names of the operations seen, in order (e.g. "wal.write",
+  /// "wal.sync", "data.write", "data.sync", "ckpt.write", "ckpt.sync",
+  /// "ckpt.rename", "wal.reset").
+  const std::vector<std::string>& op_log() const { return op_log_; }
+
+  bool fired() const { return fired_; }
+
+ private:
+  uint64_t seed_;
+  int64_t crash_at_ = -1;
+  CrashMode mode_ = CrashMode::kClean;
+  bool fired_ = false;
+  int64_t ops_seen_ = 0;
+  std::vector<std::string> op_log_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_STORAGE_FAULT_INJECTOR_H_

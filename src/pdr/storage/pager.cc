@@ -1,33 +1,72 @@
 #include "pdr/storage/pager.h"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pdr {
+namespace {
 
-PageId Pager::Allocate() {
+[[noreturn]] void ThrowBadPage(const char* what, PageId id) {
+  throw std::invalid_argument(std::string(what) + ": page " +
+                              std::to_string(id));
+}
+
+}  // namespace
+
+PageId MemPager::Allocate() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
     pages_[id] = Page{};
+    is_free_[id] = 0;
     return id;
   }
   pages_.emplace_back();
+  is_free_.push_back(0);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-void Pager::Free(PageId id) {
-  assert(id < pages_.size());
+void MemPager::Free(PageId id) {
+  if (id >= pages_.size()) ThrowBadPage("Free of unallocated page id", id);
+  if (is_free_[id]) ThrowBadPage("double Free", id);
+  is_free_[id] = 1;
   free_list_.push_back(id);
 }
 
-Page& Pager::PageAt(PageId id) {
+void MemPager::ReadPage(PageId id, Page* out) const {
+  if (id >= pages_.size()) ThrowBadPage("read of unallocated page id", id);
+  *out = pages_[id];
+}
+
+void MemPager::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) ThrowBadPage("write of unallocated page id", id);
+  pages_[id] = page;
+}
+
+Page& MemPager::PageAt(PageId id) {
   assert(id < pages_.size());
   return pages_[id];
 }
 
-const Page& Pager::PageAt(PageId id) const {
+const Page& MemPager::PageAt(PageId id) const {
   assert(id < pages_.size());
   return pages_[id];
+}
+
+void MemPager::Restore(size_t page_count,
+                       const std::vector<PageId>& free_list) {
+  for (const PageId id : free_list) {
+    if (id >= page_count) ThrowBadPage("free list outside store", id);
+  }
+  pages_.assign(page_count, Page{});
+  is_free_.assign(page_count, 0);
+  free_list_ = free_list;
+  for (const PageId id : free_list_) {
+    if (is_free_[id]) ThrowBadPage("duplicate free-list entry", id);
+    is_free_[id] = 1;
+  }
 }
 
 }  // namespace pdr

@@ -1,11 +1,19 @@
-// Paged storage: the simulated disk under the TPR-tree.
+// Paged storage: the disk under the index trees.
 //
 // The paper's cost model (Table 1 / Section 7.3) uses 4 KB pages, a buffer
 // of 10% of the dataset size, and charges 10 ms per random disk access.
-// Pages live in memory here, but every access goes through the buffer pool
+// Every access from a query path goes through the buffer pool
 // (buffer_pool.h) which tracks hits/misses and converts misses into the
 // simulated I/O charge, reproducing the paper's "total cost = CPU + I/O"
 // accounting.
+//
+// Pager is the backing-store interface the buffer pool talks to. Two
+// implementations:
+//
+//   * MemPager  — pages live in memory (the original simulated disk; the
+//                 default, and the mirror inside DiskPager).
+//   * DiskPager — file-backed, write-ahead logged, checkpointed store
+//                 (disk_pager.h).
 
 #ifndef PDR_STORAGE_PAGER_H_
 #define PDR_STORAGE_PAGER_H_
@@ -42,29 +50,60 @@ struct alignas(8) Page {
 };
 
 /// Page allocator + backing store ("the disk"). Access from query paths
-/// must go through BufferPool so that I/O is accounted; the raw accessors
-/// here exist for the buffer pool itself and for tests.
+/// must go through BufferPool so that I/O is accounted.
 class Pager {
  public:
+  virtual ~Pager() = default;
+
   /// Allocates a zeroed page and returns its id (reuses freed ids).
-  PageId Allocate();
+  virtual PageId Allocate() = 0;
 
-  /// Returns a page to the free list.
-  void Free(PageId id);
+  /// Returns a page to the free list. Throws std::invalid_argument on an
+  /// out-of-range id or a double free.
+  virtual void Free(PageId id) = 0;
 
-  /// Direct access to backing storage (no I/O accounting).
+  /// Copies the page into `*out`.
+  virtual void ReadPage(PageId id, Page* out) const = 0;
+
+  /// Stores `page` as the new content of `id`.
+  virtual void WritePage(PageId id, const Page& page) = 0;
+
+  /// Number of pages ever allocated (including freed ones).
+  virtual size_t allocated_pages() const = 0;
+
+  /// Number of live (not freed) pages.
+  virtual size_t live_pages() const = 0;
+};
+
+/// In-memory backing store: the simulated disk. Also serves as the working
+/// mirror inside DiskPager, which restores it from a checkpoint + WAL.
+class MemPager : public Pager {
+ public:
+  PageId Allocate() override;
+  void Free(PageId id) override;
+  void ReadPage(PageId id, Page* out) const override;
+  void WritePage(PageId id, const Page& page) override;
+  size_t allocated_pages() const override { return pages_.size(); }
+  size_t live_pages() const override {
+    return pages_.size() - free_list_.size();
+  }
+
+  /// Direct access to backing storage (no I/O accounting) — for tests and
+  /// for DiskPager's checkpoint/redo machinery.
   Page& PageAt(PageId id);
   const Page& PageAt(PageId id) const;
 
-  /// Number of pages ever allocated (including freed ones).
-  size_t allocated_pages() const { return pages_.size(); }
+  /// Replaces the allocation state wholesale (crash recovery): all of
+  /// `page_count` pages exist zeroed, with `free_list` returned to the
+  /// allocator. Throws std::invalid_argument on an inconsistent free list.
+  void Restore(size_t page_count, const std::vector<PageId>& free_list);
 
-  /// Number of live (not freed) pages.
-  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+  const std::vector<PageId>& free_list() const { return free_list_; }
 
  private:
   std::deque<Page> pages_;  // deque: stable addresses across Allocate()
   std::vector<PageId> free_list_;
+  std::vector<uint8_t> is_free_;  // parallel to pages_
 };
 
 }  // namespace pdr

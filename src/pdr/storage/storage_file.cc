@@ -1,0 +1,176 @@
+#include "pdr/storage/storage_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace pdr {
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void StorageFile::Open(const std::string& path, const char* op_prefix,
+                       FaultInjector* injector) {
+  Close();
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) ThrowErrno("cannot open", path);
+  path_ = path;
+  op_prefix_ = op_prefix;
+  injector_ = injector;
+  poisoned_ = false;
+}
+
+void StorageFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FaultInjector::Action StorageFile::CheckFault(const char* op) {
+  if (injector_ == nullptr) return FaultInjector::Action::kProceed;
+  const std::string name = op_prefix_ + "." + op;
+  return injector_->OnOp(name.c_str());
+}
+
+size_t StorageFile::ReadAt(uint64_t offset, void* buf, size_t n) const {
+  size_t got = 0;
+  auto* p = static_cast<char*>(buf);
+  while (got < n) {
+    const ssize_t r = ::pread(fd_, p + got, n - got,
+                              static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("read failed", path_);
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  if (got < n) std::memset(p + got, 0, n - got);
+  return got;
+}
+
+void StorageFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
+  if (poisoned_) return;
+  const FaultInjector::Action action = CheckFault("write");
+  if (action == FaultInjector::Action::kCrash) {
+    poisoned_ = true;
+    throw CrashError("injected crash before " + op_prefix_ + ".write");
+  }
+  size_t to_write = n;
+  bool chop_tail = false;
+  if (action == FaultInjector::Action::kTornThenCrash) {
+    if (injector_->mode() == CrashMode::kTruncatedTail &&
+        offset + n >= Size()) {
+      chop_tail = true;  // append: persist fully, then lose the tail
+    } else {
+      to_write = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(n) *
+                                 injector_->TornFraction()));
+    }
+  }
+  size_t put = 0;
+  const auto* p = static_cast<const char*>(buf);
+  while (put < to_write) {
+    const ssize_t w = ::pwrite(fd_, p + put, to_write - put,
+                               static_cast<off_t>(offset + put));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("write failed", path_);
+    }
+    put += static_cast<size_t>(w);
+  }
+  if (action == FaultInjector::Action::kTornThenCrash) {
+    if (chop_tail) {
+      // Lose the not-yet-durable tail mid-record: keep a deterministic
+      // prefix of the bytes just appended.
+      const auto keep = static_cast<uint64_t>(
+          static_cast<double>(n) * injector_->TornFraction());
+      if (::ftruncate(fd_, static_cast<off_t>(offset + keep)) != 0) {
+        ThrowErrno("truncate failed", path_);
+      }
+    }
+    poisoned_ = true;
+    throw CrashError("injected torn " + op_prefix_ + ".write");
+  }
+}
+
+void StorageFile::Sync() {
+  if (poisoned_) return;
+  if (CheckFault("sync") != FaultInjector::Action::kProceed) {
+    // All crash modes are equivalent for fsync: it simply never happened.
+    poisoned_ = true;
+    throw CrashError("injected crash at " + op_prefix_ + ".sync");
+  }
+  if (::fsync(fd_) != 0) ThrowErrno("fsync failed", path_);
+}
+
+void StorageFile::Truncate(uint64_t size) {
+  if (poisoned_) return;
+  if (CheckFault("truncate") != FaultInjector::Action::kProceed) {
+    poisoned_ = true;
+    throw CrashError("injected crash at " + op_prefix_ + ".truncate");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    ThrowErrno("truncate failed", path_);
+  }
+}
+
+uint64_t StorageFile::Size() const {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) ThrowErrno("lseek failed", path_);
+  return static_cast<uint64_t>(end);
+}
+
+void AtomicWriteFile(const std::string& path, const std::string& contents,
+                     const char* op_prefix, FaultInjector* injector) {
+  const std::string tmp = path + ".tmp";
+  {
+    StorageFile file;
+    file.Open(tmp, op_prefix, injector);
+    file.Truncate(0);
+    file.WriteAt(0, contents.data(), contents.size());
+    file.Sync();
+  }
+  if (injector != nullptr) {
+    const std::string op = std::string(op_prefix) + ".rename";
+    if (injector->OnOp(op.c_str()) != FaultInjector::Action::kProceed) {
+      throw CrashError("injected crash before " + op);
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ThrowErrno("rename failed", tmp + " -> " + path);
+  }
+}
+
+bool ReadFileIfExists(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return false;
+    ThrowErrno("cannot open", path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ThrowErrno("read failed", path);
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace pdr

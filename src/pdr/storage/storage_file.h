@@ -1,0 +1,90 @@
+// POSIX file primitive for the durability layer.
+//
+// Thin RAII wrapper over open/pread/pwrite/fsync/ftruncate that routes
+// every write and fsync through an optional FaultInjector (reads are
+// never fault points: a crashed process loses writes, not reads). Ops are
+// tagged with a name ("wal.write", "data.sync", ...) so sweeps can locate
+// protocol boundaries in the injector's op log.
+//
+// After an injected crash the file object is poisoned: every later write,
+// sync, or truncate silently no-ops (the process is "dead"; destructors
+// of enclosing objects must not repair the simulated crash state). Reads
+// keep working so a test can inspect the post-crash bytes.
+
+#ifndef PDR_STORAGE_STORAGE_FILE_H_
+#define PDR_STORAGE_STORAGE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pdr/storage/fault_injector.h"
+
+namespace pdr {
+
+class StorageFile {
+ public:
+  StorageFile() = default;
+  ~StorageFile() { Close(); }
+
+  StorageFile(const StorageFile&) = delete;
+  StorageFile& operator=(const StorageFile&) = delete;
+
+  /// Opens (creating if absent) `path` for read/write. Throws
+  /// std::runtime_error on failure. `op_prefix` tags the fault points
+  /// ("wal", "data", ...).
+  void Open(const std::string& path, const char* op_prefix,
+            FaultInjector* injector);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Reads up to `n` bytes at `offset`; short reads past EOF zero-fill
+  /// the remainder and are reported via the return value (bytes actually
+  /// read from the file).
+  size_t ReadAt(uint64_t offset, void* buf, size_t n) const;
+
+  /// Writes `n` bytes at `offset` (a "<prefix>.write" fault point). On an
+  /// injected torn write a deterministic prefix is persisted before
+  /// CrashError; on an injected truncated tail an appending write is
+  /// persisted and then chopped mid-record.
+  void WriteAt(uint64_t offset, const void* buf, size_t n);
+
+  /// fsync (a "<prefix>.sync" fault point).
+  void Sync();
+
+  /// ftruncate (a "<prefix>.truncate" fault point).
+  void Truncate(uint64_t size);
+
+  uint64_t Size() const;
+
+  /// True once an injected crash fired through this file; all mutating
+  /// calls are no-ops from then on.
+  bool poisoned() const { return poisoned_; }
+  void Poison() { poisoned_ = true; }
+
+ private:
+  FaultInjector::Action CheckFault(const char* op);
+
+  int fd_ = -1;
+  std::string path_;
+  std::string op_prefix_;
+  FaultInjector* injector_ = nullptr;
+  bool poisoned_ = false;
+};
+
+/// Atomically publishes `contents` at `path` (write tmp + fsync + rename),
+/// with fault points "<op_prefix>.write", "<op_prefix>.sync", and
+/// "<op_prefix>.rename". Either the old file or the complete new file
+/// survives a crash. Returns false when a crash was injected partway
+/// (CrashError is thrown, not returned).
+void AtomicWriteFile(const std::string& path, const std::string& contents,
+                     const char* op_prefix, FaultInjector* injector);
+
+/// Whole-file read; returns false when the file does not exist. Throws on
+/// read errors.
+bool ReadFileIfExists(const std::string& path, std::string* out);
+
+}  // namespace pdr
+
+#endif  // PDR_STORAGE_STORAGE_FILE_H_

@@ -1,0 +1,198 @@
+#include "pdr/storage/wal.h"
+
+#include <cstring>
+
+#include "pdr/obs/registry.h"
+#include "pdr/storage/serde.h"
+
+namespace pdr {
+namespace {
+
+constexpr uint32_t kWalMagic = 0x57524450u;  // "PDRW"
+constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kRecordMagic = 0x43455257u;  // "WREC"
+
+struct WalFileHeader {
+  uint32_t magic = kWalMagic;
+  uint32_t version = kWalVersion;
+  uint64_t start_lsn = 0;
+};
+static_assert(sizeof(WalFileHeader) == 16);
+
+struct WalRecordHeader {
+  uint32_t magic = kRecordMagic;
+  uint8_t type = 0;
+  uint8_t pad[3] = {};
+  uint64_t lsn = 0;
+  uint32_t page_id = 0;
+  uint32_t payload_len = 0;
+  uint64_t checksum = 0;
+};
+static_assert(sizeof(WalRecordHeader) == 32);
+
+uint64_t RecordChecksum(const WalRecordHeader& h, const void* payload) {
+  uint64_t c = Fnv1a64(&h.type, sizeof(h.type));
+  c = Fnv1a64(&h.lsn, sizeof(h.lsn), c);
+  c = Fnv1a64(&h.page_id, sizeof(h.page_id), c);
+  c = Fnv1a64(&h.payload_len, sizeof(h.payload_len), c);
+  return Fnv1a64(payload, h.payload_len, c);
+}
+
+Counter& RecordsCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("pdr.wal.records");
+  return c;
+}
+Counter& BytesCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("pdr.wal.bytes");
+  return c;
+}
+Counter& FsyncCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("pdr.wal.fsyncs");
+  return c;
+}
+Counter& CommitCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("pdr.wal.commits");
+  return c;
+}
+
+}  // namespace
+
+Wal::Wal(const std::string& path, const WalOptions& options,
+         FaultInjector* injector)
+    : options_(options) {
+  file_.Open(path, "wal", injector);
+  const uint64_t size = file_.Size();
+  if (size >= sizeof(WalFileHeader)) {
+    WalFileHeader header;
+    file_.ReadAt(0, &header, sizeof(header));
+    if (header.magic == kWalMagic && header.version == kWalVersion) {
+      file_end_ = size;
+      next_lsn_ = header.start_lsn;
+      return;
+    }
+  }
+  // Fresh (or unrecognizably short) log: start from an empty header. A
+  // pre-existing torn header means no record in it was ever committed, so
+  // dropping it is exactly what recovery would do anyway.
+  const WalFileHeader header;
+  file_.Truncate(0);
+  file_.WriteAt(0, &header, sizeof(header));
+  file_end_ = sizeof(header);
+}
+
+Lsn Wal::AppendPage(PageId id, const Page& image) {
+  AppendRecord(kPage, id, image.bytes.data(), kPageSize);
+  return next_lsn_ - 1;
+}
+
+Lsn Wal::AppendCommit(const std::string& payload) {
+  AppendRecord(kCommit, kInvalidPageId, payload.data(), payload.size());
+  stats_.commits++;
+  CommitCounter().Increment();
+  return next_lsn_ - 1;
+}
+
+void Wal::AppendRecord(RecordType type, PageId page_id, const void* payload,
+                       size_t payload_len) {
+  WalRecordHeader header;
+  header.type = type;
+  header.lsn = next_lsn_++;
+  header.page_id = page_id;
+  header.payload_len = static_cast<uint32_t>(payload_len);
+  header.checksum = RecordChecksum(header, payload);
+  buffer_.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  buffer_.append(static_cast<const char*>(payload), payload_len);
+  stats_.records++;
+  stats_.bytes_appended +=
+      static_cast<int64_t>(sizeof(header) + payload_len);
+  RecordsCounter().Increment();
+  BytesCounter().Add(static_cast<int64_t>(sizeof(header) + payload_len));
+  if (buffer_.size() >= options_.group_commit_bytes) FlushBuffer();
+}
+
+void Wal::FlushBuffer() {
+  if (buffer_.empty()) return;
+  file_.WriteAt(file_end_, buffer_.data(), buffer_.size());
+  file_end_ += buffer_.size();
+  buffer_.clear();
+}
+
+void Wal::Sync() {
+  FlushBuffer();
+  file_.Sync();
+  stats_.fsyncs++;
+  FsyncCounter().Increment();
+}
+
+void Wal::Reset() {
+  buffer_.clear();
+  file_.Truncate(0);
+  const WalFileHeader header{kWalMagic, kWalVersion, next_lsn_};
+  file_.WriteAt(0, &header, sizeof(header));
+  file_end_ = sizeof(header);
+  file_.Sync();
+  stats_.fsyncs++;
+  FsyncCounter().Increment();
+}
+
+uint64_t Wal::file_bytes() const { return file_.Size(); }
+
+Wal::ScanResult Wal::Scan() const {
+  ScanResult result;
+  const uint64_t size = file_.Size();
+  std::string raw(size, '\0');
+  if (size > 0) file_.ReadAt(0, raw.data(), size);
+
+  if (size < sizeof(WalFileHeader)) {
+    result.torn_tail = size > 0;
+    return result;
+  }
+  WalFileHeader header;
+  std::memcpy(&header, raw.data(), sizeof(header));
+  if (header.magic != kWalMagic || header.version != kWalVersion) {
+    result.torn_tail = true;
+    return result;
+  }
+  result.next_lsn = header.start_lsn;
+
+  Batch pending;
+  uint64_t pos = sizeof(WalFileHeader);
+  Lsn expected_lsn = header.start_lsn;
+  while (pos + sizeof(WalRecordHeader) <= size) {
+    WalRecordHeader rec;
+    std::memcpy(&rec, raw.data() + pos, sizeof(rec));
+    if (rec.magic != kRecordMagic || rec.lsn != expected_lsn ||
+        (rec.type == kPage && rec.payload_len != kPageSize)) {
+      result.torn_tail = true;
+      break;
+    }
+    if (pos + sizeof(rec) + rec.payload_len > size) {
+      result.torn_tail = true;  // record chopped mid-payload
+      break;
+    }
+    const char* payload = raw.data() + pos + sizeof(rec);
+    if (RecordChecksum(rec, payload) != rec.checksum) {
+      result.torn_tail = true;
+      break;
+    }
+    pos += sizeof(rec) + rec.payload_len;
+    ++expected_lsn;
+    result.records_scanned++;
+    result.next_lsn = rec.lsn + 1;
+    if (rec.type == kPage) {
+      Page image;
+      std::memcpy(image.bytes.data(), payload, kPageSize);
+      pending.pages.emplace_back(rec.page_id, image);
+    } else {
+      pending.commit_payload.assign(payload, rec.payload_len);
+      pending.commit_lsn = rec.lsn;
+      result.batches.push_back(std::move(pending));
+      pending = Batch{};
+    }
+  }
+  if (pos < size && !result.torn_tail) result.torn_tail = true;
+  result.records_discarded = static_cast<int64_t>(pending.pages.size());
+  return result;
+}
+
+}  // namespace pdr

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "pdr/obs/obs.h"
+#include "pdr/storage/disk_pager.h"
+#include "pdr/storage/serde.h"
 
 namespace pdr {
 
@@ -186,8 +188,79 @@ std::vector<size_t> PickSplit(const std::vector<Tpbr>& boxes, size_t min_fill,
 // ---------------------------------------------------------------------------
 // TprTree
 
+namespace {
+
+constexpr uint32_t kTprMetaMagic = 0x4d525054u;  // "TPRM"
+
+std::unique_ptr<Pager> MakeTreePager(const TprTree::Options& options) {
+  if (options.storage_dir.empty()) return std::make_unique<MemPager>();
+  return std::make_unique<DiskPager>(options.storage_dir,
+                                     options.fault_injector);
+}
+
+}  // namespace
+
 TprTree::TprTree(const Options& options)
-    : pool_(&pager_, options.buffer_pages), options_(options) {}
+    : pager_(MakeTreePager(options)),
+      pool_(pager_.get(), options.buffer_pages),
+      options_(options) {
+  disk_ = dynamic_cast<DiskPager*>(pager_.get());
+  if (disk_ != nullptr && disk_->recovered()) {
+    RestoreMeta(disk_->recovered_meta());
+  }
+}
+
+bool TprTree::recovered() const {
+  return disk_ != nullptr && disk_->recovered();
+}
+
+std::string TprTree::SerializeMeta(const std::string& app_meta) const {
+  std::string out;
+  PutPod(&out, kTprMetaMagic);
+  PutPod(&out, now_);
+  PutPod(&out, root_);
+  PutPod(&out, static_cast<int32_t>(height_));
+  PutPod(&out, static_cast<uint64_t>(node_count_));
+  // Sorted by object id so the checkpoint bytes are a pure function of the
+  // logical tree state, not of hash-map iteration order.
+  std::vector<std::pair<ObjectId, PageId>> entries(leaf_of_.begin(),
+                                                   leaf_of_.end());
+  std::sort(entries.begin(), entries.end());
+  PutPod(&out, static_cast<uint64_t>(entries.size()));
+  for (const auto& [id, leaf] : entries) {
+    PutPod(&out, id);
+    PutPod(&out, leaf);
+  }
+  PutBlob(&out, app_meta);
+  return out;
+}
+
+void TprTree::RestoreMeta(const std::string& blob) {
+  ByteReader reader(blob);
+  if (reader.Get<uint32_t>() != kTprMetaMagic) {
+    throw std::runtime_error(
+        "recovered store does not hold a TPR-tree (index kind mismatch?)");
+  }
+  now_ = reader.Get<Tick>();
+  root_ = reader.Get<PageId>();
+  height_ = reader.Get<int32_t>();
+  node_count_ = reader.Get<uint64_t>();
+  const uint64_t objects = reader.Get<uint64_t>();
+  leaf_of_.clear();
+  leaf_of_.reserve(objects);
+  for (uint64_t i = 0; i < objects; ++i) {
+    const ObjectId id = reader.Get<ObjectId>();
+    const PageId leaf = reader.Get<PageId>();
+    leaf_of_.emplace(id, leaf);
+  }
+  recovered_app_meta_ = std::string(reader.GetBlob());
+}
+
+void TprTree::Checkpoint(const std::string& app_meta) {
+  if (disk_ == nullptr) return;
+  pool_.FlushAll();  // drain the dirty-page table into the store
+  disk_->Checkpoint(SerializeMeta(app_meta));
+}
 
 void TprTree::AdvanceTo(Tick now) {
   assert(now >= now_);
@@ -529,7 +602,7 @@ bool TprTree::Delete(ObjectId id) {
       }
     }
     pool_.Discard(node_id);
-    pager_.Free(node_id);
+    pager_->Free(node_id);
     --node_count_;
     node_id = parent;
   }
@@ -542,7 +615,7 @@ bool TprTree::Delete(ObjectId id) {
       // Tree became empty.
       ref.Reset();
       pool_.Discard(root_);
-      pager_.Free(root_);
+      pager_->Free(root_);
       --node_count_;
       root_ = kInvalidPageId;
       height_ = 1;
@@ -552,7 +625,7 @@ bool TprTree::Delete(ObjectId id) {
     const PageId only_child = ref->As<InternalLayout>()->entries[0].child;
     ref.Reset();
     pool_.Discard(root_);
-    pager_.Free(root_);
+    pager_->Free(root_);
     --node_count_;
     root_ = only_child;
     --height_;

@@ -23,6 +23,8 @@
 #define PDR_TPR_TPR_TREE_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,9 +33,12 @@
 #include "pdr/index/object_index.h"
 #include "pdr/mobility/object.h"
 #include "pdr/storage/buffer_pool.h"
+#include "pdr/storage/fault_injector.h"
 #include "pdr/storage/pager.h"
 
 namespace pdr {
+
+class DiskPager;
 
 /// Time-parameterized bounding rectangle: `rect` holds the spatial bounds
 /// at tick `t_ref`; each edge then moves with its own velocity bound.
@@ -71,6 +76,11 @@ class TprTree : public ObjectIndex {
   struct Options {
     size_t buffer_pages = 256;   ///< LRU buffer pool capacity
     Tick horizon = 120;          ///< H: optimization window for heuristics
+    /// Non-empty: back the tree with a durable DiskPager in this directory
+    /// (recovering any existing store). Empty: in-memory MemPager.
+    std::string storage_dir;
+    /// Crash-fault injection for the durable store (tests only; not owned).
+    FaultInjector* fault_injector = nullptr;
   };
 
   explicit TprTree(const Options& options);
@@ -115,6 +125,19 @@ class TprTree : public ObjectIndex {
   /// Drops the whole buffer cache (cold-start measurement).
   void DropCaches() override { pool_.Clear(); }
 
+  // Durability (ObjectIndex hooks): flushes the pool and checkpoints the
+  // DiskPager with the tree's metadata (clock, root, height, node count,
+  // object->leaf map) + `app_meta` as one atomic unit.
+  bool durable() const override { return disk_ != nullptr; }
+  void Checkpoint(const std::string& app_meta) override;
+  bool recovered() const override;
+  const std::string& recovered_app_meta() const override {
+    return recovered_app_meta_;
+  }
+
+  /// The durable store behind the tree (null when in-memory).
+  DiskPager* disk() const override { return disk_; }
+
   /// Structural self-check (containment of children in parent TPBRs over
   /// sampled ticks, entry counts, parent pointers, leaf map). Aborts via
   /// assert/exception on violation; heavy, intended for tests.
@@ -135,8 +158,11 @@ class TprTree : public ObjectIndex {
   void InstallEntry(const InternalEntry& entry, std::vector<PageId> path);
   void RefreshParentEntry(PageId child_id);
   Tpbr NodeTpbr(PageId node_id);
+  std::string SerializeMeta(const std::string& app_meta) const;
+  void RestoreMeta(const std::string& blob);
 
-  Pager pager_;
+  std::unique_ptr<Pager> pager_;
+  DiskPager* disk_ = nullptr;  // pager_ downcast when durable, else null
   mutable BufferPool pool_;
   Options options_;
   Tick now_ = 0;
@@ -144,6 +170,7 @@ class TprTree : public ObjectIndex {
   int height_ = 1;
   size_t node_count_ = 0;
   std::unordered_map<ObjectId, PageId> leaf_of_;
+  std::string recovered_app_meta_;
 };
 
 }  // namespace pdr

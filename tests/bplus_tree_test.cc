@@ -17,7 +17,7 @@ BPlusRecord Rec(uint64_t key) {
 class BPlusTreeTest : public ::testing::Test {
  protected:
   BPlusTreeTest() : pool_(&pager_, 512), tree_(&pool_) {}
-  Pager pager_;
+  MemPager pager_;
   BufferPool pool_;
   BPlusTree tree_;
 };
@@ -154,7 +154,7 @@ TEST_F(BPlusTreeTest, SequentialAndReverseInsertion) {
   for (uint64_t k = 0; k < 4000; ++k) tree_.Insert(Rec(k));
   tree_.CheckInvariants();
 
-  Pager pager2;
+  MemPager pager2;
   BufferPool pool2(&pager2, 512);
   BPlusTree tree2(&pool2);
   for (uint64_t k = 4000; k-- > 0;) tree2.Insert(Rec(k));

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 namespace pdr {
@@ -88,6 +91,76 @@ TEST(DatasetIoTest, TruncationRejected) {
 TEST(DatasetIoTest, MissingFileThrows) {
   EXPECT_THROW(LoadDataset("/nonexistent/path/to/dataset.pdrd"),
                std::runtime_error);
+}
+
+Dataset OneObjectDataset(MotionState state) {
+  Dataset ds;
+  ds.config = SmallConfig();
+  UpdateEvent e;
+  e.tick = 0;
+  e.id = 1;
+  e.new_state = state;
+  ds.ticks.push_back({e});
+  return ds;
+}
+
+TEST(DatasetIoTest, NonFiniteCoordinatesRejectedOnWrite) {
+  // A poisoned simulation must not be able to produce a file that parses:
+  // the write path rejects NaN/Inf before any bytes of the state land.
+  const double bads[] = {std::nan(""), std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity()};
+  for (const double bad : bads) {
+    for (int field = 0; field < 4; ++field) {
+      MotionState s;
+      s.pos = {10.0, 20.0};
+      s.vel = {1.0, -1.0};
+      if (field == 0) s.pos.x = bad;
+      if (field == 1) s.pos.y = bad;
+      if (field == 2) s.vel.x = bad;
+      if (field == 3) s.vel.y = bad;
+      std::stringstream buffer;
+      EXPECT_THROW(WriteDataset(OneObjectDataset(s), buffer),
+                   std::runtime_error)
+          << "field " << field << " value " << bad;
+    }
+  }
+}
+
+TEST(DatasetIoTest, NonFiniteCoordinatesRejectedOnRead) {
+  // Bytes crafted on disk (or corrupted in transit) with a NaN position
+  // must be rejected at load, not propagated into the histogram.
+  MotionState good;
+  good.pos = {10.0, 20.0};
+  good.vel = {1.0, -1.0};
+  std::stringstream buffer;
+  WriteDataset(OneObjectDataset(good), buffer);
+  std::string bytes = buffer.str();
+
+  // The state's pos.x is the first double of the final 36-byte state blob
+  // (4 doubles + the 4-byte Tick); patch it to a NaN bit pattern.
+  const uint64_t nan_bits = 0x7ff8000000000000ull;
+  const size_t state_off = bytes.size() - (4 * 8 + 4);
+  std::memcpy(bytes.data() + state_off, &nan_bits, sizeof(nan_bits));
+  std::stringstream corrupt(bytes);
+  try {
+    ReadDataset(corrupt);
+    FAIL() << "NaN position accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << "error message does not name the problem: " << e.what();
+  }
+}
+
+TEST(DatasetIoTest, CorruptConfigRejected) {
+  const Dataset original = GenerateDataset(SmallConfig(), 3);
+  std::stringstream buffer;
+  WriteDataset(original, buffer);
+  std::string bytes = buffer.str();
+  // The extent is the first double after magic + version.
+  const double bad_extent = -1.0;
+  std::memcpy(bytes.data() + 8, &bad_extent, sizeof(bad_extent));
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(ReadDataset(corrupt), std::runtime_error);
 }
 
 TEST(DatasetIoTest, LoadedDatasetReplaysIdentically) {

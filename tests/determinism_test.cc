@@ -16,23 +16,15 @@
 #include "pdr/core/pa_engine.h"
 #include "pdr/mobility/generator.h"
 #include "pdr/parallel/exec_policy.h"
+#include "transcript_util.h"
 
 namespace pdr {
 namespace {
 
+using test_util::AppendRegion;
+
 constexpr double kExtent = 400.0;
 constexpr int kObjects = 800;
-
-void AppendRegion(const Region& region, std::ostringstream* os) {
-  *os << region.size();
-  // Hexfloat preserves the exact bit patterns: any numeric divergence,
-  // however small, must change the transcript.
-  for (const Rect& r : region.rects()) {
-    *os << ' ' << std::hexfloat << r.x_lo << ',' << r.y_lo << ',' << r.x_hi
-        << ',' << r.y_hi << std::defaultfloat;
-  }
-  *os << '\n';
-}
 
 // Everything except timing and physical reads: region bits, filter
 // counts, sweep counters, logical I/O. (Physical reads depend on which

@@ -8,7 +8,7 @@ namespace pdr {
 namespace {
 
 TEST(PagerTest, AllocateZeroedSequentialIds) {
-  Pager pager;
+  MemPager pager;
   const PageId a = pager.Allocate();
   const PageId b = pager.Allocate();
   EXPECT_EQ(a, 0u);
@@ -21,7 +21,7 @@ TEST(PagerTest, AllocateZeroedSequentialIds) {
 }
 
 TEST(PagerTest, FreeAndReuseZeroesPage) {
-  Pager pager;
+  MemPager pager;
   const PageId a = pager.Allocate();
   pager.PageAt(a).bytes[0] = std::byte{0xAB};
   pager.Free(a);
@@ -31,8 +31,57 @@ TEST(PagerTest, FreeAndReuseZeroesPage) {
   EXPECT_EQ(pager.PageAt(b).bytes[0], std::byte{0});
 }
 
+TEST(PagerTest, FreeRejectsOutOfRangeId) {
+  MemPager pager;
+  pager.Allocate();
+  EXPECT_THROW(pager.Free(1), std::invalid_argument);
+  EXPECT_THROW(pager.Free(kInvalidPageId), std::invalid_argument);
+  EXPECT_EQ(pager.live_pages(), 1u);  // nothing was freed
+}
+
+TEST(PagerTest, FreeRejectsDoubleFree) {
+  MemPager pager;
+  const PageId a = pager.Allocate();
+  const PageId b = pager.Allocate();
+  pager.Free(a);
+  EXPECT_THROW(pager.Free(a), std::invalid_argument);
+  // The free list must not hold `a` twice: the next two allocations give
+  // two distinct pages.
+  EXPECT_EQ(pager.Allocate(), a);
+  const PageId c = pager.Allocate();
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+}
+
+TEST(PagerTest, FreedIdBecomesFreeableAgainAfterReuse) {
+  MemPager pager;
+  const PageId a = pager.Allocate();
+  pager.Free(a);
+  EXPECT_EQ(pager.Allocate(), a);
+  pager.Free(a);  // no throw: the id is live again
+  EXPECT_EQ(pager.live_pages(), 0u);
+}
+
+TEST(PagerTest, ReadWriteRejectUnallocatedId) {
+  MemPager pager;
+  pager.Allocate();
+  Page page;
+  EXPECT_THROW(pager.ReadPage(7, &page), std::invalid_argument);
+  EXPECT_THROW(pager.WritePage(7, page), std::invalid_argument);
+}
+
+TEST(PagerTest, RestoreValidatesFreeList) {
+  MemPager pager;
+  EXPECT_THROW(pager.Restore(2, {5}), std::invalid_argument);   // out of range
+  EXPECT_THROW(pager.Restore(3, {1, 1}), std::invalid_argument);  // duplicate
+  pager.Restore(3, {1});
+  EXPECT_EQ(pager.allocated_pages(), 3u);
+  EXPECT_EQ(pager.live_pages(), 2u);
+  EXPECT_EQ(pager.Allocate(), 1u);
+}
+
 TEST(PagerTest, PageAsTypedView) {
-  Pager pager;
+  MemPager pager;
   const PageId id = pager.Allocate();
   struct Layout {
     uint64_t a;
@@ -46,7 +95,7 @@ TEST(PagerTest, PageAsTypedView) {
 }
 
 TEST(BufferPoolTest, CreateFetchRoundTrip) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 8);
   PageId id;
   {
@@ -59,7 +108,7 @@ TEST(BufferPoolTest, CreateFetchRoundTrip) {
 }
 
 TEST(BufferPoolTest, HitsDoNotCountAsPhysicalReads) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 8);
   const PageId id = pager.Allocate();
   pool.ResetStats();
@@ -71,7 +120,7 @@ TEST(BufferPoolTest, HitsDoNotCountAsPhysicalReads) {
 }
 
 TEST(BufferPoolTest, EvictionIsLru) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   std::vector<PageId> ids;
   for (int i = 0; i < 4; ++i) ids.push_back(pager.Allocate());
@@ -90,7 +139,7 @@ TEST(BufferPoolTest, EvictionIsLru) {
 }
 
 TEST(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   const PageId victim = pager.Allocate();
   {
@@ -107,7 +156,7 @@ TEST(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
 }
 
 TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   const PageId pinned_id = pager.Allocate();
   auto pinned = pool.FetchMut(pinned_id);
@@ -122,7 +171,7 @@ TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
 }
 
 TEST(BufferPoolTest, MoveSemanticsOfPageRef) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   const PageId id = pager.Allocate();
   auto a = pool.Fetch(id);
@@ -133,7 +182,7 @@ TEST(BufferPoolTest, MoveSemanticsOfPageRef) {
 }
 
 TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   const PageId id = pager.Allocate();
   {
@@ -145,7 +194,7 @@ TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
 }
 
 TEST(BufferPoolTest, ClearDropsResidencyButKeepsData) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   const PageId id = pager.Allocate();
   {
@@ -161,7 +210,7 @@ TEST(BufferPoolTest, ClearDropsResidencyButKeepsData) {
 }
 
 TEST(BufferPoolTest, DiscardForgetsPage) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   const PageId id = pager.Allocate();
   {
@@ -175,7 +224,7 @@ TEST(BufferPoolTest, DiscardForgetsPage) {
 }
 
 TEST(BufferPoolTest, CreateDoesNotChargeRead) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   pool.ResetStats();
   PageId id;
@@ -188,7 +237,7 @@ TEST(BufferPoolTest, RandomAccessModelCheck) {
   // drops; page contents must always match a shadow model, and hit/miss
   // accounting must stay consistent (misses <= logical reads; a fetch
   // right after a fetch of the same page is always a hit).
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 8);
   Rng rng(404);
   std::vector<PageId> pages;
@@ -227,7 +276,7 @@ TEST(BufferPoolTest, RandomAccessModelCheck) {
 }
 
 TEST(BufferPoolTest, BackToBackFetchIsAlwaysHit) {
-  Pager pager;
+  MemPager pager;
   BufferPool pool(&pager, 4);
   const PageId id = pager.Allocate();
   { auto ref = pool.Fetch(id); }
@@ -235,6 +284,20 @@ TEST(BufferPoolTest, BackToBackFetchIsAlwaysHit) {
   { auto ref = pool.Fetch(id); }
   EXPECT_EQ(pool.stats().physical_reads, 0);
   EXPECT_EQ(pool.stats().logical_reads, 1);
+}
+
+TEST(BufferPoolTest, DirtyPagesTracksUnflushedFrames) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  const PageId a = pager.Allocate();
+  const PageId b = pager.Allocate();
+  EXPECT_EQ(pool.dirty_pages(), 0u);
+  { auto ref = pool.FetchMut(a); }
+  { auto ref = pool.FetchMut(b); }
+  { auto ref = pool.Fetch(a); }  // read does not re-dirty
+  EXPECT_EQ(pool.dirty_pages(), 2u);
+  pool.FlushAll();
+  EXPECT_EQ(pool.dirty_pages(), 0u);
 }
 
 TEST(IoStatsTest, DifferenceAndCost) {

@@ -150,7 +150,7 @@ TEST(ThreadPoolTest, StressManySmallTasks) {
 // of a working set larger than the pool, so hits, misses, evictions, and
 // the loose-frame fallback all interleave.
 TEST(ThreadPoolTest, StressBufferPoolReadPhase) {
-  Pager pager;
+  MemPager pager;
   std::vector<PageId> ids;
   for (int i = 0; i < 64; ++i) ids.push_back(pager.Allocate());
   BufferPool pool(&pager, 32);
@@ -173,7 +173,7 @@ TEST(ThreadPoolTest, StressBufferPoolReadPhase) {
 }
 
 TEST(ThreadPoolTest, ThreadIoDeltaAttributesPerThread) {
-  Pager pager;
+  MemPager pager;
   std::vector<PageId> ids;
   for (int i = 0; i < 16; ++i) ids.push_back(pager.Allocate());
   BufferPool pool(&pager, 32);

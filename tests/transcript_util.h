@@ -1,0 +1,66 @@
+// Hexfloat query transcripts: serialize a suite of FR answers so two
+// engine states can be compared for *bit-identical* behavior. Shared by
+// the determinism tests (parallel vs serial execution) and the crash
+// recovery tests (recovered store vs never-crashed run).
+//
+// A transcript covers everything except timing and physical reads: region
+// rectangle bits, filter counts, sweep counters, logical I/O. (Physical
+// reads depend on buffer-pool history — which frames survived — so two
+// states that answer identically may still differ there; they are
+// deliberately excluded, as in determinism_test.cc.)
+
+#ifndef PDR_TESTS_TRANSCRIPT_UTIL_H_
+#define PDR_TESTS_TRANSCRIPT_UTIL_H_
+
+#include <sstream>
+#include <string>
+
+#include "pdr/common/region.h"
+#include "pdr/core/fr_engine.h"
+
+namespace pdr {
+namespace test_util {
+
+inline void AppendRegion(const Region& region, std::ostringstream* os) {
+  *os << region.size();
+  // Hexfloat preserves the exact bit patterns: any numeric divergence,
+  // however small, must change the transcript.
+  for (const Rect& r : region.rects()) {
+    *os << ' ' << std::hexfloat << r.x_lo << ',' << r.y_lo << ',' << r.x_hi
+        << ',' << r.y_hi << std::defaultfloat;
+  }
+  *os << '\n';
+}
+
+inline void AppendFrQuery(FrEngine* fr, Tick q_t, double rho, double l,
+                          std::ostringstream* os) {
+  const auto r = fr->Query(q_t, rho, l);
+  *os << "q_t=" << q_t << " rho=" << std::hexfloat << rho << std::defaultfloat
+      << " cells=" << r.accepted_cells << '/' << r.candidate_cells << '/'
+      << r.rejected_cells << " fetched=" << r.objects_fetched
+      << " sweep=" << r.sweep.x_strips << '/' << r.sweep.y_sweeps << '/'
+      << r.sweep.y_strips << '/' << r.sweep.dense_rects
+      << " logical=" << r.cost.io.logical_reads << " region=";
+  AppendRegion(r.region, os);
+}
+
+/// A seeded FR query suite relative to the engine's current clock: a grid
+/// of density thresholds x query ticks `now + dt`. Two engines produce
+/// equal transcripts iff they hold the same logical state (same clock,
+/// histogram bits, and indexed objects).
+inline std::string FrSuiteTranscript(FrEngine* fr, double base_rho,
+                                     double l) {
+  std::ostringstream os;
+  os << "now=" << fr->now() << '\n';
+  for (double rho_scale : {0.5, 1.0, 2.0}) {
+    for (Tick dt : {Tick{0}, Tick{3}, Tick{7}}) {
+      AppendFrQuery(fr, fr->now() + dt, rho_scale * base_rho, l, &os);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace test_util
+}  // namespace pdr
+
+#endif  // PDR_TESTS_TRANSCRIPT_UTIL_H_
