@@ -85,6 +85,10 @@ DiskPager::DiskPager(const std::string& dir, FaultInjector* injector,
     }
   }
   try {
+    // wal.log / data.pdr were possibly just created: fsync the directory
+    // so their entries survive a real power cut (a "store.dirsync" fault
+    // point; crashing here mutates nothing, so recovery simply reruns).
+    SyncDir(dir_, "store", injector_);
     Recover();
   } catch (const CrashError&) {
     Poison();
@@ -240,8 +244,16 @@ void DiskPager::Recover() {
     // crash recovers from the checkpoint alone. Idempotent — a crash in
     // here re-runs this same redo from the still-intact WAL.
     ConvergeFiles(redo_dirty, meta_);
-  } else if (scan.records_scanned > 0 || scan.torn_tail) {
-    wal_.Reset();  // drop the uncommitted tail
+  } else if (scan.records_scanned > 0 || scan.torn_tail ||
+             wal_.next_lsn() != wal_.header_start_lsn()) {
+    // Drop the uncommitted tail, and re-stamp the header whenever the
+    // adopted LSN disagrees with it. The mismatch arises when a crash
+    // inside a previous Reset left a short/torn WAL whose constructor
+    // re-stamp says start_lsn=0 while the checkpoint is further ahead;
+    // without a Reset here the next committed batch's first record
+    // (lsn = checkpoint LSN != 0) would read as a torn tail and a
+    // durable batch could be silently discarded.
+    wal_.Reset();
   }
 
   recovery_stats_.recovery_ms = ElapsedMs(start);

@@ -149,6 +149,29 @@ void AtomicWriteFile(const std::string& path, const std::string& contents,
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     ThrowErrno("rename failed", tmp + " -> " + path);
   }
+  const size_t slash = path.rfind('/');
+  SyncDir(slash == std::string::npos ? "." : path.substr(0, slash), op_prefix,
+          injector);
+}
+
+void SyncDir(const std::string& dir_path, const char* op_prefix,
+             FaultInjector* injector) {
+  if (injector != nullptr) {
+    const std::string op = std::string(op_prefix) + ".dirsync";
+    if (injector->OnOp(op.c_str()) != FaultInjector::Action::kProceed) {
+      // Like a file fsync, all crash modes are equivalent: it never ran.
+      throw CrashError("injected crash at " + op);
+    }
+  }
+  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) ThrowErrno("cannot open directory", dir_path);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("directory fsync failed", dir_path);
+  }
+  ::close(fd);
 }
 
 bool ReadFileIfExists(const std::string& path, std::string* out) {

@@ -73,13 +73,21 @@ class StorageFile {
   bool poisoned_ = false;
 };
 
-/// Atomically publishes `contents` at `path` (write tmp + fsync + rename),
-/// with fault points "<op_prefix>.write", "<op_prefix>.sync", and
-/// "<op_prefix>.rename". Either the old file or the complete new file
-/// survives a crash. Returns false when a crash was injected partway
-/// (CrashError is thrown, not returned).
+/// Atomically publishes `contents` at `path` (write tmp + fsync + rename +
+/// fsync of the containing directory), with fault points
+/// "<op_prefix>.write", "<op_prefix>.sync", "<op_prefix>.rename", and
+/// "<op_prefix>.dirsync". Either the old file or the complete new file
+/// survives a crash — the directory fsync makes the rename itself durable,
+/// so a real power cut cannot reorder it after later writes. Returns false
+/// when a crash was injected partway (CrashError is thrown, not returned).
 void AtomicWriteFile(const std::string& path, const std::string& contents,
                      const char* op_prefix, FaultInjector* injector);
+
+/// fsyncs the directory `dir_path` (a "<op_prefix>.dirsync" fault point),
+/// making its entries — file creations and renames — durable on a real
+/// disk. Throws std::runtime_error on failure.
+void SyncDir(const std::string& dir_path, const char* op_prefix,
+             FaultInjector* injector);
 
 /// Whole-file read; returns false when the file does not exist. Throws on
 /// read errors.

@@ -1,6 +1,7 @@
 #include "pdr/storage/wal.h"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "pdr/obs/registry.h"
 #include "pdr/storage/serde.h"
@@ -68,6 +69,10 @@ Wal::Wal(const std::string& path, const WalOptions& options,
     if (header.magic == kWalMagic && header.version == kWalVersion) {
       file_end_ = size;
       next_lsn_ = header.start_lsn;
+      header_start_lsn_ = header.start_lsn;
+      // Record bytes (valid or torn) follow the header: appending after
+      // them would be unreachable by Scan, so require a Reset first.
+      needs_reset_ = size > sizeof(WalFileHeader);
       return;
     }
   }
@@ -78,6 +83,7 @@ Wal::Wal(const std::string& path, const WalOptions& options,
   file_.Truncate(0);
   file_.WriteAt(0, &header, sizeof(header));
   file_end_ = sizeof(header);
+  header_start_lsn_ = 0;
 }
 
 Lsn Wal::AppendPage(PageId id, const Page& image) {
@@ -94,6 +100,11 @@ Lsn Wal::AppendCommit(const std::string& payload) {
 
 void Wal::AppendRecord(RecordType type, PageId page_id, const void* payload,
                        size_t payload_len) {
+  if (needs_reset_) {
+    throw std::logic_error(
+        "Wal::Append* on a reopened non-empty log: Scan() then Reset() "
+        "first, or records land beyond a region Scan cannot cross");
+  }
   WalRecordHeader header;
   header.type = type;
   header.lsn = next_lsn_++;
@@ -130,6 +141,8 @@ void Wal::Reset() {
   const WalFileHeader header{kWalMagic, kWalVersion, next_lsn_};
   file_.WriteAt(0, &header, sizeof(header));
   file_end_ = sizeof(header);
+  header_start_lsn_ = next_lsn_;
+  needs_reset_ = false;
   file_.Sync();
   stats_.fsyncs++;
   FsyncCounter().Increment();

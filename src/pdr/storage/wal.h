@@ -76,6 +76,9 @@ class Wal {
 
   /// Opens (creating if absent) the log at `path`. A fresh file gets a
   /// header; an existing file is left untouched — call Scan() to read it.
+  /// A reopened log that still holds record bytes refuses Append* (throws
+  /// std::logic_error) until Reset() repositions it: appending after a
+  /// possibly-torn region would leave records Scan can never reach.
   Wal(const std::string& path, const WalOptions& options,
       FaultInjector* injector);
 
@@ -106,6 +109,12 @@ class Wal {
 
   Lsn next_lsn() const { return next_lsn_; }
   void set_next_lsn(Lsn lsn) { next_lsn_ = lsn; }
+
+  /// Start LSN stamped in the on-disk file header — what Scan() will
+  /// expect the first record's LSN to be. Diverges from next_lsn() when
+  /// recovery adopts a checkpoint LSN without rewriting the header (the
+  /// caller must Reset() then, or the next batch looks like a torn tail).
+  Lsn header_start_lsn() const { return header_start_lsn_; }
   uint64_t file_bytes() const;
   const WalStats& stats() const { return stats_; }
   bool poisoned() const { return file_.poisoned(); }
@@ -121,6 +130,8 @@ class Wal {
   std::string buffer_;      // appended records not yet written to the file
   uint64_t file_end_ = 0;   // bytes of the file already written
   Lsn next_lsn_ = 0;
+  Lsn header_start_lsn_ = 0;  // start LSN in the on-disk file header
+  bool needs_reset_ = false;  // reopened with record bytes: Reset before Append
   WalStats stats_;
 };
 

@@ -113,6 +113,19 @@ TEST(StorageFileTest, AtomicWriteSurvivesOrDisappearsWhole) {
   }
 }
 
+TEST(StorageFileTest, AtomicWriteEndsWithDirectoryFsync) {
+  // The rename only becomes durable once the containing directory is
+  // fsynced; pin that the publication protocol ends with that point.
+  TempDir dir;
+  FaultInjector counter;
+  AtomicWriteFile(dir.File("pub"), "v", "a", &counter);
+  ASSERT_FALSE(counter.op_log().empty());
+  EXPECT_EQ(counter.op_log().back(), "a.dirsync");
+  std::string got;
+  ASSERT_TRUE(ReadFileIfExists(dir.File("pub"), &got));
+  EXPECT_EQ(got, "v");
+}
+
 // -------------------------------------------------------------- FaultInjector
 
 TEST(FaultInjectorTest, CountsOpsIdenticallyArmedOrNot) {
@@ -268,6 +281,30 @@ TEST(WalTest, ResetEmptiesLogAndKeepsLsnMonotone) {
   EXPECT_EQ(rescan.batches[0].commit_lsn, before);
 }
 
+TEST(WalTest, AppendOnReopenedNonEmptyLogRequiresReset) {
+  TempDir dir;
+  const std::string path = dir.File("wal.log");
+  {
+    Wal wal(path, WalOptions{}, nullptr);
+    wal.AppendPage(0, MakePage(1));
+    wal.AppendCommit("one");
+    wal.Sync();
+  }
+  Wal wal(path, WalOptions{}, nullptr);
+  // Blind appends would land beyond record bytes Scan may not be able to
+  // cross (duplicate LSNs after a torn region): refuse until Reset.
+  EXPECT_THROW(wal.AppendPage(1, MakePage(2)), std::logic_error);
+  const Wal::ScanResult scan = wal.Scan();
+  ASSERT_EQ(scan.batches.size(), 1u);
+  wal.set_next_lsn(scan.next_lsn);
+  wal.Reset();
+  wal.AppendCommit("two");  // now fine
+  wal.Sync();
+  const Wal::ScanResult rescan = wal.Scan();
+  ASSERT_EQ(rescan.batches.size(), 1u);
+  EXPECT_EQ(rescan.batches[0].commit_lsn, scan.next_lsn);
+}
+
 TEST(WalTest, GroupCommitIsOneFsyncPerSync) {
   TempDir dir;
   Wal wal(dir.File("wal.log"), WalOptions{}, nullptr);
@@ -372,6 +409,102 @@ TEST(DiskPagerTest, CrashDuringCheckpointPoisonsAndKeepsOldState) {
   Page p;
   reopened.ReadPage(0, &p);
   EXPECT_EQ(p.bytes, MakePage(0x11).bytes);
+}
+
+TEST(DiskPagerTest, CommittedBatchSurvivesCrashInEarlierWalReset) {
+  // Two-crash regression: crash #1 hits Wal::Reset between the truncate
+  // and the header write, so reopening re-stamps a fresh header with
+  // start_lsn=0 while the checkpoint's LSN is ahead. The next checkpoint
+  // then appends records at the checkpoint LSN; crash #2 hits after its
+  // commit fsync (the durable point) but mid-convergence. Recovery #3
+  // must still apply that committed batch — a header whose start LSN was
+  // never realigned would make its first record look like a torn tail
+  // and silently discard durable data over partially-converged pages.
+
+  // Rehearse one fresh-store checkpoint to find the Reset's header
+  // write: the op right after the first wal.truncate.
+  int64_t reset_header_write = -1;
+  {
+    TempDir r;
+    FaultInjector counter;
+    DiskPager pager(r.path(), &counter);
+    pager.Allocate();
+    pager.Allocate();
+    pager.WritePage(0, MakePage(0x11));
+    pager.WritePage(1, MakePage(0x22));
+    pager.Checkpoint("v1");
+    // The *last* wal.truncate: the fresh-store Wal constructor also
+    // truncates, but the checkpoint's Reset is the final one.
+    const auto& log = counter.op_log();
+    for (size_t i = 0; i < log.size(); ++i) {
+      if (log[i] == "wal.truncate") reset_header_write = static_cast<int64_t>(i) + 1;
+    }
+    ASSERT_GT(reset_header_write, 0);
+    ASSERT_EQ(log[static_cast<size_t>(reset_header_write)], "wal.write");
+  }
+
+  // Crash #1, identically into two dirs: A rehearses run 2's op indices,
+  // B takes run 2's armed crash (run 2 mutates the store, so the
+  // rehearsal needs its own copy of the crash state).
+  TempDir dirs[2];
+  for (TempDir& dir : dirs) {
+    FaultInjector inject;
+    inject.Arm(reset_header_write, CrashMode::kClean);
+    DiskPager pager(dir.path(), &inject);
+    pager.Allocate();
+    pager.Allocate();
+    pager.WritePage(0, MakePage(0x11));
+    pager.WritePage(1, MakePage(0x22));
+    EXPECT_THROW(pager.Checkpoint("v1"), CrashError);
+    // v1 is fully published; only the WAL reset was torn apart.
+    std::string raw;
+    ASSERT_TRUE(ReadFileIfExists(dir.File("checkpoint.pdr"), &raw));
+  }
+
+  // Run 2 rehearsal on A: recover, dirty both pages, checkpoint v2.
+  // Crash target: the second data.write after v2's commit fsync (the
+  // wal.sync directly followed by data convergence) — the batch is
+  // durable, convergence is half done.
+  int64_t mid_converge_write = -1;
+  {
+    FaultInjector counter;
+    DiskPager pager(dirs[0].path(), &counter);
+    EXPECT_TRUE(pager.recovered());
+    pager.WritePage(0, MakePage(0x33));
+    pager.WritePage(1, MakePage(0x44));
+    pager.Checkpoint("v2");
+    const auto& log = counter.op_log();
+    for (size_t i = 0; i + 2 < log.size(); ++i) {
+      if (log[i] == "wal.sync" && log[i + 1] == "data.write") {
+        mid_converge_write = static_cast<int64_t>(i) + 2;
+        break;
+      }
+    }
+    ASSERT_GT(mid_converge_write, 0);
+    ASSERT_EQ(log[static_cast<size_t>(mid_converge_write)], "data.write");
+  }
+
+  // Crash #2 on B at that op.
+  {
+    FaultInjector inject;
+    inject.Arm(mid_converge_write, CrashMode::kClean);
+    DiskPager pager(dirs[1].path(), &inject);
+    EXPECT_TRUE(pager.recovered());
+    pager.WritePage(0, MakePage(0x33));
+    pager.WritePage(1, MakePage(0x44));
+    EXPECT_THROW(pager.Checkpoint("v2"), CrashError);
+  }
+
+  // Recovery #3: the fsynced v2 batch must win.
+  DiskPager reopened(dirs[1].path());
+  EXPECT_TRUE(reopened.recovered());
+  EXPECT_EQ(reopened.recovered_meta(), "v2");
+  EXPECT_EQ(reopened.recovery_stats().batches_applied, 1);
+  Page p;
+  reopened.ReadPage(0, &p);
+  EXPECT_EQ(p.bytes, MakePage(0x33).bytes);
+  reopened.ReadPage(1, &p);
+  EXPECT_EQ(p.bytes, MakePage(0x44).bytes);
 }
 
 TEST(DiskPagerTest, GarbageCheckpointFileIsRejected) {
