@@ -5,11 +5,12 @@
 //   pdr_tool info --in city.pdrd
 //   pdr_tool query --in city.pdrd --varrho R --l L [--qt T]
 //                  [--engine fr|pa|both] [--index tpr|bx] [--threads N]
-//                  [--trace FILE]
+//                  [--trace FILE] [--deadline-ms D] [--degrade 0|1]
 //   pdr_tool monitor --in city.pdrd --varrho R --l L [--lookahead W]
 //                    [--every K] [--threads N] [--trace FILE]
 //                    [--audit-rate R] [--report FILE] [--interval S]
-//                    [--degree K] [--fail-on-drift]
+//                    [--degree K] [--fail-on-drift] [--deadline-ms D]
+//                    [--max-inflight M] [--degrade 0|1]
 //   pdr_tool stats --in city.pdrd --varrho R --l L [--qt T]
 //                  [--engine fr|pa|both] [--index tpr|bx] [--queries N]
 //                  [--json FILE]
@@ -41,6 +42,14 @@
 // final metrics snapshot — as JSONL ("-" for stdout). See EXPERIMENTS.md
 // for a walkthrough of reading a trace.
 //
+// `--deadline-ms D` (query, monitor) bounds each query's wall time: on
+// overrun the degradation ladder (DESIGN.md §11) downgrades exact FR to PA
+// approximate, then to the histogram-only conservative answer; every
+// result is stamped with the achieved tier. `--degrade 0` fails the query
+// instead of degrading. `--max-inflight M` (monitor) sheds ticks when more
+// than M evaluations are already in flight. Unknown flags and commands are
+// errors (exit 2), not silently ignored.
+//
 // `save` replays a dataset into a *durable* FR engine (WAL + checkpoints
 // in --wal-dir; see DESIGN.md §10), checkpointing every K ticks and once
 // at the end. `recover` reopens that directory — recovering from the WAL
@@ -53,8 +62,10 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <initializer_list>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "pdr/mobility/dataset_io.h"
@@ -96,24 +107,72 @@ class TraceOutput {
   std::unique_ptr<JsonlTraceSink> sink_;
 };
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
+// Per-command flag vocabulary: anything else is a typo the tool must
+// refuse (a silently ignored --deadline-ms would run unbounded).
+const std::map<std::string, std::set<std::string>>& CommandFlags() {
+  static const std::map<std::string, std::set<std::string>> kFlags = {
+      {"gen", {"out", "objects", "extent", "duration", "seed", "interval"}},
+      {"info", {"in"}},
+      {"query",
+       {"in", "varrho", "l", "qt", "engine", "index", "threads", "trace",
+        "deadline-ms", "degrade"}},
+      {"monitor",
+       {"in", "varrho", "l", "lookahead", "every", "threads", "trace",
+        "audit-rate", "report", "interval", "degree", "fail-on-drift",
+        "deadline-ms", "max-inflight", "degrade"}},
+      {"stats",
+       {"in", "varrho", "l", "qt", "engine", "index", "queries", "json"}},
+      {"save", {"in", "wal-dir", "index", "checkpoint-every"}},
+      {"recover", {"in", "wal-dir", "index", "varrho", "l", "qt"}},
+  };
+  return kFlags;
+}
+
+// Strict flag parsing: unknown flags and stray positional arguments are
+// errors (returns false), so misspellings fail loudly instead of running
+// with defaults.
+bool ParseFlags(int argc, char** argv, const std::set<std::string>& allowed,
+                std::map<std::string, std::string>* flags) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
+    const std::string key =
+        eq == std::string::npos ? body : body.substr(0, eq);
+    if (allowed.count(key) == 0) {
+      std::fprintf(stderr, "error: unknown flag --%s for '%s'\n", key.c_str(),
+                   argv[1]);
+      return false;
+    }
     if (eq != std::string::npos) {
-      flags[body.substr(0, eq)] = body.substr(eq + 1);
+      (*flags)[key] = body.substr(eq + 1);
     } else if (i + 1 < argc &&
                (argv[i + 1][0] != '-' || argv[i + 1][1] == '\0')) {
       // A lone "-" is a value (stdout), not a flag.
-      flags[body] = argv[++i];
+      (*flags)[key] = argv[++i];
     } else {
-      flags[body] = "1";
+      (*flags)[key] = "1";
     }
   }
-  return flags;
+  return true;
+}
+
+// File-argument flags have no sensible default; a missing one is a usage
+// error, reported before any work starts.
+bool HasRequired(const std::map<std::string, std::string>& flags,
+                 const char* command,
+                 std::initializer_list<const char*> required) {
+  for (const char* name : required) {
+    if (flags.count(name) == 0 || flags.at(name).empty()) {
+      std::fprintf(stderr, "error: '%s' requires --%s\n", command, name);
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string FlagOr(const std::map<std::string, std::string>& flags,
@@ -139,10 +198,12 @@ int Usage() {
       "  query:   --in FILE --varrho R --l L [--qt T] "
       "[--engine fr|pa|both] [--index tpr|bx] [--threads N] "
       "[--trace FILE]\n"
+      "           [--deadline-ms D] [--degrade 0|1]\n"
       "  monitor: --in FILE --varrho R --l L [--lookahead W] "
       "[--every K] [--threads N] [--trace FILE]\n"
       "           [--audit-rate R] [--report FILE] [--interval S] "
       "[--degree K] [--fail-on-drift]\n"
+      "           [--deadline-ms D] [--max-inflight M] [--degrade 0|1]\n"
       "  stats:   --in FILE --varrho R --l L [--qt T] "
       "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n"
       "  save:    --in FILE --wal-dir DIR [--index tpr|bx] "
@@ -211,6 +272,51 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
               varrho, l, q_t, now);
 
   const Tick horizon = 2 * ds.config.max_update_interval;
+
+  const double deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
+  if (deadline_ms > 0.0) {
+    // Deadline-bounded query: exact FR first; on overrun the degradation
+    // ladder falls back to PA approximate, then to the histogram floor
+    // (--degrade=0 fails the query instead of degrading).
+    FrEngine fr({.extent = extent,
+                 .histogram_side = 100,
+                 .horizon = horizon,
+                 .buffer_pages = PaperConfig().BufferPagesFor(
+                     ds.config.num_objects),
+                 .io_ms = 10.0,
+                 .index = index_name == "bx" ? IndexKind::kBxTree
+                                             : IndexKind::kTprTree,
+                 .max_update_interval = ds.config.max_update_interval,
+                 .exec = ExecFromFlags(flags)});
+    PaEngine pa({.extent = extent,
+                 .poly_side = 10,
+                 .degree = 5,
+                 .horizon = horizon,
+                 .l = l,
+                 .eval_grid = 1000,
+                 .exec = ExecFromFlags(flags)});
+    ReplayInto(ds, -1, &fr);
+    ReplayInto(ds, -1, &pa);
+    ResilienceOptions opts;
+    opts.deadline_ms = deadline_ms;
+    opts.degrade = FlagOr(flags, "degrade", "1") != "0";
+    ResilientExecutor exec(&fr, &pa, opts);
+    const TieredResult result = exec.Query(q_t, rho, l);
+    std::printf(
+        "tier=%s%s: %zu rects, %.1f sq-miles | %.1f of %.1f ms budget\n",
+        AnswerTierName(result.tier), result.timed_out ? " (timed out)" : "",
+        result.region.size(), result.region.Area(), result.elapsed_ms,
+        result.budget_ms);
+    if (result.tier == AnswerTier::kHistogram) {
+      std::printf("  certainly dense %.1f sq-miles, possibly dense %.1f\n",
+                  result.region.Area(), result.maybe_region.Area());
+    }
+    for (size_t i = 0; i < result.region.size() && i < 10; ++i) {
+      std::printf("  %s\n", result.region.rects()[i].ToString().c_str());
+    }
+    return 0;
+  }
+
   if (engine == "fr" || engine == "both") {
     FrEngine fr({.extent = extent,
                  .histogram_side = 100,
@@ -266,6 +372,16 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
   const int degree = std::stoi(FlagOr(flags, "degree", "5"));
   const bool fail_on_drift = flags.count("fail-on-drift") > 0;
   const bool audit = audit_rate > 0.0;
+  const double deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
+  const int max_inflight = std::stoi(FlagOr(flags, "max-inflight", "0"));
+  const bool degrade = FlagOr(flags, "degrade", "1") != "0";
+  if (deadline_ms > 0.0 && audit) {
+    std::fprintf(stderr,
+                 "error: --deadline-ms needs the FR-primary monitor "
+                 "(the ladder degrades exact FR answers); drop "
+                 "--audit-rate\n");
+    return 2;
+  }
   TraceOutput trace(FlagOr(flags, "trace", ""));
   const double extent = ds.config.extent;
   const double rho =
@@ -327,16 +443,30 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
     auditor->SetCalibrator(&calibrator);
     auditor->SetApproxDensityProbe(
         [&pa](Tick t, Vec2 p) { return pa->Density(t, p); });
-    monitor = std::make_unique<PdrMonitor>(
-        pa.get(),
-        PdrMonitor::Options{.rho = rho, .l = l, .lookahead = lookahead});
+    PdrMonitor::Options mopts{.rho = rho, .l = l, .lookahead = lookahead};
+    mopts.resilience.max_inflight = max_inflight;
+    monitor = std::make_unique<PdrMonitor>(pa.get(), mopts);
     monitor->SetAuditor(auditor.get());
     monitor->SetExecPolicy(ExecFromFlags(flags));
   } else {
-    monitor = std::make_unique<PdrMonitor>(
-        &fr,
-        PdrMonitor::Options{.rho = rho, .l = l, .lookahead = lookahead});
+    PdrMonitor::Options mopts{.rho = rho, .l = l, .lookahead = lookahead};
+    mopts.resilience.deadline_ms = deadline_ms;
+    mopts.resilience.max_inflight = max_inflight;
+    mopts.resilience.degrade = degrade;
+    monitor = std::make_unique<PdrMonitor>(&fr, mopts);
     monitor->SetCalibrator(&calibrator);
+    if (deadline_ms > 0.0) {
+      // The ladder's approximate rung: a PA model fed the same stream.
+      pa = std::make_unique<PaEngine>(
+          PaEngine::Options{.extent = extent,
+                            .poly_side = 10,
+                            .degree = degree,
+                            .horizon = horizon,
+                            .l = l,
+                            .eval_grid = 1000,
+                            .exec = ExecFromFlags(flags)});
+      monitor->SetFallback(pa.get());
+    }
   }
 
   MonitorReporter::Options report_options;
@@ -364,6 +494,9 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
         std::fprintf(human, " | audit P=%.3f R=%.3f io=%lld",
                      delta.audit->precision, delta.audit->recall,
                      static_cast<long long>(delta.audit->fr_io_reads));
+      }
+      if (delta.tier != AnswerTier::kExact) {
+        std::fprintf(human, " | tier=%s", AnswerTierName(delta.tier));
       }
       std::fprintf(human, "\n");
     }
@@ -580,7 +713,21 @@ int RunRecover(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const auto flags = ParseFlags(argc, argv);
+  const auto it = CommandFlags().find(command);
+  if (it == CommandFlags().end()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, it->second, &flags)) return Usage();
+  if (command == "gen") {
+    if (!HasRequired(flags, "gen", {"out"})) return Usage();
+  } else {
+    if (!HasRequired(flags, command.c_str(), {"in"})) return Usage();
+  }
+  if (command == "save" || command == "recover") {
+    if (!HasRequired(flags, command.c_str(), {"wal-dir"})) return Usage();
+  }
   try {
     if (command == "gen") return RunGen(flags);
     if (command == "info") return RunInfo(flags);

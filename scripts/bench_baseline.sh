@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the accuracy/cost benches that track the paper's headline figures
 # (Fig. 8 accuracy, Fig. 8 memory, Fig. 10 cost) plus the durability
-# extension (checkpoint cost, WAL volume, recovery time) with JSONL
-# output and consolidates the series into one BENCH_baseline.json at the
-# repo root.
+# extension (checkpoint cost, WAL volume, recovery time) and the
+# resilience extension (p99 latency and answer-tier mix vs offered load)
+# with JSONL output and consolidates the series into one
+# BENCH_baseline.json at the repo root.
 # The timing-relevant cost bench runs twice — serial (--threads=1) and at
 # hardware concurrency (--threads=0) — so the baseline records the scaling
 # headroom of the parallel query paths; answers are bit-identical across
@@ -49,7 +50,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 benches=(bench_fig8_accuracy bench_fig8_memory bench_fig10_cost
-         bench_durability)
+         bench_durability bench_resilience)
 for b in "${benches[@]}"; do
   if [[ ! -x "${build}/bench/${b}" ]]; then
     echo "error: ${build}/bench/${b} not built (cmake --build ${build})" >&2

@@ -4,10 +4,12 @@
 # build (-DPDR_SANITIZE=ON) that exercises the same test suite with
 # instrumentation, and a TSan build (-DPDR_SANITIZE=thread) that runs the
 # concurrency-sensitive subset (thread pool, parallel engines, buffer pool,
-# tracing) — then re-runs the durability fault-injection suites in the
-# ASan tree with the full crash matrix (PDR_CRASH_SWEEP=full). Uses its
-# own build trees (build-check/, build-asan/, build-tsan/) so it never
-# clobbers an existing build/.
+# tracing, resilience) — then re-runs the fault-injection suites in the
+# ASan tree with the full crash + transient matrix (PDR_CRASH_SWEEP=full)
+# and the resilience soak lane (PDR_SOAK=full: seeded overload against the
+# admission controller and a transient-fault storm under a wall-clock
+# budget) in the release tree. Uses its own build trees (build-check/,
+# build-asan/, build-tsan/) so it never clobbers an existing build/.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 
@@ -39,7 +41,7 @@ EXTRA_CTEST_ARGS=("$@")
 # buffer pool's read phase, or cross-thread tracing. TSan runs ~10x slower,
 # so the single-threaded math/geometry suites are skipped there (ASan
 # covers them above).
-tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest)'
+tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest|ResilienceTest|ResilienceSoakTest)'
 
 run_config build-check "" -DCMAKE_BUILD_TYPE=Release
 run_config build-asan "" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=ON
@@ -50,9 +52,19 @@ run_config build-tsan "${tsan_filter}" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=t
 # above thins the torn/truncated modes to every third point; see
 # tests/recovery_test.cc). The tree is already built — this only re-runs
 # the fault-injection tests.
-crash_filter='RecoverySweepTest|MonitorDurabilityTest|WalTest|StorageFileTest|FaultInjectorTest|DiskPagerTest'
+crash_filter='RecoverySweepTest|TransientSweepTest|MonitorDurabilityTest|WalTest|StorageFileTest|FaultInjectorTest|DiskPagerTest'
 echo "==== crash matrix (build-asan, PDR_CRASH_SWEEP=full) ===="
 (cd "${repo}/build-asan" && PDR_CRASH_SWEEP=full ctest --output-on-failure \
     -j "${jobs}" -R "${crash_filter}" "${EXTRA_CTEST_ARGS[@]+"${EXTRA_CTEST_ARGS[@]}"}")
+
+# Soak lane: the resilience suites at full scale in the release tree —
+# sustained overload against the shared admission controller plus a
+# transient-fault storm through the durable checkpoint path. The tests
+# assert the serving contract (every query accounted for, bounded shed
+# rate, no data loss) and carry their own wall-clock budget, so a hung
+# query fails the lane instead of wedging it.
+echo "==== resilience soak (build-check, PDR_SOAK=full) ===="
+(cd "${repo}/build-check" && PDR_SOAK=full ctest --output-on-failure \
+    -j "${jobs}" -R 'ResilienceSoakTest' "${EXTRA_CTEST_ARGS[@]+"${EXTRA_CTEST_ARGS[@]}"}")
 
 echo "==== all checks passed ===="

@@ -113,7 +113,9 @@ namespace {
 /// Recursive branch-and-bound over one macro-cell's normalized frame.
 void BnbRecurse(const Cheb2D& poly, const Rect& cell_world, double x1,
                 double x2, double y1, double y2, double rho,
-                double min_edge_norm, Region* out, BnbStats* stats) {
+                double min_edge_norm, Region* out, BnbStats* stats,
+                const QueryControl* ctl) {
+  if (ctl != nullptr) ctl->Check();  // cancellation point per node
   if (stats != nullptr) ++stats->nodes_visited;
   const Interval bound = poly.Bound(x1, x2, y1, y2);
   const auto to_world = [&](double nx1, double nx2, double ny1, double ny2) {
@@ -144,16 +146,21 @@ void BnbRecurse(const Cheb2D& poly, const Rect& cell_world, double x1,
   }
   const double mx = (x1 + x2) / 2.0;
   const double my = (y1 + y2) / 2.0;
-  BnbRecurse(poly, cell_world, x1, mx, y1, my, rho, min_edge_norm, out, stats);
-  BnbRecurse(poly, cell_world, mx, x2, y1, my, rho, min_edge_norm, out, stats);
-  BnbRecurse(poly, cell_world, x1, mx, my, y2, rho, min_edge_norm, out, stats);
-  BnbRecurse(poly, cell_world, mx, x2, my, y2, rho, min_edge_norm, out, stats);
+  BnbRecurse(poly, cell_world, x1, mx, y1, my, rho, min_edge_norm, out, stats,
+             ctl);
+  BnbRecurse(poly, cell_world, mx, x2, y1, my, rho, min_edge_norm, out, stats,
+             ctl);
+  BnbRecurse(poly, cell_world, x1, mx, my, y2, rho, min_edge_norm, out, stats,
+             ctl);
+  BnbRecurse(poly, cell_world, mx, x2, my, y2, rho, min_edge_norm, out, stats,
+             ctl);
 }
 
 }  // namespace
 
 Region ChebGrid::QueryDense(Tick t, double rho, int eval_grid,
-                            BnbStats* stats, ThreadPool* pool) const {
+                            BnbStats* stats, ThreadPool* pool,
+                            const QueryControl* ctl) const {
   assert(eval_grid >= options_.grid_side);
   const std::vector<Cheb2D>& slice = Slice(t);
   // Leaf resolution: eval_grid cells across the whole domain => normalized
@@ -187,7 +194,7 @@ Region ChebGrid::QueryDense(Tick t, double rho, int eval_grid,
     } else {
       BnbRecurse(poly, grid_.CellRect(static_cast<int>(cell)), -1.0, 1.0,
                  -1.0, 1.0, rho, min_edge_norm,
-                 &cell_out[static_cast<size_t>(cell)], &cs);
+                 &cell_out[static_cast<size_t>(cell)], &cs, ctl);
     }
     bnb_nodes.Add(cs.nodes_visited);
     bnb_pruned.Add(cs.pruned_boxes);
@@ -203,7 +210,8 @@ Region ChebGrid::QueryDense(Tick t, double rho, int eval_grid,
   };
 
   if (pool != nullptr && cell_count > 1) {
-    pool->ParallelFor(cell_count, search_cell);
+    pool->ParallelFor(cell_count, search_cell,
+                      ctl != nullptr && ctl->active() ? ctl : nullptr);
   } else {
     for (int64_t cell = 0; cell < cell_count; ++cell) search_cell(cell);
   }

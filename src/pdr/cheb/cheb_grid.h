@@ -31,6 +31,7 @@
 #include "pdr/common/geometry.h"
 #include "pdr/common/region.h"
 #include "pdr/mobility/object.h"
+#include "pdr/resilience/deadline.h"
 
 namespace pdr {
 
@@ -81,10 +82,12 @@ class ChebGrid {
   /// branch-and-bound with leaf resolution extent/eval_grid. With a
   /// non-null `pool`, the per-macro-cell searches fan out over its
   /// threads; per-cell regions are merged in cell order, so the result is
-  /// bit-identical to the serial search.
+  /// bit-identical to the serial search. `ctl` (optional) is polled at
+  /// every branch-and-bound node, so a deadline-bounded query abandons the
+  /// search within one node expansion of expiry (CancelledError).
   Region QueryDense(Tick t, double rho, int eval_grid,
-                    BnbStats* stats = nullptr,
-                    ThreadPool* pool = nullptr) const;
+                    BnbStats* stats = nullptr, ThreadPool* pool = nullptr,
+                    const QueryControl* ctl = nullptr) const;
 
   /// The paper's "trivial approach": evaluate the density at the centers
   /// of an eval_grid x eval_grid lattice and report dense lattice cells.

@@ -1,0 +1,54 @@
+// Typed errors shared across the query engines.
+
+#ifndef PDR_COMMON_ERRORS_H_
+#define PDR_COMMON_ERRORS_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "pdr/common/geometry.h"
+
+namespace pdr {
+
+/// A query timestamp outside the engine's horizon [now, now + H].
+///
+/// Both engines keep per-tick state (histogram slices, Chebyshev slices)
+/// only for the horizon window H = U + W: every object re-reports within U
+/// ticks, so predictions past now + H would extrapolate from motion
+/// vectors the protocol guarantees are stale. Before this error existed
+/// the out-of-range slice access was assert-only — silently wrong answers
+/// in release builds — so the engines now validate q_t at entry and
+/// reject with this typed error instead.
+class HorizonError : public std::out_of_range {
+ public:
+  HorizonError(const char* engine, Tick q_t, Tick now, Tick horizon)
+      : std::out_of_range(std::string(engine) + " query at t=" +
+                          std::to_string(q_t) + " outside horizon [" +
+                          std::to_string(now) + ", " +
+                          std::to_string(now + horizon) +
+                          "] (H=" + std::to_string(horizon) + ")"),
+        q_t_(q_t),
+        now_(now),
+        horizon_(horizon) {}
+
+  Tick q_t() const { return q_t_; }
+  Tick now() const { return now_; }
+  Tick horizon() const { return horizon_; }
+
+ private:
+  Tick q_t_;
+  Tick now_;
+  Tick horizon_;
+};
+
+/// Validates q_t against [now, now + horizon]; throws HorizonError.
+inline void ValidateHorizon(const char* engine, Tick q_t, Tick now,
+                            Tick horizon) {
+  if (q_t < now || q_t > now + horizon) {
+    throw HorizonError(engine, q_t, now, horizon);
+  }
+}
+
+}  // namespace pdr
+
+#endif  // PDR_COMMON_ERRORS_H_

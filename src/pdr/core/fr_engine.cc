@@ -119,8 +119,18 @@ void FrEngine::Apply(const UpdateEvent& update) {
   index_->Apply(update);
 }
 
+void FrEngine::ValidateQt(Tick q_t) const {
+  ValidateHorizon("fr", q_t, histogram_.now(), options_.horizon);
+}
+
 FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
-                                      bool cold_cache) {
+                                      bool cold_cache,
+                                      const QueryControl& ctl) {
+  ValidateQt(q_t);
+  // Entry cancellation point: a query offered with an already-expired
+  // deadline (or cancelled token) fails here deterministically, before
+  // any engine work.
+  if (ctl.active()) ctl.Check();
   if (cold_cache) index_->DropCaches();
   const IoStats io_before = index_->io_stats();
 
@@ -174,8 +184,12 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   ThreadPool* pool = PoolForQuery();
   const bool fan_out = pool != nullptr && candidates.size() > 1;
   std::vector<CellOut> outs(candidates.size());
+  const QueryControl* control = ctl.active() ? &ctl : nullptr;
 
   const auto refine_cell = [&](int64_t i) {
+    // Cancellation point per candidate cell (plus per sweep strip inside
+    // SweepCell): a deadline-expired refinement abandons the query here.
+    if (control != nullptr) control->Check();
     const Candidate c = candidates[static_cast<size_t>(i)];
     CellOut& out = outs[static_cast<size_t>(i)];
     TraceSpan cell_span("fr.cell");
@@ -196,7 +210,7 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
       const Vec2 p = state.PositionAt(q_t);
       if (grid.InDomain(p)) positions.push_back(p);
     }
-    out.rects = SweepCell(cell, positions, l, n_min, &out.sweep);
+    out.rects = SweepCell(cell, positions, l, n_min, &out.sweep, control);
     if (cell_span.active()) {
       const IoStats cell_io = fan_out ? index_->TakeThreadIoDelta()
                                       : index_->io_stats() - cell_io_before;
@@ -212,7 +226,8 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   if (fan_out) {
     index_->BeginConcurrentReads();
     try {
-      pool->ParallelFor(static_cast<int64_t>(candidates.size()), refine_cell);
+      pool->ParallelFor(static_cast<int64_t>(candidates.size()), refine_cell,
+                        control);
     } catch (...) {
       index_->EndConcurrentReads();
       throw;
@@ -270,14 +285,17 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
 }
 
 FrEngine::QueryResult FrEngine::QueryInterval(Tick q_lo, Tick q_hi,
-                                              double rho, double l) {
+                                              double rho, double l,
+                                              const QueryControl& ctl) {
+  ValidateQt(q_lo);
+  ValidateQt(q_hi);
   TraceSpan span("fr.query_interval");
   span.SetAttr("q_lo", static_cast<int64_t>(q_lo));
   span.SetAttr("q_hi", static_cast<int64_t>(q_hi));
   QueryResult total;
   Region all;
   for (Tick t = q_lo; t <= q_hi; ++t) {
-    QueryResult snap = Query(t, rho, l);
+    QueryResult snap = Query(t, rho, l, /*cold_cache=*/false, ctl);
     all.Add(snap.region);
     total.cost += snap.cost;
     total.accepted_cells += snap.accepted_cells;
@@ -294,6 +312,7 @@ FrEngine::QueryResult FrEngine::QueryInterval(Tick q_lo, Tick q_hi,
 
 FrEngine::DhResult FrEngine::DhOnlyQuery(Tick q_t, double rho, double l,
                                          bool optimistic) {
+  ValidateQt(q_t);
   TraceSpan span("fr.dh_query");
   Timer timer;
   DhResult result;

@@ -28,12 +28,14 @@
 #include <memory>
 #include <string>
 
+#include "pdr/common/errors.h"
 #include "pdr/common/region.h"
 #include "pdr/common/stats.h"
 #include "pdr/histogram/density_histogram.h"
 #include "pdr/histogram/filter.h"
 #include "pdr/index/object_index.h"
 #include "pdr/parallel/exec_policy.h"
+#include "pdr/resilience/deadline.h"
 #include "pdr/storage/fault_injector.h"
 #include "pdr/sweep/plane_sweep.h"
 
@@ -97,12 +99,27 @@ class FrEngine {
   /// Exact snapshot PDR query (Definition 4).
   /// `cold_cache` drops the TPR buffer pool first so the I/O charge
   /// reflects an isolated query (the paper's per-query reporting).
-  QueryResult Query(Tick q_t, double rho, double l, bool cold_cache = false);
+  ///
+  /// Throws HorizonError when q_t lies outside [now, now + H]: the
+  /// histogram and the index hold per-tick state for the horizon window
+  /// only, so answers past it would be silent extrapolation.
+  ///
+  /// An active `ctl` (deadline and/or cancel token) is checked at entry,
+  /// before each candidate cell's refinement, per plane-sweep strip at
+  /// both sweep levels, and by ParallelFor runners between cells; a
+  /// cancelled query throws CancelledError within one work quantum. The
+  /// default (inactive) control leaves the query path bit-identical to
+  /// uncontrolled execution.
+  QueryResult Query(Tick q_t, double rho, double l, bool cold_cache = false,
+                    const QueryControl& ctl = {});
 
-  /// Interval PDR query (Definition 5): union over [q_lo, q_hi].
-  QueryResult QueryInterval(Tick q_lo, Tick q_hi, double rho, double l);
+  /// Interval PDR query (Definition 5): union over [q_lo, q_hi]. Both
+  /// endpoints must lie inside the horizon (HorizonError otherwise).
+  QueryResult QueryInterval(Tick q_lo, Tick q_hi, double rho, double l,
+                            const QueryControl& ctl = {});
 
-  /// Filter step alone, timed — the "DH" method of Fig. 8/9.
+  /// Filter step alone, timed — the "DH" method of Fig. 8/9. Validates
+  /// q_t against the horizon like Query.
   struct DhResult {
     Region region;
     double cpu_ms = 0.0;
@@ -130,6 +147,7 @@ class FrEngine {
 
  private:
   ThreadPool* PoolForQuery();  // null when the policy is serial
+  void ValidateQt(Tick q_t) const;  // throws HorizonError
 
   Options options_;
   DensityHistogram histogram_;

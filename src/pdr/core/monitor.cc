@@ -1,6 +1,7 @@
 #include "pdr/core/monitor.h"
 
 #include <future>
+#include <stdexcept>
 #include <utility>
 
 #include "pdr/obs/obs.h"
@@ -9,6 +10,32 @@
 namespace pdr {
 
 PdrMonitor::~PdrMonitor() = default;
+
+ResilientExecutor* PdrMonitor::ExecutorForTick() {
+  const ResilienceOptions& r = options_.resilience;
+  const bool ladder_active = r.deadline_ms > 0.0 || !r.enable_exact;
+  if (!ladder_active) return nullptr;
+  if (pa_ != nullptr) {
+    throw std::logic_error(
+        "PdrMonitor: the degradation ladder requires FR-primary mode "
+        "(its rungs are FR exact -> PA approximate -> FR histogram)");
+  }
+  if (executor_ == nullptr) {
+    executor_ =
+        std::make_unique<ResilientExecutor>(engine_, fallback_, r);
+  }
+  return executor_.get();
+}
+
+AdmissionController* PdrMonitor::AdmissionForTick() {
+  if (admission_ != nullptr) return admission_;
+  if (options_.resilience.max_inflight <= 0) return nullptr;
+  if (owned_admission_ == nullptr) {
+    owned_admission_ = std::make_unique<AdmissionController>(
+        AdmissionController::Options{options_.resilience.max_inflight});
+  }
+  return owned_admission_.get();
+}
 
 void PdrMonitor::SetExecPolicy(const ExecPolicy& exec) {
   exec_ = exec;
@@ -29,7 +56,32 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   Delta delta;
   delta.now = now;
   delta.q_t = now + options_.lookahead;
+  delta.budget_ms = options_.resilience.deadline_ms;
 
+  // Admission control first: when too many evaluations are already in
+  // flight (shared controller across monitors/threads), shed this tick
+  // outright — repeat the previous answer, leave the standing state (and
+  // previous_) untouched, and report tier kShed.
+  AdmissionController::Permit permit;
+  if (AdmissionController* admission = AdmissionForTick()) {
+    permit = admission->TryAdmit();
+    if (!permit.ok()) {
+      delta.shed = true;
+      delta.tier = AnswerTier::kShed;
+      if (has_previous_) delta.current = previous_;
+      delta.elapsed_ms = timer.ElapsedMillis();
+      static Counter& shed_ticks =
+          MetricsRegistry::Global().GetCounter("pdr.monitor.shed_ticks");
+      shed_ticks.Increment();
+      if (span.active()) {
+        span.SetAttr("now", static_cast<int64_t>(now));
+        span.SetAttr("tier", static_cast<int64_t>(delta.tier));
+      }
+      return delta;
+    }
+  }
+
+  ResilientExecutor* ladder = ExecutorForTick();
   if (pa_ != nullptr) {
     Timer pa_timer;
     auto result = pa_->Query(delta.q_t, options_.rho);
@@ -40,6 +92,12 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     }
     delta.cost = result.cost;
     delta.current = std::move(result.region);
+  } else if (ladder != nullptr) {
+    auto result = ladder->Query(delta.q_t, options_.rho, options_.l);
+    delta.cost = result.cost;
+    delta.current = std::move(result.region);
+    delta.maybe_region = std::move(result.maybe_region);
+    delta.tier = result.tier;
   } else {
     std::optional<CostPrediction> predicted;
     if (calibrator_ != nullptr && PdrObs::Enabled()) {
@@ -71,6 +129,14 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
           auditor_->MaybeAudit(delta.q_t, options_.rho, delta.current);
     }
   }
+  // Degraded answers are the ones whose quality is in question: in
+  // FR-primary mode with an auditor attached, offer every below-exact tick
+  // to the sampler so the shadow audit tracks what degradation costs.
+  if (pa_ == nullptr && auditor_ != nullptr &&
+      delta.tier != AnswerTier::kExact) {
+    delta.audit =
+        auditor_->MaybeAudit(delta.q_t, options_.rho, delta.current);
+  }
 
   if (has_previous_) {
     delta.appeared = RegionDifference(delta.current, previous_);
@@ -90,7 +156,20 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
       MetricsRegistry::Global().GetHistogram("pdr.monitor.tick_ms");
   ticks.Increment();
   if (delta.Changed()) changed.Increment();
-  tick_ms.Observe(timer.ElapsedMillis());
+  delta.elapsed_ms = timer.ElapsedMillis();
+  tick_ms.Observe(delta.elapsed_ms);
+
+  ++ticks_total_;
+  if (delta.tier != AnswerTier::kExact) {
+    ++degraded_ticks_;
+    static Counter& degraded =
+        MetricsRegistry::Global().GetCounter("pdr.monitor.degraded_ticks");
+    degraded.Increment();
+  }
+  static Gauge& downgrade_rate =
+      MetricsRegistry::Global().GetGauge("pdr.monitor.downgrade_rate");
+  downgrade_rate.Set(static_cast<double>(degraded_ticks_) /
+                     static_cast<double>(ticks_total_));
 
   if (checkpoint_hook_ && checkpoint_every_ > 0 &&
       ++ticks_since_checkpoint_ >= checkpoint_every_) {
@@ -105,6 +184,8 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     span.SetAttr("appeared_area", delta.appeared.Area());
     span.SetAttr("vanished_area", delta.vanished.Area());
     span.SetAttr("io_reads", delta.cost.io.physical_reads);
+    span.SetAttr("tier", static_cast<int64_t>(delta.tier));
+    span.SetAttr("elapsed_ms", delta.elapsed_ms);
     if (delta.audit) {
       span.SetAttr("audit_precision", delta.audit->precision);
       span.SetAttr("audit_recall", delta.audit->recall);

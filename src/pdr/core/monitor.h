@@ -35,6 +35,8 @@
 #include "pdr/obs/audit.h"
 #include "pdr/parallel/exec_policy.h"
 #include "pdr/parallel/thread_pool.h"
+#include "pdr/resilience/admission.h"
+#include "pdr/resilience/executor.h"
 
 namespace pdr {
 
@@ -44,6 +46,11 @@ class PdrMonitor {
     double rho = 0.0;    ///< density threshold
     double l = 30.0;     ///< neighborhood edge
     Tick lookahead = 0;  ///< q_t = now + lookahead (<= W for completeness)
+    /// Deadline / admission-control / degradation policy. Inactive by
+    /// default. A per-tick deadline or degradation ladder requires the
+    /// FR-primary mode (the ladder's rungs are FR exact -> PA approximate
+    /// -> FR histogram); OnTick throws std::logic_error otherwise.
+    ResilienceOptions resilience;
   };
 
   /// The change in the standing answer at one tick.
@@ -54,9 +61,21 @@ class PdrMonitor {
     Region appeared;  ///< dense now, not dense at the previous evaluation
     Region vanished;  ///< dense at the previous evaluation, not now
     CostBreakdown cost;
-    /// Present when this tick's answer was shadow-audited (PA-primary
-    /// with an attached auditor, sampled in).
+    /// Present when this tick's answer was shadow-audited: PA-primary with
+    /// an attached auditor (sampled in), or FR-primary when a degraded
+    /// (non-exact) tier answered and an auditor is attached.
     std::optional<AuditVerdict> audit;
+    /// What the answer is worth this tick. kExact unless the resilience
+    /// ladder downgraded (kApprox / kHistogram) or admission control shed
+    /// the tick outright (kShed: `current` repeats the previous answer and
+    /// appeared/vanished are empty).
+    AnswerTier tier = AnswerTier::kExact;
+    bool shed = false;        ///< true iff admission control refused the tick
+    double elapsed_ms = 0.0;  ///< wall time spent evaluating this tick
+    double budget_ms = 0.0;   ///< configured deadline (0 = unbounded)
+    /// kHistogram tier only: the optimistic superset (accepts+candidates);
+    /// everything dense is inside it. Empty at other tiers.
+    Region maybe_region;
 
     bool Changed() const {
       return !appeared.IsEmpty() || !vanished.IsEmpty();
@@ -80,6 +99,22 @@ class PdrMonitor {
   /// Attaches a cost calibrator (FR-primary mode; not owned): each tick's
   /// query is predicted before it runs and the prediction scored.
   void SetCalibrator(CostCalibrator* calibrator) { calibrator_ = calibrator; }
+
+  /// FR-primary only: the approximate engine the degradation ladder falls
+  /// back to when the exact query overruns its deadline (not owned; must be
+  /// fed the same update stream, with matching l). Without one the ladder
+  /// skips straight to the histogram tier.
+  void SetFallback(PaEngine* fallback) {
+    fallback_ = fallback;
+    executor_.reset();  // rebuilt lazily with the new fallback
+  }
+
+  /// Shares an admission controller across monitors/threads (not owned).
+  /// When unset and `resilience.max_inflight > 0`, the monitor lazily
+  /// creates a private one.
+  void SetAdmissionController(AdmissionController* admission) {
+    admission_ = admission;
+  }
 
   ~PdrMonitor();
 
@@ -114,16 +149,24 @@ class PdrMonitor {
 
  private:
   ThreadPool* PoolForTick();  // null when the policy is serial
+  ResilientExecutor* ExecutorForTick();   // null when the ladder is inactive
+  AdmissionController* AdmissionForTick();  // null when admission is off
 
   FrEngine* engine_ = nullptr;
   PaEngine* pa_ = nullptr;
+  PaEngine* fallback_ = nullptr;
   ShadowAuditor* auditor_ = nullptr;
   CostCalibrator* calibrator_ = nullptr;
+  AdmissionController* admission_ = nullptr;  // shared, not owned
+  std::unique_ptr<AdmissionController> owned_admission_;
+  std::unique_ptr<ResilientExecutor> executor_;
   Options options_;
   ExecPolicy exec_;
   std::unique_ptr<ThreadPool> pool_;  // created lazily on first parallel tick
   Region previous_;
   bool has_previous_ = false;
+  int64_t ticks_total_ = 0;      // evaluated (non-shed) ticks
+  int64_t degraded_ticks_ = 0;   // evaluated ticks answered below kExact
   std::function<void()> checkpoint_hook_;
   Tick checkpoint_every_ = 0;
   Tick ticks_since_checkpoint_ = 0;

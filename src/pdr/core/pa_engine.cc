@@ -37,14 +37,23 @@ ThreadPool* PaEngine::PoolForQuery() {
   return pool_.get();
 }
 
-PaEngine::QueryResult PaEngine::Query(Tick q_t, double rho) {
+void PaEngine::ValidateQt(Tick q_t) const {
+  ValidateHorizon("pa", q_t, model_.now(), options_.horizon);
+}
+
+PaEngine::QueryResult PaEngine::Query(Tick q_t, double rho,
+                                      const QueryControl& ctl) {
+  ValidateQt(q_t);
+  // Entry cancellation point (see FrEngine::Query).
+  if (ctl.active()) ctl.Check();
   TraceSpan span("pa.query");
   span.SetAttr("q_t", static_cast<int64_t>(q_t));
   span.SetAttr("rho", rho);
   Timer timer;
   QueryResult result;
-  result.region = model_.QueryDense(q_t, rho, options_.eval_grid, &result.bnb,
-                                    PoolForQuery());
+  result.region =
+      model_.QueryDense(q_t, rho, options_.eval_grid, &result.bnb,
+                        PoolForQuery(), ctl.active() ? &ctl : nullptr);
   result.cost.cpu_ms = timer.ElapsedMillis();
 
   static Counter& queries =
@@ -58,6 +67,7 @@ PaEngine::QueryResult PaEngine::Query(Tick q_t, double rho) {
 }
 
 PaEngine::QueryResult PaEngine::QueryGridScan(Tick q_t, double rho) {
+  ValidateQt(q_t);
   TraceSpan span("pa.query_grid_scan");
   Timer timer;
   QueryResult result;
@@ -69,14 +79,17 @@ PaEngine::QueryResult PaEngine::QueryGridScan(Tick q_t, double rho) {
 }
 
 PaEngine::QueryResult PaEngine::QueryInterval(Tick q_lo, Tick q_hi,
-                                              double rho) {
+                                              double rho,
+                                              const QueryControl& ctl) {
+  ValidateQt(q_lo);
+  ValidateQt(q_hi);
   TraceSpan span("pa.query_interval");
   span.SetAttr("q_lo", static_cast<int64_t>(q_lo));
   span.SetAttr("q_hi", static_cast<int64_t>(q_hi));
   QueryResult total;
   Region all;
   for (Tick t = q_lo; t <= q_hi; ++t) {
-    QueryResult snap = Query(t, rho);
+    QueryResult snap = Query(t, rho, ctl);
     all.Add(snap.region);
     total.cost += snap.cost;
     total.bnb += snap.bnb;

@@ -12,9 +12,11 @@
 #include <memory>
 
 #include "pdr/cheb/cheb_grid.h"
+#include "pdr/common/errors.h"
 #include "pdr/common/region.h"
 #include "pdr/common/stats.h"
 #include "pdr/parallel/exec_policy.h"
+#include "pdr/resilience/deadline.h"
 
 namespace pdr {
 
@@ -53,13 +55,20 @@ class PaEngine {
 
   /// Approximate snapshot PDR query (rho, options().l, q_t) via
   /// branch-and-bound.
-  QueryResult Query(Tick q_t, double rho);
+  ///
+  /// Throws HorizonError when q_t lies outside [now, now + H] (the
+  /// Chebyshev slices only cover the horizon window). An active `ctl` is
+  /// checked at entry and at every branch-and-bound node; a cancelled
+  /// query throws CancelledError within one node expansion.
+  QueryResult Query(Tick q_t, double rho, const QueryControl& ctl = {});
 
   /// The paper's "trivial approach" (full grid scan) for the ablation.
   QueryResult QueryGridScan(Tick q_t, double rho);
 
   /// Interval PDR query: union of snapshot answers over [q_lo, q_hi].
-  QueryResult QueryInterval(Tick q_lo, Tick q_hi, double rho);
+  /// Both endpoints must lie inside the horizon (HorizonError otherwise).
+  QueryResult QueryInterval(Tick q_lo, Tick q_hi, double rho,
+                            const QueryControl& ctl = {});
 
   /// Approximated point density at `p`, tick `t`.
   double Density(Tick t, Vec2 p) const { return model_.Density(t, p); }
@@ -69,6 +78,7 @@ class PaEngine {
 
  private:
   ThreadPool* PoolForQuery();  // null when the policy is serial
+  void ValidateQt(Tick q_t) const;  // throws HorizonError
 
   Options options_;
   ChebGrid model_;

@@ -88,7 +88,8 @@ void ThreadPool::Wait(std::future<void>& f) {
 }
 
 void ThreadPool::ParallelFor(int64_t n,
-                             const std::function<void(int64_t)>& body) {
+                             const std::function<void(int64_t)>& body,
+                             const QueryControl* ctl) {
   if (n <= 0) return;
   // Runner tasks (plus the calling thread) pull indices from one shared
   // counter: every index in [0, n) is claimed exactly once. The caller
@@ -104,9 +105,12 @@ void ThreadPool::ParallelFor(int64_t n,
   const auto run = [&] {
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
-      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
       try {
+        // Cancellation point: a cancelled query stops claiming indices on
+        // every runner; started bodies finish, the rest never run.
+        if (ctl != nullptr) ctl->Check();
+        const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
         body(i);
       } catch (...) {
         std::call_once(error_once,

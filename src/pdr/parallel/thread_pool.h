@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "pdr/obs/trace.h"
+#include "pdr/resilience/deadline.h"
 
 namespace pdr {
 
@@ -54,7 +55,15 @@ class ThreadPool {
   /// workers with the calling thread participating. Returns when every
   /// started index has finished. If a body throws, remaining unstarted
   /// indices are abandoned and the first exception is rethrown here.
-  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+  ///
+  /// With a non-null active `ctl`, every runner polls the control before
+  /// claiming its next index: a cancelled or deadline-expired query stops
+  /// claiming work, the loop drains (started indices finish, unstarted
+  /// ones are never run), and CancelledError is rethrown on the calling
+  /// thread. Bodies may additionally check the control themselves at
+  /// finer granularity.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
+                   const QueryControl* ctl = nullptr);
 
   /// Steals one queued task and runs it on the calling thread; false when
   /// the queue is empty. Public so blocked code can lend a hand.

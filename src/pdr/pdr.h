@@ -30,6 +30,7 @@
 #include "pdr/cheb/cheb_grid.h"
 #include "pdr/cheb/chebyshev.h"
 #include "pdr/cheb/contour.h"
+#include "pdr/common/errors.h"
 #include "pdr/common/geometry.h"
 #include "pdr/common/random.h"
 #include "pdr/common/region.h"
@@ -52,6 +53,9 @@
 #include "pdr/obs/export.h"
 #include "pdr/obs/obs.h"
 #include "pdr/obs/report.h"
+#include "pdr/resilience/admission.h"
+#include "pdr/resilience/deadline.h"
+#include "pdr/resilience/executor.h"
 #include "pdr/storage/disk_pager.h"
 #include "pdr/storage/fault_injector.h"
 #include "pdr/storage/wal.h"

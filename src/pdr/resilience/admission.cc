@@ -1,0 +1,65 @@
+#include "pdr/resilience/admission.h"
+
+#include "pdr/obs/obs.h"
+
+namespace pdr {
+namespace {
+
+struct AdmissionMetrics {
+  Counter& admitted;
+  Counter& shed;
+  Gauge& inflight;
+
+  static AdmissionMetrics& Get() {
+    static AdmissionMetrics m{
+        MetricsRegistry::Global().GetCounter("pdr.admission.admitted"),
+        MetricsRegistry::Global().GetCounter("pdr.admission.shed"),
+        MetricsRegistry::Global().GetGauge("pdr.admission.inflight"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+AdmissionController::AdmissionController(const Options& options)
+    : options_(options) {
+  if (options_.max_inflight < 1) options_.max_inflight = 1;
+}
+
+AdmissionController::Permit AdmissionController::TryAdmit() {
+  int cur = inflight_.load(std::memory_order_relaxed);
+  while (cur < options_.max_inflight) {
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      AdmissionMetrics& m = AdmissionMetrics::Get();
+      m.admitted.Increment();
+      m.inflight.Set(static_cast<double>(cur + 1));
+      return Permit(this);
+    }
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  AdmissionMetrics::Get().shed.Increment();
+  return Permit();
+}
+
+void AdmissionController::ReleaseSlot() {
+  const int now = inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  AdmissionMetrics::Get().inflight.Set(static_cast<double>(now));
+}
+
+void AdmissionController::Permit::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseSlot();
+  controller_ = nullptr;
+}
+
+double AdmissionController::ShedRate() const {
+  const double offered =
+      static_cast<double>(admitted()) + static_cast<double>(shed());
+  return offered > 0.0 ? static_cast<double>(shed()) / offered : 0.0;
+}
+
+}  // namespace pdr

@@ -1,0 +1,88 @@
+// Admission control: a bounded in-flight query count with load shedding.
+//
+// A serving loop admits each query through TryAdmit() before running it.
+// When the in-flight count is at the bound the query is *shed* — the
+// caller gets no permit and should return its previous answer (or an
+// explicit overload error) instead of queueing: under sustained overload
+// an unbounded queue only converts fresh queries into stale ones. Permits
+// are RAII so a query that throws still releases its slot.
+//
+// One controller may be shared by many executors/monitors (one per
+// serving thread); all counters are atomic and TryAdmit is lock-free.
+// Admitted/shed totals and the live in-flight count are exported through
+// the metrics registry (pdr.admission.*).
+
+#ifndef PDR_RESILIENCE_ADMISSION_H_
+#define PDR_RESILIENCE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace pdr {
+
+class AdmissionController {
+ public:
+  struct Options {
+    int max_inflight = 4;  ///< concurrent queries admitted (>= 1)
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission slot. ok() is false for a shed query; the slot (when
+  /// held) is released on destruction or explicit Release().
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& o) noexcept : controller_(o.controller_) {
+      o.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& o) noexcept {
+      if (this != &o) {
+        Release();
+        controller_ = o.controller_;
+        o.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Permit() { Release(); }
+
+    bool ok() const { return controller_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* c) : controller_(c) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Non-blocking: a holding permit when a slot was free, an empty one
+  /// (the query is shed) when the bound is reached.
+  Permit TryAdmit();
+
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  int64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  int64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  /// shed / (admitted + shed); 0 before any offer.
+  double ShedRate() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void ReleaseSlot();
+
+  Options options_;
+  std::atomic<int> inflight_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_{0};
+};
+
+}  // namespace pdr
+
+#endif  // PDR_RESILIENCE_ADMISSION_H_

@@ -1,0 +1,151 @@
+#include "pdr/resilience/executor.h"
+
+#include <utility>
+
+#include "pdr/core/fr_engine.h"
+#include "pdr/core/pa_engine.h"
+#include "pdr/histogram/filter.h"
+#include "pdr/obs/obs.h"
+
+namespace pdr {
+namespace {
+
+struct ResilienceMetrics {
+  Counter& queries;
+  Counter& deadline_expired;
+  Counter& tier_exact;
+  Counter& tier_approx;
+  Counter& tier_histogram;
+  Histogram& elapsed_ms;
+
+  static ResilienceMetrics& Get() {
+    static ResilienceMetrics m{
+        MetricsRegistry::Global().GetCounter("pdr.resilience.queries"),
+        MetricsRegistry::Global().GetCounter(
+            "pdr.resilience.deadline_expired"),
+        MetricsRegistry::Global().GetCounter("pdr.resilience.tier_exact"),
+        MetricsRegistry::Global().GetCounter("pdr.resilience.tier_approx"),
+        MetricsRegistry::Global().GetCounter(
+            "pdr.resilience.tier_histogram"),
+        MetricsRegistry::Global().GetHistogram("pdr.resilience.elapsed_ms"),
+    };
+    return m;
+  }
+};
+
+void Publish(const TieredResult& result) {
+  ResilienceMetrics& m = ResilienceMetrics::Get();
+  m.queries.Increment();
+  if (result.timed_out) m.deadline_expired.Increment();
+  switch (result.tier) {
+    case AnswerTier::kExact:
+      m.tier_exact.Increment();
+      break;
+    case AnswerTier::kApprox:
+      m.tier_approx.Increment();
+      break;
+    case AnswerTier::kHistogram:
+      m.tier_histogram.Increment();
+      break;
+    case AnswerTier::kShed:
+      break;  // stamped by admission-control callers, not the ladder
+  }
+  m.elapsed_ms.Observe(result.elapsed_ms);
+}
+
+}  // namespace
+
+const char* AnswerTierName(AnswerTier tier) {
+  switch (tier) {
+    case AnswerTier::kExact:
+      return "exact";
+    case AnswerTier::kApprox:
+      return "approx";
+    case AnswerTier::kHistogram:
+      return "histogram";
+    case AnswerTier::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+ResilientExecutor::ResilientExecutor(FrEngine* fr, PaEngine* fallback,
+                                     const ResilienceOptions& options)
+    : fr_(fr), fallback_(fallback), options_(options) {}
+
+TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
+                                      const CancelToken* token) {
+  TraceSpan span("resilience.query");
+  Timer timer;
+  TieredResult out;
+  out.budget_ms = options_.deadline_ms > 0.0 ? options_.deadline_ms : 0.0;
+
+  // One control for the whole ladder: every rung shares the query's
+  // budget, so an exact attempt that burns it cannot be recovered by an
+  // equally slow approximate attempt — only the bounded histogram floor
+  // runs unconditionally.
+  QueryControl ctl;
+  ctl.token = token;
+  if (options_.deadline_ms > 0.0) {
+    ctl.deadline = Deadline::After(options_.deadline_ms);
+  }
+
+  const auto finish = [&](TieredResult* result) -> TieredResult {
+    result->elapsed_ms = timer.ElapsedMillis();
+    Publish(*result);
+    if (span.active()) {
+      span.SetAttr("tier", static_cast<int64_t>(result->tier));
+      span.SetAttr("timed_out", static_cast<int64_t>(result->timed_out));
+      span.SetAttr("elapsed_ms", result->elapsed_ms);
+      span.SetAttr("budget_ms", result->budget_ms);
+    }
+    return std::move(*result);
+  };
+
+  if (options_.enable_exact) {
+    try {
+      FrEngine::QueryResult exact =
+          fr_->Query(q_t, rho, l, /*cold_cache=*/false, ctl);
+      out.region = std::move(exact.region);
+      out.cost = exact.cost;
+      out.tier = AnswerTier::kExact;
+      return finish(&out);
+    } catch (const CancelledError&) {
+      out.timed_out = true;
+      if (!options_.degrade) throw;
+    }
+  }
+
+  // The approximate rung is sound only for the PA engine's own fixed l
+  // (Section 6) and only inside its horizon; otherwise fall straight
+  // through to the histogram floor.
+  if (options_.enable_approx && fallback_ != nullptr &&
+      fallback_->options().l == l && q_t >= fallback_->now() &&
+      q_t <= fallback_->now() + fallback_->options().horizon) {
+    try {
+      PaEngine::QueryResult approx = fallback_->Query(q_t, rho, ctl);
+      out.region = std::move(approx.region);
+      out.cost = approx.cost;
+      out.tier = AnswerTier::kApprox;
+      return finish(&out);
+    } catch (const CancelledError&) {
+      out.timed_out = true;
+      if (!options_.degrade) throw;
+    }
+  }
+
+  // Histogram floor: the filter step alone, never cancelled — one bounded
+  // O(m^2) scan is the ladder's final work quantum. Pessimistic accepts
+  // are the certainly-dense answer; the optimistic superset bounds where
+  // density can hide.
+  FrEngine::DhResult dh = fr_->DhOnlyQuery(q_t, rho, l, /*optimistic=*/false);
+  out.region = std::move(dh.region);
+  out.maybe_region =
+      CellsAsRegion(dh.filter, fr_->histogram().grid(), true);
+  out.cost = CostBreakdown{};
+  out.cost.cpu_ms = dh.cpu_ms;
+  out.tier = AnswerTier::kHistogram;
+  return finish(&out);
+}
+
+}  // namespace pdr

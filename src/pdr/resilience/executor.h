@@ -1,0 +1,116 @@
+// The graceful-degradation ladder: deadline-bounded PDR answers.
+//
+// The paper's own FR/PA split (exact filtering-refinement vs. Chebyshev
+// approximation, Sections 5-6) is a ready-made quality/latency trade-off;
+// this executor exploits it at runtime. A query runs down a ladder of
+// answer tiers until one completes within the remaining budget:
+//
+//   kExact      exact FR answer (filter + plane-sweep refinement), run
+//               under the query's deadline/cancel control;
+//   kApprox     PA branch-and-bound over the Chebyshev density model —
+//               taken only when a fallback PA engine is attached, its
+//               fixed l matches the query's l, and q_t lies inside its
+//               horizon; also deadline-controlled;
+//   kHistogram  the filter step alone. `region` is the *pessimistic*
+//               answer (accepted cells only) — sound by Algorithm 1, so
+//               it never contains a non-dense point (no false accepts) —
+//               and `maybe_region` the optimistic accepts+candidates
+//               superset that conservatively contains every dense point.
+//               This floor is a bounded O(m^2) histogram scan and is never
+//               cancelled: it is the ladder's final work quantum, so every
+//               query returns within budget + one quantum.
+//
+// (kShed, the fourth tier, is stamped by callers that shed a query at
+// admission control before the ladder ever ran.)
+//
+// Every result is stamped with its achieved tier, elapsed wall time, and
+// the budget it ran under; tier counts and downgrade totals are exported
+// through the metrics registry (pdr.resilience.*). With degrade = false
+// the ladder does not catch expiry — CancelledError propagates to the
+// caller, which is the right behavior for batch jobs that prefer failure
+// over approximation.
+
+#ifndef PDR_RESILIENCE_EXECUTOR_H_
+#define PDR_RESILIENCE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "pdr/common/region.h"
+#include "pdr/common/stats.h"
+#include "pdr/resilience/deadline.h"
+
+namespace pdr {
+
+class FrEngine;
+class PaEngine;
+
+/// The quality tier a deadline-bounded query achieved.
+enum class AnswerTier : uint8_t {
+  kExact = 0,      ///< exact FR answer
+  kApprox = 1,     ///< PA Chebyshev approximation
+  kHistogram = 2,  ///< filter-only conservative bounds
+  kShed = 3,       ///< rejected at admission control; no fresh answer
+};
+
+const char* AnswerTierName(AnswerTier tier);
+
+struct ResilienceOptions {
+  /// Per-query latency budget in milliseconds; <= 0 means unbounded.
+  double deadline_ms = 0.0;
+  /// Bound on concurrently admitted queries; <= 0 disables admission
+  /// control. (Consumed by PdrMonitor / serving loops, not the ladder.)
+  int max_inflight = 0;
+  /// Walk the ladder on expiry. false: CancelledError propagates instead
+  /// of degrading.
+  bool degrade = true;
+  /// Rung toggles: a server may pin a cheaper tier under sustained
+  /// overload (and tests use them to reach a rung deterministically).
+  bool enable_exact = true;
+  bool enable_approx = true;
+
+  /// True when any resilience behavior is configured.
+  bool Active() const {
+    return deadline_ms > 0.0 || max_inflight > 0 || !enable_exact;
+  }
+};
+
+/// A deadline-bounded answer, stamped with how it was obtained.
+struct TieredResult {
+  Region region;  ///< the answer at `tier` (kHistogram: certainly-dense)
+  /// kHistogram only: optimistic accepts+candidates superset — every dense
+  /// point lies inside it. Empty at other tiers.
+  Region maybe_region;
+  CostBreakdown cost;  ///< cost of the rung that produced the answer
+  AnswerTier tier = AnswerTier::kExact;
+  bool timed_out = false;   ///< at least one rung was cancelled
+  double elapsed_ms = 0.0;  ///< wall time across all rungs tried
+  double budget_ms = 0.0;   ///< the deadline this query ran under (0 = none)
+};
+
+class ResilientExecutor {
+ public:
+  /// `fr` is required (the exact rung and the histogram floor both run
+  /// through it); `fallback` may be null, which skips the kApprox rung.
+  /// Neither is owned. The fallback must be fed the same update stream as
+  /// `fr`.
+  ResilientExecutor(FrEngine* fr, PaEngine* fallback,
+                    const ResilienceOptions& options);
+
+  /// Runs the ladder for snapshot query (rho, l, q_t). `token` optionally
+  /// wires external cancellation into every rung. Throws HorizonError for
+  /// q_t outside [now, now + H], and CancelledError only when
+  /// options().degrade is false.
+  TieredResult Query(Tick q_t, double rho, double l,
+                     const CancelToken* token = nullptr);
+
+  const ResilienceOptions& options() const { return options_; }
+
+ private:
+  FrEngine* fr_;
+  PaEngine* fallback_;
+  ResilienceOptions options_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_RESILIENCE_EXECUTOR_H_

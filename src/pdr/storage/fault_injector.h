@@ -23,6 +23,16 @@
 // once per arming and counts points identically whether armed or not, so
 // a fault-free rehearsal run yields the exact number of kill points a
 // sweep must cover.
+//
+// Separately from crashes, the injector models *transient* I/O errors
+// (EIO under memory pressure, NFS hiccups, a full-but-recovering device):
+// an armed transient window makes fault points fail with
+// Action::kTransientFail instead of crashing. The storage primitive
+// handles those by bounded retry — and because a retried operation
+// consumes a NEW fault point index, "fail k times then succeed" falls out
+// naturally from a k-wide window. Transient faults never fire at the same
+// point as the armed crash (the crash wins) and are disjoint from the
+// fire-once crash semantics.
 
 #ifndef PDR_STORAGE_FAULT_INJECTOR_H_
 #define PDR_STORAGE_FAULT_INJECTOR_H_
@@ -54,6 +64,7 @@ class FaultInjector {
     kProceed,
     kCrash,          ///< skip the operation and throw CrashError
     kTornThenCrash,  ///< write a prefix / chop the tail, then throw
+    kTransientFail,  ///< skip the operation and report a retryable error
   };
 
   explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
@@ -67,16 +78,53 @@ class FaultInjector {
   }
   void Disarm() { crash_at_ = -1; }
 
+  /// Arms transient failures at the `failures` consecutive fault points
+  /// starting at `point`: each reports kTransientFail and the operation is
+  /// not performed. The retry consumes fresh indices past the window, so
+  /// this is exactly "fail `failures` times, then succeed".
+  void ArmTransient(int64_t point, int failures = 1) {
+    transient_at_ = point;
+    transient_failures_ = failures;
+    transient_period_ = 0;
+    transient_fired_ = 0;
+  }
+
+  /// Arms a recurring pattern: every fault point whose index satisfies
+  /// `index % period < failures` reports kTransientFail. Models a flaky
+  /// device that keeps hiccuping for the whole run.
+  void ArmTransientEvery(int64_t period, int failures = 1) {
+    transient_at_ = -1;
+    transient_failures_ = failures;
+    transient_period_ = period;
+    transient_fired_ = 0;
+  }
+
+  void DisarmTransient() {
+    transient_at_ = -1;
+    transient_period_ = 0;
+    transient_failures_ = 0;
+  }
+
+  /// Transient failures delivered since the last transient arming.
+  int64_t transient_fired() const { return transient_fired_; }
+
   /// Called by a storage primitive before each write/fsync. Counts the
   /// point, records `op` for post-hoc inspection, and reports whether the
-  /// armed crash fires here. Fires at most once per arming.
+  /// armed crash fires here. The crash fires at most once per arming and
+  /// takes precedence over any transient window covering the same index.
   Action OnOp(const char* op) {
     const int64_t index = ops_seen_++;
     op_log_.emplace_back(op);
-    if (fired_ || index != crash_at_) return Action::kProceed;
-    fired_ = true;
-    return mode_ == CrashMode::kClean ? Action::kCrash
-                                      : Action::kTornThenCrash;
+    if (!fired_ && index == crash_at_) {
+      fired_ = true;
+      return mode_ == CrashMode::kClean ? Action::kCrash
+                                        : Action::kTornThenCrash;
+    }
+    if (TransientAt(index)) {
+      ++transient_fired_;
+      return Action::kTransientFail;
+    }
+    return Action::kProceed;
   }
 
   CrashMode mode() const { return mode_; }
@@ -106,11 +154,23 @@ class FaultInjector {
   bool fired() const { return fired_; }
 
  private:
+  bool TransientAt(int64_t index) const {
+    if (transient_period_ > 0) {
+      return index % transient_period_ < transient_failures_;
+    }
+    return transient_at_ >= 0 && index >= transient_at_ &&
+           index < transient_at_ + transient_failures_;
+  }
+
   uint64_t seed_;
   int64_t crash_at_ = -1;
   CrashMode mode_ = CrashMode::kClean;
   bool fired_ = false;
   int64_t ops_seen_ = 0;
+  int64_t transient_at_ = -1;      // window start (one-shot mode)
+  int64_t transient_period_ = 0;   // > 0: recurring mode
+  int transient_failures_ = 0;
+  int64_t transient_fired_ = 0;
   std::vector<std::string> op_log_;
 };
 

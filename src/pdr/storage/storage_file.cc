@@ -3,16 +3,48 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "pdr/obs/obs.h"
 
 namespace pdr {
 namespace {
 
 [[noreturn]] void ThrowErrno(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Transient faults are retried in place with capped exponential backoff
+/// (1, 2, 4, ... 64 us — deterministic, so sweeps reproduce). A fault that
+/// outlives the retry budget stops being "transient": it surfaces as a
+/// plain I/O error, which durability callers treat like any failed write.
+constexpr int kMaxTransientRetries = 8;
+
+/// Asks the injector about `op`, absorbing kTransientFail by bounded
+/// retry; every retried attempt consumes a fresh fault-point index.
+FaultInjector::Action CheckOpRetrying(FaultInjector* injector,
+                                      const std::string& op) {
+  if (injector == nullptr) return FaultInjector::Action::kProceed;
+  for (int attempt = 0;; ++attempt) {
+    const FaultInjector::Action action = injector->OnOp(op.c_str());
+    if (action != FaultInjector::Action::kTransientFail) return action;
+    static Counter& retries =
+        MetricsRegistry::Global().GetCounter("pdr.storage.transient_retries");
+    retries.Increment();
+    if (attempt >= kMaxTransientRetries) {
+      throw std::runtime_error("transient I/O error persisted after " +
+                               std::to_string(kMaxTransientRetries) +
+                               " retries: " + op);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(int64_t{1} << std::min(attempt, 6)));
+  }
 }
 
 }  // namespace
@@ -37,8 +69,7 @@ void StorageFile::Close() {
 
 FaultInjector::Action StorageFile::CheckFault(const char* op) {
   if (injector_ == nullptr) return FaultInjector::Action::kProceed;
-  const std::string name = op_prefix_ + "." + op;
-  return injector_->OnOp(name.c_str());
+  return CheckOpRetrying(injector_, op_prefix_ + "." + op);
 }
 
 size_t StorageFile::ReadAt(uint64_t offset, void* buf, size_t n) const {
@@ -142,7 +173,7 @@ void AtomicWriteFile(const std::string& path, const std::string& contents,
   }
   if (injector != nullptr) {
     const std::string op = std::string(op_prefix) + ".rename";
-    if (injector->OnOp(op.c_str()) != FaultInjector::Action::kProceed) {
+    if (CheckOpRetrying(injector, op) != FaultInjector::Action::kProceed) {
       throw CrashError("injected crash before " + op);
     }
   }
@@ -158,7 +189,7 @@ void SyncDir(const std::string& dir_path, const char* op_prefix,
              FaultInjector* injector) {
   if (injector != nullptr) {
     const std::string op = std::string(op_prefix) + ".dirsync";
-    if (injector->OnOp(op.c_str()) != FaultInjector::Action::kProceed) {
+    if (CheckOpRetrying(injector, op) != FaultInjector::Action::kProceed) {
       // Like a file fsync, all crash modes are equivalent: it never ran.
       throw CrashError("injected crash at " + op);
     }

@@ -10,6 +10,13 @@
 // sync, or truncate silently no-ops (the process is "dead"; destructors
 // of enclosing objects must not repair the simulated crash state). Reads
 // keep working so a test can inspect the post-crash bytes.
+//
+// Injected *transient* faults (FaultInjector::Action::kTransientFail) are
+// absorbed here: the operation retries in place with a deterministic
+// capped-exponential backoff, up to 8 retries, counting each attempt in
+// the `pdr.storage.transient_retries` metric. A transient fault that
+// outlasts the budget surfaces as std::runtime_error — not CrashError, so
+// it never trips crash recovery.
 
 #ifndef PDR_STORAGE_STORAGE_FILE_H_
 #define PDR_STORAGE_STORAGE_FILE_H_

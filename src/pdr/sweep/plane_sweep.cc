@@ -30,7 +30,7 @@ std::vector<double> BuildEvents(double lo, double hi,
 
 std::vector<std::pair<double, double>> SweepY(
     const std::vector<double>& sorted_ys, double y_b, double y_t, double l,
-    int64_t n_min, SweepStats* stats) {
+    int64_t n_min, SweepStats* stats, const QueryControl* ctl) {
   assert(std::is_sorted(sorted_ys.begin(), sorted_ys.end()));
   // The object at oy is inside the square centered at y iff
   // oy - l/2 <= y < oy + l/2. Count strictly in terms of the *computed*
@@ -56,6 +56,7 @@ std::vector<std::pair<double, double>> SweepY(
 
   std::vector<std::pair<double, double>> dense;
   for (size_t j = 0; j + 1 < events.size(); ++j) {
+    if (ctl != nullptr) ctl->Check();  // cancellation point per Y-strip
     if (stats != nullptr) ++stats->y_strips;
     const double y = events[j];
     const int64_t entered =
@@ -78,7 +79,8 @@ namespace {
 
 std::vector<Rect> SweepCellImpl(const Rect& cell,
                                 const std::vector<Vec2>& positions, double l,
-                                int64_t n_min, SweepStats* stats) {
+                                int64_t n_min, SweepStats* stats,
+                                const QueryControl* ctl) {
   std::vector<Rect> result;
   if (n_min <= 0) {
     // Degenerate threshold: everything is dense.
@@ -120,6 +122,7 @@ std::vector<Rect> SweepCellImpl(const Rect& cell,
 
   std::vector<double> ys;  // reused scratch for dense strips
   for (size_t i = 0; i + 1 < events.size(); ++i) {
+    if (ctl != nullptr) ctl->Check();  // cancellation point per X-strip
     const double x = events[i];
     if (stats != nullptr) ++stats->x_strips;
     // Admit objects whose entry coordinate has been reached...
@@ -138,7 +141,8 @@ std::vector<Rect> SweepCellImpl(const Rect& cell,
     if (stats != nullptr) ++stats->y_sweeps;
 
     ys.assign(band_ys.begin(), band_ys.end());
-    const auto segments = SweepY(ys, cell.y_lo, cell.y_hi, l, n_min, stats);
+    const auto segments =
+        SweepY(ys, cell.y_lo, cell.y_hi, l, n_min, stats, ctl);
     for (const auto& [y_lo, y_hi] : segments) {
       result.emplace_back(x, y_lo, events[i + 1], y_hi);
       if (stats != nullptr) ++stats->dense_rects;
@@ -151,10 +155,12 @@ std::vector<Rect> SweepCellImpl(const Rect& cell,
 
 std::vector<Rect> SweepCell(const Rect& cell,
                             const std::vector<Vec2>& positions, double l,
-                            int64_t n_min, SweepStats* stats) {
+                            int64_t n_min, SweepStats* stats,
+                            const QueryControl* ctl) {
   TraceSpan span("sweep.cell");
   SweepStats local;
-  std::vector<Rect> result = SweepCellImpl(cell, positions, l, n_min, &local);
+  std::vector<Rect> result =
+      SweepCellImpl(cell, positions, l, n_min, &local, ctl);
 
   static Counter& cells =
       MetricsRegistry::Global().GetCounter("pdr.sweep.cells");

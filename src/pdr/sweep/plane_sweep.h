@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "pdr/common/geometry.h"
+#include "pdr/resilience/deadline.h"
 
 namespace pdr {
 
@@ -51,16 +52,22 @@ struct SweepStats {
 /// `n_min` is the object-count threshold (MinObjectsForDensity(rho, l)).
 /// The returned rectangles are half-open, disjoint in x-strips, and clipped
 /// to `cell`.
+///
+/// `ctl` (optional) is polled once per X-strip — and inside each Y-sweep
+/// per Y-strip — so a deadline-bounded query abandons the sweep within one
+/// strip of expiry (CancelledError).
 std::vector<Rect> SweepCell(const Rect& cell,
                             const std::vector<Vec2>& positions, double l,
-                            int64_t n_min, SweepStats* stats = nullptr);
+                            int64_t n_min, SweepStats* stats = nullptr,
+                            const QueryControl* ctl = nullptr);
 
 /// Y-sweep over one band (Algorithm 3), exposed for testing: given the
 /// sorted y-coordinates of the band's members, returns maximal dense
-/// segments [y_lo, y_hi) within [y_b, y_t).
+/// segments [y_lo, y_hi) within [y_b, y_t). `ctl` is polled per Y-strip.
 std::vector<std::pair<double, double>> SweepY(
     const std::vector<double>& sorted_ys, double y_b, double y_t, double l,
-    int64_t n_min, SweepStats* stats = nullptr);
+    int64_t n_min, SweepStats* stats = nullptr,
+    const QueryControl* ctl = nullptr);
 
 }  // namespace pdr
 

@@ -1,0 +1,168 @@
+// End-to-end smoke test for the pdr_tool CLI, run against the real
+// binary (path injected by CMake as PDR_TOOL_BIN). Covers the strict
+// argument contract — unknown commands, unknown flags, stray
+// positionals, and missing required flags all print usage and exit 2 —
+// plus a gen/info/query round trip and the deadline-bounded query path.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pdr {
+namespace {
+
+#ifndef PDR_TOOL_BIN
+#error "PDR_TOOL_BIN must be defined to the pdr_tool binary path"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout and stderr interleaved
+};
+
+RunResult RunTool(const std::string& args) {
+  const std::string cmd = std::string(PDR_TOOL_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  // One tiny dataset shared by every test in the suite.
+  static void SetUpTestSuite() {
+    char tmpl[] = "/tmp/pdr_cli_test_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    dir_ = new std::string(dir);
+    dataset_ = new std::string(*dir_ + "/ds.bin");
+    const RunResult gen =
+        RunTool("gen --out " + *dataset_ +
+            " --objects 80 --extent 200 --duration 8 --interval 4 --seed 5");
+    ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  }
+
+  static void TearDownTestSuite() {
+    std::system(("rm -rf '" + *dir_ + "'").c_str());
+    delete dataset_;
+    delete dir_;
+  }
+
+  static const std::string& dataset() { return *dataset_; }
+
+ private:
+  static std::string* dir_;
+  static std::string* dataset_;
+};
+
+std::string* CliTest::dir_ = nullptr;
+std::string* CliTest::dataset_ = nullptr;
+
+TEST_F(CliTest, NoArgumentsPrintsUsageAndExits2) {
+  const RunResult r = RunTool("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, UnknownCommandIsRejected) {
+  const RunResult r = RunTool("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, UnknownFlagIsRejectedPerCommand) {
+  // --qt is valid for query but not for monitor; each command owns its
+  // own flag set.
+  const RunResult r = RunTool("monitor --in " + dataset() + " --qt 3");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag --qt for 'monitor'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, StrayPositionalIsRejected) {
+  const RunResult r = RunTool("info " + dataset());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unexpected argument"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, MissingRequiredFlagIsRejected) {
+  EXPECT_EQ(RunTool("query --varrho 2").exit_code, 2);
+  EXPECT_EQ(RunTool("gen --objects 10").exit_code, 2);
+  EXPECT_EQ(RunTool("save --in " + dataset()).exit_code, 2);  // needs --wal-dir
+}
+
+TEST_F(CliTest, MissingDatasetFileFailsCleanly) {
+  const RunResult r = RunTool("info --in /nonexistent/ds.bin");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, GenInfoQueryRoundTrip) {
+  const RunResult info = RunTool("info --in " + dataset());
+  EXPECT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("objects   : 80"), std::string::npos)
+      << info.output;
+
+  const RunResult query =
+      RunTool("query --in " + dataset() + " --varrho 2 --l 25 --engine fr");
+  EXPECT_EQ(query.exit_code, 0) << query.output;
+  EXPECT_NE(query.output.find("FR (tpr):"), std::string::npos) << query.output;
+}
+
+TEST_F(CliTest, DeadlineBoundedQueryReportsTierAndBudget) {
+  const RunResult r =
+      RunTool("query --in " + dataset() + " --varrho 2 --l 25 --deadline-ms 5000");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("tier="), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("ms budget"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, PreExpiredDeadlineDegradesToHistogram) {
+  const RunResult r = RunTool("query --in " + dataset() +
+                          " --varrho 2 --l 25 --deadline-ms 0.0001");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("tier=histogram (timed out)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("certainly dense"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, DeadlineWithoutDegradeFailsTheQuery) {
+  const RunResult r = RunTool("query --in " + dataset() +
+                          " --varrho 2 --l 25 --deadline-ms 0.0001 "
+                          "--degrade 0");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, MonitorRunsWithDeadlineAndAdmission) {
+  const RunResult r = RunTool("monitor --in " + dataset() +
+                          " --varrho 2 --l 25 --lookahead 2 --every 4 "
+                          "--deadline-ms 5000 --max-inflight 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("dense"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, MonitorRejectsDeadlineWithAudit) {
+  const RunResult r = RunTool("monitor --in " + dataset() +
+                          " --audit-rate 0.5 --deadline-ms 100");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("FR-primary"), std::string::npos) << r.output;
+}
+
+}  // namespace
+}  // namespace pdr

@@ -26,6 +26,7 @@
 #include "pdr/mobility/generator.h"
 #include "pdr/obs/audit.h"
 #include "pdr/parallel/exec_policy.h"
+#include "pdr/resilience/executor.h"
 
 namespace pdr {
 namespace {
@@ -230,6 +231,44 @@ TEST(DifferentialTest, PaSerialParallelAndAuditAgreeAcross40Seeds) {
       EXPECT_EQ(v2.precision, verdict.precision)
           << "seed=" << seed << " threads=" << threads;
       EXPECT_EQ(v2.recall, verdict.recall)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+// Resilience differential property: with no deadline pressure the ladder
+// is a pass-through — a generously-budgeted ResilientExecutor (serial and
+// parallel) reproduces the plain engine's answer bit for bit, rectangle
+// sequence and counters included, across many seeded scenarios.
+TEST(DifferentialTest, GenerousDeadlineBitIdenticalToUnboundedAcross40Seeds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const FrScenario s = MakeFrScenario(seed);
+    FrEngine fr({.extent = kExtent,
+                 .histogram_side = 16,
+                 .horizon = 20,
+                 .buffer_pages = 64});
+    for (const UpdateEvent& e : FrWorkload(s, s.objects)) fr.Apply(e);
+
+    const auto plain = fr.Query(s.q_t, s.rho, s.l);
+    ResilientExecutor exec(&fr, nullptr, {.deadline_ms = 1e9});
+    const TieredResult bounded = exec.Query(s.q_t, s.rho, s.l);
+    ASSERT_EQ(bounded.tier, AnswerTier::kExact) << "seed=" << seed;
+    EXPECT_FALSE(bounded.timed_out) << "seed=" << seed;
+    std::string why;
+    if (!SameRects(plain.region, bounded.region, &why)) {
+      ADD_FAILURE() << "seed=" << seed << " serial ladder: " << why;
+    }
+
+    for (int threads : kPolicies) {
+      fr.SetExecPolicy(ExecPolicy::Parallel(threads));
+      const TieredResult par = exec.Query(s.q_t, s.rho, s.l);
+      ASSERT_EQ(par.tier, AnswerTier::kExact)
+          << "seed=" << seed << " threads=" << threads;
+      if (!SameRects(plain.region, par.region, &why)) {
+        ADD_FAILURE() << "seed=" << seed << " threads=" << threads << ": "
+                      << why;
+      }
+      EXPECT_EQ(par.cost.io.logical_reads, plain.cost.io.logical_reads)
           << "seed=" << seed << " threads=" << threads;
     }
   }

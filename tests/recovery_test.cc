@@ -288,6 +288,61 @@ INSTANTIATE_TEST_SUITE_P(Indexes, RecoverySweepTest,
                                                                     : "Bx";
                          });
 
+// --------------------------------------------------------------------------
+// Transient-fault sweep: the same kill points as the crash sweep, but the
+// op *fails then succeeds* (FaultInjector::ArmTransient) instead of
+// killing the process. The bounded-retry layer in StorageFile must absorb
+// the fault invisibly: the run completes without CrashError, the final
+// answers are bit-identical to the fault-free rehearsal, and a reopen
+// takes the clean-checkpoint path — no WAL redo, no torn tail. Retries
+// must never masquerade as crashes (or vice versa).
+
+class TransientSweepTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(TransientSweepTest, FailThenSucceedAtEveryOpIsInvisible) {
+  const IndexKind kind = GetParam();
+  const Dataset ds = MakeWorkload();
+  const SweepBaseline base = Rehearse(ds, kind);
+  ASSERT_GT(base.total_ops, 0);
+
+  const char* sweep_env = std::getenv("PDR_CRASH_SWEEP");
+  const bool full = sweep_env != nullptr && std::string(sweep_env) == "full";
+
+  for (int64_t k = 0; k < base.total_ops; k += full ? 1 : 3) {
+    TempDir dir;
+    FaultInjector inject(/*seed=*/4321 + static_cast<uint64_t>(k));
+    // Two consecutive failures: the first retry of op k lands back inside
+    // the armed window, so the op must survive repeated faults too.
+    inject.ArmTransient(k, /*failures=*/2);
+    {
+      FrEngine fr(Opts(kind, dir.path(), &inject));
+      RunBothPhases(ds, &fr);
+      EXPECT_EQ(inject.transient_fired(), 2) << "kill point " << k;
+      EXPECT_FALSE(inject.fired()) << "transient fault escalated to a crash";
+      EXPECT_EQ(FrSuiteTranscript(&fr, BaseRho(), kL), base.b_t)
+          << "kill point " << k << " (" << inject.op_log()[k]
+          << "): retried run diverges from the fault-free baseline";
+    }
+    // Reopen with no injector: the durable state must look like any
+    // cleanly checkpointed store. Crash recovery finding redo work here
+    // would mean the retries corrupted the commit protocol.
+    FrEngine reopened(Opts(kind, dir.path(), nullptr));
+    const RecoveryStats& rs = reopened.index().disk()->recovery_stats();
+    EXPECT_EQ(rs.batches_applied, 0) << "kill point " << k;
+    EXPECT_FALSE(rs.torn_tail) << "kill point " << k;
+    EXPECT_EQ(FrSuiteTranscript(&reopened, BaseRho(), kL), base.b_t)
+        << "kill point " << k << ": reopened store diverges";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, TransientSweepTest,
+                         ::testing::Values(IndexKind::kTprTree,
+                                           IndexKind::kBxTree),
+                         [](const auto& info) {
+                           return info.param == IndexKind::kTprTree ? "Tpr"
+                                                                    : "Bx";
+                         });
+
 TEST(MonitorDurabilityTest, CheckpointHookDrivesCadence) {
   const Dataset ds = MakeWorkload();
   TempDir dir;

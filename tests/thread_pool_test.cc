@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "pdr/storage/buffer_pool.h"
@@ -170,6 +171,104 @@ TEST(ThreadPoolTest, StressBufferPoolReadPhase) {
   // Phase over: pool must behave normally again.
   pool.Fetch(ids[0]);
   EXPECT_EQ((pool.stats() - before).logical_reads, 2001);
+}
+
+// --------------------------------------------------------------------------
+// Cooperative cancellation (resilience/deadline.h): runners observe the
+// QueryControl between items, so a cancelled ParallelFor drains without
+// running the remaining work — and the pool stays fully usable after.
+
+TEST(ThreadPoolTest, ParallelForPreCancelledRunsNoBodies) {
+  ThreadPool pool(4);
+  CancelToken token;
+  token.Cancel();
+  QueryControl ctl;
+  ctl.token = &token;
+  std::atomic<int64_t> executed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1000, [&](int64_t) { executed.fetch_add(1); }, &ctl),
+      CancelledError);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCancelledMidwayDrainsRemainingWork) {
+  ThreadPool pool(4);
+  CancelToken token;
+  QueryControl ctl;
+  ctl.token = &token;
+  constexpr int64_t kN = 100000;
+  std::atomic<int64_t> executed{0};
+  std::vector<std::atomic<int>> seen(kN);
+  EXPECT_THROW(pool.ParallelFor(
+                   kN,
+                   [&](int64_t i) {
+                     seen[static_cast<size_t>(i)].fetch_add(1);
+                     executed.fetch_add(1);
+                     token.Cancel();  // first body to run cancels the query
+                   },
+                   &ctl),
+               CancelledError);
+  // Every runner checks the token before claiming its next index, so at
+  // most one in-flight body per runner (4 workers + the caller) completes
+  // after the cancel — the rest of the range is never touched.
+  EXPECT_LT(executed.load(), 64);
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_LE(seen[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolUsableAndDestructibleAfterCancelledParallelFor) {
+  std::atomic<int64_t> late_tasks{0};
+  {
+    ThreadPool pool(2);
+    CancelToken token;
+    token.Cancel();
+    QueryControl ctl;
+    ctl.token = &token;
+    // Pending Submit work next to a cancelled ParallelFor: the cancelled
+    // loop must not poison the queue or the workers.
+    std::vector<std::future<void>> fs;
+    for (int i = 0; i < 16; ++i) {
+      fs.push_back(pool.Submit([&] { late_tasks.fetch_add(1); }));
+    }
+    EXPECT_THROW(pool.ParallelFor(64, [](int64_t) {}, &ctl), CancelledError);
+    std::atomic<int64_t> after{0};
+    pool.ParallelFor(64, [&](int64_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 64);
+    for (int i = 0; i < 16; ++i) {
+      fs.push_back(pool.Submit([&] { late_tasks.fetch_add(1); }));
+    }
+    // Destroy with whatever is still queued: the destructor drains.
+  }
+  EXPECT_EQ(late_tasks.load(), 32);
+}
+
+TEST(ThreadPoolTest, CancelFromAnotherThreadIsObservedByAllWorkers) {
+  ThreadPool pool(4);
+  CancelToken token;
+  QueryControl ctl;
+  ctl.token = &token;
+  std::atomic<int64_t> executed{0};
+  // An external controller thread — not a ParallelFor runner — cancels
+  // while the loop runs; the relaxed sticky flag must still become visible
+  // to every runner at its next check.
+  std::thread controller([&] {
+    while (executed.load() == 0) std::this_thread::yield();
+    token.Cancel();
+  });
+  try {
+    pool.ParallelFor(
+        1 << 20,
+        [&](int64_t) {
+          executed.fetch_add(1);
+          std::this_thread::yield();
+        },
+        &ctl);
+    ADD_FAILURE() << "expected cancellation";
+  } catch (const CancelledError&) {
+  }
+  controller.join();
+  EXPECT_LT(executed.load(), 1 << 20);
 }
 
 TEST(ThreadPoolTest, ThreadIoDeltaAttributesPerThread) {
