@@ -186,6 +186,51 @@ void BM_FilterCells(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterCells)->Arg(100)->Arg(250);
 
+// One recorder event: the cost every instrumented call site pays. With
+// the recorder disabled (the default) this is a relaxed load and a
+// branch; with PDR_FLIGHT_RECORDER=1 it is four relaxed stores into the
+// calling thread's ring. Run the binary both ways to see the two costs.
+void BM_RecorderRecord(benchmark::State& state) {
+  int64_t i = 0;
+  for (auto _ : state) {
+    FlightRecorder::Record(FrEvent::kTaskRun, ++i);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderRecord);
+
+// End-to-end FR query on a pre-built engine: the probe behind the CI
+// recorder-overhead gate (scripts/check_overhead.sh). The query path
+// crosses every instrumented subsystem — filter, per-cell refinement,
+// plane sweep, buffer pool — so the off-vs-on delta of this bench bounds
+// what always-on recording costs a serving process.
+void RunFrQuery(benchmark::State& state, bool recorder_on) {
+  const bool was_enabled = FlightRecorder::Enabled();
+  FlightRecorder::SetEnabled(recorder_on);
+  FrEngine fr({.extent = kExtent,
+               .histogram_side = 50,
+               .horizon = kHorizon,
+               .buffer_pages = 256});
+  for (const auto& e : SomeInserts(20000)) fr.Apply(e);
+  const double rho = 3.0 * 20000 / (kExtent * kExtent);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fr.Query(/*q_t=*/5, rho, /*l=*/30.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+  FlightRecorder::SetEnabled(was_enabled);
+}
+
+void BM_FrQuery(benchmark::State& state) { RunFrQuery(state, false); }
+BENCHMARK(BM_FrQuery);
+
+// The same query with recording forced on. The off/on pair is the CI
+// overhead gate's probe: run both in ONE process with
+// --benchmark_enable_random_interleaving so the repetitions alternate,
+// and thermal/scheduler drift hits both sides equally instead of biasing
+// whichever side ran second.
+void BM_FrQueryRecorderOn(benchmark::State& state) { RunFrQuery(state, true); }
+BENCHMARK(BM_FrQueryRecorderOn);
+
 }  // namespace
 }  // namespace pdr
 

@@ -11,9 +11,12 @@
 //                    [--audit-rate R] [--report FILE] [--interval S]
 //                    [--degree K] [--fail-on-drift] [--deadline-ms D]
 //                    [--max-inflight M] [--degrade 0|1]
+//   pdr_tool explain --in city.pdrd --varrho R --l L [--qt T]
+//                    [--deadline-ms D] [--degrade 0|1] [--threads N]
+//                    [--format text|json] [--flight-dir DIR]
 //   pdr_tool stats --in city.pdrd --varrho R --l L [--qt T]
 //                  [--engine fr|pa|both] [--index tpr|bx] [--queries N]
-//                  [--json FILE]
+//                  [--json FILE] [--format text|prometheus]
 //   pdr_tool save --in city.pdrd --wal-dir DIR [--index tpr|bx]
 //                 [--checkpoint-every K]
 //   pdr_tool recover --in city.pdrd --wal-dir DIR [--index tpr|bx]
@@ -49,6 +52,26 @@
 // instead of degrading. `--max-inflight M` (monitor) sheds ticks when more
 // than M evaluations are already in flight. Unknown flags and commands are
 // errors (exit 2), not silently ignored.
+//
+// `explain` runs one query through the degradation ladder and prints its
+// per-query provenance record: which tier answered and why, what every
+// stage spent against the budget, candidate/accepted/rejected histogram
+// cells, objects fetched, pages touched. `--format=json` emits the same
+// record as one JSON line for scripting.
+//
+// `--flight-dir DIR` (query, explain, monitor) arms the flight recorder:
+// per-thread rings record compact micro-events (cell visits, filter
+// verdicts, page faults, WAL appends, tier transitions...) at ~ns cost,
+// and any deadline miss / drift alert / crash / SLO alert snapshots them
+// into DIR as JSONL plus a Chrome trace-event file (load it in Perfetto
+// or chrome://tracing). `--slo-ms D` (monitor) tracks multi-window burn
+// rates of the D-ms latency SLO — plus tier mix, shed rate, and audit
+// quality — and on sustained burn raises an alert, dumps the recorder,
+// and halves the admission bound until the long window recovers.
+//
+// `stats --format=prometheus` renders the same registry snapshot in the
+// Prometheus text exposition format (names sanitized, labels preserved,
+// histograms as quantile summaries) for scrape-style ingestion.
 //
 // `save` replays a dataset into a *durable* FR engine (WAL + checkpoints
 // in --wal-dir; see DESIGN.md §10), checkpointing every K ticks and once
@@ -115,13 +138,17 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"info", {"in"}},
       {"query",
        {"in", "varrho", "l", "qt", "engine", "index", "threads", "trace",
-        "deadline-ms", "degrade"}},
+        "deadline-ms", "degrade", "flight-dir"}},
+      {"explain",
+       {"in", "varrho", "l", "qt", "deadline-ms", "degrade", "threads",
+        "format", "flight-dir"}},
       {"monitor",
        {"in", "varrho", "l", "lookahead", "every", "threads", "trace",
         "audit-rate", "report", "interval", "degree", "fail-on-drift",
-        "deadline-ms", "max-inflight", "degrade"}},
+        "deadline-ms", "max-inflight", "degrade", "flight-dir", "slo-ms"}},
       {"stats",
-       {"in", "varrho", "l", "qt", "engine", "index", "queries", "json"}},
+       {"in", "varrho", "l", "qt", "engine", "index", "queries", "json",
+        "format"}},
       {"save", {"in", "wal-dir", "index", "checkpoint-every"}},
       {"recover", {"in", "wal-dir", "index", "varrho", "l", "qt"}},
   };
@@ -187,10 +214,38 @@ ExecPolicy ExecFromFlags(const std::map<std::string, std::string>& flags) {
   return threads == 1 ? ExecPolicy::Serial() : ExecPolicy::Parallel(threads);
 }
 
+// --flight-dir=DIR arms the flight recorder with every dump trigger
+// pointing at DIR. Returns false (after reporting) when the directory
+// cannot be created.
+bool ArmFlightRecorder(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "flight-dir", "");
+  if (dir.empty()) return true;
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  FlightRecorder::Options options;
+  options.dump_dir = dir;
+  options.triggers = FlightRecorder::kAllTriggers;
+  FlightRecorder::Global().Configure(options);
+  FlightRecorder::SetEnabled(true);
+  return true;
+}
+
+// End-of-run recorder summary (stderr, like the trace summary).
+void ReportFlightDumps(const std::map<std::string, std::string>& flags) {
+  if (FlagOr(flags, "flight-dir", "").empty()) return;
+  std::fprintf(stderr, "flight recorder: %lld dump(s) in %s\n",
+               static_cast<long long>(
+                   FlightRecorder::Global().dumps_written()),
+               FlagOr(flags, "flight-dir", "").c_str());
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: pdr_tool <gen|info|query|monitor|stats|save|recover> "
+      "usage: pdr_tool <gen|info|query|explain|monitor|stats|save|recover> "
       "[--flag value]...\n"
       "  gen:     --out FILE [--objects N] [--extent E] "
       "[--duration T] [--seed S] [--interval U]\n"
@@ -198,14 +253,19 @@ int Usage() {
       "  query:   --in FILE --varrho R --l L [--qt T] "
       "[--engine fr|pa|both] [--index tpr|bx] [--threads N] "
       "[--trace FILE]\n"
-      "           [--deadline-ms D] [--degrade 0|1]\n"
+      "           [--deadline-ms D] [--degrade 0|1] [--flight-dir DIR]\n"
+      "  explain: --in FILE --varrho R --l L [--qt T] [--deadline-ms D] "
+      "[--degrade 0|1] [--threads N]\n"
+      "           [--format text|json] [--flight-dir DIR]\n"
       "  monitor: --in FILE --varrho R --l L [--lookahead W] "
       "[--every K] [--threads N] [--trace FILE]\n"
       "           [--audit-rate R] [--report FILE] [--interval S] "
       "[--degree K] [--fail-on-drift]\n"
-      "           [--deadline-ms D] [--max-inflight M] [--degrade 0|1]\n"
+      "           [--deadline-ms D] [--max-inflight M] [--degrade 0|1] "
+      "[--flight-dir DIR] [--slo-ms D]\n"
       "  stats:   --in FILE --varrho R --l L [--qt T] "
       "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n"
+      "           [--format text|prometheus]\n"
       "  save:    --in FILE --wal-dir DIR [--index tpr|bx] "
       "[--checkpoint-every K]\n"
       "  recover: --in FILE --wal-dir DIR [--index tpr|bx] "
@@ -267,6 +327,7 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
   const std::string engine = FlagOr(flags, "engine", "both");
   const std::string index_name = FlagOr(flags, "index", "tpr");
   TraceOutput trace(FlagOr(flags, "trace", ""));
+  if (!ArmFlightRecorder(flags)) return 1;
 
   std::printf("query: rho=%.4g (varrho=%g), l=%g, q_t=%d (now=%d)\n", rho,
               varrho, l, q_t, now);
@@ -314,6 +375,7 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
     for (size_t i = 0; i < result.region.size() && i < 10; ++i) {
       std::printf("  %s\n", result.region.rects()[i].ToString().c_str());
     }
+    ReportFlightDumps(flags);
     return 0;
   }
 
@@ -357,6 +419,59 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
                 result.region.size(), result.region.Area(),
                 result.cost.cpu_ms);
   }
+  ReportFlightDumps(flags);
+  return 0;
+}
+
+int RunExplain(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
+  const double l = std::stod(FlagOr(flags, "l", "30"));
+  const double extent = ds.config.extent;
+  const double rho = varrho * ds.config.num_objects / (extent * extent);
+  const Tick now = ds.duration();
+  const Tick q_t = std::stoi(FlagOr(
+      flags, "qt",
+      std::to_string(now + ds.config.max_update_interval / 2)));
+  const std::string format = FlagOr(flags, "format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "error: --format must be text or json\n");
+    return 2;
+  }
+  if (!ArmFlightRecorder(flags)) return 1;
+
+  const Tick horizon = 2 * ds.config.max_update_interval;
+  FrEngine fr({.extent = extent,
+               .histogram_side = 100,
+               .horizon = horizon,
+               .buffer_pages =
+                   PaperConfig().BufferPagesFor(ds.config.num_objects),
+               .io_ms = 10.0,
+               .max_update_interval = ds.config.max_update_interval,
+               .exec = ExecFromFlags(flags)});
+  PaEngine pa({.extent = extent,
+               .poly_side = 10,
+               .degree = 5,
+               .horizon = horizon,
+               .l = l,
+               .eval_grid = 1000,
+               .exec = ExecFromFlags(flags)});
+  ReplayInto(ds, -1, &fr);
+  ReplayInto(ds, -1, &pa);
+
+  ResilienceOptions opts;
+  opts.deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
+  opts.degrade = FlagOr(flags, "degrade", "1") != "0";
+  ResilientExecutor exec(&fr, &pa, opts);
+  const TieredResult result = exec.Query(q_t, rho, l);
+  if (format == "json") {
+    std::printf("%s\n", result.explain.ToJson().c_str());
+  } else {
+    std::printf("%s", result.explain.ToText().c_str());
+    std::printf("answer: %zu rects, %.1f sq-miles\n", result.region.size(),
+                result.region.Area());
+  }
+  ReportFlightDumps(flags);
   return 0;
 }
 
@@ -382,7 +497,9 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
                  "--audit-rate\n");
     return 2;
   }
+  const double slo_ms = std::stod(FlagOr(flags, "slo-ms", "0"));
   TraceOutput trace(FlagOr(flags, "trace", ""));
+  if (!ArmFlightRecorder(flags)) return 1;
   const double extent = ds.config.extent;
   const double rho =
       varrho * ds.config.num_objects / (extent * extent);
@@ -469,6 +586,40 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
     }
   }
 
+  // --slo-ms: burn-rate alerting over the tick stream. The admission
+  // controller is created here (instead of the monitor's lazy private one)
+  // so the SLO monitor can tighten its bound while alerting.
+  std::unique_ptr<AdmissionController> admission;
+  std::unique_ptr<SloMonitor> slo;
+  if (slo_ms > 0.0) {
+    SloMonitor::Options slo_options;
+    slo_options.latency_slo_ms = slo_ms;
+    // Both windows must fill before a signal can alert; scale them to the
+    // replay length so short runs can still demonstrate an alert.
+    const int samples =
+        static_cast<int>(ds.duration() / every) + 1;
+    slo_options.short_window =
+        std::max(4, std::min(slo_options.short_window, samples / 8));
+    slo_options.long_window = std::max(
+        slo_options.short_window, std::min(slo_options.long_window,
+                                           samples / 2));
+    slo = std::make_unique<SloMonitor>(slo_options);
+    if (max_inflight > 0) {
+      admission = std::make_unique<AdmissionController>(
+          AdmissionController::Options{max_inflight});
+      monitor->SetAdmissionController(admission.get());
+      slo->SetAdmission(admission.get());
+    }
+    slo->SetAlertHook([human](const SloMonitor::Alert& alert) {
+      std::fprintf(human,
+                   "SLO ALERT: %s burning %.1fx budget (short) / %.1fx "
+                   "(long) at sample %lld\n",
+                   alert.signal.c_str(), alert.burn_short, alert.burn_long,
+                   static_cast<long long>(alert.sample));
+    });
+    monitor->SetSloMonitor(slo.get());
+  }
+
   MonitorReporter::Options report_options;
   report_options.interval = interval;
   MonitorReporter reporter(report.get(), report_options);
@@ -518,6 +669,13 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
       return 3;
     }
   }
+  if (slo != nullptr) {
+    std::fprintf(human, "slo: %zu alert(s) over %lld samples%s\n",
+                 slo->alerts().size(),
+                 static_cast<long long>(slo->samples()),
+                 slo->alerting() ? " (still alerting)" : "");
+  }
+  ReportFlightDumps(flags);
   return 0;
 }
 
@@ -571,9 +729,19 @@ int RunStats(const std::map<std::string, std::string>& flags) {
 
   const MetricsRegistry::Snapshot snap =
       MetricsRegistry::Global().TakeSnapshot();
-  std::printf("metrics after %d %s quer%s (rho=%.4g, l=%g):\n", queries,
-              engine.c_str(), queries == 1 ? "y" : "ies", rho, l);
-  DumpMetrics(stdout, snap);
+  const std::string format = FlagOr(flags, "format", "text");
+  if (format == "prometheus") {
+    // Scrape-style output only: no banner, so the stream is ingestible
+    // as-is by promtool / a Prometheus textfile collector.
+    WriteMetricsPrometheus(stdout, snap);
+  } else if (format == "text") {
+    std::printf("metrics after %d %s quer%s (rho=%.4g, l=%g):\n", queries,
+                engine.c_str(), queries == 1 ? "y" : "ies", rho, l);
+    DumpMetrics(stdout, snap);
+  } else {
+    std::fprintf(stderr, "error: --format must be text or prometheus\n");
+    return 2;
+  }
 
   const std::string json_path = FlagOr(flags, "json", "");
   if (!json_path.empty()) {
@@ -732,6 +900,7 @@ int main(int argc, char** argv) {
     if (command == "gen") return RunGen(flags);
     if (command == "info") return RunInfo(flags);
     if (command == "query") return RunQuery(flags);
+    if (command == "explain") return RunExplain(flags);
     if (command == "monitor") return RunMonitor(flags);
     if (command == "stats") return RunStats(flags);
     if (command == "save") return RunSave(flags);

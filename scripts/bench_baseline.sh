@@ -4,7 +4,9 @@
 # extension (checkpoint cost, WAL volume, recovery time) and the
 # resilience extension (p99 latency and answer-tier mix vs offered load)
 # with JSONL output and consolidates the series into one
-# BENCH_baseline.json at the repo root.
+# BENCH_baseline.json at the repo root. Two observability series ride
+# along: the flight-recorder's off/on overhead on the end-to-end query
+# probe and the byte size of one seeded deadline-miss dump pair.
 # The timing-relevant cost bench runs twice — serial (--threads=1) and at
 # hardware concurrency (--threads=0) — so the baseline records the scaling
 # headroom of the parallel query paths; answers are bit-identical across
@@ -75,9 +77,40 @@ echo "==== bench_fig10_cost (threads=${hw}) ===="
     --jsonl="${tmpdir}/bench_fig10_cost.threads_hw.jsonl" \
     ${bench_args[@]+"${bench_args[@]}"} >/dev/null
 
+# Flight-recorder series: (a) the overhead probe pair from bench_micro —
+# the same off/on interleaved comparison scripts/check_overhead.sh gates
+# on, recorded here so the baseline tracks the recorder's end-to-end cost
+# over time — and (b) the size of one deadline-miss dump pair (JSONL +
+# Chrome trace) from a seeded pdr_tool run, so dump-volume regressions
+# show up in the diff. Both are skipped (with a note) when the binaries
+# aren't in the build tree.
+if [[ -x "${build}/bench/bench_micro" ]]; then
+  echo "==== bench_micro recorder overhead probe ===="
+  env -u PDR_FLIGHT_RECORDER "${build}/bench/bench_micro" \
+      --benchmark_filter='^BM_FrQuery(RecorderOn)?$' \
+      --benchmark_repetitions=5 \
+      --benchmark_enable_random_interleaving=true \
+      --benchmark_format=json >"${tmpdir}/recorder_probe.json"
+else
+  echo "note: bench_micro not built; skipping recorder-overhead series"
+fi
+if [[ -x "${build}/examples/pdr_tool" ]]; then
+  echo "==== pdr_tool seeded deadline-miss dump ===="
+  dumpdir="${tmpdir}/fr_dumps"
+  mkdir -p "${dumpdir}"
+  "${build}/examples/pdr_tool" gen --out "${tmpdir}/dump_probe.pdrd" \
+      --objects 2000 --extent 1000 --duration 20 --seed 7 >/dev/null
+  "${build}/examples/pdr_tool" query --in "${tmpdir}/dump_probe.pdrd" \
+      --varrho 3 --l 30 --qt 25 --deadline-ms 0.2 --degrade 1 \
+      --flight-dir "${dumpdir}" >/dev/null 2>&1 || true
+else
+  echo "note: pdr_tool not built; skipping dump-size series"
+fi
+
 out="${repo}/BENCH_baseline.json"
 python3 - "$out" "$scale" "${tmpdir}" "${benches[@]}" <<'PY'
 import json
+import os
 import sys
 
 out_path, scale, tmpdir = sys.argv[1], sys.argv[2], sys.argv[3]
@@ -107,6 +140,43 @@ for bench in benches:
 # threads=1 series above).
 doc["benches"]["bench_fig10_cost.threads_hw"] = collect(
     f"{tmpdir}/bench_fig10_cost.threads_hw.jsonl")
+
+# Flight-recorder overhead: min CPU time of the interleaved off/on probe
+# pair (see scripts/check_overhead.sh for the measurement rationale).
+probe = os.path.join(tmpdir, "recorder_probe.json")
+if os.path.exists(probe):
+    with open(probe) as f:
+        runs = json.load(f)["benchmarks"]
+    mins = {}
+    for b in runs:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b["name"].split("/")[0]
+        mins[name] = min(mins.get(name, float("inf")), b["cpu_time"])
+    off = mins.get("BM_FrQuery")
+    on = mins.get("BM_FrQueryRecorderOn")
+    if off and on:
+        doc["benches"]["flight_recorder"] = {"overhead": [{
+            "off_ms": off / 1e6, "on_ms": on / 1e6,
+            "overhead_pct": 100.0 * (on - off) / off}]}
+
+# Dump volume: sizes of the seeded deadline-miss dump pair.
+dumpdir = os.path.join(tmpdir, "fr_dumps")
+if os.path.isdir(dumpdir):
+    rows = []
+    for name in sorted(os.listdir(dumpdir)):
+        if not name.endswith(".jsonl"):
+            continue
+        stem = os.path.join(dumpdir, name[:-len(".jsonl")])
+        with open(stem + ".jsonl") as f:
+            events = max(0, sum(1 for _ in f) - 1)  # minus header line
+        row = {"dump": name[:-len(".jsonl")], "events": events,
+               "jsonl_bytes": os.path.getsize(stem + ".jsonl")}
+        if os.path.exists(stem + ".trace.json"):
+            row["trace_bytes"] = os.path.getsize(stem + ".trace.json")
+        rows.append(row)
+    if rows:
+        doc["benches"].setdefault("flight_recorder", {})["dump_size"] = rows
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)

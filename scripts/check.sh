@@ -8,8 +8,11 @@
 # ASan tree with the full crash + transient matrix (PDR_CRASH_SWEEP=full)
 # and the resilience soak lane (PDR_SOAK=full: seeded overload against the
 # admission controller and a transient-fault storm under a wall-clock
-# budget) in the release tree. Uses its own build trees (build-check/,
-# build-asan/, build-tsan/) so it never clobbers an existing build/.
+# budget) in the release tree, and finally the flight-recorder overhead
+# gate (scripts/check_overhead.sh: the recorder-on end-to-end query probe
+# must stay within 3% of recorder-off). Uses its own build trees
+# (build-check/, build-asan/, build-tsan/) so it never clobbers an
+# existing build/.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 
@@ -41,7 +44,7 @@ EXTRA_CTEST_ARGS=("$@")
 # buffer pool's read phase, or cross-thread tracing. TSan runs ~10x slower,
 # so the single-threaded math/geometry suites are skipped there (ASan
 # covers them above).
-tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest|ResilienceTest|ResilienceSoakTest)'
+tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest|FlightRecorderTest|SloMonitorTest|ResilienceTest|ResilienceSoakTest)'
 
 run_config build-check "" -DCMAKE_BUILD_TYPE=Release
 run_config build-asan "" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=ON
@@ -66,5 +69,16 @@ echo "==== crash matrix (build-asan, PDR_CRASH_SWEEP=full) ===="
 echo "==== resilience soak (build-check, PDR_SOAK=full) ===="
 (cd "${repo}/build-check" && PDR_SOAK=full ctest --output-on-failure \
     -j "${jobs}" -R 'ResilienceSoakTest' "${EXTRA_CTEST_ARGS[@]+"${EXTRA_CTEST_ARGS[@]}"}")
+
+# Flight-recorder overhead gate: recording must stay affordable enough to
+# leave on in a serving process. Compares the bench_micro end-to-end query
+# probe with the recorder off vs on (interleaved repetitions, min CPU
+# time) and fails above 3%. Skipped when the bench tree wasn't built
+# (google-benchmark not installed).
+if [[ -x "${repo}/build-check/bench/bench_micro" ]]; then
+  "${repo}/scripts/check_overhead.sh" --build "${repo}/build-check"
+else
+  echo "==== overhead gate skipped (bench_micro not built) ===="
+fi
 
 echo "==== all checks passed ===="

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/parallel/thread_pool.h"
 
@@ -200,6 +201,11 @@ Region ChebGrid::QueryDense(Tick t, double rho, int eval_grid,
     bnb_pruned.Add(cs.pruned_boxes);
     bnb_accepted.Add(cs.accepted_boxes);
     bnb_point_evals.Add(cs.point_evals);
+    // One summary event per macro cell (per-box events would swamp the
+    // ring on deep searches; the counters carry totals).
+    if (cs.pruned_boxes > 0) {
+      FlightRecorder::Record(FrEvent::kBnbPrune, cell, cs.pruned_boxes);
+    }
     if (cell_span.active()) {
       cell_span.SetAttr("cell", static_cast<int64_t>(cell));
       cell_span.SetAttr("nodes_visited", cs.nodes_visited);

@@ -1,8 +1,11 @@
 #include "pdr/core/fr_engine.h"
 
+#include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include "pdr/bx/bx_tree.h"
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/parallel/thread_pool.h"
 #include "pdr/storage/serde.h"
@@ -88,6 +91,8 @@ FrEngine::~FrEngine() = default;
 
 void FrEngine::Checkpoint() {
   if (!index_->durable()) return;
+  FlightRecorder::Record(FrEvent::kCheckpoint,
+                         static_cast<int64_t>(histogram_.now()));
   std::string meta;
   PutPod(&meta, kEngineMetaMagic);
   PutPod(&meta, kEngineMetaVersion);
@@ -141,6 +146,19 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   Timer timer;
 
   QueryResult result;
+  // Flight-recorder attribution: reuse the caller's query id (the ladder
+  // opens one per TieredResult) or mint a fresh one for direct queries.
+  std::optional<FlightRecorder::QueryScope> fr_scope;
+  if (FlightRecorder::Enabled()) {
+    result.query_id = FlightRecorder::CurrentQueryId();
+    if (result.query_id == 0) {
+      result.query_id = FlightRecorder::NextQueryId();
+      fr_scope.emplace(result.query_id);
+    }
+    int64_t rho_bits = 0;
+    std::memcpy(&rho_bits, &rho, sizeof(rho_bits));
+    FlightRecorder::Record(FrEvent::kQueryBegin, q_t, rho_bits);
+  }
   const Grid& grid = histogram_.grid();
   const int64_t n_min = MinObjectsForDensity(rho, l);
 
@@ -148,10 +166,16 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   FilterResult filter;
   {
     TraceSpan filter_span("fr.filter");
+    Timer filter_timer;
     filter = FilterCells(histogram_, q_t, rho, l);
+    result.filter_ms = filter_timer.ElapsedMillis();
     filter_span.SetAttr("accepted", filter.accepted);
     filter_span.SetAttr("rejected", filter.rejected);
     filter_span.SetAttr("candidates", filter.candidates);
+    FlightRecorder::Record(
+        FrEvent::kFilter,
+        FlightRecorder::Pack(filter.accepted, filter.rejected),
+        filter.candidates);
   }
   result.accepted_cells = filter.accepted;
   result.rejected_cells = filter.rejected;
@@ -163,6 +187,7 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   // each candidate independently (inline and in order when serial, fanned
   // out over the pool when parallel), then merge per-cell outputs back in
   // row-major order, interleaved with the accepted cells' rectangles.
+  Timer refine_timer;
   const int m = grid.cells_per_side();
   struct Candidate {
     int col, row;
@@ -193,6 +218,8 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
     const Candidate c = candidates[static_cast<size_t>(i)];
     CellOut& out = outs[static_cast<size_t>(i)];
     TraceSpan cell_span("fr.cell");
+    FlightRecorder::Record(FrEvent::kCellBegin,
+                           FlightRecorder::Pack(c.col, c.row));
     // Serial: per-cell I/O is a pool-stats delta (nothing else touches the
     // pool). Parallel: pool-wide stats mix all threads, so attribute from
     // this thread's delta instead (cleared here, read after the work).
@@ -211,6 +238,9 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
       if (grid.InDomain(p)) positions.push_back(p);
     }
     out.rects = SweepCell(cell, positions, l, n_min, &out.sweep, control);
+    FlightRecorder::Record(
+        FrEvent::kCellEnd, FlightRecorder::Pack(c.col, c.row),
+        FlightRecorder::Pack(out.objects, out.sweep.dense_rects));
     if (cell_span.active()) {
       const IoStats cell_io = fan_out ? index_->TakeThreadIoDelta()
                                       : index_->io_stats() - cell_io_before;
@@ -256,6 +286,9 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
     }
   }
   result.region = region.Coalesced();
+  result.refine_ms = refine_timer.ElapsedMillis();
+  FlightRecorder::Record(FrEvent::kQueryEnd, result.objects_fetched,
+                         result.sweep.dense_rects);
 
   result.cost.cpu_ms = timer.ElapsedMillis();
   result.cost.io = index_->io_stats() - io_before;

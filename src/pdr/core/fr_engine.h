@@ -94,6 +94,11 @@ class FrEngine {
     int64_t candidate_cells = 0;
     int64_t objects_fetched = 0;  ///< leaf entries returned by range queries
     SweepStats sweep;
+    double filter_ms = 0.0;  ///< CPU spent in the filtering step
+    double refine_ms = 0.0;  ///< CPU spent in refinement (fan-out + merge)
+    /// Flight-recorder correlation key for this query's micro-events (0
+    /// when the recorder is disabled).
+    uint32_t query_id = 0;
   };
 
   /// Exact snapshot PDR query (Definition 4).

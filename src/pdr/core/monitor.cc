@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
+#include "pdr/obs/slo.h"
 #include "pdr/parallel/thread_pool.h"
 
 namespace pdr {
@@ -68,11 +70,26 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     if (!permit.ok()) {
       delta.shed = true;
       delta.tier = AnswerTier::kShed;
+      delta.downgrade_reason = DowngradeReason::kShed;
       if (has_previous_) delta.current = previous_;
       delta.elapsed_ms = timer.ElapsedMillis();
+      delta.explain.q_t = delta.q_t;
+      delta.explain.rho = options_.rho;
+      delta.explain.l = options_.l;
+      delta.explain.tier = delta.tier;
+      delta.explain.downgrade_reason = delta.downgrade_reason;
+      delta.explain.budget_ms = delta.budget_ms;
+      delta.explain.elapsed_ms = delta.elapsed_ms;
+      FlightRecorder::Record(FrEvent::kShed, static_cast<int64_t>(now));
       static Counter& shed_ticks =
           MetricsRegistry::Global().GetCounter("pdr.monitor.shed_ticks");
       shed_ticks.Increment();
+      static Counter& reason_shed = MetricsRegistry::Global().GetCounter(
+          WithLabel("pdr.resilience.downgrade_reason", "reason", "shed"));
+      reason_shed.Increment();
+      if (slo_ != nullptr) {
+        slo_->OnSample(delta.elapsed_ms, delta.tier, /*shed=*/true);
+      }
       if (span.active()) {
         span.SetAttr("now", static_cast<int64_t>(now));
         span.SetAttr("tier", static_cast<int64_t>(delta.tier));
@@ -82,22 +99,33 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   }
 
   ResilientExecutor* ladder = ExecutorForTick();
+  delta.explain.q_t = delta.q_t;
+  delta.explain.rho = options_.rho;
+  delta.explain.l = options_.l;
+  delta.explain.budget_ms = delta.budget_ms;
   if (pa_ != nullptr) {
     Timer pa_timer;
     auto result = pa_->Query(delta.q_t, options_.rho);
+    const double pa_elapsed = pa_timer.ElapsedMillis();
     if (PdrObs::Enabled()) {
       static Histogram& pa_ms =
           MetricsRegistry::Global().GetHistogram("pdr.monitor.pa_query_ms");
-      pa_ms.Observe(pa_timer.ElapsedMillis());
+      pa_ms.Observe(pa_elapsed);
     }
     delta.cost = result.cost;
     delta.current = std::move(result.region);
+    delta.explain.tier = AnswerTier::kApprox;
+    delta.explain.stages.push_back({"approx", pa_elapsed, true});
+    delta.explain.bnb_nodes = result.bnb.nodes_visited;
+    delta.explain.bnb_pruned = result.bnb.pruned_boxes;
   } else if (ladder != nullptr) {
     auto result = ladder->Query(delta.q_t, options_.rho, options_.l);
     delta.cost = result.cost;
     delta.current = std::move(result.region);
     delta.maybe_region = std::move(result.maybe_region);
     delta.tier = result.tier;
+    delta.downgrade_reason = result.downgrade_reason;
+    delta.explain = std::move(result.explain);
   } else {
     std::optional<CostPrediction> predicted;
     if (calibrator_ != nullptr && PdrObs::Enabled()) {
@@ -107,6 +135,17 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     if (predicted) calibrator_->Observe(*predicted, result);
     delta.cost = result.cost;
     delta.current = std::move(result.region);
+    delta.explain.query_id = result.query_id;
+    delta.explain.tier = AnswerTier::kExact;
+    delta.explain.stages.push_back({"filter", result.filter_ms, true});
+    delta.explain.stages.push_back({"refine", result.refine_ms, true});
+    delta.explain.accepted_cells = result.accepted_cells;
+    delta.explain.rejected_cells = result.rejected_cells;
+    delta.explain.candidate_cells = result.candidate_cells;
+    delta.explain.objects_fetched = result.objects_fetched;
+    delta.explain.dense_rects = result.sweep.dense_rects;
+    delta.explain.pages_read_physical = result.cost.io.physical_reads;
+    delta.explain.pages_read_logical = result.cost.io.logical_reads;
   }
 
   // Shadow audit (PA-primary only). The sampling roll stays on this thread
@@ -158,6 +197,23 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   if (delta.Changed()) changed.Increment();
   delta.elapsed_ms = timer.ElapsedMillis();
   tick_ms.Observe(delta.elapsed_ms);
+
+  // The ladder stamps its own (query-level) elapsed; the direct paths get
+  // the tick's. The audit verdict rides into the provenance record so an
+  // EXPLAIN of a sampled tick shows what the answer was worth.
+  if (ladder == nullptr) delta.explain.elapsed_ms = delta.elapsed_ms;
+  delta.explain.downgrade_reason = delta.downgrade_reason;
+  if (delta.audit) {
+    delta.explain.audited = true;
+    delta.explain.audit_precision = delta.audit->precision;
+    delta.explain.audit_recall = delta.audit->recall;
+  }
+  if (slo_ != nullptr) {
+    slo_->OnSample(delta.elapsed_ms, delta.tier, /*shed=*/false);
+    if (delta.audit) {
+      slo_->OnAudit(delta.audit->precision, delta.audit->recall);
+    }
+  }
 
   ++ticks_total_;
   if (delta.tier != AnswerTier::kExact) {

@@ -40,6 +40,8 @@
 
 namespace pdr {
 
+class SloMonitor;
+
 class PdrMonitor {
  public:
   struct Options {
@@ -70,6 +72,13 @@ class PdrMonitor {
     /// the tick outright (kShed: `current` repeats the previous answer and
     /// appeared/vanished are empty).
     AnswerTier tier = AnswerTier::kExact;
+    /// Why the answer is below kExact (kNone at full quality; kShed when
+    /// the tick never ran).
+    DowngradeReason downgrade_reason = DowngradeReason::kNone;
+    /// Per-query provenance: which tier answered, what each stage spent,
+    /// cells filtered, pages touched, audit verdict when sampled. Always
+    /// populated (a shed tick gets a stub naming the shed).
+    ExplainRecord explain;
     bool shed = false;        ///< true iff admission control refused the tick
     double elapsed_ms = 0.0;  ///< wall time spent evaluating this tick
     double budget_ms = 0.0;   ///< configured deadline (0 = unbounded)
@@ -116,6 +125,11 @@ class PdrMonitor {
     admission_ = admission;
   }
 
+  /// Attaches an SLO monitor (not owned): every tick's latency/tier/shed
+  /// outcome — and every sampled audit verdict — is fed to it, so burn-rate
+  /// alerting and admission backoff track this standing query.
+  void SetSloMonitor(SloMonitor* slo) { slo_ = slo; }
+
   ~PdrMonitor();
 
   /// With a parallel policy, a sampled-in shadow audit runs off the query
@@ -158,6 +172,7 @@ class PdrMonitor {
   ShadowAuditor* auditor_ = nullptr;
   CostCalibrator* calibrator_ = nullptr;
   AdmissionController* admission_ = nullptr;  // shared, not owned
+  SloMonitor* slo_ = nullptr;                 // shared, not owned
   std::unique_ptr<AdmissionController> owned_admission_;
   std::unique_ptr<ResilientExecutor> executor_;
   Options options_;

@@ -5,6 +5,7 @@
 
 #include "pdr/core/metrics.h"
 #include "pdr/histogram/filter.h"
+#include "pdr/obs/flight_recorder.h"
 
 namespace pdr {
 namespace {
@@ -298,6 +299,11 @@ bool EwmaDriftDetector::ObserveQuality(Tick tick, double precision,
       raised = true;
     }
   }
+  if (raised) {
+    // Preserve the event window around the drift before it scrolls away.
+    FlightRecorder::Global().TriggerDump(FlightRecorder::kOnDrift,
+                                         "drift_quality");
+  }
   PublishGauges();
   return raised;
 }
@@ -316,6 +322,10 @@ bool EwmaDriftDetector::ObserveIoRatio(Tick tick, double ratio) {
       events_.push_back({tick, "io_ratio", io_ewma_, options_.io_ratio_hi});
       raised = true;
     }
+  }
+  if (raised) {
+    FlightRecorder::Global().TriggerDump(FlightRecorder::kOnDrift,
+                                         "drift_io");
   }
   PublishGauges();
   return raised;

@@ -1,0 +1,118 @@
+#include "pdr/obs/explain.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "pdr/obs/export.h"
+#include "pdr/resilience/executor.h"
+
+namespace pdr {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ExplainRecord::ToJson() const {
+  std::string out = "{\"type\":\"explain\"";
+  AppendF(&out, ",\"query_id\":%u", query_id);
+  AppendF(&out, ",\"q_t\":%d", q_t);
+  AppendF(&out, ",\"rho\":\"%a\",\"l\":\"%a\"", rho, l);
+  AppendF(&out, ",\"tier\":\"%s\"", AnswerTierName(tier));
+  AppendF(&out, ",\"downgrade_reason\":\"%s\"",
+          DowngradeReasonName(downgrade_reason));
+  AppendF(&out, ",\"timed_out\":%s", timed_out ? "true" : "false");
+  AppendF(&out, ",\"budget_ms\":%.3f,\"elapsed_ms\":%.3f", budget_ms,
+          elapsed_ms);
+  out.append(",\"stages\":[");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendF(&out, "{\"name\":\"%s\",\"spent_ms\":%.3f,\"completed\":%s}",
+            JsonEscape(stages[i].name).c_str(), stages[i].spent_ms,
+            stages[i].completed ? "true" : "false");
+  }
+  out.push_back(']');
+  AppendF(&out,
+          ",\"accepted_cells\":%" PRId64 ",\"rejected_cells\":%" PRId64
+          ",\"candidate_cells\":%" PRId64,
+          accepted_cells, rejected_cells, candidate_cells);
+  AppendF(&out,
+          ",\"objects_fetched\":%" PRId64 ",\"dense_rects\":%" PRId64,
+          objects_fetched, dense_rects);
+  AppendF(&out,
+          ",\"pages_read_physical\":%" PRId64
+          ",\"pages_read_logical\":%" PRId64,
+          pages_read_physical, pages_read_logical);
+  AppendF(&out, ",\"bnb_nodes\":%" PRId64 ",\"bnb_pruned\":%" PRId64,
+          bnb_nodes, bnb_pruned);
+  AppendF(&out, ",\"audited\":%s", audited ? "true" : "false");
+  if (audited) {
+    AppendF(&out, ",\"audit_precision\":%.6f,\"audit_recall\":%.6f",
+            audit_precision, audit_recall);
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string ExplainRecord::ToText() const {
+  std::string out;
+  AppendF(&out, "EXPLAIN query %u  (q_t=%d rho=%g l=%g)\n", query_id, q_t,
+          rho, l);
+  AppendF(&out, "  tier:     %s%s", AnswerTierName(tier),
+          timed_out ? "  [deadline missed]" : "");
+  out.push_back('\n');
+  if (downgrade_reason != DowngradeReason::kNone) {
+    AppendF(&out, "  reason:   %s\n", DowngradeReasonName(downgrade_reason));
+  }
+  AppendF(&out, "  budget:   %.3f ms   elapsed: %.3f ms\n", budget_ms,
+          elapsed_ms);
+  out.append("  stages:\n");
+  for (const ExplainStage& s : stages) {
+    AppendF(&out, "    %-10s %9.3f ms%s\n", s.name.c_str(), s.spent_ms,
+            s.completed ? "" : "  (cancelled)");
+  }
+  AppendF(&out,
+          "  filter:   accepted=%" PRId64 " rejected=%" PRId64
+          " candidates=%" PRId64 "\n",
+          accepted_cells, rejected_cells, candidate_cells);
+  AppendF(&out,
+          "  refine:   objects=%" PRId64 " dense_rects=%" PRId64
+          "  pages: physical=%" PRId64 " logical=%" PRId64 "\n",
+          objects_fetched, dense_rects, pages_read_physical,
+          pages_read_logical);
+  if (bnb_nodes > 0) {
+    AppendF(&out, "  bnb:      nodes=%" PRId64 " pruned=%" PRId64 "\n",
+            bnb_nodes, bnb_pruned);
+  }
+  if (audited) {
+    AppendF(&out, "  audit:    precision=%.4f recall=%.4f\n",
+            audit_precision, audit_recall);
+  }
+  return out;
+}
+
+std::string ExplainRecord::DeterministicSignature() const {
+  std::string out;
+  AppendF(&out, "q_t=%d;rho=%a;l=%a;tier=%s;reason=%s;stages=", q_t, rho, l,
+          AnswerTierName(tier), DowngradeReasonName(downgrade_reason));
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out.push_back('+');
+    out.append(stages[i].name);
+  }
+  AppendF(&out,
+          ";filter=%" PRId64 "/%" PRId64 "/%" PRId64 ";objects=%" PRId64
+          ";rects=%" PRId64 ";bnb=%" PRId64 "/%" PRId64,
+          accepted_cells, rejected_cells, candidate_cells, objects_fetched,
+          dense_rects, bnb_nodes, bnb_pruned);
+  return out;
+}
+
+}  // namespace pdr

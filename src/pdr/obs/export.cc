@@ -243,6 +243,149 @@ void DumpMetrics(std::FILE* out, const MetricsRegistry::Snapshot& snap) {
 
 namespace {
 
+// Prometheus metric names allow [a-zA-Z0-9_:], label names the same minus
+// the colon; everything else (the registry's dots, mostly) becomes '_'.
+std::string PromName(std::string_view raw, bool allow_colon) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' ||
+                    (allow_colon && c == ':');
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PromEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Splits a registry name — `base` or `base{key="value",...}` as WithLabel
+// writes it — into a sanitized base and a re-encoded label list (no
+// braces; empty when unlabeled). Backslash escapes in stored values are
+// undone and re-applied so the output escaping is canonical.
+void SplitPromName(const std::string& name, std::string* base,
+                   std::string* labels) {
+  labels->clear();
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = PromName(name, /*allow_colon=*/true);
+    return;
+  }
+  *base = PromName(std::string_view(name).substr(0, brace),
+                   /*allow_colon=*/true);
+  size_t i = brace + 1;
+  const size_t end = name.size() - 1;
+  while (i < end) {
+    if (name[i] == ',' || name[i] == ' ') {
+      ++i;
+      continue;
+    }
+    const size_t eq = name.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= end || name[eq + 1] != '"') {
+      break;  // malformed block: keep what parsed so far
+    }
+    const std::string key =
+        PromName(std::string_view(name).substr(i, eq - i),
+                 /*allow_colon=*/false);
+    std::string value;
+    size_t j = eq + 2;
+    while (j < end && name[j] != '"') {
+      if (name[j] == '\\' && j + 1 < end) ++j;  // stored escape
+      value.push_back(name[j]);
+      ++j;
+    }
+    if (!labels->empty()) labels->push_back(',');
+    labels->append(key);
+    labels->append("=\"");
+    labels->append(PromEscape(value));
+    labels->push_back('"');
+    i = j + 1;
+  }
+}
+
+void PromSeries(std::FILE* out, const std::string& base,
+                const std::string& labels, const char* extra_label,
+                const std::string& value) {
+  if (labels.empty() && extra_label == nullptr) {
+    std::fprintf(out, "%s %s\n", base.c_str(), value.c_str());
+    return;
+  }
+  std::fprintf(out, "%s{%s%s%s} %s\n", base.c_str(), labels.c_str(),
+               !labels.empty() && extra_label != nullptr ? "," : "",
+               extra_label != nullptr ? extra_label : "", value.c_str());
+}
+
+std::string PromDouble(double v) {
+  // Prometheus accepts +Inf/-Inf/NaN spellings, unlike JSON.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  if (std::strstr(buf, "inf") != nullptr) {
+    return buf[0] == '-' ? "-Inf" : "+Inf";
+  }
+  if (std::strstr(buf, "nan") != nullptr) return "NaN";
+  return buf;
+}
+
+}  // namespace
+
+void WriteMetricsPrometheus(std::FILE* out,
+                            const MetricsRegistry::Snapshot& snap) {
+  // The snapshot is sorted by full registry name, so labeled series of one
+  // family are adjacent: emit the # TYPE header when the base changes.
+  std::string base, labels, last_base;
+  const auto TypeLine = [&](const char* type) {
+    if (base == last_base) return;
+    std::fprintf(out, "# TYPE %s %s\n", base.c_str(), type);
+    last_base = base;
+  };
+  for (const auto& c : snap.counters) {
+    SplitPromName(c.name, &base, &labels);
+    TypeLine("counter");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, c.value);
+    PromSeries(out, base, labels, nullptr, buf);
+  }
+  for (const auto& g : snap.gauges) {
+    SplitPromName(g.name, &base, &labels);
+    TypeLine("gauge");
+    PromSeries(out, base, labels, nullptr, PromDouble(g.value));
+  }
+  for (const auto& h : snap.histograms) {
+    SplitPromName(h.name, &base, &labels);
+    TypeLine("summary");
+    PromSeries(out, base, labels, "quantile=\"0.5\"",
+               PromDouble(h.Percentile(50)));
+    PromSeries(out, base, labels, "quantile=\"0.95\"",
+               PromDouble(h.Percentile(95)));
+    PromSeries(out, base, labels, "quantile=\"0.99\"",
+               PromDouble(h.Percentile(99)));
+    PromSeries(out, base + "_sum", labels, nullptr,
+               PromDouble(h.stat.mean() * static_cast<double>(h.stat.count())));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, h.stat.count());
+    PromSeries(out, base + "_count", labels, nullptr, buf);
+  }
+}
+
+namespace {
+
 void DumpSpanIndented(std::FILE* out, const SpanNode& span, int depth,
                       int64_t parent_tid) {
   std::fprintf(out, "%*s%s  %.3f ms", depth * 2, "", span.name.c_str(),

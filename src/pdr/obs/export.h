@@ -83,6 +83,15 @@ void WriteMetricsJsonl(JsonlWriter* writer,
 /// stats and their nonzero buckets).
 void DumpMetrics(std::FILE* out, const MetricsRegistry::Snapshot& snap);
 
+/// Prometheus text exposition (version 0.0.4) of `snap`. Registry names
+/// are dots (`pdr.monitor.ticks`), optionally carrying one WithLabel()
+/// block (`...{reason="deadline"}`); here the base is sanitized to the
+/// Prometheus charset [a-zA-Z0-9_:] and the label block re-emitted with
+/// `"`/`\`/newline escaped. Histograms export as summaries (quantile
+/// series + _sum/_count). One # TYPE line per metric family.
+void WriteMetricsPrometheus(std::FILE* out,
+                            const MetricsRegistry::Snapshot& snap);
+
 /// Human-readable indented span tree.
 void DumpSpanTree(std::FILE* out, const SpanNode& root);
 

@@ -118,6 +118,22 @@ void Histogram::Reset() {
   buckets_.fill(0);
 }
 
+std::string WithLabel(std::string_view base, std::string_view key,
+                      std::string_view value) {
+  std::string name;
+  name.reserve(base.size() + key.size() + value.size() + 5);
+  name.append(base);
+  name.push_back('{');
+  name.append(key);
+  name.append("=\"");
+  for (const char c : value) {
+    if (c == '"' || c == '\\') name.push_back('\\');
+    name.push_back(c);
+  }
+  name.append("\"}");
+  return name;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked singleton: metric handles cached in function-local statics all
   // over the library must outlive every static destructor.

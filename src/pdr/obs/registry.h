@@ -103,6 +103,13 @@ class Histogram {
 double HistogramPercentile(
     const std::array<int64_t, Histogram::kBuckets>& buckets, double p);
 
+/// Builds a labeled metric name: WithLabel("pdr.x", "reason", "deadline")
+/// == `pdr.x{reason="deadline"}`. The JSONL and human exporters print the
+/// convention verbatim; the Prometheus exporter (export.h) parses it back
+/// into a real label pair. Quotes and backslashes in `value` are escaped.
+std::string WithLabel(std::string_view base, std::string_view key,
+                      std::string_view value);
+
 class MetricsRegistry {
  public:
   /// The process-wide registry (never destroyed).

@@ -1,15 +1,13 @@
 #include "pdr/obs/trace.h"
 
-#include <chrono>
+#include "pdr/obs/clock.h"
 
 namespace pdr {
 namespace {
 
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// Span timestamps flow through the deterministic clock seam so tests can
+// pin them (production default is still the steady clock).
+int64_t NowNs() { return ObsClock::NowNs(); }
 
 // Per-thread trace assembly state. `root` owns the in-flight tree;
 // `current` points at the innermost open span; `adopted` is a cross-thread

@@ -6,7 +6,15 @@
 #include <chrono>
 #include <exception>
 
+#include "pdr/obs/flight_recorder.h"
+
 namespace pdr {
+namespace {
+
+// Process-wide task sequence for flight-recorder kTaskRun events.
+std::atomic<int64_t> g_task_seq{0};
+
+}  // namespace
 
 int ThreadPool::HardwareThreads() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -35,6 +43,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   Task task;
   task.fn = std::packaged_task<void()>(std::move(fn));
   task.trace = TraceContext::Current();
+  task.query_id = FlightRecorder::CurrentQueryId();
   std::future<void> f = task.fn.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -57,6 +66,11 @@ bool ThreadPool::RunOnePending() {
   Task task;
   if (!PopTask(&task)) return false;
   TraceContextScope scope(task.trace);
+  FlightRecorder::QueryScope query_scope(task.query_id);
+  if (FlightRecorder::Enabled()) {
+    FlightRecorder::Record(
+        FrEvent::kTaskRun, g_task_seq.fetch_add(1, std::memory_order_relaxed));
+  }
   task.fn();  // packaged_task captures exceptions into the future
   return true;
 }
@@ -72,6 +86,11 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     TraceContextScope scope(task.trace);
+    FlightRecorder::QueryScope query_scope(task.query_id);
+    if (FlightRecorder::Enabled()) {
+      FlightRecorder::Record(FrEvent::kTaskRun,
+                             g_task_seq.fetch_add(1, std::memory_order_relaxed));
+    }
     task.fn();
   }
 }

@@ -13,7 +13,8 @@
 // TraceContext and adopt it on whichever thread executes the task, so
 // spans opened inside pool tasks attach into the submitting query's span
 // tree (tagged with the worker's thread id) instead of forming orphan
-// trees per worker.
+// trees per worker. The submitter's flight-recorder query id rides along
+// the same way, so one query's fan-out carries one id across threads.
 //
 // Shutdown is graceful: the destructor lets the workers drain every task
 // already queued, then joins them. Tasks submitted after shutdown begins
@@ -80,6 +81,7 @@ class ThreadPool {
   struct Task {
     std::packaged_task<void()> fn;
     TraceContext trace;
+    uint32_t query_id = 0;  ///< submitter's flight-recorder attribution
   };
 
   void WorkerLoop();

@@ -50,9 +50,13 @@
 #include "pdr/mobility/object.h"
 #include "pdr/mobility/road_network.h"
 #include "pdr/obs/audit.h"
+#include "pdr/obs/clock.h"
+#include "pdr/obs/explain.h"
 #include "pdr/obs/export.h"
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/obs/report.h"
+#include "pdr/obs/slo.h"
 #include "pdr/resilience/admission.h"
 #include "pdr/resilience/deadline.h"
 #include "pdr/resilience/executor.h"

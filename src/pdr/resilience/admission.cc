@@ -25,11 +25,13 @@ struct AdmissionMetrics {
 AdmissionController::AdmissionController(const Options& options)
     : options_(options) {
   if (options_.max_inflight < 1) options_.max_inflight = 1;
+  max_inflight_.store(options_.max_inflight, std::memory_order_relaxed);
 }
 
 AdmissionController::Permit AdmissionController::TryAdmit() {
+  const int bound = max_inflight_.load(std::memory_order_relaxed);
   int cur = inflight_.load(std::memory_order_relaxed);
-  while (cur < options_.max_inflight) {
+  while (cur < bound) {
     if (inflight_.compare_exchange_weak(cur, cur + 1,
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {

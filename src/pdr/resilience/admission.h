@@ -63,6 +63,18 @@ class AdmissionController {
   /// (the query is shed) when the bound is reached.
   Permit TryAdmit();
 
+  /// Runtime bound adjustment (clamped to >= 1): the SLO monitor tightens
+  /// the bound under sustained burn and restores it on recovery. Queries
+  /// already in flight above a lowered bound finish normally; only new
+  /// admissions see the new bound.
+  void SetMaxInflight(int max_inflight) {
+    max_inflight_.store(max_inflight < 1 ? 1 : max_inflight,
+                        std::memory_order_relaxed);
+  }
+  int max_inflight() const {
+    return max_inflight_.load(std::memory_order_relaxed);
+  }
+
   int inflight() const { return inflight_.load(std::memory_order_relaxed); }
   int64_t admitted() const {
     return admitted_.load(std::memory_order_relaxed);
@@ -78,6 +90,7 @@ class AdmissionController {
   void ReleaseSlot();
 
   Options options_;
+  std::atomic<int> max_inflight_{1};  ///< live bound (options_ is the initial)
   std::atomic<int> inflight_{0};
   std::atomic<int64_t> admitted_{0};
   std::atomic<int64_t> shed_{0};

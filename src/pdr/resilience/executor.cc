@@ -1,11 +1,14 @@
 #include "pdr/resilience/executor.h"
 
+#include <cstring>
 #include <utility>
 
 #include "pdr/core/fr_engine.h"
 #include "pdr/core/pa_engine.h"
 #include "pdr/histogram/filter.h"
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
+#include "pdr/storage/fault_injector.h"
 
 namespace pdr {
 namespace {
@@ -17,6 +20,11 @@ struct ResilienceMetrics {
   Counter& tier_approx;
   Counter& tier_histogram;
   Histogram& elapsed_ms;
+  // Labeled downgrade-reason counters: the SLO monitor reads these to
+  // tell overload (deadline) apart from storage trouble (transient).
+  Counter& reason_deadline;
+  Counter& reason_transient;
+  Counter& reason_disabled;
 
   static ResilienceMetrics& Get() {
     static ResilienceMetrics m{
@@ -28,6 +36,12 @@ struct ResilienceMetrics {
         MetricsRegistry::Global().GetCounter(
             "pdr.resilience.tier_histogram"),
         MetricsRegistry::Global().GetHistogram("pdr.resilience.elapsed_ms"),
+        MetricsRegistry::Global().GetCounter(WithLabel(
+            "pdr.resilience.downgrade_reason", "reason", "deadline")),
+        MetricsRegistry::Global().GetCounter(WithLabel(
+            "pdr.resilience.downgrade_reason", "reason", "transient")),
+        MetricsRegistry::Global().GetCounter(WithLabel(
+            "pdr.resilience.downgrade_reason", "reason", "disabled")),
     };
     return m;
   }
@@ -50,6 +64,20 @@ void Publish(const TieredResult& result) {
     case AnswerTier::kShed:
       break;  // stamped by admission-control callers, not the ladder
   }
+  switch (result.downgrade_reason) {
+    case DowngradeReason::kDeadline:
+      m.reason_deadline.Increment();
+      break;
+    case DowngradeReason::kTransient:
+      m.reason_transient.Increment();
+      break;
+    case DowngradeReason::kDisabled:
+      m.reason_disabled.Increment();
+      break;
+    case DowngradeReason::kNone:
+    case DowngradeReason::kShed:  // counted by the shedding caller
+      break;
+  }
   m.elapsed_ms.Observe(result.elapsed_ms);
 }
 
@@ -69,9 +97,21 @@ const char* AnswerTierName(AnswerTier tier) {
   return "?";
 }
 
-ResilientExecutor::ResilientExecutor(FrEngine* fr, PaEngine* fallback,
-                                     const ResilienceOptions& options)
-    : fr_(fr), fallback_(fallback), options_(options) {}
+const char* DowngradeReasonName(DowngradeReason reason) {
+  switch (reason) {
+    case DowngradeReason::kNone:
+      return "none";
+    case DowngradeReason::kDeadline:
+      return "deadline";
+    case DowngradeReason::kShed:
+      return "shed";
+    case DowngradeReason::kTransient:
+      return "transient";
+    case DowngradeReason::kDisabled:
+      return "disabled";
+  }
+  return "?";
+}
 
 TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
                                       const CancelToken* token) {
@@ -79,6 +119,20 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
   Timer timer;
   TieredResult out;
   out.budget_ms = options_.deadline_ms > 0.0 ? options_.deadline_ms : 0.0;
+
+  // One query id for the whole ladder: every rung's micro-events (and the
+  // pool tasks they fan out to) carry it, so an incident dump filters to
+  // this query across threads and tiers.
+  const uint32_t qid =
+      FlightRecorder::Enabled() ? FlightRecorder::NextQueryId() : 0;
+  FlightRecorder::QueryScope fr_scope(qid);
+
+  ExplainRecord& explain = out.explain;
+  explain.query_id = qid;
+  explain.q_t = q_t;
+  explain.rho = rho;
+  explain.l = l;
+  explain.budget_ms = out.budget_ms;
 
   // One control for the whole ladder: every rung shares the query's
   // budget, so an exact attempt that burns it cannot be recovered by an
@@ -92,9 +146,20 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
 
   const auto finish = [&](TieredResult* result) -> TieredResult {
     result->elapsed_ms = timer.ElapsedMillis();
+    ExplainRecord& ex = result->explain;
+    ex.tier = result->tier;
+    ex.downgrade_reason = result->downgrade_reason;
+    ex.timed_out = result->timed_out;
+    ex.elapsed_ms = result->elapsed_ms;
     Publish(*result);
+    if (result->timed_out) {
+      FlightRecorder::Global().TriggerDump(FlightRecorder::kOnDeadlineMiss,
+                                           "deadline_miss", qid);
+    }
     if (span.active()) {
       span.SetAttr("tier", static_cast<int64_t>(result->tier));
+      span.SetAttr("reason",
+                   static_cast<int64_t>(result->downgrade_reason));
       span.SetAttr("timed_out", static_cast<int64_t>(result->timed_out));
       span.SetAttr("elapsed_ms", result->elapsed_ms);
       span.SetAttr("budget_ms", result->budget_ms);
@@ -103,17 +168,47 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
   };
 
   if (options_.enable_exact) {
+    FlightRecorder::Record(FrEvent::kTierEnter,
+                           static_cast<int64_t>(AnswerTier::kExact),
+                           static_cast<int64_t>(out.downgrade_reason));
+    const double exact_start_ms = timer.ElapsedMillis();
     try {
       FrEngine::QueryResult exact =
           fr_->Query(q_t, rho, l, /*cold_cache=*/false, ctl);
       out.region = std::move(exact.region);
       out.cost = exact.cost;
       out.tier = AnswerTier::kExact;
+      explain.stages.push_back({"filter", exact.filter_ms, true});
+      explain.stages.push_back({"refine", exact.refine_ms, true});
+      explain.accepted_cells = exact.accepted_cells;
+      explain.rejected_cells = exact.rejected_cells;
+      explain.candidate_cells = exact.candidate_cells;
+      explain.objects_fetched = exact.objects_fetched;
+      explain.dense_rects = exact.sweep.dense_rects;
+      explain.pages_read_physical = exact.cost.io.physical_reads;
+      explain.pages_read_logical = exact.cost.io.logical_reads;
       return finish(&out);
     } catch (const CancelledError&) {
       out.timed_out = true;
+      out.downgrade_reason = DowngradeReason::kDeadline;
+      explain.stages.push_back(
+          {"exact", timer.ElapsedMillis() - exact_start_ms, false});
+      FlightRecorder::Record(
+          FrEvent::kCancelled, static_cast<int64_t>(AnswerTier::kExact),
+          static_cast<int64_t>(timer.ElapsedMillis() * 1000.0));
+      if (!options_.degrade) throw;
+    } catch (const TransientExhaustedError&) {
+      // Storage kept failing past the retry budget. The histogram floor
+      // (and the PA rung) are in-memory, so the ladder can still answer —
+      // degrade and label the cause so operators see "storage", not
+      // "overload".
+      out.downgrade_reason = DowngradeReason::kTransient;
+      explain.stages.push_back(
+          {"exact", timer.ElapsedMillis() - exact_start_ms, false});
       if (!options_.degrade) throw;
     }
+  } else if (out.downgrade_reason == DowngradeReason::kNone) {
+    out.downgrade_reason = DowngradeReason::kDisabled;
   }
 
   // The approximate rung is sound only for the PA engine's own fixed l
@@ -122,14 +217,31 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
   if (options_.enable_approx && fallback_ != nullptr &&
       fallback_->options().l == l && q_t >= fallback_->now() &&
       q_t <= fallback_->now() + fallback_->options().horizon) {
+    FlightRecorder::Record(FrEvent::kTierEnter,
+                           static_cast<int64_t>(AnswerTier::kApprox),
+                           static_cast<int64_t>(out.downgrade_reason));
+    const double approx_start_ms = timer.ElapsedMillis();
     try {
       PaEngine::QueryResult approx = fallback_->Query(q_t, rho, ctl);
       out.region = std::move(approx.region);
       out.cost = approx.cost;
       out.tier = AnswerTier::kApprox;
+      explain.stages.push_back(
+          {"approx", timer.ElapsedMillis() - approx_start_ms, true});
+      explain.bnb_nodes = approx.bnb.nodes_visited;
+      explain.bnb_pruned = approx.bnb.pruned_boxes;
       return finish(&out);
     } catch (const CancelledError&) {
       out.timed_out = true;
+      if (out.downgrade_reason == DowngradeReason::kNone ||
+          out.downgrade_reason == DowngradeReason::kDisabled) {
+        out.downgrade_reason = DowngradeReason::kDeadline;
+      }
+      explain.stages.push_back(
+          {"approx", timer.ElapsedMillis() - approx_start_ms, false});
+      FlightRecorder::Record(
+          FrEvent::kCancelled, static_cast<int64_t>(AnswerTier::kApprox),
+          static_cast<int64_t>(timer.ElapsedMillis() * 1000.0));
       if (!options_.degrade) throw;
     }
   }
@@ -138,6 +250,10 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
   // O(m^2) scan is the ladder's final work quantum. Pessimistic accepts
   // are the certainly-dense answer; the optimistic superset bounds where
   // density can hide.
+  FlightRecorder::Record(FrEvent::kTierEnter,
+                         static_cast<int64_t>(AnswerTier::kHistogram),
+                         static_cast<int64_t>(out.downgrade_reason));
+  const double floor_start_ms = timer.ElapsedMillis();
   FrEngine::DhResult dh = fr_->DhOnlyQuery(q_t, rho, l, /*optimistic=*/false);
   out.region = std::move(dh.region);
   out.maybe_region =
@@ -145,7 +261,16 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
   out.cost = CostBreakdown{};
   out.cost.cpu_ms = dh.cpu_ms;
   out.tier = AnswerTier::kHistogram;
+  explain.stages.push_back(
+      {"histogram", timer.ElapsedMillis() - floor_start_ms, true});
+  explain.accepted_cells = dh.filter.accepted;
+  explain.rejected_cells = dh.filter.rejected;
+  explain.candidate_cells = dh.filter.candidates;
   return finish(&out);
 }
+
+ResilientExecutor::ResilientExecutor(FrEngine* fr, PaEngine* fallback,
+                                     const ResilienceOptions& options)
+    : fr_(fr), fallback_(fallback), options_(options) {}
 
 }  // namespace pdr

@@ -37,6 +37,7 @@
 
 #include "pdr/common/region.h"
 #include "pdr/common/stats.h"
+#include "pdr/obs/explain.h"
 #include "pdr/resilience/deadline.h"
 
 namespace pdr {
@@ -53,6 +54,19 @@ enum class AnswerTier : uint8_t {
 };
 
 const char* AnswerTierName(AnswerTier tier);
+
+/// Why a query ended below kExact. Distinguishes overload (deadline,
+/// shed) from storage trouble (transient-retry exhaustion) so the SLO
+/// monitor and operators can tell the failure domains apart.
+enum class DowngradeReason : uint8_t {
+  kNone = 0,       ///< answered at kExact
+  kDeadline = 1,   ///< a rung was cancelled by the budget / cancel token
+  kShed = 2,       ///< rejected at admission control (stamped by callers)
+  kTransient = 3,  ///< storage transient-retry exhaustion on a rung
+  kDisabled = 4,   ///< the exact rung was switched off by policy
+};
+
+const char* DowngradeReasonName(DowngradeReason reason);
 
 struct ResilienceOptions {
   /// Per-query latency budget in milliseconds; <= 0 means unbounded.
@@ -82,9 +96,15 @@ struct TieredResult {
   Region maybe_region;
   CostBreakdown cost;  ///< cost of the rung that produced the answer
   AnswerTier tier = AnswerTier::kExact;
+  /// Why the answer is below kExact (kNone at kExact). Callers that shed a
+  /// query at admission control stamp kShed alongside tier kShed.
+  DowngradeReason downgrade_reason = DowngradeReason::kNone;
   bool timed_out = false;   ///< at least one rung was cancelled
   double elapsed_ms = 0.0;  ///< wall time across all rungs tried
   double budget_ms = 0.0;   ///< the deadline this query ran under (0 = none)
+  /// Full provenance: stages run, filter decisions, pages touched. The
+  /// flight-recorder correlation key is explain.query_id.
+  ExplainRecord explain;
 };
 
 class ResilientExecutor {

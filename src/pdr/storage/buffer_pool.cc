@@ -3,6 +3,7 @@
 #include <cassert>
 #include <mutex>
 
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/registry.h"
 
 namespace pdr {
@@ -247,6 +248,8 @@ BufferPool::PageRef BufferPool::FetchMissLocked(PageId id) {
     return PageRef(this, it->second);
   }
   CountRead(/*physical=*/true);
+  FlightRecorder::Record(FrEvent::kPageFault, static_cast<int64_t>(id),
+                         /*physical=*/1);
   const size_t frame = AcquireFrameLocked();
   Frame& f = frames_[frame];
   f.id = id;
@@ -291,6 +294,8 @@ BufferPool::PageRef BufferPool::Fetch(PageId id) {
   ++stats_.physical_reads;
   PhysicalReadsCounter().Increment();
   UpdateHitRatioGauge();
+  FlightRecorder::Record(FrEvent::kPageFault, static_cast<int64_t>(id),
+                         /*physical=*/1);
   const size_t frame = AcquireFrameLocked();
   Frame& f = frames_[frame];
   f.id = id;

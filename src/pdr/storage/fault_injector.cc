@@ -1,0 +1,18 @@
+#include "pdr/storage/fault_injector.h"
+
+#include "pdr/obs/flight_recorder.h"
+
+namespace pdr {
+
+// The crash-dump chokepoint: every injected crash flows through this
+// constructor, so arming FlightRecorder::kOnCrash captures the rings as
+// the store dies — before any catch handler can unwind state away. A
+// no-op unless the recorder is enabled, the trigger armed, and a dump
+// directory configured, so the crash-sweep lanes (thousands of injected
+// crashes) stay cheap.
+CrashError::CrashError(const std::string& what) : std::runtime_error(what) {
+  FlightRecorder::Global().TriggerDump(FlightRecorder::kOnCrash, "crash",
+                                       FlightRecorder::CurrentQueryId());
+}
+
+}  // namespace pdr

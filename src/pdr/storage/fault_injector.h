@@ -46,9 +46,22 @@ namespace pdr {
 
 /// Thrown by a storage primitive when the armed fault point fires. The
 /// durability tests catch it where a real deployment would be SIGKILLed.
+/// Construction is the single chokepoint for the flight recorder's
+/// crash-dump trigger (see fault_injector.cc) — every throw site inherits
+/// the hook for free.
 class CrashError : public std::runtime_error {
  public:
-  explicit CrashError(const std::string& what) : std::runtime_error(what) {}
+  explicit CrashError(const std::string& what);
+};
+
+/// Thrown when a transient I/O fault outlives the bounded retry budget
+/// (see storage_file.cc). Distinct from CrashError — the store is NOT
+/// poisoned; the degradation ladder treats it as "storage is struggling"
+/// and falls back to an in-memory rung (DowngradeReason::kTransient).
+class TransientExhaustedError : public std::runtime_error {
+ public:
+  explicit TransientExhaustedError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 enum class CrashMode {

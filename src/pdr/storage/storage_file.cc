@@ -38,9 +38,9 @@ FaultInjector::Action CheckOpRetrying(FaultInjector* injector,
         MetricsRegistry::Global().GetCounter("pdr.storage.transient_retries");
     retries.Increment();
     if (attempt >= kMaxTransientRetries) {
-      throw std::runtime_error("transient I/O error persisted after " +
-                               std::to_string(kMaxTransientRetries) +
-                               " retries: " + op);
+      throw TransientExhaustedError("transient I/O error persisted after " +
+                                    std::to_string(kMaxTransientRetries) +
+                                    " retries: " + op);
     }
     std::this_thread::sleep_for(
         std::chrono::microseconds(int64_t{1} << std::min(attempt, 6)));

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/registry.h"
 #include "pdr/storage/serde.h"
 
@@ -113,6 +114,8 @@ void Wal::AppendRecord(RecordType type, PageId page_id, const void* payload,
   header.checksum = RecordChecksum(header, payload);
   buffer_.append(reinterpret_cast<const char*>(&header), sizeof(header));
   buffer_.append(static_cast<const char*>(payload), payload_len);
+  FlightRecorder::Record(FrEvent::kWalAppend, static_cast<int64_t>(header.lsn),
+                         static_cast<int64_t>(sizeof(header) + payload_len));
   stats_.records++;
   stats_.bytes_appended +=
       static_cast<int64_t>(sizeof(header) + payload_len);

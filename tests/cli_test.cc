@@ -157,6 +157,60 @@ TEST_F(CliTest, MonitorRunsWithDeadlineAndAdmission) {
   EXPECT_NE(r.output.find("dense"), std::string::npos) << r.output;
 }
 
+TEST_F(CliTest, ExplainNamesTierStagesAndCounts) {
+  const RunResult text =
+      RunTool("explain --in " + dataset() + " --varrho 2 --l 25");
+  EXPECT_EQ(text.exit_code, 0) << text.output;
+  EXPECT_NE(text.output.find("tier:     exact"), std::string::npos)
+      << text.output;
+  EXPECT_NE(text.output.find("filter:"), std::string::npos) << text.output;
+  EXPECT_NE(text.output.find("stages:"), std::string::npos) << text.output;
+
+  const RunResult json = RunTool("explain --in " + dataset() +
+                             " --varrho 2 --l 25 --format json");
+  EXPECT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find("\"tier\":\"exact\""), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"candidate_cells\":"), std::string::npos)
+      << json.output;
+}
+
+TEST_F(CliTest, ExplainDeadlineMissNamesDowngradeReasonAndWritesDump) {
+  char tmpl[] = "/tmp/pdr_cli_fr_XXXXXX";
+  const char* flight_dir = mkdtemp(tmpl);
+  ASSERT_NE(flight_dir, nullptr);
+  const RunResult r = RunTool("explain --in " + dataset() +
+                          " --varrho 2 --l 25 --deadline-ms 0.0001 "
+                          "--flight-dir " + flight_dir);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("reason:   deadline"), std::string::npos)
+      << r.output;
+  // The miss left a Perfetto-loadable dump pair behind.
+  const std::string listing = [&] {
+    std::string files;
+    const std::string cmd = std::string("ls ") + flight_dir;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    char buf[4096];
+    size_t n = 0;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) files.append(buf, n);
+    pclose(pipe);
+    return files;
+  }();
+  EXPECT_NE(listing.find("deadline_miss"), std::string::npos) << listing;
+  EXPECT_NE(listing.find(".trace.json"), std::string::npos) << listing;
+  std::system((std::string("rm -rf '") + flight_dir + "'").c_str());
+}
+
+TEST_F(CliTest, StatsPrometheusFormatIsScrapable) {
+  const RunResult r = RunTool("stats --in " + dataset() +
+                          " --varrho 2 --l 25 --format prometheus");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("# TYPE pdr_fr_queries counter"), std::string::npos)
+      << r.output;
+  // Exposition names never contain dots.
+  EXPECT_EQ(r.output.find("pdr.fr"), std::string::npos) << r.output;
+}
+
 TEST_F(CliTest, MonitorRejectsDeadlineWithAudit) {
   const RunResult r = RunTool("monitor --in " + dataset() +
                           " --audit-rate 0.5 --deadline-ms 100");

@@ -274,6 +274,37 @@ TEST(DifferentialTest, GenerousDeadlineBitIdenticalToUnboundedAcross40Seeds) {
   }
 }
 
+// EXPLAIN provenance property: the deterministic part of the plan record
+// (tier, stage names and completion flags, candidate/accept/reject and
+// sweep counters — everything except wall-clock timings, IO, and the
+// query id) is identical whether the engine ran serially or on 2/4/8
+// worker threads. A thread-dependent signature would make EXPLAIN output
+// useless for regression diffing, so this is asserted across many seeds.
+TEST(DifferentialTest, ExplainSignatureEquivalentAcrossThreadCounts) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const FrScenario s = MakeFrScenario(seed);
+    FrEngine fr({.extent = kExtent,
+                 .histogram_side = 16,
+                 .horizon = 20,
+                 .buffer_pages = 64});
+    for (const UpdateEvent& e : FrWorkload(s, s.objects)) fr.Apply(e);
+
+    ResilientExecutor exec(&fr, nullptr, {.deadline_ms = 1e9});
+    const TieredResult serial = exec.Query(s.q_t, s.rho, s.l);
+    ASSERT_EQ(serial.tier, AnswerTier::kExact) << "seed=" << seed;
+    const std::string want = serial.explain.DeterministicSignature();
+    EXPECT_NE(want.find("tier=exact"), std::string::npos) << want;
+
+    for (int threads : kPolicies) {
+      fr.SetExecPolicy(ExecPolicy::Parallel(threads));
+      const TieredResult par = exec.Query(s.q_t, s.rho, s.l);
+      EXPECT_EQ(par.explain.DeterministicSignature(), want)
+          << "seed=" << seed << " threads=" << threads;
+    }
+    fr.SetExecPolicy(ExecPolicy::Serial());
+  }
+}
+
 // Calibrated quality floor on one fixed, heavily clustered workload: PA
 // with a fine evaluation grid must find most of the truly dense area and
 // not hallucinate much. Loose bounds — this guards against gross

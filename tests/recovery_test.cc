@@ -29,6 +29,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -36,6 +37,8 @@
 #include "pdr/core/fr_engine.h"
 #include "pdr/core/monitor.h"
 #include "pdr/mobility/generator.h"
+#include "pdr/obs/flight_recorder.h"
+#include "pdr/obs/obs.h"
 #include "pdr/storage/disk_pager.h"
 #include "pdr/storage/fault_injector.h"
 #include "transcript_util.h"
@@ -361,6 +364,59 @@ TEST(MonitorDurabilityTest, CheckpointHookDrivesCadence) {
   ASSERT_NE(disk, nullptr);
   EXPECT_EQ(disk->checkpoint_stats().checkpoints, 3);
   EXPECT_EQ(disk->epoch(), 3u);
+}
+
+// An injected crash must leave a post-mortem behind: with the recorder
+// enabled, kOnCrash armed, and a dump directory configured, constructing
+// the CrashError itself snapshots the rings into a JSONL + Chrome-trace
+// pair — before any catch handler unwinds — so the events leading up to
+// the fatal write are on disk even though the process (here: the test)
+// survives to recover.
+TEST(CrashDumpTest, InjectedCrashWritesFlightRecorderDump) {
+  if (!PdrObs::CompiledIn()) GTEST_SKIP() << "observability compiled out";
+  const Dataset ds = MakeWorkload();
+  TempDir store;
+  TempDir dumps;
+
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Reset();
+  rec.Configure({.ring_capacity = 1 << 10,
+                 .dump_dir = dumps.path(),
+                 .triggers = FlightRecorder::kOnCrash,
+                 .max_dumps = 2});
+  FlightRecorder::SetEnabled(true);
+
+  FaultInjector inject;
+  {
+    FrEngine fr(Opts(IndexKind::kTprTree, store.path(), &inject));
+    Replay(ds, 0, kPhaseSplit, &fr);
+    inject.Arm(inject.ops_seen() + 1, CrashMode::kClean);
+    EXPECT_THROW(fr.Checkpoint(), CrashError);
+  }
+  EXPECT_EQ(rec.dumps_written(), 1);
+
+  // Both halves of the dump pair exist, are named for the crash reason,
+  // and the JSONL half recorded WAL traffic from the doomed run.
+  const std::string base = dumps.path() + "/fr_000_crash";
+  std::FILE* jsonl = std::fopen((base + ".jsonl").c_str(), "rb");
+  ASSERT_NE(jsonl, nullptr) << base + ".jsonl";
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), jsonl)) > 0) text.append(buf, n);
+  std::fclose(jsonl);
+  EXPECT_NE(text.find("wal_append"), std::string::npos);
+  std::FILE* trace = std::fopen((base + ".trace.json").c_str(), "rb");
+  ASSERT_NE(trace, nullptr) << base + ".trace.json";
+  std::fclose(trace);
+
+  // Recovery still works after the dump: the reopened store answers.
+  FrEngine recovered(Opts(IndexKind::kTprTree, store.path(), nullptr));
+  EXPECT_GE(recovered.Query(kPhaseSplit, BaseRho(), kL).region.size(), 0u);
+
+  FlightRecorder::SetEnabled(false);
+  rec.Reset();
+  rec.Configure({});
 }
 
 }  // namespace
