@@ -4,6 +4,10 @@
 // per-operation numbers quoted in EXPERIMENTS.md.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 
@@ -230,6 +234,53 @@ BENCHMARK(BM_FrQuery);
 // whichever side ran second.
 void BM_FrQueryRecorderOn(benchmark::State& state) { RunFrQuery(state, true); }
 BENCHMARK(BM_FrQueryRecorderOn);
+
+// End-to-end monitor tick with and without the workload recorder: the
+// probe behind the CI recording-overhead gate (scripts/check_replay.sh).
+// Each tick runs the full FR query plus the delta computation; the
+// recorded variant additionally digests the answer (raw-bits transcript +
+// EXPLAIN signature hash) and appends one framed record to the log, so
+// the off/on delta bounds what always-on capture costs a serving process.
+// The workload is deliberately small (~1.5 ms/tick): a gate comparing two
+// minima needs hundreds of iterations per repetition for the per-rep
+// means to be stable, and the 20k-object query probe above fits only ~20
+// — at that count scheduler noise alone read as >8% phantom overhead.
+// The density is tuned so the answer is non-empty (a few hundred rects),
+// making the digest hash real answer bytes rather than an empty region.
+void RunMonitorTick(benchmark::State& state, bool recorded) {
+  constexpr double kTickExtent = 500.0;
+  constexpr int kTickObjects = 800;
+  FrEngine fr({.extent = kTickExtent,
+               .histogram_side = 25,
+               .horizon = kHorizon,
+               .buffer_pages = 256});
+  for (const auto& e : MakeUniformInserts(kTickObjects, kTickExtent, 1.5, 7))
+    fr.Apply(e);
+  const double rho = 3.0 * kTickObjects / (kTickExtent * kTickExtent);
+  PdrMonitor monitor(&fr, {.rho = rho, .l = 25.0, .lookahead = 5});
+  std::unique_ptr<WorkloadRecorder> recorder;
+  std::string path;
+  if (recorded) {
+    path = "/tmp/pdr_bench_monitor_tick_" +
+           std::to_string(static_cast<long long>(::getpid())) + ".wlog";
+    recorder = std::make_unique<WorkloadRecorder>(path, WorkloadLogHeader{});
+    monitor.SetRecorder(recorder.get());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.OnTick(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+  recorder.reset();
+  if (!path.empty()) std::remove(path.c_str());
+}
+
+void BM_MonitorTick(benchmark::State& state) { RunMonitorTick(state, false); }
+BENCHMARK(BM_MonitorTick);
+
+void BM_MonitorTickRecorded(benchmark::State& state) {
+  RunMonitorTick(state, true);
+}
+BENCHMARK(BM_MonitorTickRecorded);
 
 }  // namespace
 }  // namespace pdr

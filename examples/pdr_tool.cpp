@@ -21,6 +21,12 @@
 //                 [--checkpoint-every K]
 //   pdr_tool recover --in city.pdrd --wal-dir DIR [--index tpr|bx]
 //                    [--varrho R] [--l L] [--qt T]
+//   pdr_tool record --in city.pdrd --log run.wlog --varrho R --l L
+//                   [--lookahead W] [--every K] [--threads N]
+//                   [--deadline-ms D] [--max-inflight M] [--degrade 0|1]
+//                   [--degree K] [--bundle-dir DIR] [--flight-dir DIR]
+//   pdr_tool replay (--log run.wlog | --bundle DIR) [--verify | --bench]
+//                   [--threads N] [--digests] [--jsonl FILE]
 //
 // `gen` synthesizes and saves a dataset; `query` replays it and answers a
 // snapshot PDR query with the chosen engine(s); `monitor` replays while a
@@ -72,6 +78,18 @@
 // `stats --format=prometheus` renders the same registry snapshot in the
 // Prometheus text exposition format (names sanitized, labels preserved,
 // histograms as quantile summaries) for scrape-style ingestion.
+//
+// `record` replays a dataset through the standing monitor while a
+// checksummed workload log captures every update batch and per-tick
+// result digest (DESIGN.md §13). `--bundle-dir DIR` additionally turns
+// every flight-recorder incident dump into a self-contained repro bundle
+// under DIR. `replay` re-drives a recorded log: the default `--verify`
+// mode recomputes every digest and exits 3 on any divergence (at any
+// `--threads` width — captures are thread-invariant); `--bench` re-drives
+// as fast as possible and reports p50/p95/p99 per-tick latency plus the
+// answer-tier mix (`--jsonl FILE` emits the same numbers as one JSONL
+// series row for scripts/check_replay.sh). `--bundle DIR` replays the
+// workload log inside a repro bundle instead of a bare log file.
 //
 // `save` replays a dataset into a *durable* FR engine (WAL + checkpoints
 // in --wal-dir; see DESIGN.md §10), checkpointing every K ticks and once
@@ -151,6 +169,12 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
         "format"}},
       {"save", {"in", "wal-dir", "index", "checkpoint-every"}},
       {"recover", {"in", "wal-dir", "index", "varrho", "l", "qt"}},
+      {"record",
+       {"in", "log", "varrho", "l", "lookahead", "every", "threads",
+        "deadline-ms", "max-inflight", "degrade", "degree", "bundle-dir",
+        "flight-dir"}},
+      {"replay", {"log", "bundle", "verify", "bench", "threads", "digests",
+                  "jsonl"}},
   };
   return kFlags;
 }
@@ -269,7 +293,15 @@ int Usage() {
       "  save:    --in FILE --wal-dir DIR [--index tpr|bx] "
       "[--checkpoint-every K]\n"
       "  recover: --in FILE --wal-dir DIR [--index tpr|bx] "
-      "[--varrho R] [--l L] [--qt T]\n");
+      "[--varrho R] [--l L] [--qt T]\n"
+      "  record:  --in FILE --log FILE --varrho R --l L [--lookahead W] "
+      "[--every K] [--threads N]\n"
+      "           [--deadline-ms D] [--max-inflight M] [--degrade 0|1] "
+      "[--degree K] [--bundle-dir DIR]\n"
+      "           [--flight-dir DIR]\n"
+      "  replay:  (--log FILE | --bundle DIR) [--verify | --bench] "
+      "[--threads N] [--digests]\n"
+      "           [--jsonl FILE]\n");
   return 2;
 }
 
@@ -876,6 +908,150 @@ int RunRecover(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int RunRecord(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const std::string log_path = FlagOr(flags, "log", "");
+  const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
+  const double l = std::stod(FlagOr(flags, "l", "30"));
+  const double extent = ds.config.extent;
+  const double rho = varrho * ds.config.num_objects / (extent * extent);
+  const double deadline_ms = std::stod(FlagOr(flags, "deadline-ms", "0"));
+  if (!ArmFlightRecorder(flags)) return 1;
+
+  // The header mirrors how RunMonitor builds its engines, so a recorded
+  // monitor run and a replay construct identical pipelines.
+  WorkloadLogHeader header;
+  header.rho = rho;
+  header.l = l;
+  header.lookahead = std::stoi(FlagOr(flags, "lookahead", "10"));
+  header.every = std::max(1, std::stoi(FlagOr(flags, "every", "5")));
+  header.deadline_ms = deadline_ms;
+  header.max_inflight = std::stoi(FlagOr(flags, "max-inflight", "0"));
+  header.degrade = FlagOr(flags, "degrade", "1") != "0" ? 1 : 0;
+  header.has_fallback = deadline_ms > 0.0 ? 1 : 0;
+  header.threads = std::stoi(FlagOr(flags, "threads", "1"));
+  header.histogram_side = 100;
+  header.horizon = 2 * ds.config.max_update_interval;
+  header.buffer_pages = PaperConfig().BufferPagesFor(ds.config.num_objects);
+  header.io_ms = 10.0;
+  header.index = static_cast<uint8_t>(IndexKind::kTprTree);
+  header.poly_side = 10;
+  header.degree = std::stoi(FlagOr(flags, "degree", "5"));
+  header.eval_grid = 1000;
+
+  const WorkloadRecorder::Stats stats =
+      RecordDataset(ds, log_path, header, FlagOr(flags, "bundle-dir", ""));
+  std::printf("recorded %s: %lld ticks, %lld updates in %lld batches, "
+              "%lld bytes\n",
+              log_path.c_str(), static_cast<long long>(stats.ticks),
+              static_cast<long long>(stats.updates),
+              static_cast<long long>(stats.update_batches),
+              static_cast<long long>(stats.bytes));
+  if (stats.bundles > 0) {
+    std::printf("bundles  : %lld repro bundle(s) in %s\n",
+                static_cast<long long>(stats.bundles),
+                FlagOr(flags, "bundle-dir", "").c_str());
+  }
+  ReportFlightDumps(flags);
+  return 0;
+}
+
+int RunReplay(const std::map<std::string, std::string>& flags) {
+  const std::string log_path = FlagOr(flags, "log", "");
+  const std::string bundle = FlagOr(flags, "bundle", "");
+  if (flags.count("verify") > 0 && flags.count("bench") > 0) {
+    std::fprintf(stderr, "error: --verify and --bench are exclusive\n");
+    return 2;
+  }
+  const Replayer replayer = bundle.empty() ? Replayer::FromFile(log_path)
+                                           : Replayer::FromBundle(bundle);
+  ReplayOptions options;
+  options.mode = flags.count("bench") > 0 ? ReplayOptions::Mode::kBench
+                                          : ReplayOptions::Mode::kVerify;
+  options.threads = std::stoi(FlagOr(flags, "threads", "-1"));
+  const ReplayResult result = replayer.Run(options);
+
+  std::printf("replayed %s: %lld ticks, %lld updates (threads=%d%s)\n",
+              bundle.empty() ? log_path.c_str() : bundle.c_str(),
+              static_cast<long long>(result.ticks),
+              static_cast<long long>(result.updates), result.threads,
+              replayer.log().torn_tail ? ", torn tail" : "");
+  std::printf("tiers    : exact=%lld approx=%lld histogram=%lld shed=%lld\n",
+              static_cast<long long>(result.tier_counts[0]),
+              static_cast<long long>(result.tier_counts[1]),
+              static_cast<long long>(result.tier_counts[2]),
+              static_cast<long long>(result.tier_counts[3]));
+  std::printf("latency  : p50=%.3f ms p95=%.3f ms p99=%.3f ms "
+              "(%.1f ms total)\n",
+              result.p50_ms, result.p95_ms, result.p99_ms, result.total_ms);
+  std::printf("cpu      : p50=%.3f ms p95=%.3f ms p99=%.3f ms "
+              "(%.1f ms total)\n",
+              result.p50_cpu_ms, result.p95_cpu_ms, result.p99_cpu_ms,
+              result.total_cpu_ms);
+
+  if (flags.count("digests") > 0) {
+    for (const WorkloadTickRecord& rec : result.replayed) {
+      std::printf("digest t=%-4d tier=%u %016llx sig=%016llx\n", rec.now,
+                  static_cast<unsigned>(rec.tier),
+                  static_cast<unsigned long long>(rec.digest),
+                  static_cast<unsigned long long>(rec.sig_hash));
+    }
+  }
+
+  const std::string jsonl_path = FlagOr(flags, "jsonl", "");
+  if (!jsonl_path.empty()) {
+    std::FILE* out = jsonl_path == "-" ? stdout
+                                       : std::fopen(jsonl_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\"type\":\"series\",\"series\":\"replay_bench\",\"values\":{"
+        "\"ticks\":%lld,\"updates\":%lld,\"threads\":%d,"
+        "\"p50_ms\":%.6f,\"p95_ms\":%.6f,\"p99_ms\":%.6f,"
+        "\"total_ms\":%.3f,"
+        "\"p50_cpu_ms\":%.6f,\"p95_cpu_ms\":%.6f,\"p99_cpu_ms\":%.6f,"
+        "\"total_cpu_ms\":%.3f,\"exact\":%lld,\"approx\":%lld,"
+        "\"histogram\":%lld,\"shed\":%lld,\"mismatches\":%lld}}\n",
+        static_cast<long long>(result.ticks),
+        static_cast<long long>(result.updates), result.threads, result.p50_ms,
+        result.p95_ms, result.p99_ms, result.total_ms, result.p50_cpu_ms,
+        result.p95_cpu_ms, result.p99_cpu_ms, result.total_cpu_ms,
+        static_cast<long long>(result.tier_counts[0]),
+        static_cast<long long>(result.tier_counts[1]),
+        static_cast<long long>(result.tier_counts[2]),
+        static_cast<long long>(result.tier_counts[3]),
+        static_cast<long long>(result.mismatch_count));
+    if (out != stdout) std::fclose(out);
+  }
+
+  if (options.mode == ReplayOptions::Mode::kVerify) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "verify: %lld of %lld ticks DIVERGED\n",
+                   static_cast<long long>(result.mismatch_count),
+                   static_cast<long long>(result.ticks));
+      for (const ReplayMismatch& m : result.mismatches) {
+        std::fprintf(stderr,
+                     "  t=%-4d want digest=%016llx sig=%016llx tier=%u | "
+                     "got digest=%016llx sig=%016llx tier=%u\n",
+                     m.now, static_cast<unsigned long long>(m.want_digest),
+                     static_cast<unsigned long long>(m.want_sig),
+                     static_cast<unsigned>(m.want_tier),
+                     static_cast<unsigned long long>(m.got_digest),
+                     static_cast<unsigned long long>(m.got_sig),
+                     static_cast<unsigned>(m.got_tier));
+      }
+      return 3;
+    }
+    std::printf("verify   : OK — %lld/%lld ticks bit-identical\n",
+                static_cast<long long>(result.ticks),
+                static_cast<long long>(result.ticks));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -890,11 +1066,25 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, it->second, &flags)) return Usage();
   if (command == "gen") {
     if (!HasRequired(flags, "gen", {"out"})) return Usage();
+  } else if (command == "replay") {
+    // Replay rebuilds everything from the log/bundle; exactly one source.
+    const bool has_log = flags.count("log") > 0 && !flags.at("log").empty();
+    const bool has_bundle =
+        flags.count("bundle") > 0 && !flags.at("bundle").empty();
+    if (has_log == has_bundle) {
+      std::fprintf(stderr,
+                   "error: 'replay' requires exactly one of --log/--bundle\n");
+      return Usage();
+    }
   } else {
     if (!HasRequired(flags, command.c_str(), {"in"})) return Usage();
   }
   if (command == "save" || command == "recover") {
     if (!HasRequired(flags, command.c_str(), {"wal-dir"})) return Usage();
+  }
+  if (command == "record" &&
+      !HasRequired(flags, "record", {"log"})) {
+    return Usage();
   }
   try {
     if (command == "gen") return RunGen(flags);
@@ -905,6 +1095,8 @@ int main(int argc, char** argv) {
     if (command == "stats") return RunStats(flags);
     if (command == "save") return RunSave(flags);
     if (command == "recover") return RunRecover(flags);
+    if (command == "record") return RunRecord(flags);
+    if (command == "replay") return RunReplay(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

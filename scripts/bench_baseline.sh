@@ -94,6 +94,26 @@ if [[ -x "${build}/bench/bench_micro" ]]; then
 else
   echo "note: bench_micro not built; skipping recorder-overhead series"
 fi
+# Replay series: `pdr_tool replay --bench` over the canned CI workload
+# (tests/fixtures/ci_workload.wlog) — the series scripts/check_replay.sh
+# gates p99 against. Recorded here so the committed baseline and the CI
+# gate measure the exact same fixed workload. Several repetitions, all
+# rows kept: the gate compares min-of-N on both sides, so a baseline
+# recorded from a single lucky-fast run would read every later
+# (honest) measurement as a regression.
+if [[ -x "${build}/examples/pdr_tool" && \
+      -f "${repo}/tests/fixtures/ci_workload.wlog" ]]; then
+  echo "==== pdr_tool replay --bench (canned CI workload) ===="
+  : >"${tmpdir}/replay.jsonl"
+  for _ in $(seq "${PDR_REPLAY_BENCH_REPS:-5}"); do
+    "${build}/examples/pdr_tool" replay \
+        --log "${repo}/tests/fixtures/ci_workload.wlog" --bench \
+        --jsonl "${tmpdir}/replay_rep.jsonl" >/dev/null
+    cat "${tmpdir}/replay_rep.jsonl" >>"${tmpdir}/replay.jsonl"
+  done
+else
+  echo "note: pdr_tool or replay fixture missing; skipping replay series"
+fi
 if [[ -x "${build}/examples/pdr_tool" ]]; then
   echo "==== pdr_tool seeded deadline-miss dump ===="
   dumpdir="${tmpdir}/fr_dumps"
@@ -107,7 +127,28 @@ else
   echo "note: pdr_tool not built; skipping dump-size series"
 fi
 
+# Provenance: without it a baseline diff can't be attributed — was the
+# p99 shift a code change, a different compiler, or another machine?
+git_sha="$(git -C "${repo}" rev-parse HEAD 2>/dev/null || echo unknown)"
+git_dirty="clean"
+if ! git -C "${repo}" diff --quiet HEAD 2>/dev/null; then
+  git_dirty="dirty"
+fi
+cxx_path="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+    "${build}/CMakeCache.txt" 2>/dev/null | head -1)"
+cxx_version="$("${cxx_path:-c++}" --version 2>/dev/null | head -1 || echo unknown)"
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "${build}/CMakeCache.txt" 2>/dev/null | head -1)"
+cxx_flags="$(sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' \
+    "${build}/CMakeCache.txt" 2>/dev/null | head -1)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 out="${repo}/BENCH_baseline.json"
+PDR_META_GIT="${git_sha} (${git_dirty})" \
+PDR_META_COMPILER="${cxx_version}" \
+PDR_META_BUILD_TYPE="${build_type:-}" \
+PDR_META_CXX_FLAGS="${cxx_flags:-}" \
+PDR_META_DATE="${date_utc}" \
 python3 - "$out" "$scale" "${tmpdir}" "${benches[@]}" <<'PY'
 import json
 import os
@@ -117,6 +158,13 @@ out_path, scale, tmpdir = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = sys.argv[4:]
 
 doc = {"schema": "pdr-bench-baseline/v2", "scale": float(scale),
+       "metadata": {
+           "git": os.environ.get("PDR_META_GIT", "unknown"),
+           "compiler": os.environ.get("PDR_META_COMPILER", "unknown"),
+           "build_type": os.environ.get("PDR_META_BUILD_TYPE", ""),
+           "cxx_flags": os.environ.get("PDR_META_CXX_FLAGS", ""),
+           "date": os.environ.get("PDR_META_DATE", ""),
+       },
        "benches": {}}
 
 
@@ -140,6 +188,35 @@ for bench in benches:
 # threads=1 series above).
 doc["benches"]["bench_fig10_cost.threads_hw"] = collect(
     f"{tmpdir}/bench_fig10_cost.threads_hw.jsonl")
+
+# Replay bench over the canned CI workload (the check_replay.sh p99 gate
+# reads doc["benches"]["replay"]["replay_bench"]). A machine-speed
+# calibration rides along: a fixed sha256 workload (Python/OpenSSL, not
+# repo code — a repo-code yardstick would shift with the very
+# regressions the gate must catch) whose CPU time tracks the machine's
+# frequency regime. The gate normalizes its p99 comparison by the
+# calibration ratio, cancelling ±15% frequency swings that hit CPU time
+# as much as wall time.
+replay_jsonl = os.path.join(tmpdir, "replay.jsonl")
+if os.path.exists(replay_jsonl):
+    doc["benches"]["replay"] = collect(replay_jsonl)
+
+    import hashlib
+    import time
+
+    def sha256_calib_ms():
+        buf = bytes(range(256)) * 16  # 4 KiB
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.process_time()
+            h = hashlib.sha256()
+            for _ in range(20000):
+                h.update(buf)
+            best = min(best, 1000.0 * (time.process_time() - t0))
+        return best
+
+    doc["benches"]["replay"]["calibration"] = [
+        {"sha256_cpu_ms": sha256_calib_ms()}]
 
 # Flight-recorder overhead: min CPU time of the interleaved off/on probe
 # pair (see scripts/check_overhead.sh for the measurement rationale).

@@ -8,11 +8,13 @@
 # ASan tree with the full crash + transient matrix (PDR_CRASH_SWEEP=full)
 # and the resilience soak lane (PDR_SOAK=full: seeded overload against the
 # admission controller and a transient-fault storm under a wall-clock
-# budget) in the release tree, and finally the flight-recorder overhead
-# gate (scripts/check_overhead.sh: the recorder-on end-to-end query probe
-# must stay within 3% of recorder-off). Uses its own build trees
-# (build-check/, build-asan/, build-tsan/) so it never clobbers an
-# existing build/.
+# budget) in the release tree, the flight-recorder overhead gate
+# (scripts/check_overhead.sh: the recorder-on end-to-end query probe
+# must stay within 3% of recorder-off), and the workload-replay lane
+# (scripts/check_replay.sh: capture determinism, fixture goldens, the
+# recording-overhead gate, and the replay-bench p99 regression gate).
+# Uses its own build trees (build-check/, build-asan/, build-tsan/) so it
+# never clobbers an existing build/.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 
@@ -80,5 +82,11 @@ if [[ -x "${repo}/build-check/bench/bench_micro" ]]; then
 else
   echo "==== overhead gate skipped (bench_micro not built) ===="
 fi
+
+# Replay lane: fresh-capture determinism at 1/2/4/8 threads, the canned
+# fixture against its golden digests, the recording-overhead gate
+# (BM_MonitorTick off/on within 3%), and the replay-bench p99 regression
+# gate against BENCH_baseline.json (scripts/check_replay.sh).
+"${repo}/scripts/check_replay.sh" --build "${repo}/build-check"
 
 echo "==== all checks passed ===="

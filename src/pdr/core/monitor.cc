@@ -7,6 +7,7 @@
 #include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/obs/slo.h"
+#include "pdr/obs/workload_log.h"
 #include "pdr/parallel/thread_pool.h"
 
 namespace pdr {
@@ -94,6 +95,7 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
         span.SetAttr("now", static_cast<int64_t>(now));
         span.SetAttr("tier", static_cast<int64_t>(delta.tier));
       }
+      if (recorder_ != nullptr) recorder_->RecordTick(delta);
       return delta;
     }
   }
@@ -247,6 +249,7 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
       span.SetAttr("audit_recall", delta.audit->recall);
     }
   }
+  if (recorder_ != nullptr) recorder_->RecordTick(delta);
   return delta;
 }
 

@@ -41,6 +41,7 @@
 namespace pdr {
 
 class SloMonitor;
+class WorkloadRecorder;
 
 class PdrMonitor {
  public:
@@ -130,6 +131,11 @@ class PdrMonitor {
   /// alerting and admission backoff track this standing query.
   void SetSloMonitor(SloMonitor* slo) { slo_ = slo; }
 
+  /// Attaches a workload recorder (not owned): every tick's delta — shed
+  /// or evaluated — is appended to the workload log with its result
+  /// digests, so the run can be replayed bit-exactly offline.
+  void SetRecorder(WorkloadRecorder* recorder) { recorder_ = recorder; }
+
   ~PdrMonitor();
 
   /// With a parallel policy, a sampled-in shadow audit runs off the query
@@ -173,6 +179,7 @@ class PdrMonitor {
   CostCalibrator* calibrator_ = nullptr;
   AdmissionController* admission_ = nullptr;  // shared, not owned
   SloMonitor* slo_ = nullptr;                 // shared, not owned
+  WorkloadRecorder* recorder_ = nullptr;      // shared, not owned
   std::unique_ptr<AdmissionController> owned_admission_;
   std::unique_ptr<ResilientExecutor> executor_;
   Options options_;

@@ -103,6 +103,7 @@ struct FlightRecorder::State {
   std::mutex mu;  // guards rings vector growth, options, and dump files
   std::vector<std::unique_ptr<Ring>> rings;
   Options options;
+  DumpHook dump_hook;  // guarded by mu; copied out before invocation
   std::atomic<uint64_t> generation{1};
   std::atomic<int64_t> dump_seq{0};
 };
@@ -481,7 +482,21 @@ FlightRecorder::DumpInfo FlightRecorder::Dump(const std::string& reason,
   static Counter& dumps =
       MetricsRegistry::Global().GetCounter("pdr.flightrec.dumps");
   dumps.Increment();
+
+  // Bundle seam: hand the finished dump to the registered hook (workload
+  // recorder), outside the lock so the hook may re-enter recorder APIs.
+  DumpHook hook;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    hook = state_->dump_hook;
+  }
+  if (hook) hook(info, reason);
   return info;
+}
+
+void FlightRecorder::SetDumpHook(DumpHook hook) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->dump_hook = std::move(hook);
 }
 
 void FlightRecorder::TriggerDump(Trigger trigger, const std::string& reason,

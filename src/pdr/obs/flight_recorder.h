@@ -46,6 +46,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -191,6 +192,14 @@ class FlightRecorder {
   /// incident paths (executor, reporter, CrashError) call this.
   void TriggerDump(Trigger trigger, const std::string& reason,
                    uint32_t query_id = 0);
+
+  /// Invoked after every successful Dump() with the dump's file info and
+  /// reason — the seam the workload recorder uses to turn incident dumps
+  /// into self-contained repro bundles. One hook at a time; nullptr clears.
+  /// The hook runs outside the recorder's lock, on the dumping thread, and
+  /// must not throw (exceptions are swallowed by the caller's wrapper).
+  using DumpHook = std::function<void(const DumpInfo&, const std::string&)>;
+  void SetDumpHook(DumpHook hook);
 
   int64_t dumps_written() const {
     return dumps_.load(std::memory_order_relaxed);

@@ -57,6 +57,8 @@
 #include "pdr/obs/obs.h"
 #include "pdr/obs/report.h"
 #include "pdr/obs/slo.h"
+#include "pdr/obs/workload_log.h"
+#include "pdr/replay/replayer.h"
 #include "pdr/resilience/admission.h"
 #include "pdr/resilience/deadline.h"
 #include "pdr/resilience/executor.h"

@@ -1,0 +1,198 @@
+#include "pdr/replay/replayer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+#include <memory>
+#include <utility>
+
+#include "pdr/common/stats.h"
+#include "pdr/core/fr_engine.h"
+#include "pdr/core/monitor.h"
+#include "pdr/core/pa_engine.h"
+#include "pdr/parallel/exec_policy.h"
+
+namespace pdr {
+namespace {
+
+ExecPolicy ExecForThreads(int threads) {
+  return threads == 1 ? ExecPolicy::Serial() : ExecPolicy::Parallel(threads);
+}
+
+FrEngine::Options FrOptionsFromHeader(const WorkloadLogHeader& h,
+                                      const ExecPolicy& exec) {
+  return {.extent = h.extent,
+          .histogram_side = h.histogram_side,
+          .horizon = h.horizon,
+          .buffer_pages = static_cast<size_t>(h.buffer_pages),
+          .io_ms = h.io_ms,
+          .index = static_cast<IndexKind>(h.index),
+          .max_update_interval = h.max_update_interval,
+          .exec = exec};
+}
+
+PaEngine::Options PaOptionsFromHeader(const WorkloadLogHeader& h,
+                                      const ExecPolicy& exec) {
+  return {.extent = h.extent,
+          .poly_side = h.poly_side,
+          .degree = h.degree,
+          .horizon = h.horizon,
+          .l = h.l,
+          .eval_grid = h.eval_grid,
+          .exec = exec};
+}
+
+PdrMonitor::Options MonitorOptionsFromHeader(const WorkloadLogHeader& h) {
+  PdrMonitor::Options opts{.rho = h.rho, .l = h.l, .lookahead = h.lookahead};
+  opts.resilience.deadline_ms = h.deadline_ms;
+  opts.resilience.max_inflight = h.max_inflight;
+  opts.resilience.degrade = h.degrade != 0;
+  opts.resilience.enable_exact = h.enable_exact != 0;
+  opts.resilience.enable_approx = h.enable_approx != 0;
+  return opts;
+}
+
+// Process CPU time in milliseconds (std::clock is CPU time on POSIX).
+// Aggregates all pool threads, so a parallel replay's per-tick CPU cost
+// reads as total work, not elapsed time — exactly what a throttling-proof
+// regression gate wants.
+double CpuNowMs() {
+  return 1000.0 * static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+// Nearest-rank percentile over an already sorted sample vector.
+double Percentile(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+Replayer Replayer::FromFile(const std::string& path) {
+  return Replayer(WorkloadLog::Load(path));
+}
+
+Replayer Replayer::FromBundle(const std::string& bundle_dir) {
+  return FromFile(BundleWorkloadLog(bundle_dir));
+}
+
+ReplayResult Replayer::Run(const ReplayOptions& options) const {
+  const WorkloadLogHeader& h = log_.header;
+  const int threads = options.threads < 0 ? h.threads : options.threads;
+  const ExecPolicy exec = ExecForThreads(threads);
+
+  FrEngine fr(FrOptionsFromHeader(h, exec));
+  std::unique_ptr<PaEngine> pa;
+  if (h.has_fallback != 0) {
+    pa = std::make_unique<PaEngine>(PaOptionsFromHeader(h, exec));
+  }
+  PdrMonitor monitor(&fr, MonitorOptionsFromHeader(h));
+  if (pa != nullptr) monitor.SetFallback(pa.get());
+  monitor.SetExecPolicy(exec);
+
+  ReplayResult result;
+  result.threads = threads;
+  std::vector<double> samples;
+  std::vector<double> cpu_samples;
+  Timer total;
+  const double cpu_start = CpuNowMs();
+
+  for (const WorkloadLogRecord& rec : log_.records) {
+    fr.AdvanceTo(rec.tick);
+    if (pa != nullptr) pa->AdvanceTo(rec.tick);
+    if (rec.kind == WorkloadLogRecord::Kind::kUpdates) {
+      for (const UpdateEvent& e : rec.updates) {
+        fr.Apply(e);
+        if (pa != nullptr) pa->Apply(e);
+      }
+      result.updates += static_cast<int64_t>(rec.updates.size());
+      continue;
+    }
+
+    Timer tick_timer;
+    const double tick_cpu = CpuNowMs();
+    const PdrMonitor::Delta delta = monitor.OnTick(rec.query.now);
+    cpu_samples.push_back(CpuNowMs() - tick_cpu);
+    samples.push_back(tick_timer.ElapsedMillis());
+    ++result.ticks;
+
+    WorkloadTickRecord got;
+    got.now = delta.now;
+    got.q_t = delta.q_t;
+    got.tier = static_cast<uint8_t>(delta.tier);
+    got.downgrade_reason = static_cast<uint8_t>(delta.downgrade_reason);
+    got.shed = delta.shed ? 1 : 0;
+    got.elapsed_ms = delta.elapsed_ms;
+    got.digest = TickDigest(delta);
+    got.sig_hash = ExplainSignatureHash(delta.explain);
+    result.tier_counts[std::min<uint8_t>(got.tier, 3)] += 1;
+    result.replayed.push_back(got);
+
+    if (options.mode == ReplayOptions::Mode::kVerify &&
+        (got.digest != rec.query.digest || got.sig_hash != rec.query.sig_hash ||
+         got.tier != rec.query.tier)) {
+      ++result.mismatch_count;
+      if (static_cast<int>(result.mismatches.size()) <
+          options.max_reported_mismatches) {
+        result.mismatches.push_back({rec.query.now, rec.query.digest,
+                                     got.digest, rec.query.sig_hash,
+                                     got.sig_hash, rec.query.tier, got.tier});
+      }
+    }
+  }
+
+  result.total_ms = total.ElapsedMillis();
+  result.total_cpu_ms = CpuNowMs() - cpu_start;
+  std::sort(samples.begin(), samples.end());
+  result.p50_ms = Percentile(samples, 50.0);
+  result.p95_ms = Percentile(samples, 95.0);
+  result.p99_ms = Percentile(samples, 99.0);
+  std::sort(cpu_samples.begin(), cpu_samples.end());
+  result.p50_cpu_ms = Percentile(cpu_samples, 50.0);
+  result.p95_cpu_ms = Percentile(cpu_samples, 95.0);
+  result.p99_cpu_ms = Percentile(cpu_samples, 99.0);
+  return result;
+}
+
+WorkloadRecorder::Stats RecordDataset(const Dataset& dataset,
+                                      const std::string& log_path,
+                                      WorkloadLogHeader header,
+                                      const std::string& bundle_dir) {
+  header.extent = dataset.config.extent;
+  header.num_objects = dataset.config.num_objects;
+  header.max_update_interval = dataset.config.max_update_interval;
+  header.seed = dataset.config.seed;
+  header.duration = dataset.duration();
+
+  const ExecPolicy exec = ExecForThreads(header.threads);
+  FrEngine fr(FrOptionsFromHeader(header, exec));
+  std::unique_ptr<PaEngine> pa;
+  if (header.has_fallback != 0) {
+    pa = std::make_unique<PaEngine>(PaOptionsFromHeader(header, exec));
+  }
+  PdrMonitor monitor(&fr, MonitorOptionsFromHeader(header));
+  if (pa != nullptr) monitor.SetFallback(pa.get());
+  monitor.SetExecPolicy(exec);
+
+  WorkloadRecorder recorder(log_path, header);
+  monitor.SetRecorder(&recorder);
+  if (!bundle_dir.empty()) recorder.ArmBundles(bundle_dir);
+
+  const Tick every = std::max<Tick>(1, header.every);
+  for (Tick now = 0; now <= dataset.duration(); ++now) {
+    fr.AdvanceTo(now);
+    if (pa != nullptr) pa->AdvanceTo(now);
+    for (const UpdateEvent& e : dataset.ticks[now]) {
+      fr.Apply(e);
+      if (pa != nullptr) pa->Apply(e);
+    }
+    recorder.OnUpdates(now, dataset.ticks[now]);
+    if (now % every == 0) monitor.OnTick(now);
+  }
+  recorder.Flush();
+  return recorder.stats();
+}
+
+}  // namespace pdr

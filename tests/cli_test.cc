@@ -211,6 +211,70 @@ TEST_F(CliTest, StatsPrometheusFormatIsScrapable) {
   EXPECT_EQ(r.output.find("pdr.fr"), std::string::npos) << r.output;
 }
 
+TEST_F(CliTest, RecordReplayRoundTripVerifiesBitIdentical) {
+  char tmpl[] = "/tmp/pdr_cli_wlog_XXXXXX";
+  const char* wdir = mkdtemp(tmpl);
+  ASSERT_NE(wdir, nullptr);
+  const std::string log = std::string(wdir) + "/run.wlog";
+
+  const RunResult rec = RunTool("record --in " + dataset() + " --log " + log +
+                            " --varrho 2 --l 25 --lookahead 2 --every 2");
+  EXPECT_EQ(rec.exit_code, 0) << rec.output;
+  EXPECT_NE(rec.output.find("recorded " + log), std::string::npos)
+      << rec.output;
+
+  // Verify at the recorded width and at an explicit parallel override —
+  // the capture's whole point is that both are bit-identical.
+  for (const std::string threads : {"", " --threads 4"}) {
+    const RunResult verify =
+        RunTool("replay --log " + log + " --verify" + threads);
+    EXPECT_EQ(verify.exit_code, 0) << verify.output;
+    EXPECT_NE(verify.output.find("ticks bit-identical"), std::string::npos)
+        << verify.output;
+  }
+
+  const RunResult bench =
+      RunTool("replay --log " + log + " --bench --jsonl -");
+  EXPECT_EQ(bench.exit_code, 0) << bench.output;
+  EXPECT_NE(bench.output.find("\"series\":\"replay_bench\""),
+            std::string::npos)
+      << bench.output;
+  EXPECT_NE(bench.output.find("\"p99_ms\":"), std::string::npos)
+      << bench.output;
+
+  std::system((std::string("rm -rf '") + wdir + "'").c_str());
+}
+
+TEST_F(CliTest, RecordReplayKeepTheStrictFlagContract) {
+  // Unknown flags exit 2 with the per-command message, like every other
+  // command.
+  const RunResult rec = RunTool("record --in " + dataset() + " --frobnicate");
+  EXPECT_EQ(rec.exit_code, 2);
+  EXPECT_NE(rec.output.find("unknown flag --frobnicate for 'record'"),
+            std::string::npos)
+      << rec.output;
+  const RunResult rep = RunTool("replay --log /tmp/x.wlog --qt 3");
+  EXPECT_EQ(rep.exit_code, 2);
+  EXPECT_NE(rep.output.find("unknown flag --qt for 'replay'"),
+            std::string::npos)
+      << rep.output;
+
+  // record needs both inputs; replay needs exactly one source.
+  EXPECT_EQ(RunTool("record --in " + dataset()).exit_code, 2);
+  EXPECT_EQ(RunTool("replay").exit_code, 2);
+  const RunResult both =
+      RunTool("replay --log /tmp/a.wlog --bundle /tmp/b");
+  EXPECT_EQ(both.exit_code, 2);
+  EXPECT_NE(both.output.find("exactly one of --log/--bundle"),
+            std::string::npos)
+      << both.output;
+
+  // A missing log is a runtime error (exit 1), not a usage error.
+  const RunResult missing = RunTool("replay --log /nonexistent/run.wlog");
+  EXPECT_EQ(missing.exit_code, 1);
+  EXPECT_NE(missing.output.find("error"), std::string::npos) << missing.output;
+}
+
 TEST_F(CliTest, MonitorRejectsDeadlineWithAudit) {
   const RunResult r = RunTool("monitor --in " + dataset() +
                           " --audit-rate 0.5 --deadline-ms 100");

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,7 +26,9 @@
 #include "pdr/core/pa_engine.h"
 #include "pdr/mobility/generator.h"
 #include "pdr/obs/audit.h"
+#include "pdr/obs/workload_log.h"
 #include "pdr/parallel/exec_policy.h"
+#include "pdr/replay/replayer.h"
 #include "pdr/resilience/executor.h"
 
 namespace pdr {
@@ -303,6 +306,49 @@ TEST(DifferentialTest, ExplainSignatureEquivalentAcrossThreadCounts) {
     }
     fr.SetExecPolicy(ExecPolicy::Serial());
   }
+}
+
+// Workload-capture differential property: a recorded monitoring run
+// replays bit-identically — every tick digest and EXPLAIN signature hash
+// — at 2, 4, and 8 threads. This is the replay feature's whole claim
+// (any captured incident becomes a cross-thread-count differential test),
+// so it gets the same seeded-sweep treatment as the query paths above.
+TEST(DifferentialTest, ReplayVerifyBitIdenticalAcrossThreadCounts) {
+  char tmpl[] = "/tmp/pdr_diff_replay_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadConfig config;
+    config.WithExtent(kExtent);
+    config.num_objects = 100 + static_cast<int>(seed) * 20;
+    config.max_update_interval = 5;
+    config.seed = seed * 31 + 7;
+    const Dataset ds = GenerateDataset(config, 8);
+
+    WorkloadLogHeader header;
+    header.rho = 2.0 * config.num_objects / (kExtent * kExtent);
+    header.l = 25.0;
+    header.lookahead = 2;
+    header.every = 2;
+    header.histogram_side = 16;
+    header.horizon = 10;
+    header.buffer_pages = 64;
+    const std::string path =
+        std::string(dir) + "/seed" + std::to_string(seed) + ".wlog";
+    RecordDataset(ds, path, header);
+
+    const Replayer replayer = Replayer::FromFile(path);
+    for (int threads : kPolicies) {
+      ReplayOptions options;
+      options.threads = threads;
+      const ReplayResult result = replayer.Run(options);
+      EXPECT_TRUE(result.ok())
+          << "seed=" << seed << " threads=" << threads << ": "
+          << result.mismatch_count << " of " << result.ticks
+          << " ticks diverged";
+    }
+  }
+  std::system(("rm -rf '" + std::string(dir) + "'").c_str());
 }
 
 // Calibrated quality floor on one fixed, heavily clustered workload: PA

@@ -39,6 +39,8 @@
 #include "pdr/mobility/generator.h"
 #include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
+#include "pdr/obs/workload_log.h"
+#include "pdr/replay/replayer.h"
 #include "pdr/storage/disk_pager.h"
 #include "pdr/storage/fault_injector.h"
 #include "transcript_util.h"
@@ -413,6 +415,86 @@ TEST(CrashDumpTest, InjectedCrashWritesFlightRecorderDump) {
   // Recovery still works after the dump: the reopened store answers.
   FrEngine recovered(Opts(IndexKind::kTprTree, store.path(), nullptr));
   EXPECT_GE(recovered.Query(kPhaseSplit, BaseRho(), kL).region.size(), 0u);
+
+  FlightRecorder::SetEnabled(false);
+  rec.Reset();
+  rec.Configure({});
+}
+
+// The incident-repro contract end to end: a monitored durable run with
+// the workload recorder armed crashes mid-checkpoint; the kOnCrash dump
+// hook writes a self-contained bundle; replaying *nothing but that
+// bundle* — against freshly built in-memory engines — re-derives every
+// recorded tick digest and EXPLAIN signature bit-identically. The digests
+// exclude I/O counts precisely so a capture taken against the DiskPager
+// store verifies against the in-memory replay.
+TEST(CrashDumpTest, CrashBundleReplaysToSameSignatures) {
+  if (!PdrObs::CompiledIn()) GTEST_SKIP() << "observability compiled out";
+  const Dataset ds = MakeWorkload();
+  TempDir store;
+  TempDir dumps;
+  TempDir bundles;
+
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Reset();
+  rec.Configure({.ring_capacity = 1 << 10,
+                 .dump_dir = dumps.path(),
+                 .triggers = FlightRecorder::kOnCrash,
+                 .max_dumps = 2});
+  FlightRecorder::SetEnabled(true);
+
+  // The header must describe the serving config faithfully: the replayer
+  // rebuilds its engines from these fields alone.
+  WorkloadLogHeader header;
+  header.extent = kExtent;
+  header.num_objects = kObjects;
+  header.max_update_interval = kU;
+  header.seed = ds.config.seed;
+  header.duration = kDuration;
+  header.rho = BaseRho();
+  header.l = kL;
+  header.lookahead = 2;
+  header.every = 2;
+  header.histogram_side = 20;
+  header.horizon = 2 * kU;
+  header.buffer_pages = 32;
+  header.io_ms = 10.0;
+
+  FaultInjector inject;
+  {
+    FrEngine fr(Opts(IndexKind::kTprTree, store.path(), &inject));
+    PdrMonitor monitor(&fr, {.rho = BaseRho(), .l = kL, .lookahead = 2});
+    WorkloadRecorder recorder(store.path() + "/run.wlog", header);
+    monitor.SetRecorder(&recorder);
+    recorder.ArmBundles(bundles.path() + "/bundles");
+
+    for (Tick now = 0; now <= kPhaseSplit; ++now) {
+      fr.AdvanceTo(now);
+      for (const UpdateEvent& e : ds.ticks[now]) fr.Apply(e);
+      recorder.OnUpdates(now, ds.ticks[now]);
+      if (now % 2 == 0) monitor.OnTick(now);
+    }
+    inject.Arm(inject.ops_seen() + 1, CrashMode::kClean);
+    EXPECT_THROW(fr.Checkpoint(), CrashError);
+    // The crash dump fired the hook: one bundle on disk before any catch
+    // handler ran.
+    EXPECT_EQ(recorder.stats().bundles, 1);
+  }
+
+  const std::string bundle = bundles.path() + "/bundles/bundle_000_crash";
+  const Replayer replayer = Replayer::FromBundle(bundle);
+  const ReplayResult result = replayer.Run({});
+  EXPECT_TRUE(result.ok()) << result.mismatch_count << " of " << result.ticks
+                           << " ticks diverged";
+  EXPECT_EQ(result.ticks, 4);  // OnTick at 0, 2, 4, 6
+  size_t i = 0;
+  for (const WorkloadLogRecord& r : replayer.log().records) {
+    if (r.kind != WorkloadLogRecord::Kind::kTick) continue;
+    ASSERT_LT(i, result.replayed.size());
+    EXPECT_EQ(result.replayed[i].sig_hash, r.query.sig_hash)
+        << "tick " << r.tick;
+    ++i;
+  }
 
   FlightRecorder::SetEnabled(false);
   rec.Reset();

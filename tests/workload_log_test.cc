@@ -1,0 +1,214 @@
+// Workload log format tests: round-trip fidelity, the torn-tail /
+// interior-corruption distinction, digest semantics, and repro bundles.
+//
+// The format contract mirrors the WAL's: an append may be torn by a dying
+// process (Load returns the intact prefix, torn_tail set), but a fully
+// present record that fails its checksum is interior corruption and the
+// whole log is refused — a capture that lies would make every replay
+// conclusion worthless.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pdr/core/monitor.h"
+#include "pdr/mobility/generator.h"
+#include "pdr/obs/workload_log.h"
+#include "pdr/replay/replayer.h"
+
+namespace pdr {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/pdr_wlog_test_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    dir_ = dir != nullptr ? dir : "/tmp";
+  }
+  ~TempDir() { std::system(("rm -rf '" + dir_ + "'").c_str()); }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+Dataset SmallDataset(uint64_t seed = 17) {
+  WorkloadConfig config;
+  config.WithExtent(300.0);
+  config.num_objects = 120;
+  config.max_update_interval = 6;
+  config.seed = seed;
+  return GenerateDataset(config, 10);
+}
+
+WorkloadLogHeader SmallHeader() {
+  WorkloadLogHeader h;
+  h.rho = 120.0 / (300.0 * 300.0);
+  h.l = 40.0;
+  h.lookahead = 3;
+  h.every = 2;
+  h.histogram_side = 20;
+  h.horizon = 12;
+  h.buffer_pages = 32;
+  return h;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(WorkloadLogTest, RecordedRunRoundTripsThroughLoad) {
+  TempDir dir;
+  const std::string path = dir.path() + "/run.wlog";
+  const Dataset ds = SmallDataset();
+  const WorkloadRecorder::Stats stats =
+      RecordDataset(ds, path, SmallHeader());
+  EXPECT_EQ(stats.ticks, 6);  // duration 10, cadence 2 -> ticks 0,2,...,10
+  EXPECT_EQ(stats.updates, static_cast<int64_t>(ds.TotalUpdates()));
+  EXPECT_GT(stats.bytes, 0);
+
+  const WorkloadLog log = WorkloadLog::Load(path);
+  EXPECT_FALSE(log.torn_tail);
+  EXPECT_EQ(log.bytes, stats.bytes);
+  EXPECT_DOUBLE_EQ(log.header.extent, ds.config.extent);
+  EXPECT_EQ(log.header.num_objects, ds.config.num_objects);
+  EXPECT_EQ(log.header.seed, ds.config.seed);
+  EXPECT_EQ(log.header.duration, ds.duration());
+  EXPECT_DOUBLE_EQ(log.header.l, 40.0);
+  EXPECT_EQ(log.header.every, 2);
+
+  int64_t ticks = 0, updates = 0;
+  for (const WorkloadLogRecord& rec : log.records) {
+    if (rec.kind == WorkloadLogRecord::Kind::kTick) {
+      ++ticks;
+      EXPECT_EQ(rec.query.q_t, rec.query.now + 3);
+      EXPECT_NE(rec.query.digest, 0u);
+      EXPECT_NE(rec.query.sig_hash, 0u);
+    } else {
+      updates += static_cast<int64_t>(rec.updates.size());
+      for (const UpdateEvent& e : rec.updates) EXPECT_EQ(e.tick, rec.tick);
+    }
+  }
+  EXPECT_EQ(ticks, stats.ticks);
+  EXPECT_EQ(updates, stats.updates);
+}
+
+TEST(WorkloadLogTest, TornTailIsAcceptedAsPrefix) {
+  TempDir dir;
+  const std::string path = dir.path() + "/run.wlog";
+  RecordDataset(SmallDataset(), path, SmallHeader());
+  const WorkloadLog full = WorkloadLog::Load(path);
+
+  // Chop into the final record, as a process dying mid-append would.
+  const std::string bytes = ReadAll(path);
+  const std::string torn_path = dir.path() + "/torn.wlog";
+  WriteAll(torn_path, bytes.substr(0, bytes.size() - 9));
+
+  const WorkloadLog torn = WorkloadLog::Load(torn_path);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.records.size() + 1, full.records.size());
+  EXPECT_LT(torn.bytes, full.bytes);
+}
+
+TEST(WorkloadLogTest, InteriorCorruptionIsRejected) {
+  TempDir dir;
+  const std::string path = dir.path() + "/run.wlog";
+  RecordDataset(SmallDataset(), path, SmallHeader());
+
+  // Flip one payload byte in the middle of the file: the record is fully
+  // present, so this must throw (checksum mismatch), never torn-tail.
+  std::string bytes = ReadAll(path);
+  bytes[bytes.size() / 2] ^= 0x40;
+  const std::string bad_path = dir.path() + "/bad.wlog";
+  WriteAll(bad_path, bytes);
+  EXPECT_THROW(WorkloadLog::Load(bad_path), std::runtime_error);
+}
+
+TEST(WorkloadLogTest, BadMagicAndMissingFileAreRejected) {
+  TempDir dir;
+  EXPECT_THROW(WorkloadLog::Load(dir.path() + "/absent.wlog"),
+               std::runtime_error);
+  const std::string junk = dir.path() + "/junk.wlog";
+  WriteAll(junk, "this is not a workload log at all");
+  EXPECT_THROW(WorkloadLog::Load(junk), std::runtime_error);
+}
+
+TEST(WorkloadLogTest, TickDigestCoversAnswerBitsButNotWallTime) {
+  PdrMonitor::Delta delta;
+  delta.now = 4;
+  delta.q_t = 7;
+  delta.current.Add(Rect(10.0, 10.0, 40.0, 40.0));
+  delta.explain.rho = 0.01;
+  delta.explain.l = 30.0;
+  const uint64_t base = TickDigest(delta);
+
+  // Wall time and I/O are execution details, not answer bits.
+  PdrMonitor::Delta timed = delta;
+  timed.elapsed_ms = 123.0;
+  timed.explain.elapsed_ms = 123.0;
+  timed.explain.pages_read_physical = 999;
+  EXPECT_EQ(TickDigest(timed), base);
+
+  // The tiniest answer perturbation must move the digest (raw-bits
+  // transcript: one ulp is a different bit pattern).
+  PdrMonitor::Delta nudged = delta;
+  nudged.current = Region();
+  nudged.current.Add(
+      Rect(10.0, 10.0, std::nextafter(40.0, 41.0), 40.0));
+  EXPECT_NE(TickDigest(nudged), base);
+
+  PdrMonitor::Delta degraded = delta;
+  degraded.tier = AnswerTier::kHistogram;
+  EXPECT_NE(TickDigest(degraded), base);
+}
+
+TEST(WorkloadLogTest, WriteBundleProducesSelfContainedDirectory) {
+  TempDir dir;
+  const std::string path = dir.path() + "/run.wlog";
+  const Dataset ds = SmallDataset();
+
+  WorkloadLogHeader header = SmallHeader();
+  header.extent = ds.config.extent;
+  header.num_objects = ds.config.num_objects;
+  WorkloadRecorder recorder(path, header);
+  recorder.ArmBundles(dir.path() + "/bundles");
+
+  // An explicit bundle write (no flight dump attached): manifest + log.
+  const std::string bundle =
+      recorder.WriteBundle("unit_test", FlightRecorder::DumpInfo{});
+  EXPECT_NE(bundle.find("bundle_000_unit_test"), std::string::npos) << bundle;
+  EXPECT_EQ(recorder.stats().bundles, 1);
+
+  const std::string wlog = BundleWorkloadLog(bundle);
+  const WorkloadLog log = WorkloadLog::Load(wlog);
+  EXPECT_EQ(log.header.num_objects, ds.config.num_objects);
+  const std::string manifest = ReadAll(bundle + "/MANIFEST.json");
+  EXPECT_NE(manifest.find("\"type\":\"repro_bundle\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"reason\":\"unit_test\""), std::string::npos);
+
+  EXPECT_THROW(BundleWorkloadLog(dir.path() + "/not_a_bundle"),
+               std::runtime_error);
+  recorder.DisarmBundles();
+}
+
+}  // namespace
+}  // namespace pdr
