@@ -100,14 +100,18 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <initializer_list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "pdr/mobility/dataset_io.h"
 #include "pdr/pdr.h"
@@ -163,7 +167,8 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"monitor",
        {"in", "varrho", "l", "lookahead", "every", "threads", "trace",
         "audit-rate", "report", "interval", "degree", "fail-on-drift",
-        "deadline-ms", "max-inflight", "degrade", "flight-dir", "slo-ms"}},
+        "deadline-ms", "max-inflight", "degrade", "flight-dir", "slo-ms",
+        "concurrent"}},
       {"stats",
        {"in", "varrho", "l", "qt", "engine", "index", "queries", "json",
         "format"}},
@@ -172,7 +177,7 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"record",
        {"in", "log", "varrho", "l", "lookahead", "every", "threads",
         "deadline-ms", "max-inflight", "degrade", "degree", "bundle-dir",
-        "flight-dir"}},
+        "flight-dir", "concurrent"}},
       {"replay", {"log", "bundle", "verify", "bench", "threads", "digests",
                   "jsonl"}},
   };
@@ -287,6 +292,8 @@ int Usage() {
       "[--degree K] [--fail-on-drift]\n"
       "           [--deadline-ms D] [--max-inflight M] [--degrade 0|1] "
       "[--flight-dir DIR] [--slo-ms D]\n"
+      "           [--concurrent N]  (MVCC mode: N snapshot-reader "
+      "threads run against the update stream)\n"
       "  stats:   --in FILE --varrho R --l L [--qt T] "
       "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n"
       "           [--format text|prometheus]\n"
@@ -298,7 +305,8 @@ int Usage() {
       "[--every K] [--threads N]\n"
       "           [--deadline-ms D] [--max-inflight M] [--degrade 0|1] "
       "[--degree K] [--bundle-dir DIR]\n"
-      "           [--flight-dir DIR]\n"
+      "           [--flight-dir DIR] [--concurrent Q]  (capture an MVCC "
+      "schedule, Q snapshot queries per evaluated tick)\n"
       "  replay:  (--log FILE | --bundle DIR) [--verify | --bench] "
       "[--threads N] [--digests]\n"
       "           [--jsonl FILE]\n");
@@ -507,7 +515,93 @@ int RunExplain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// `monitor --concurrent N`: the MVCC demonstration. One writer thread
+// (this one) commits the update stream epoch by epoch at full rate while
+// N reader threads hammer RunSnapshotQuery; no reader ever blocks the
+// writer. Readers cross-check each other: all answers pinned to the same
+// epoch must carry the same transcript digest.
+int RunMonitorConcurrent(const std::map<std::string, std::string>& flags) {
+  const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
+  const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
+  const double l = std::stod(FlagOr(flags, "l", "30"));
+  const Tick lookahead = std::stoi(FlagOr(flags, "lookahead", "10"));
+  const int readers =
+      std::max(1, std::stoi(FlagOr(flags, "concurrent", "1")));
+  const double extent = ds.config.extent;
+  const double rho = varrho * ds.config.num_objects / (extent * extent);
+
+  mvcc::SnapshotManager snapshots;
+  FrEngine fr({.extent = extent,
+               .histogram_side = 100,
+               .horizon = 2 * ds.config.max_update_interval,
+               .buffer_pages =
+                   PaperConfig().BufferPagesFor(ds.config.num_objects),
+               .io_ms = 10.0,
+               .max_update_interval = ds.config.max_update_interval,
+               .snapshots = &snapshots});
+  PdrMonitor monitor(&fr, {.rho = rho, .l = l, .lookahead = lookahead});
+  monitor.StartConcurrent();
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> queries{0};
+  std::atomic<int64_t> inconsistent{0};
+  std::mutex check_mu;
+  std::map<uint64_t, uint64_t> epoch_digest;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    pool.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const PdrMonitor::Delta delta = monitor.RunSnapshotQuery();
+        const uint64_t digest = TickDigest(delta);
+        {
+          std::lock_guard<std::mutex> lock(check_mu);
+          auto [it, inserted] = epoch_digest.emplace(delta.epoch, digest);
+          if (!inserted && it->second != digest) {
+            inconsistent.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Timer timer;
+  int64_t updates = 0;
+  uint64_t last_epoch = 0;
+  for (Tick now = 0; now <= ds.duration(); ++now) {
+    last_epoch = monitor.ApplyUpdates(now, ds.ticks[now]);
+    updates += static_cast<int64_t>(ds.ticks[now].size());
+  }
+  const double writer_ms = timer.ElapsedMillis();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+  const double total_ms = timer.ElapsedMillis();
+
+  const int64_t q = queries.load();
+  std::printf("concurrent monitor: %llu epochs committed, %lld updates in "
+              "%.1f ms (%.0f commits/s)\n",
+              static_cast<unsigned long long>(last_epoch),
+              static_cast<long long>(updates), writer_ms,
+              1000.0 * static_cast<double>(last_epoch) /
+                  std::max(writer_ms, 1e-9));
+  std::printf("readers  : %d thread(s), %lld snapshot queries over %zu "
+              "distinct epochs (%.0f queries/s)\n",
+              readers, static_cast<long long>(q), epoch_digest.size(),
+              1000.0 * static_cast<double>(q) / std::max(total_ms, 1e-9));
+  std::printf("mvcc     : %lld live / %lld retired versions, floor epoch "
+              "%llu\n",
+              static_cast<long long>(snapshots.live_versions()),
+              static_cast<long long>(snapshots.retired_versions()),
+              static_cast<unsigned long long>(snapshots.reclaim_floor()));
+  const int64_t bad = inconsistent.load();
+  std::printf("identity : cross-reader per-epoch digests %s\n",
+              bad == 0 ? "consistent" : "INCONSISTENT");
+  return bad == 0 ? 0 : 3;
+}
+
 int RunMonitor(const std::map<std::string, std::string>& flags) {
+  if (flags.count("concurrent") > 0) return RunMonitorConcurrent(flags);
   const Dataset ds = LoadDataset(FlagOr(flags, "in", ""));
   const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
   const double l = std::stod(FlagOr(flags, "l", "30"));
@@ -939,11 +1033,18 @@ int RunRecord(const std::map<std::string, std::string>& flags) {
   header.degree = std::stoi(FlagOr(flags, "degree", "5"));
   header.eval_grid = 1000;
 
+  const bool concurrent = flags.count("concurrent") > 0;
   const WorkloadRecorder::Stats stats =
-      RecordDataset(ds, log_path, header, FlagOr(flags, "bundle-dir", ""));
-  std::printf("recorded %s: %lld ticks, %lld updates in %lld batches, "
+      concurrent
+          ? RecordConcurrentDataset(
+                ds, log_path, header,
+                std::max(1, std::stoi(FlagOr(flags, "concurrent", "1"))))
+          : RecordDataset(ds, log_path, header,
+                          FlagOr(flags, "bundle-dir", ""));
+  std::printf("recorded %s%s: %lld ticks, %lld updates in %lld batches, "
               "%lld bytes\n",
-              log_path.c_str(), static_cast<long long>(stats.ticks),
+              log_path.c_str(), concurrent ? " (concurrent)" : "",
+              static_cast<long long>(stats.ticks),
               static_cast<long long>(stats.updates),
               static_cast<long long>(stats.update_batches),
               static_cast<long long>(stats.bytes));

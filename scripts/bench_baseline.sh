@@ -3,7 +3,8 @@
 # (Fig. 8 accuracy, Fig. 8 memory, Fig. 10 cost) plus the durability
 # extension (checkpoint cost, WAL volume, recovery time) and the
 # resilience extension (p99 latency and answer-tier mix vs offered load)
-# with JSONL output and consolidates the series into one
+# and the MVCC extension (commit rate and snapshot-query p99 vs reader
+# load) with JSONL output and consolidates the series into one
 # BENCH_baseline.json at the repo root. Two observability series ride
 # along: the flight-recorder's off/on overhead on the end-to-end query
 # probe and the byte size of one seeded deadline-miss dump pair.
@@ -52,7 +53,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 benches=(bench_fig8_accuracy bench_fig8_memory bench_fig10_cost
-         bench_durability bench_resilience)
+         bench_durability bench_resilience bench_mvcc)
 for b in "${benches[@]}"; do
   if [[ ! -x "${build}/bench/${b}" ]]; then
     echo "error: ${build}/bench/${b} not built (cmake --build ${build})" >&2

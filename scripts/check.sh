@@ -46,7 +46,7 @@ EXTRA_CTEST_ARGS=("$@")
 # buffer pool's read phase, or cross-thread tracing. TSan runs ~10x slower,
 # so the single-threaded math/geometry suites are skipped there (ASan
 # covers them above).
-tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest|FlightRecorderTest|SloMonitorTest|ResilienceTest|ResilienceSoakTest)'
+tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest|FlightRecorderTest|SloMonitorTest|ResilienceTest|ResilienceSoakTest|MvccInterleaveTest|MvccSoakTest)'
 
 run_config build-check "" -DCMAKE_BUILD_TYPE=Release
 run_config build-asan "" -DCMAKE_BUILD_TYPE=Debug -DPDR_SANITIZE=ON

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Workload capture/replay regression lane.
 #
-# Four checks, strongest first:
+# Five checks, strongest first:
 #
 #   1. Capture determinism — a fresh seeded `pdr_tool record` run must
 #      replay with bit-identical per-tick digests at 1/2/4/8 threads
@@ -15,6 +15,12 @@
 #      intentional engine change regenerates the fixture pair, an
 #      accidental one fails here. Assumes strict IEEE-754 doubles (the
 #      build never enables -ffast-math).
+#   2b. Concurrent fixture — the same pair for an MVCC capture
+#      (tests/fixtures/ci_workload_mvcc.{wlog,golden}, recorded via
+#      `pdr_tool record --concurrent`). Its verify path re-derives a
+#      serialized reference per commit epoch and compares every snapshot
+#      answer against it, so this lane pins the MVCC bit-identity claim
+#      plus the epoch-tagged log format across PRs.
 #   3. Recording overhead — bench_micro's BM_MonitorTick vs
 #      BM_MonitorTickRecorded probe pair: many short interleaved
 #      repetitions after a warm-up window, min CPU time per side (the
@@ -60,6 +66,9 @@ fail() {
   mkdir -p "${artifacts}"
   cp -f "${fixture}" "${artifacts}/" 2>/dev/null || true
   cp -f "${golden}" "${artifacts}/" 2>/dev/null || true
+  cp -f "${repo}/tests/fixtures/ci_workload_mvcc.wlog" \
+      "${repo}/tests/fixtures/ci_workload_mvcc.golden" \
+      "${artifacts}/" 2>/dev/null || true
   cp -f "${tmpdir}"/*.wlog "${tmpdir}"/*.digests "${tmpdir}"/*.jsonl \
       "${artifacts}/" 2>/dev/null || true
   echo "replay artifacts saved to ${artifacts}" >&2
@@ -77,6 +86,17 @@ for threads in 1 2 4 8; do
       || fail "fresh capture diverged at --threads ${threads}"
   echo "  threads=${threads}: bit-identical"
 done
+# The same determinism claim for a fresh MVCC capture: every recorded
+# snapshot answer must match the serialized reference re-derived at its
+# pinned epoch.
+"${tool}" record --in "${tmpdir}/fresh.pdrd" --log "${tmpdir}/fresh_mvcc.wlog" \
+    --varrho 3 --l 30 --lookahead 4 --every 2 --concurrent 2 >/dev/null
+for threads in 1 4; do
+  "${tool}" replay --log "${tmpdir}/fresh_mvcc.wlog" --verify \
+      --threads "${threads}" >/dev/null \
+      || fail "fresh concurrent capture diverged at --threads ${threads}"
+  echo "  concurrent threads=${threads}: bit-identical"
+done
 
 echo "==== replay lane 2: checked-in fixture matches its golden ===="
 if [[ ! -f "${fixture}" || ! -f "${golden}" ]]; then
@@ -91,6 +111,22 @@ if ! diff -u "${golden}" "${tmpdir}/got.digests"; then
        "(regenerate the fixture pair if the change is intentional)"
 fi
 echo "  $(wc -l <"${golden}") golden digests match"
+
+echo "==== replay lane 2b: concurrent MVCC fixture matches its golden ===="
+mvcc_fixture="${repo}/tests/fixtures/ci_workload_mvcc.wlog"
+mvcc_golden="${repo}/tests/fixtures/ci_workload_mvcc.golden"
+if [[ ! -f "${mvcc_fixture}" || ! -f "${mvcc_golden}" ]]; then
+  fail "concurrent fixture pair missing (${mvcc_fixture}, ${mvcc_golden})"
+fi
+"${tool}" replay --log "${mvcc_fixture}" --verify --digests \
+    >"${tmpdir}/mvcc_fixture.digests" \
+    || fail "concurrent fixture no longer verifies against its serialized references"
+grep '^digest' "${tmpdir}/mvcc_fixture.digests" >"${tmpdir}/mvcc_got.digests"
+if ! diff -u "${mvcc_golden}" "${tmpdir}/mvcc_got.digests"; then
+  fail "concurrent fixture digests diverge from ${mvcc_golden} —" \
+       "snapshot answers changed (regenerate the pair if intentional)"
+fi
+echo "  $(wc -l <"${mvcc_golden}") golden snapshot digests match"
 
 echo "==== replay lane 3: recording overhead on the monitor-tick probe ===="
 bench="${build}/bench/bench_micro"

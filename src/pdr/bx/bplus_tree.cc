@@ -83,9 +83,14 @@ BPlusTree::BPlusTree(BufferPool* pool) : pool_(pool) {
 }
 
 PageId BPlusTree::FindLeaf(uint64_t key, std::vector<PageId>* path) const {
-  PageId page = root_;
+  return FindLeafFrom(*pool_, root_, key, path);
+}
+
+PageId BPlusTree::FindLeafFrom(BufferPool& pool, PageId root, uint64_t key,
+                               std::vector<PageId>* path) {
+  PageId page = root;
   while (true) {
-    auto ref = pool_->Fetch(page);
+    auto ref = pool.Fetch(page);
     const NodeHeader* header = ref->As<NodeHeader>();
     if (header->is_leaf) return page;
     if (path != nullptr) path->push_back(page);
@@ -242,9 +247,15 @@ bool BPlusTree::Find(uint64_t key, BPlusRecord* out) {
 void BPlusTree::ScanRange(
     uint64_t lo, uint64_t hi,
     const std::function<bool(const BPlusRecord&)>& visit) const {
-  PageId page = FindLeaf(lo, nullptr);
+  ScanRangeFrom(*pool_, root_, lo, hi, visit);
+}
+
+void BPlusTree::ScanRangeFrom(
+    BufferPool& pool, PageId root, uint64_t lo, uint64_t hi,
+    const std::function<bool(const BPlusRecord&)>& visit) {
+  PageId page = FindLeafFrom(pool, root, lo, nullptr);
   while (page != kInvalidPageId) {
-    auto ref = pool_->Fetch(page);
+    auto ref = pool.Fetch(page);
     const auto* leaf = ref->As<LeafLayout>();
     for (int i = LowerBound(leaf, lo); i < leaf->header.count; ++i) {
       if (leaf->records[i].key > hi) return;

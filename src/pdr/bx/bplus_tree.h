@@ -62,6 +62,15 @@ class BPlusTree {
   void ScanRange(uint64_t lo, uint64_t hi,
                  const std::function<bool(const BPlusRecord&)>& visit) const;
 
+  /// ScanRange against an explicit (pool, root) pair: the traversal needs
+  /// nothing else, so an MVCC snapshot query can run it over a frozen
+  /// page view (src/pdr/mvcc/) with the exact instance-method code path.
+  static void ScanRangeFrom(
+      BufferPool& pool, PageId root, uint64_t lo, uint64_t hi,
+      const std::function<bool(const BPlusRecord&)>& visit);
+
+  PageId root() const { return root_; }
+
   size_t size() const { return size_; }
   size_t node_count() const { return node_count_; }
   int height() const { return height_; }
@@ -84,6 +93,8 @@ class BPlusTree {
   /// Descends to the leaf whose range covers `key`, collecting the path
   /// of internal pages when `path` is non-null.
   PageId FindLeaf(uint64_t key, std::vector<PageId>* path) const;
+  static PageId FindLeafFrom(BufferPool& pool, PageId root, uint64_t key,
+                             std::vector<PageId>* path);
 
   void InsertIntoParent(std::vector<PageId> path, uint64_t key,
                         PageId child);

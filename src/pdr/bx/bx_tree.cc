@@ -20,6 +20,13 @@ constexpr int64_t kPartitionSlots = 8;
 constexpr uint32_t kBxMetaMagic = 0x4d585842u;  // "BXXM"
 
 std::unique_ptr<Pager> MakeTreePager(const BxTree::Options& options) {
+  if (options.external_pager != nullptr) {
+    if (!options.storage_dir.empty()) {
+      throw std::invalid_argument(
+          "BxTree: external_pager and storage_dir are mutually exclusive");
+    }
+    return nullptr;  // caller-owned store
+  }
   if (options.storage_dir.empty()) return std::make_unique<MemPager>();
   return std::make_unique<DiskPager>(options.storage_dir,
                                      options.fault_injector);
@@ -31,7 +38,9 @@ BxTree::BxTree(const Options& options)
     : options_(options),
       phase_span_(std::max<Tick>(1, options.max_update_interval / 2)),
       pager_(MakeTreePager(options)),
-      pool_(pager_.get(), options.buffer_pages),
+      pool_(options.external_pager != nullptr ? options.external_pager
+                                              : pager_.get(),
+            options.buffer_pages),
       tree_(&pool_) {
   disk_ = dynamic_cast<DiskPager*>(pager_.get());
   if (disk_ != nullptr && disk_->recovered()) {
@@ -94,8 +103,12 @@ void BxTree::Checkpoint(const std::string& app_meta) {
 }
 
 uint32_t BxTree::CellCoord(double v) const {
-  const double cell = options_.extent / (1u << kBxZBits);
-  const double clamped = Clamp(v, 0.0, options_.extent);
+  return CellCoordFor(options_.extent, v);
+}
+
+uint32_t BxTree::CellCoordFor(double extent, double v) {
+  const double cell = extent / (1u << kBxZBits);
+  const double clamped = Clamp(v, 0.0, extent);
   return std::min(kBxMaxCell,
                   static_cast<uint32_t>(std::floor(clamped / cell)));
 }
@@ -144,12 +157,18 @@ void BxTree::AdvanceTo(Tick now) {
 
 std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
     const Rect& window, Tick t) const {
+  return RangeQueryFrom(read_view(), pool_, window, t, &scanned_records_);
+}
+
+std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQueryFrom(
+    const ReadView& view, BufferPool& pool, const Rect& window, Tick t,
+    std::atomic<int64_t>* scanned_total) {
   TraceSpan span("bx.range_query");
   // Inside a concurrent-reads phase, pool-wide stats mix in other threads'
   // I/O; attribute this query's span from the calling thread's delta.
-  const bool phased = pool_.in_read_phase();
+  const bool phased = pool.in_read_phase();
   const IoStats io_before =
-      span.active() ? (phased ? pool_.PeekThreadIoDelta() : pool_.stats())
+      span.active() ? (phased ? pool.PeekThreadIoDelta() : pool.stats())
                     : IoStats{};
   int64_t scanned = 0;  // local tally, folded into the atomic once at exit
   static Counter& queries =
@@ -158,59 +177,66 @@ std::vector<std::pair<ObjectId, MotionState>> BxTree::RangeQuery(
       MetricsRegistry::Global().GetCounter("pdr.bx.scanned_records");
   queries.Increment();
 
+  const auto partition_of = [&view](Tick t_ref) {
+    return static_cast<int64_t>(t_ref) / view.phase_span;
+  };
+
   std::vector<std::pair<ObjectId, MotionState>> out;
-  if (tree_.size() == 0) return out;
+  if (view.size == 0) return out;
 
   // Partitions that can hold live entries: reference ticks in
   // [now - U, now].
   const int64_t p_lo =
-      PartitionOf(std::max<Tick>(0, now_ - options_.max_update_interval));
-  const int64_t p_hi = PartitionOf(now_);
+      partition_of(std::max<Tick>(0, view.now - view.max_update_interval));
+  const int64_t p_hi = partition_of(view.now);
 
   for (int64_t partition = p_lo; partition <= p_hi; ++partition) {
-    const Tick label = LabelTime(partition);
+    const Tick label = static_cast<Tick>((partition + 1) * view.phase_span);
     // Enlarge the query window back (or forward) to the label time using
     // the maximum observed speeds, then clamp to the domain: every object
     // whose position at t is in `window` has its label-time position in
     // the enlarged window (see DESIGN.md for the clamping argument).
     const double dt = std::fabs(static_cast<double>(t) - label);
-    const Rect enlarged(window.x_lo - max_speed_x_ * dt,
-                        window.y_lo - max_speed_y_ * dt,
-                        window.x_hi + max_speed_x_ * dt,
-                        window.y_hi + max_speed_y_ * dt);
+    const Rect enlarged(window.x_lo - view.max_speed_x * dt,
+                        window.y_lo - view.max_speed_y * dt,
+                        window.x_hi + view.max_speed_x * dt,
+                        window.y_hi + view.max_speed_y * dt);
     // CellCoord clamps into the domain monotonically, so the cell range
     // below covers the clamped label position of every candidate — even
     // objects whose predicted positions leave the domain.
-    const uint32_t cx_lo = CellCoord(enlarged.x_lo);
-    const uint32_t cy_lo = CellCoord(enlarged.y_lo);
-    const uint32_t cx_hi = CellCoord(enlarged.x_hi);
-    const uint32_t cy_hi = CellCoord(enlarged.y_hi);
+    const uint32_t cx_lo = CellCoordFor(view.extent, enlarged.x_lo);
+    const uint32_t cy_lo = CellCoordFor(view.extent, enlarged.y_lo);
+    const uint32_t cx_hi = CellCoordFor(view.extent, enlarged.x_hi);
+    const uint32_t cy_hi = CellCoordFor(view.extent, enlarged.y_hi);
 
     const uint64_t partition_bits =
         static_cast<uint64_t>(partition % kPartitionSlots) << kPartitionShift;
     for (const ZInterval& iv :
          ZDecomposeWindow(cx_lo, cy_lo, cx_hi, cy_hi,
-                          options_.max_scan_intervals)) {
+                          view.max_scan_intervals)) {
       const uint64_t lo = partition_bits | (iv.lo << kZShift);
       const uint64_t hi = partition_bits | (iv.hi << kZShift) | kOidMask;
-      tree_.ScanRange(lo, hi, [&](const BPlusRecord& record) {
-        ++scanned;
-        // Entries from other (old) partitions cannot appear: partition
-        // bits differ for all live generations. Filter exactly.
-        const MotionState state = record.ToState();
-        if (PartitionOf(state.t_ref) == partition &&
-            window.ContainsClosed(state.PositionAt(t))) {
-          out.emplace_back(record.oid, state);
-        }
-        return true;
-      });
+      BPlusTree::ScanRangeFrom(
+          pool, view.root, lo, hi, [&](const BPlusRecord& record) {
+            ++scanned;
+            // Entries from other (old) partitions cannot appear: partition
+            // bits differ for all live generations. Filter exactly.
+            const MotionState state = record.ToState();
+            if (partition_of(state.t_ref) == partition &&
+                window.ContainsClosed(state.PositionAt(t))) {
+              out.emplace_back(record.oid, state);
+            }
+            return true;
+          });
     }
   }
-  scanned_records_.fetch_add(scanned, std::memory_order_relaxed);
+  if (scanned_total != nullptr) {
+    scanned_total->fetch_add(scanned, std::memory_order_relaxed);
+  }
   scanned_counter.Add(scanned);
   if (span.active()) {
     const IoStats delta =
-        (phased ? pool_.PeekThreadIoDelta() : pool_.stats()) - io_before;
+        (phased ? pool.PeekThreadIoDelta() : pool.stats()) - io_before;
     span.SetAttr("partitions", p_hi - p_lo + 1);
     span.SetAttr("scanned", scanned);
     span.SetAttr("results", static_cast<int64_t>(out.size()));

@@ -51,6 +51,10 @@ class BxTree : public ObjectIndex {
     std::string storage_dir;
     /// Crash-fault injection for the durable store (tests only; not owned).
     FaultInjector* fault_injector = nullptr;
+    /// Non-null: the tree runs over this caller-owned pager instead of
+    /// creating its own (the MVCC copy-on-write seam). Mutually exclusive
+    /// with storage_dir (std::invalid_argument otherwise).
+    Pager* external_pager = nullptr;
   };
 
   explicit BxTree(const Options& options);
@@ -74,6 +78,36 @@ class BxTree : public ObjectIndex {
   Tick now() const { return now_; }
   Tick phase_span() const { return phase_span_; }
   BPlusTree& btree() { return tree_; }
+  void FlushBufferPool() override { pool_.FlushAll(); }
+
+  /// Everything the range-query traversal reads besides pages: the scalar
+  /// state an MVCC commit freezes alongside the page versions, so a
+  /// snapshot query can run RangeQueryFrom against a frozen pager view
+  /// while the live tree keeps moving.
+  struct ReadView {
+    Tick now = 0;
+    Tick phase_span = 1;
+    Tick max_update_interval = 60;
+    double extent = 1000.0;
+    int max_scan_intervals = 256;
+    double max_speed_x = 0.0;
+    double max_speed_y = 0.0;
+    PageId root = kInvalidPageId;
+    uint64_t size = 0;
+  };
+  ReadView read_view() const {
+    return {now_,          phase_span_,  options_.max_update_interval,
+            options_.extent, options_.max_scan_intervals,
+            max_speed_x_,  max_speed_y_, tree_.root(),
+            static_cast<uint64_t>(tree_.size())};
+  }
+
+  /// The range query against an explicit (view, pool) pair — the exact
+  /// instance-method traversal, decoupled from live state. `scanned_total`
+  /// (optional) receives the records-visited tally.
+  static std::vector<std::pair<ObjectId, MotionState>> RangeQueryFrom(
+      const ReadView& view, BufferPool& pool, const Rect& window, Tick t,
+      std::atomic<int64_t>* scanned_total = nullptr);
 
   // Durability (ObjectIndex hooks): flushes the pool and checkpoints the
   // DiskPager with the B^x metadata (clock, max speeds, object->key map,
@@ -105,6 +139,7 @@ class BxTree : public ObjectIndex {
     return static_cast<Tick>((partition + 1) * phase_span_);
   }
   uint32_t CellCoord(double v) const;
+  static uint32_t CellCoordFor(double extent, double v);
   std::string SerializeMeta(const std::string& app_meta) const;
   void RestoreMeta(const std::string& blob);
 
@@ -112,7 +147,7 @@ class BxTree : public ObjectIndex {
   Tick phase_span_;
   std::unique_ptr<Pager> pager_;
   DiskPager* disk_ = nullptr;  // pager_ downcast when durable, else null
-  BufferPool pool_;
+  mutable BufferPool pool_;
   BPlusTree tree_;
   Tick now_ = 0;
   double max_speed_x_ = 0.0;  // monotone max |vx| over all inserts

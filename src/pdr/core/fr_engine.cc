@@ -5,6 +5,10 @@
 #include <stdexcept>
 
 #include "pdr/bx/bx_tree.h"
+#include "pdr/core/fr_snapshot_state.h"
+#include "pdr/mvcc/snapshot_manager.h"
+#include "pdr/mvcc/versioned_histogram.h"
+#include "pdr/mvcc/versioned_pager.h"
 #include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/parallel/thread_pool.h"
@@ -14,7 +18,18 @@
 namespace pdr {
 namespace {
 
-std::unique_ptr<ObjectIndex> MakeIndex(const FrEngine::Options& options) {
+std::unique_ptr<mvcc::VersionedPager> MakeVersionedPager(
+    const FrEngine::Options& options) {
+  if (options.snapshots == nullptr) return nullptr;
+  if (!options.storage_dir.empty()) {
+    throw std::invalid_argument(
+        "FrEngine: snapshots and storage_dir are mutually exclusive");
+  }
+  return std::make_unique<mvcc::VersionedPager>(options.snapshots);
+}
+
+std::unique_ptr<ObjectIndex> MakeIndex(const FrEngine::Options& options,
+                                       Pager* external_pager) {
   switch (options.index) {
     case IndexKind::kBxTree: {
       BxTree::Options bx;
@@ -23,6 +38,7 @@ std::unique_ptr<ObjectIndex> MakeIndex(const FrEngine::Options& options) {
       bx.max_update_interval = options.max_update_interval;
       bx.storage_dir = options.storage_dir;
       bx.fault_injector = options.fault_injector;
+      bx.external_pager = external_pager;
       return std::make_unique<BxTree>(bx);
     }
     case IndexKind::kTprTree:
@@ -33,6 +49,7 @@ std::unique_ptr<ObjectIndex> MakeIndex(const FrEngine::Options& options) {
   tpr.horizon = options.horizon;
   tpr.storage_dir = options.storage_dir;
   tpr.fault_injector = options.fault_injector;
+  tpr.external_pager = external_pager;
   return std::make_unique<TprTree>(tpr);
 }
 
@@ -67,7 +84,13 @@ struct FrMetrics {
 FrEngine::FrEngine(const Options& options)
     : options_(options),
       histogram_({options.extent, options.histogram_side, options.horizon}),
-      index_(MakeIndex(options)) {
+      versioned_pager_(MakeVersionedPager(options)),
+      index_(MakeIndex(options, versioned_pager_.get())) {
+  if (options_.snapshots != nullptr) {
+    histogram_.EnableDirtyTracking();
+    vhist_ = std::make_unique<mvcc::VersionedHistogram>(&histogram_,
+                                                        options_.snapshots);
+  }
   if (index_->recovered()) {
     // The index restored its pages and metadata from the store; the
     // engine-level blob riding on the same checkpoint restores the filter
@@ -132,12 +155,48 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
                                       bool cold_cache,
                                       const QueryControl& ctl) {
   ValidateQt(q_t);
+  return FrQueryCore(histogram_.grid(), histogram_.Slice(q_t), *index_,
+                     PoolForQuery(), options_.io_ms, q_t, rho, l, cold_cache,
+                     ctl);
+}
+
+void FrEngine::PrepareCommit() {
+  if (versioned_pager_ == nullptr) {
+    throw std::logic_error("FrEngine::PrepareCommit: snapshots not enabled");
+  }
+  // Flush first: the buffer pool may hold dirty tree pages the pager has
+  // never seen, and a published epoch must be the complete tree image.
+  index_->FlushBufferPool();
+  versioned_pager_->PublishDirty();
+  vhist_->PublishDirty();
+}
+
+std::shared_ptr<const FrSnapshotState> FrEngine::CaptureState() const {
+  auto state = std::make_shared<FrSnapshotState>();
+  state->now = histogram_.now();
+  state->index = options_.index;
+  state->size = index_->size();
+  switch (options_.index) {
+    case IndexKind::kTprTree:
+      state->tpr_root = static_cast<const TprTree&>(*index_).root();
+      break;
+    case IndexKind::kBxTree:
+      state->bx = static_cast<const BxTree&>(*index_).read_view();
+      break;
+  }
+  return state;
+}
+
+FrEngine::QueryResult FrQueryCore(
+    const Grid& grid, const std::vector<DensityHistogram::Counter>& slice,
+    ObjectIndex& index, ThreadPool* pool, double io_ms, Tick q_t, double rho,
+    double l, bool cold_cache, const QueryControl& ctl) {
   // Entry cancellation point: a query offered with an already-expired
   // deadline (or cancelled token) fails here deterministically, before
   // any engine work.
   if (ctl.active()) ctl.Check();
-  if (cold_cache) index_->DropCaches();
-  const IoStats io_before = index_->io_stats();
+  if (cold_cache) index.DropCaches();
+  const IoStats io_before = index.io_stats();
 
   TraceSpan span("fr.query");
   span.SetAttr("q_t", static_cast<int64_t>(q_t));
@@ -145,7 +204,7 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   span.SetAttr("l", l);
   Timer timer;
 
-  QueryResult result;
+  FrEngine::QueryResult result;
   // Flight-recorder attribution: reuse the caller's query id (the ladder
   // opens one per TieredResult) or mint a fresh one for direct queries.
   std::optional<FlightRecorder::QueryScope> fr_scope;
@@ -159,7 +218,6 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
     std::memcpy(&rho_bits, &rho, sizeof(rho_bits));
     FlightRecorder::Record(FrEvent::kQueryBegin, q_t, rho_bits);
   }
-  const Grid& grid = histogram_.grid();
   const int64_t n_min = MinObjectsForDensity(rho, l);
 
   // --- filtering step ------------------------------------------------------
@@ -167,7 +225,7 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   {
     TraceSpan filter_span("fr.filter");
     Timer filter_timer;
-    filter = FilterCells(histogram_, q_t, rho, l);
+    filter = FilterCellsOverSlice(grid, slice, rho, l);
     result.filter_ms = filter_timer.ElapsedMillis();
     filter_span.SetAttr("accepted", filter.accepted);
     filter_span.SetAttr("rejected", filter.rejected);
@@ -206,7 +264,6 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
     }
   }
 
-  ThreadPool* pool = PoolForQuery();
   const bool fan_out = pool != nullptr && candidates.size() > 1;
   std::vector<CellOut> outs(candidates.size());
   const QueryControl* control = ctl.active() ? &ctl : nullptr;
@@ -224,11 +281,11 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
     // pool). Parallel: pool-wide stats mix all threads, so attribute from
     // this thread's delta instead (cleared here, read after the work).
     const IoStats cell_io_before =
-        cell_span.active() && !fan_out ? index_->io_stats() : IoStats{};
-    if (fan_out) index_->TakeThreadIoDelta();
+        cell_span.active() && !fan_out ? index.io_stats() : IoStats{};
+    if (fan_out) index.TakeThreadIoDelta();
     const Rect cell = grid.CellRect(c.col, c.row);
     const Rect window = cell.Expanded(l / 2);
-    const auto objects = index_->RangeQuery(window, q_t);
+    const auto objects = index.RangeQuery(window, q_t);
     out.objects = static_cast<int64_t>(objects.size());
     std::vector<Vec2> positions;
     positions.reserve(objects.size());
@@ -242,8 +299,8 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
         FrEvent::kCellEnd, FlightRecorder::Pack(c.col, c.row),
         FlightRecorder::Pack(out.objects, out.sweep.dense_rects));
     if (cell_span.active()) {
-      const IoStats cell_io = fan_out ? index_->TakeThreadIoDelta()
-                                      : index_->io_stats() - cell_io_before;
+      const IoStats cell_io = fan_out ? index.TakeThreadIoDelta()
+                                      : index.io_stats() - cell_io_before;
       cell_span.SetAttr("col", c.col);
       cell_span.SetAttr("row", c.row);
       cell_span.SetAttr("objects", out.objects);
@@ -254,15 +311,15 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
   };
 
   if (fan_out) {
-    index_->BeginConcurrentReads();
+    index.BeginConcurrentReads();
     try {
       pool->ParallelFor(static_cast<int64_t>(candidates.size()), refine_cell,
                         control);
     } catch (...) {
-      index_->EndConcurrentReads();
+      index.EndConcurrentReads();
       throw;
     }
-    index_->EndConcurrentReads();
+    index.EndConcurrentReads();
   } else {
     for (int64_t i = 0; i < static_cast<int64_t>(candidates.size()); ++i) {
       refine_cell(i);
@@ -291,8 +348,8 @@ FrEngine::QueryResult FrEngine::Query(Tick q_t, double rho, double l,
                          result.sweep.dense_rects);
 
   result.cost.cpu_ms = timer.ElapsedMillis();
-  result.cost.io = index_->io_stats() - io_before;
-  result.cost.io_ms = result.cost.io.ReadCostMs(options_.io_ms);
+  result.cost.io = index.io_stats() - io_before;
+  result.cost.io_ms = result.cost.io.ReadCostMs(io_ms);
 
   FrMetrics& metrics = FrMetrics::Get();
   metrics.queries.Increment();

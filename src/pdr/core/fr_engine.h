@@ -42,6 +42,13 @@
 namespace pdr {
 
 class ThreadPool;
+struct FrSnapshotState;
+
+namespace mvcc {
+class SnapshotManager;
+class VersionedPager;
+class VersionedHistogram;
+}  // namespace mvcc
 
 /// Which predictive index backs the refinement step (Section 4: "Several
 /// indexing methods have been proposed for linear movement, which we can
@@ -69,6 +76,13 @@ class FrEngine {
     std::string storage_dir;
     /// Crash-fault injection for the durable store (tests only; not owned).
     FaultInjector* fault_injector = nullptr;
+    /// Non-null: the engine participates in MVCC snapshot reads — the
+    /// index runs over a copy-on-write VersionedPager, the histogram
+    /// records dirty rows, and PrepareCommit()/CaptureState() publish a
+    /// consistent frozen view per SnapshotManager::Commit (DESIGN.md
+    /// §14). Mutually exclusive with storage_dir (std::invalid_argument).
+    /// Not owned; must outlive the engine.
+    mvcc::SnapshotManager* snapshots = nullptr;
   };
 
   explicit FrEngine(const Options& options);
@@ -150,15 +164,49 @@ class FrEngine {
   /// answer exactly as the engine that wrote the last checkpoint did).
   bool recovered() const { return index_->recovered(); }
 
+  // --- MVCC commit hooks (Options.snapshots non-null; writer thread) ----
+
+  /// Publishes every block dirtied since the last commit (flushes the
+  /// index's buffer pool, then copies dirty pages and histogram rows into
+  /// their version stores at the open epoch). Call immediately before
+  /// SnapshotManager::Commit; throws std::logic_error without snapshots.
+  void PrepareCommit();
+
+  /// The frozen scalar state (clock, index root, read-view) to hand to
+  /// SnapshotManager::Commit as EpochStates::fr.
+  std::shared_ptr<const FrSnapshotState> CaptureState() const;
+
+  mvcc::SnapshotManager* snapshots() const { return options_.snapshots; }
+  const mvcc::VersionedPager* versioned_pager() const {
+    return versioned_pager_.get();
+  }
+  const mvcc::VersionedHistogram* versioned_histogram() const {
+    return vhist_.get();
+  }
+
  private:
   ThreadPool* PoolForQuery();  // null when the policy is serial
   void ValidateQt(Tick q_t) const;  // throws HorizonError
 
   Options options_;
   DensityHistogram histogram_;
+  // Declared before index_: the index's buffer pool writes through this
+  // pager, so it must be constructed first and destroyed last.
+  std::unique_ptr<mvcc::VersionedPager> versioned_pager_;
   std::unique_ptr<ObjectIndex> index_;
+  std::unique_ptr<mvcc::VersionedHistogram> vhist_;
   std::unique_ptr<ThreadPool> pool_;  // created lazily on first parallel query
 };
+
+/// The filter + refine + merge body of FrEngine::Query against explicit
+/// inputs: a counter slice (live Slice(q_t) or an MVCC materialization)
+/// and an index view (the live index or a SnapshotIndexView over frozen
+/// pages). Both callers run the exact same code path, which is what makes
+/// snapshot answers bit-identical to serialized execution.
+FrEngine::QueryResult FrQueryCore(
+    const Grid& grid, const std::vector<DensityHistogram::Counter>& slice,
+    ObjectIndex& index, ThreadPool* pool, double io_ms, Tick q_t, double rho,
+    double l, bool cold_cache, const QueryControl& ctl);
 
 }  // namespace pdr
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pdr/mvcc/snapshot_manager.h"
+#include "pdr/mvcc/snapshot_query.h"
 #include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/obs/slo.h"
@@ -249,6 +251,107 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
       span.SetAttr("audit_recall", delta.audit->recall);
     }
   }
+  if (recorder_ != nullptr) recorder_->RecordTick(delta);
+  return delta;
+}
+
+void PdrMonitor::RequireConcurrent(const char* op) const {
+  if (engine_ == nullptr || engine_->snapshots() == nullptr) {
+    throw std::logic_error(std::string("PdrMonitor::") + op +
+                           ": concurrent mode requires FR-primary with "
+                           "FrEngine::Options::snapshots set");
+  }
+}
+
+uint64_t PdrMonitor::CommitEpoch() {
+  mvcc::EpochStates states;
+  engine_->PrepareCommit();
+  states.fr = engine_->CaptureState();
+  if (fallback_ != nullptr &&
+      fallback_->snapshots() == engine_->snapshots()) {
+    fallback_->PrepareCommit();
+    states.pa = fallback_->CaptureState();
+  }
+  return engine_->snapshots()->Commit(std::move(states));
+}
+
+uint64_t PdrMonitor::StartConcurrent() {
+  RequireConcurrent("StartConcurrent");
+  // Log the (empty) initial commit too: the replayer re-derives one
+  // reference answer per epoch from its updates record, and a reader may
+  // pin the initial epoch before the first ApplyUpdates.
+  if (recorder_ != nullptr) {
+    recorder_->OnCommit(engine_->now(), {},
+                        engine_->snapshots()->open_epoch());
+  }
+  return CommitEpoch();
+}
+
+uint64_t PdrMonitor::ApplyUpdates(Tick now,
+                                  const std::vector<UpdateEvent>& updates) {
+  RequireConcurrent("ApplyUpdates");
+  engine_->AdvanceTo(now);
+  for (const UpdateEvent& u : updates) engine_->Apply(u);
+  if (fallback_ != nullptr &&
+      fallback_->snapshots() == engine_->snapshots()) {
+    fallback_->AdvanceTo(now);
+    for (const UpdateEvent& u : updates) fallback_->Apply(u);
+  }
+  // Log the batch *before* Commit publishes its epoch: a reader can pin
+  // epoch E and record its answer the instant Commit returns, and the
+  // replayer requires every epoch's updates record to precede every tick
+  // record pinned to it.
+  if (recorder_ != nullptr) {
+    recorder_->OnCommit(now, updates, engine_->snapshots()->open_epoch());
+  }
+  return CommitEpoch();
+}
+
+PdrMonitor::Delta PdrMonitor::MakeSnapshotDelta(
+    Tick now, Tick q_t, double rho, double l, uint64_t epoch,
+    const FrEngine::QueryResult& result, double elapsed_ms) {
+  Delta delta;
+  delta.now = now;
+  delta.q_t = q_t;
+  delta.epoch = epoch;
+  delta.cost = result.cost;
+  delta.current = result.region;
+  delta.elapsed_ms = elapsed_ms;
+  delta.explain.query_id = result.query_id;
+  delta.explain.q_t = q_t;
+  delta.explain.rho = rho;
+  delta.explain.l = l;
+  delta.explain.tier = AnswerTier::kExact;
+  delta.explain.epoch = epoch;
+  delta.explain.elapsed_ms = elapsed_ms;
+  delta.explain.stages.push_back({"filter", result.filter_ms, true});
+  delta.explain.stages.push_back({"refine", result.refine_ms, true});
+  delta.explain.accepted_cells = result.accepted_cells;
+  delta.explain.rejected_cells = result.rejected_cells;
+  delta.explain.candidate_cells = result.candidate_cells;
+  delta.explain.objects_fetched = result.objects_fetched;
+  delta.explain.dense_rects = result.sweep.dense_rects;
+  delta.explain.pages_read_physical = result.cost.io.physical_reads;
+  delta.explain.pages_read_logical = result.cost.io.logical_reads;
+  return delta;
+}
+
+PdrMonitor::Delta PdrMonitor::RunSnapshotQuery(const QueryControl& ctl) {
+  RequireConcurrent("RunSnapshotQuery");
+  Timer timer;
+  mvcc::Snapshot snap = engine_->snapshots()->Pin();
+  const Tick now = mvcc::SnapshotFrNow(snap);
+  const Tick q_t = now + options_.lookahead;
+  const uint64_t epoch = snap.epoch();
+  FrEngine::QueryResult result =
+      mvcc::SnapshotFrQuery(*engine_, snap, q_t, options_.rho, options_.l,
+                            ctl);
+  snap.Release();
+  Delta delta = MakeSnapshotDelta(now, q_t, options_.rho, options_.l, epoch,
+                                  result, timer.ElapsedMillis());
+  static Counter& snapshot_queries = MetricsRegistry::Global().GetCounter(
+      "pdr.monitor.snapshot_queries");
+  snapshot_queries.Increment();
   if (recorder_ != nullptr) recorder_->RecordTick(delta);
   return delta;
 }

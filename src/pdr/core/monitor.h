@@ -83,6 +83,12 @@ class PdrMonitor {
     bool shed = false;        ///< true iff admission control refused the tick
     double elapsed_ms = 0.0;  ///< wall time spent evaluating this tick
     double budget_ms = 0.0;   ///< configured deadline (0 = unbounded)
+    /// MVCC epoch the answer was read at: 0 for live/serialized OnTick
+    /// evaluation, the pinned epoch for RunSnapshotQuery answers. A
+    /// snapshot delta is an *absolute* answer — appeared/vanished stay
+    /// empty, because concurrent readers hold no shared standing state
+    /// (delta semantics require serialized evaluation order).
+    uint64_t epoch = 0;
     /// kHistogram tier only: the optimistic superset (accepts+candidates);
     /// everything dense is inside it. Empty at other tiers.
     Region maybe_region;
@@ -161,13 +167,59 @@ class PdrMonitor {
   /// monitor invokes `hook` — typically FrEngine::Checkpoint on the engine
   /// it watches, so the standing query's state hits disk at a bounded
   /// recovery distance. `every_ticks <= 0` (or an empty hook) disables.
+  /// Shed ticks never run the hook and never advance the cadence counter:
+  /// the standing state they would checkpoint did not change.
   void SetCheckpointHook(std::function<void()> hook, Tick every_ticks) {
     checkpoint_hook_ = std::move(hook);
     checkpoint_every_ = every_ticks;
     ticks_since_checkpoint_ = 0;
   }
 
+  // --- MVCC concurrent mode (DESIGN.md §14) ------------------------------
+  //
+  // FR-primary with the engine built over a SnapshotManager
+  // (FrEngine::Options::snapshots). One writer thread drives
+  // ApplyUpdates; any number of reader threads call RunSnapshotQuery
+  // concurrently — the writer never blocks on them, and every answer is
+  // bit-identical to serialized execution at its pinned epoch
+  // (tests/mvcc_interleave_test.cc). OnTick stays available for
+  // single-threaded/serialized use but must not race ApplyUpdates.
+
+  /// Commits the engine's current state as the first epoch so readers
+  /// can pin before any updates arrive. Writer thread. Returns the
+  /// committed epoch. Throws std::logic_error unless FR-primary with
+  /// snapshots enabled.
+  uint64_t StartConcurrent();
+
+  /// Writer-thread tick: advances the engine (and the PA fallback, when
+  /// one is attached with snapshots) to `now`, applies the batch, and
+  /// commits it as one epoch. Records the batch + epoch to an attached
+  /// WorkloadRecorder *before* the commit publishes, so a concurrent
+  /// capture always logs an epoch's updates before any query pinned to
+  /// it. Returns the committed epoch.
+  uint64_t ApplyUpdates(Tick now, const std::vector<UpdateEvent>& updates);
+
+  /// Reader-thread query: pins the latest committed epoch, runs the
+  /// standing query against the frozen view, and returns an absolute
+  /// delta (epoch set; appeared/vanished empty — see Delta::epoch).
+  /// Thread-safe against the writer and other readers; touches no
+  /// standing monitor state. Records to an attached WorkloadRecorder.
+  Delta RunSnapshotQuery(const QueryControl& ctl = {});
+
+  /// Builds the Delta a snapshot (or replayed serialized) FR answer maps
+  /// to: tier kExact, filter/refine stages, work counts — exactly the
+  /// shape OnTick's direct-exact path produces, minus appeared/vanished.
+  /// Shared by RunSnapshotQuery and the replayer's concurrent verify so
+  /// recorded and re-derived digests compare one code path against
+  /// itself.
+  static Delta MakeSnapshotDelta(Tick now, Tick q_t, double rho, double l,
+                                 uint64_t epoch,
+                                 const FrEngine::QueryResult& result,
+                                 double elapsed_ms);
+
  private:
+  void RequireConcurrent(const char* op) const;  // throws std::logic_error
+  uint64_t CommitEpoch();
   ThreadPool* PoolForTick();  // null when the policy is serial
   ResilientExecutor* ExecutorForTick();   // null when the ladder is inactive
   AdmissionController* AdmissionForTick();  // null when admission is off

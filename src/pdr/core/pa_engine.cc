@@ -1,5 +1,10 @@
 #include "pdr/core/pa_engine.h"
 
+#include <stdexcept>
+
+#include "pdr/core/fr_snapshot_state.h"
+#include "pdr/mvcc/snapshot_manager.h"
+#include "pdr/mvcc/versioned_cheb.h"
 #include "pdr/obs/obs.h"
 #include "pdr/parallel/thread_pool.h"
 
@@ -20,9 +25,28 @@ void FinishPaSpan(TraceSpan* span, const PaEngine::QueryResult& result) {
 PaEngine::PaEngine(const Options& options)
     : options_(options),
       model_({options.extent, options.poly_side, options.degree,
-              options.horizon, options.l}) {}
+              options.horizon, options.l}) {
+  if (options_.snapshots != nullptr) {
+    model_.EnableDirtyTracking();
+    vcheb_ = std::make_unique<mvcc::VersionedChebModel>(&model_,
+                                                        options_.snapshots);
+  }
+}
 
 PaEngine::~PaEngine() = default;
+
+void PaEngine::PrepareCommit() {
+  if (vcheb_ == nullptr) {
+    throw std::logic_error("PaEngine::PrepareCommit: snapshots not enabled");
+  }
+  vcheb_->PublishDirty();
+}
+
+std::shared_ptr<const PaSnapshotState> PaEngine::CaptureState() const {
+  auto state = std::make_shared<PaSnapshotState>();
+  state->now = model_.now();
+  return state;
+}
 
 void PaEngine::SetExecPolicy(const ExecPolicy& exec) {
   options_.exec = exec;

@@ -29,14 +29,24 @@ void DensityHistogram::AdvanceTo(Tick now) {
 
 void DensityHistogram::AddTrajectory(const MotionState& state, Tick from,
                                      Tick to, int delta) {
+  const int m = grid_.cells_per_side();
   for (Tick t = from; t <= to; ++t) {
     const Vec2 p = state.PositionAt(t);
     if (!grid_.InDomain(p)) continue;
-    std::vector<Counter>& slice = ring_[SlotOf(t)];
-    assert(slot_tick_[SlotOf(t)] == t);
-    Counter& counter = slice[grid_.CellOf(p)];
+    const int slot = SlotOf(t);
+    std::vector<Counter>& slice = ring_[slot];
+    assert(slot_tick_[slot] == t);
+    const int cell = grid_.CellOf(p);
+    Counter& counter = slice[cell];
     assert(delta > 0 || counter > 0);
     counter = static_cast<Counter>(static_cast<int64_t>(counter) + delta);
+    if (!dirty_mark_.empty()) {
+      const uint32_t key = static_cast<uint32_t>(slot * m + cell / m);
+      if (!dirty_mark_[key]) {
+        dirty_mark_[key] = 1;
+        dirty_keys_.push_back(key);
+      }
+    }
   }
 }
 

@@ -76,6 +76,29 @@ class DensityHistogram {
   /// the blob is truncated or was produced under different Options.
   void Restore(ByteReader* reader);
 
+  // --- MVCC hooks (src/pdr/mvcc/versioned_histogram.h) ------------------
+  // The copy-on-write layer versions the histogram at counter-row
+  // granularity: key = slot * m + row. With tracking enabled (before any
+  // Apply), every counter write marks its row; the versioned wrapper
+  // drains the marks at commit and copies just those rows.
+
+  /// Starts recording which (slot, row) counter rows Apply touches.
+  void EnableDirtyTracking() {
+    dirty_mark_.assign(ring_.size() * grid_.cells_per_side(), 0);
+  }
+  bool dirty_tracking() const { return !dirty_mark_.empty(); }
+
+  /// Drains the dirty row keys accumulated since the last call.
+  void TakeDirtyRows(std::vector<uint32_t>* out) {
+    for (const uint32_t key : dirty_keys_) dirty_mark_[key] = 0;
+    out->swap(dirty_keys_);
+    dirty_keys_.clear();
+  }
+
+  int slots() const { return static_cast<int>(ring_.size()); }
+  Tick slot_tick(int slot) const { return slot_tick_[slot]; }
+  const std::vector<Counter>& SlotSlice(int slot) const { return ring_[slot]; }
+
  private:
   int SlotOf(Tick t) const {
     return static_cast<int>(t % static_cast<Tick>(ring_.size()));
@@ -87,6 +110,8 @@ class DensityHistogram {
   Tick now_ = 0;
   std::vector<std::vector<Counter>> ring_;  // (H+1) slices of m*m counters
   std::vector<Tick> slot_tick_;             // tick currently held by a slot
+  std::vector<uint8_t> dirty_mark_;         // empty until EnableDirtyTracking
+  std::vector<uint32_t> dirty_keys_;
 };
 
 }  // namespace pdr

@@ -60,13 +60,18 @@ int ExpansiveHalfWidth(double l, double cell_edge) {
 
 FilterResult FilterCells(const DensityHistogram& dh, Tick q_t, double rho,
                          double l) {
-  const Grid& grid = dh.grid();
+  return FilterCellsOverSlice(dh.grid(), dh.Slice(q_t), rho, l);
+}
+
+FilterResult FilterCellsOverSlice(
+    const Grid& grid, const std::vector<DensityHistogram::Counter>& slice,
+    double rho, double l) {
   const int m = grid.cells_per_side();
   const int64_t n_min = MinObjectsForDensity(rho, l);
   const int a = ConservativeHalfWidth(l, grid.cell_edge());
   const int b = ExpansiveHalfWidth(l, grid.cell_edge());
 
-  const std::vector<int64_t> sums = PrefixSums(dh.Slice(q_t), m);
+  const std::vector<int64_t> sums = PrefixSums(slice, m);
 
   FilterResult result;
   result.cells_per_side = m;

@@ -68,6 +68,14 @@ int ExpansiveHalfWidth(double l, double cell_edge);
 FilterResult FilterCells(const DensityHistogram& dh, Tick q_t, double rho,
                          double l);
 
+/// The filter step against an explicit counter slice (m*m, row-major) —
+/// the body of FilterCells, exposed so an MVCC snapshot query can run it
+/// over a slice materialized from frozen row versions
+/// (src/pdr/mvcc/versioned_histogram.h) with the exact same code path.
+FilterResult FilterCellsOverSlice(
+    const Grid& grid, const std::vector<DensityHistogram::Counter>& slice,
+    double rho, double l);
+
 /// The paper-faithful variant: per-cell neighborhood summation with no
 /// prefix-sum table (O(m^2 * b^2) instead of O(m^2)). Classifications are
 /// identical to FilterCells; exists so bench_fig9_cpu can report the

@@ -75,6 +75,12 @@ class ObjectIndex {
   /// Drops the buffer cache (cold-start measurements).
   virtual void DropCaches() = 0;
 
+  /// Writes every dirty buffered page back to the underlying pager, so
+  /// the pager holds the complete current tree image. The MVCC commit
+  /// path calls this before publishing copy-on-write page versions
+  /// (src/pdr/mvcc/versioned_pager.h). Default: nothing buffered.
+  virtual void FlushBufferPool() {}
+
   // Durability hooks — implemented by indexes sitting on a DiskPager
   // (storage_dir set in their options); the defaults describe a
   // memory-only index.

@@ -1,0 +1,51 @@
+#include "pdr/mvcc/versioned_cheb.h"
+
+#include <memory>
+
+namespace pdr {
+namespace mvcc {
+
+VersionedChebModel::VersionedChebModel(ChebGrid* live,
+                                       SnapshotManager* manager)
+    : live_(live),
+      manager_(manager),
+      cells_(live->macro_grid().cell_count()),
+      slots_(live->slots()),
+      versions_(static_cast<size_t>(slots_) * static_cast<size_t>(cells_)) {
+  manager_->RegisterStore(this);
+}
+
+VersionedChebModel::~VersionedChebModel() {
+  manager_->UnregisterStore(this);
+}
+
+void VersionedChebModel::PublishDirty() {
+  const Epoch epoch = manager_->open_epoch();
+  live_->TakeDirtyCells(&scratch_keys_);
+  for (const uint32_t key : scratch_keys_) {
+    const int slot = static_cast<int>(key) / cells_;
+    const int cell = static_cast<int>(key) % cells_;
+    versions_.Publish(key, epoch,
+                      std::make_shared<Cell>(live_->slot_tick(slot),
+                                             live_->SlotSlice(slot)[cell]));
+    ++published_;
+  }
+  scratch_keys_.clear();
+}
+
+std::vector<Cheb2D> VersionedChebModel::MaterializeSlice(Epoch epoch,
+                                                         Tick q_t) const {
+  std::vector<Cheb2D> slice(static_cast<size_t>(cells_),
+                            Cheb2D(live_->options().degree));
+  const int slot = static_cast<int>(q_t % static_cast<Tick>(slots_));
+  for (int cell = 0; cell < cells_; ++cell) {
+    const auto block =
+        versions_.Resolve(static_cast<size_t>(slot) * cells_ + cell, epoch);
+    if (block == nullptr || block->tick != q_t) continue;  // zero expansion
+    slice[static_cast<size_t>(cell)] = block->poly;
+  }
+  return slice;
+}
+
+}  // namespace mvcc
+}  // namespace pdr

@@ -1,0 +1,67 @@
+// Copy-on-write versioned Chebyshev cell expansions — the PA-engine
+// analogue of VersionedHistogram. Key = slot * g^2 + cell; each published
+// block is one frozen Cheb2D tagged with the tick its slot held at
+// commit. MaterializeSlice rebuilds the full g^2 slice for a query tick
+// at a pinned epoch; missing or tick-mismatched cells materialize as the
+// zero expansion, exactly what the live grid holds for an untouched or
+// freshly recycled cell (same argument as the histogram's, DESIGN.md
+// §14.2).
+
+#ifndef PDR_MVCC_VERSIONED_CHEB_H_
+#define PDR_MVCC_VERSIONED_CHEB_H_
+
+#include <vector>
+
+#include "pdr/cheb/cheb_grid.h"
+#include "pdr/mvcc/snapshot_manager.h"
+#include "pdr/mvcc/version_store.h"
+
+namespace pdr {
+namespace mvcc {
+
+class VersionedChebModel : public ReclaimableStore {
+ public:
+  /// `live` must outlive this wrapper and have dirty tracking enabled
+  /// before its first Apply. Registers with `manager` (not owned).
+  VersionedChebModel(ChebGrid* live, SnapshotManager* manager);
+  ~VersionedChebModel() override;
+
+  /// Copies every dirty live cell expansion into the version store at
+  /// the open epoch. Writer thread only, immediately before Commit.
+  void PublishDirty();
+
+  /// The full g^2 expansion slice for `q_t` as frozen at `epoch`. Any
+  /// thread; q_t must be pre-validated against the snapshot's horizon.
+  std::vector<Cheb2D> MaterializeSlice(Epoch epoch, Tick q_t) const;
+
+  // ReclaimableStore.
+  void ReclaimBelow(Epoch min_pin) override {
+    versions_.ReclaimBelow(min_pin);
+  }
+  int64_t live_versions() const override { return versions_.live_versions(); }
+  int64_t retired_versions() const override {
+    return versions_.retired_versions();
+  }
+
+  int64_t published_cells() const { return published_; }
+
+ private:
+  struct Cell {
+    Tick tick = 0;
+    Cheb2D poly;
+    Cell(Tick t, const Cheb2D& p) : tick(t), poly(p) {}
+  };
+
+  ChebGrid* live_;
+  SnapshotManager* manager_;
+  const int cells_;  // g^2
+  const int slots_;  // horizon + 1
+  VersionStore<Cell> versions_;
+  std::vector<uint32_t> scratch_keys_;
+  int64_t published_ = 0;
+};
+
+}  // namespace mvcc
+}  // namespace pdr
+
+#endif  // PDR_MVCC_VERSIONED_CHEB_H_

@@ -32,6 +32,7 @@ std::string ExplainRecord::ToJson() const {
   AppendF(&out, ",\"timed_out\":%s", timed_out ? "true" : "false");
   AppendF(&out, ",\"budget_ms\":%.3f,\"elapsed_ms\":%.3f", budget_ms,
           elapsed_ms);
+  if (epoch > 0) AppendF(&out, ",\"epoch\":%" PRIu64, epoch);
   out.append(",\"stages\":[");
   for (size_t i = 0; i < stages.size(); ++i) {
     if (i > 0) out.push_back(',');
@@ -74,6 +75,9 @@ std::string ExplainRecord::ToText() const {
   }
   AppendF(&out, "  budget:   %.3f ms   elapsed: %.3f ms\n", budget_ms,
           elapsed_ms);
+  if (epoch > 0) {
+    AppendF(&out, "  epoch:    %" PRIu64 "  (MVCC snapshot read)\n", epoch);
+  }
   out.append("  stages:\n");
   for (const ExplainStage& s : stages) {
     AppendF(&out, "    %-10s %9.3f ms%s\n", s.name.c_str(), s.spent_ms,

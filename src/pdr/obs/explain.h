@@ -54,6 +54,11 @@ struct ExplainRecord {
   double budget_ms = 0.0;   ///< 0 = unbounded
   double elapsed_ms = 0.0;  ///< across all stages
 
+  /// MVCC epoch the answer was read at (0 = live/serialized execution).
+  /// Provenance only — a snapshot answer is bit-identical to serialized
+  /// execution at the same epoch, so the signature excludes it.
+  uint64_t epoch = 0;
+
   std::vector<ExplainStage> stages;
 
   // Filter decisions (from the rung that produced the answer; for a

@@ -259,9 +259,9 @@ void WorkloadRecorder::AppendRecord(uint8_t type, const std::string& payload) {
   stats_.bytes += static_cast<int64_t>(sizeof(rh) + payload.size());
 }
 
-void WorkloadRecorder::OnUpdates(Tick now,
-                                 const std::vector<UpdateEvent>& updates) {
-  if (updates.empty()) return;
+namespace {
+
+std::string EncodeUpdates(Tick now, const std::vector<UpdateEvent>& updates) {
   std::string payload;
   PutPod(&payload, now);
   PutPod(&payload, static_cast<uint32_t>(updates.size()));
@@ -273,6 +273,26 @@ void WorkloadRecorder::OnUpdates(Tick now,
     if (e.old_state) PutMotionState(&payload, *e.old_state);
     if (e.new_state) PutMotionState(&payload, *e.new_state);
   }
+  return payload;
+}
+
+}  // namespace
+
+void WorkloadRecorder::OnUpdates(Tick now,
+                                 const std::vector<UpdateEvent>& updates) {
+  if (updates.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendRecord(kTypeUpdates, EncodeUpdates(now, updates));
+  ++stats_.update_batches;
+  stats_.updates += static_cast<int64_t>(updates.size());
+}
+
+void WorkloadRecorder::OnCommit(Tick now,
+                                const std::vector<UpdateEvent>& updates,
+                                uint64_t epoch) {
+  std::string payload = EncodeUpdates(now, updates);
+  PutPod(&payload, epoch);  // trailing field; absent in serialized logs
+  std::lock_guard<std::mutex> lock(mu_);
   AppendRecord(kTypeUpdates, payload);
   ++stats_.update_batches;
   stats_.updates += static_cast<int64_t>(updates.size());
@@ -289,6 +309,7 @@ WorkloadTickRecord WorkloadRecorder::RecordTick(
   rec.elapsed_ms = delta.elapsed_ms;
   rec.digest = TickDigest(delta);
   rec.sig_hash = ExplainSignatureHash(delta.explain);
+  rec.epoch = delta.epoch;
 
   std::string payload;
   PutPod(&payload, rec.now);
@@ -299,6 +320,11 @@ WorkloadTickRecord WorkloadRecorder::RecordTick(
   PutPod(&payload, rec.elapsed_ms);
   PutPod(&payload, rec.digest);
   PutPod(&payload, rec.sig_hash);
+  // Trailing epoch only on snapshot answers: serialized captures keep
+  // their exact pre-MVCC record bytes (and goldens).
+  if (rec.epoch > 0) PutPod(&payload, rec.epoch);
+
+  std::lock_guard<std::mutex> lock(mu_);
   AppendRecord(kTypeTick, payload);
   ++stats_.ticks;
 
@@ -309,6 +335,7 @@ WorkloadTickRecord WorkloadRecorder::RecordTick(
 }
 
 void WorkloadRecorder::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) std::fflush(file_);
 }
 
@@ -449,6 +476,10 @@ WorkloadLog WorkloadLog::Load(const std::string& path) {
           if (flags & 2) e.new_state = GetMotionState(&reader);
           rec.updates.push_back(std::move(e));
         }
+        // Optional trailing epoch (concurrent captures only).
+        if (reader.remaining() >= sizeof(uint64_t)) {
+          rec.epoch = reader.Get<uint64_t>();
+        }
         log.records.push_back(std::move(rec));
         break;
       }
@@ -463,6 +494,11 @@ WorkloadLog WorkloadLog::Load(const std::string& path) {
         rec.query.elapsed_ms = reader.Get<double>();
         rec.query.digest = reader.Get<uint64_t>();
         rec.query.sig_hash = reader.Get<uint64_t>();
+        // Optional trailing epoch (snapshot answers only).
+        if (reader.remaining() >= sizeof(uint64_t)) {
+          rec.query.epoch = reader.Get<uint64_t>();
+          rec.epoch = rec.query.epoch;
+        }
         rec.tick = rec.query.now;
         log.records.push_back(std::move(rec));
         break;

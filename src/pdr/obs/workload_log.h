@@ -45,6 +45,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,10 @@ struct WorkloadTickRecord {
   double elapsed_ms = 0.0;  ///< informational; never part of a digest
   uint64_t digest = 0;      ///< answer-transcript hash (TickDigest)
   uint64_t sig_hash = 0;    ///< ExplainRecord::DeterministicSignature hash
+  /// MVCC epoch the answer was pinned to (0 = serialized OnTick). Written
+  /// as an optional trailing field, so serialized logs keep their exact
+  /// pre-MVCC bytes.
+  uint64_t epoch = 0;
 };
 
 /// FNV-64 over the delta's answer transcript: q_t, rho, l, tier,
@@ -144,8 +149,19 @@ class WorkloadRecorder {
   /// (the replayer advances engine clocks from record ticks alone).
   void OnUpdates(Tick now, const std::vector<UpdateEvent>& updates);
 
+  /// Concurrent-capture variant: records the batch the writer is about to
+  /// commit as MVCC epoch `epoch`. Unlike OnUpdates, empty batches are
+  /// written too — the replayer re-derives one reference answer per epoch,
+  /// so every epoch needs its updates record even when nothing moved.
+  /// PdrMonitor::ApplyUpdates calls this *before* the epoch commits, so
+  /// tick records pinned to an epoch always follow its updates record.
+  void OnCommit(Tick now, const std::vector<UpdateEvent>& updates,
+                uint64_t epoch);
+
   /// Computes the delta's digests, appends a tick record, and returns it.
-  /// PdrMonitor calls this from OnTick when attached via SetRecorder.
+  /// PdrMonitor calls this from OnTick / RunSnapshotQuery when attached
+  /// via SetRecorder. Thread-safe: concurrent readers and the writer may
+  /// interleave record appends (each append is atomic under a mutex).
   WorkloadTickRecord RecordTick(const PdrMonitor::Delta& delta);
 
   /// Flushes buffered bytes to the OS (bundle writers call this before
@@ -179,6 +195,9 @@ class WorkloadRecorder {
   std::string path_;
   WorkloadLogHeader header_;
   std::FILE* file_ = nullptr;
+  // Serializes appends from concurrent capture (one writer thread plus
+  // any number of RunSnapshotQuery readers share one recorder).
+  std::mutex mu_;
   Stats stats_;
   std::string bundle_dir_;  ///< empty: bundles disarmed
   bool hook_installed_ = false;
@@ -191,6 +210,9 @@ struct WorkloadLogRecord {
   Tick tick = 0;                     ///< kUpdates: receipt tick
   std::vector<UpdateEvent> updates;  ///< kUpdates payload
   WorkloadTickRecord query;          ///< kTick payload
+  /// kUpdates: MVCC epoch the batch committed as (0 = serialized capture
+  /// via OnUpdates). Any record with epoch > 0 marks the log concurrent.
+  uint64_t epoch = 0;
 };
 
 /// A fully loaded workload log.

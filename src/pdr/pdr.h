@@ -49,6 +49,9 @@
 #include "pdr/mobility/generator.h"
 #include "pdr/mobility/object.h"
 #include "pdr/mobility/road_network.h"
+#include "pdr/mvcc/snapshot_manager.h"
+#include "pdr/mvcc/snapshot_query.h"
+#include "pdr/mvcc/version_store.h"
 #include "pdr/obs/audit.h"
 #include "pdr/obs/clock.h"
 #include "pdr/obs/explain.h"

@@ -6,10 +6,13 @@
 #include <memory>
 #include <utility>
 
+#include <map>
+
 #include "pdr/common/stats.h"
 #include "pdr/core/fr_engine.h"
 #include "pdr/core/monitor.h"
 #include "pdr/core/pa_engine.h"
+#include "pdr/mvcc/snapshot_manager.h"
 #include "pdr/parallel/exec_policy.h"
 
 namespace pdr {
@@ -68,6 +71,109 @@ double Percentile(const std::vector<double>& sorted, double pct) {
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
+// Concurrent-capture verify/bench: re-drive the update stream serialized
+// in commit-epoch (= file) order; after each epoch's batch, one serialized
+// evaluation of the standing query is the reference answer for every
+// recorded snapshot pinned to that epoch.
+ReplayResult RunConcurrent(const WorkloadLog& log,
+                           const ReplayOptions& options) {
+  const WorkloadLogHeader& h = log.header;
+  const int threads = options.threads < 0 ? h.threads : options.threads;
+  const ExecPolicy exec = ExecForThreads(threads);
+  FrEngine fr(FrOptionsFromHeader(h, exec));
+
+  // Recorded snapshot answers, grouped by pinned epoch. Readers record in
+  // scheduling order, so tick records interleave arbitrarily with updates
+  // records; the grouping restores per-epoch order.
+  std::map<uint64_t, std::vector<const WorkloadTickRecord*>> by_epoch;
+  for (const WorkloadLogRecord& rec : log.records) {
+    if (rec.kind == WorkloadLogRecord::Kind::kTick) {
+      by_epoch[rec.query.epoch].push_back(&rec.query);
+    }
+  }
+
+  ReplayResult result;
+  result.threads = threads;
+  std::vector<double> samples;
+  std::vector<double> cpu_samples;
+  Timer total;
+  const double cpu_start = CpuNowMs();
+
+  auto report = [&](const WorkloadTickRecord& want,
+                    const WorkloadTickRecord& got) {
+    result.tier_counts[std::min<uint8_t>(got.tier, 3)] += 1;
+    result.replayed.push_back(got);
+    ++result.ticks;
+    if (options.mode == ReplayOptions::Mode::kVerify &&
+        (got.digest != want.digest || got.sig_hash != want.sig_hash ||
+         got.tier != want.tier)) {
+      ++result.mismatch_count;
+      if (static_cast<int>(result.mismatches.size()) <
+          options.max_reported_mismatches) {
+        result.mismatches.push_back({want.now, want.digest, got.digest,
+                                     want.sig_hash, got.sig_hash, want.tier,
+                                     got.tier});
+      }
+    }
+  };
+
+  for (const WorkloadLogRecord& rec : log.records) {
+    if (rec.kind != WorkloadLogRecord::Kind::kUpdates) continue;
+    fr.AdvanceTo(rec.tick);
+    for (const UpdateEvent& e : rec.updates) fr.Apply(e);
+    result.updates += static_cast<int64_t>(rec.updates.size());
+
+    auto group = by_epoch.find(rec.epoch);
+    if (group == by_epoch.end()) continue;  // epoch nobody queried
+
+    const Tick q_t = rec.tick + h.lookahead;
+    Timer tick_timer;
+    const double tick_cpu = CpuNowMs();
+    const FrEngine::QueryResult qr = fr.Query(q_t, h.rho, h.l);
+    cpu_samples.push_back(CpuNowMs() - tick_cpu);
+    samples.push_back(tick_timer.ElapsedMillis());
+
+    const PdrMonitor::Delta delta = PdrMonitor::MakeSnapshotDelta(
+        rec.tick, q_t, h.rho, h.l, rec.epoch, qr, 0.0);
+    WorkloadTickRecord got;
+    got.now = delta.now;
+    got.q_t = delta.q_t;
+    got.tier = static_cast<uint8_t>(delta.tier);
+    got.downgrade_reason = static_cast<uint8_t>(delta.downgrade_reason);
+    got.shed = 0;
+    got.digest = TickDigest(delta);
+    got.sig_hash = ExplainSignatureHash(delta.explain);
+    got.epoch = rec.epoch;
+    for (const WorkloadTickRecord* want : group->second) report(*want, got);
+    by_epoch.erase(group);
+  }
+
+  // Answers pinned to an epoch with no updates record cannot be
+  // re-derived; an incomplete capture fails verification rather than
+  // passing vacuously.
+  for (const auto& [epoch, group] : by_epoch) {
+    for (const WorkloadTickRecord* want : group) {
+      WorkloadTickRecord got;  // zero digests: nothing re-derivable
+      got.now = want->now;
+      got.q_t = want->q_t;
+      got.epoch = epoch;
+      report(*want, got);
+    }
+  }
+
+  result.total_ms = total.ElapsedMillis();
+  result.total_cpu_ms = CpuNowMs() - cpu_start;
+  std::sort(samples.begin(), samples.end());
+  result.p50_ms = Percentile(samples, 50.0);
+  result.p95_ms = Percentile(samples, 95.0);
+  result.p99_ms = Percentile(samples, 99.0);
+  std::sort(cpu_samples.begin(), cpu_samples.end());
+  result.p50_cpu_ms = Percentile(cpu_samples, 50.0);
+  result.p95_cpu_ms = Percentile(cpu_samples, 95.0);
+  result.p99_cpu_ms = Percentile(cpu_samples, 99.0);
+  return result;
+}
+
 }  // namespace
 
 Replayer Replayer::FromFile(const std::string& path) {
@@ -78,7 +184,17 @@ Replayer Replayer::FromBundle(const std::string& bundle_dir) {
   return FromFile(BundleWorkloadLog(bundle_dir));
 }
 
+bool Replayer::concurrent() const {
+  for (const WorkloadLogRecord& rec : log_.records) {
+    if (rec.kind == WorkloadLogRecord::Kind::kUpdates && rec.epoch > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 ReplayResult Replayer::Run(const ReplayOptions& options) const {
+  if (concurrent()) return RunConcurrent(log_, options);
   const WorkloadLogHeader& h = log_.header;
   const int threads = options.threads < 0 ? h.threads : options.threads;
   const ExecPolicy exec = ExecForThreads(threads);
@@ -190,6 +306,40 @@ WorkloadRecorder::Stats RecordDataset(const Dataset& dataset,
     }
     recorder.OnUpdates(now, dataset.ticks[now]);
     if (now % every == 0) monitor.OnTick(now);
+  }
+  recorder.Flush();
+  return recorder.stats();
+}
+
+WorkloadRecorder::Stats RecordConcurrentDataset(const Dataset& dataset,
+                                                const std::string& log_path,
+                                                WorkloadLogHeader header,
+                                                int queries_per_tick) {
+  header.extent = dataset.config.extent;
+  header.num_objects = dataset.config.num_objects;
+  header.max_update_interval = dataset.config.max_update_interval;
+  header.seed = dataset.config.seed;
+  header.duration = dataset.duration();
+  header.has_fallback = 0;  // the concurrent path is FR-only
+
+  const ExecPolicy exec = ExecForThreads(header.threads);
+  mvcc::SnapshotManager snapshots;
+  FrEngine::Options fr_opts = FrOptionsFromHeader(header, exec);
+  fr_opts.snapshots = &snapshots;
+  FrEngine fr(fr_opts);
+  PdrMonitor monitor(&fr, MonitorOptionsFromHeader(header));
+  monitor.SetExecPolicy(exec);
+
+  WorkloadRecorder recorder(log_path, header);
+  monitor.SetRecorder(&recorder);
+  monitor.StartConcurrent();
+
+  const Tick every = std::max<Tick>(1, header.every);
+  for (Tick now = 0; now <= dataset.duration(); ++now) {
+    monitor.ApplyUpdates(now, dataset.ticks[now]);
+    if (now % every == 0) {
+      for (int q = 0; q < queries_per_tick; ++q) monitor.RunSnapshotQuery();
+    }
   }
   recorder.Flush();
   return recorder.stats();

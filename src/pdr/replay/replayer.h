@@ -106,8 +106,22 @@ class Replayer {
 
   const WorkloadLog& log() const { return log_; }
 
+  /// True when the log was captured by a concurrent (MVCC) run: some
+  /// updates record carries a commit epoch.
+  bool concurrent() const;
+
   /// Rebuilds the engines from the log header and re-drives the monitor
   /// through every record.
+  ///
+  /// Concurrent captures (see concurrent()) replay differently: the
+  /// update stream is re-driven serialized, in commit-epoch order, and
+  /// after each epoch's batch the standing query is evaluated once —
+  /// that serialized answer is the reference every recorded snapshot
+  /// answer pinned to the epoch must match bit-exactly. A clean pass
+  /// proves the concurrent run's every answer equals serialized
+  /// execution at its pinned epoch, which is the MVCC correctness
+  /// claim. Recorded answers whose epoch has no updates record count as
+  /// mismatches (the capture is incomplete).
   ReplayResult Run(const ReplayOptions& options = {}) const;
 
  private:
@@ -126,6 +140,19 @@ WorkloadRecorder::Stats RecordDataset(const Dataset& dataset,
                                       const std::string& log_path,
                                       WorkloadLogHeader header,
                                       const std::string& bundle_dir = "");
+
+/// Concurrent-capture twin of RecordDataset: drives `dataset` through an
+/// MVCC-enabled FR engine via the monitor's concurrent API — per tick one
+/// ApplyUpdates commit, then `queries_per_tick` RunSnapshotQuery calls on
+/// monitor cadence (header.every) — all on the calling thread, so the
+/// schedule (and the log bytes) are machine-independent: the canned
+/// concurrent fixture and its goldens are generated through here. The
+/// same log format verifies captures from genuinely multi-threaded runs;
+/// only the record order differs.
+WorkloadRecorder::Stats RecordConcurrentDataset(const Dataset& dataset,
+                                                const std::string& log_path,
+                                                WorkloadLogHeader header,
+                                                int queries_per_tick = 1);
 
 }  // namespace pdr
 

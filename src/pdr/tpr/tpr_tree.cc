@@ -193,6 +193,13 @@ namespace {
 constexpr uint32_t kTprMetaMagic = 0x4d525054u;  // "TPRM"
 
 std::unique_ptr<Pager> MakeTreePager(const TprTree::Options& options) {
+  if (options.external_pager != nullptr) {
+    if (!options.storage_dir.empty()) {
+      throw std::invalid_argument(
+          "TprTree: external_pager and storage_dir are mutually exclusive");
+    }
+    return nullptr;  // caller-owned store
+  }
   if (options.storage_dir.empty()) return std::make_unique<MemPager>();
   return std::make_unique<DiskPager>(options.storage_dir,
                                      options.fault_injector);
@@ -202,7 +209,9 @@ std::unique_ptr<Pager> MakeTreePager(const TprTree::Options& options) {
 
 TprTree::TprTree(const Options& options)
     : pager_(MakeTreePager(options)),
-      pool_(pager_.get(), options.buffer_pages),
+      pool_(options.external_pager != nullptr ? options.external_pager
+                                              : pager_.get(),
+            options.buffer_pages),
       options_(options) {
   disk_ = dynamic_cast<DiskPager*>(pager_.get());
   if (disk_ != nullptr && disk_->recovered()) {
@@ -637,12 +646,27 @@ bool TprTree::Delete(ObjectId id) {
 
 std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
     const Rect& window, Tick t) const {
+  const auto out = RangeQueryFrom(pool_, root_, window, t);
+  // Tree-shape gauges for the monitor report / cost calibration: refreshed
+  // per query so they track splits and condensations without a hook in
+  // every structural operation.
+  static Gauge& height_gauge =
+      MetricsRegistry::Global().GetGauge("pdr.tpr.height");
+  static Gauge& pages_gauge =
+      MetricsRegistry::Global().GetGauge("pdr.tpr.node_pages");
+  height_gauge.Set(static_cast<double>(height_));
+  pages_gauge.Set(static_cast<double>(node_count_));
+  return out;
+}
+
+std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQueryFrom(
+    BufferPool& pool, PageId root, const Rect& window, Tick t) {
   TraceSpan span("tpr.range_query");
   // Inside a concurrent-reads phase, pool-wide stats mix in other threads'
   // I/O; attribute this query's span from the calling thread's delta.
-  const bool phased = pool_.in_read_phase();
+  const bool phased = pool.in_read_phase();
   const IoStats io_before =
-      span.active() ? (phased ? pool_.PeekThreadIoDelta() : pool_.stats())
+      span.active() ? (phased ? pool.PeekThreadIoDelta() : pool.stats())
                     : IoStats{};
   static Counter& queries =
       MetricsRegistry::Global().GetCounter("pdr.tpr.range_queries");
@@ -652,13 +676,13 @@ std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
   int64_t nodes_visited = 0;
 
   std::vector<std::pair<ObjectId, MotionState>> out;
-  if (root_ == kInvalidPageId) return out;
-  std::vector<PageId> stack{root_};
+  if (root == kInvalidPageId) return out;
+  std::vector<PageId> stack{root};
   while (!stack.empty()) {
     const PageId node_id = stack.back();
     stack.pop_back();
     ++nodes_visited;
-    auto ref = pool_.Fetch(node_id);
+    auto ref = pool.Fetch(node_id);
     const NodeHeader* header = ref->As<NodeHeader>();
     if (header->is_leaf) {
       const auto* node = ref->As<LeafLayout>();
@@ -678,18 +702,9 @@ std::vector<std::pair<ObjectId, MotionState>> TprTree::RangeQuery(
     }
   }
   nodes_counter.Add(nodes_visited);
-  // Tree-shape gauges for the monitor report / cost calibration: refreshed
-  // per query so they track splits and condensations without a hook in
-  // every structural operation.
-  static Gauge& height_gauge =
-      MetricsRegistry::Global().GetGauge("pdr.tpr.height");
-  static Gauge& pages_gauge =
-      MetricsRegistry::Global().GetGauge("pdr.tpr.node_pages");
-  height_gauge.Set(static_cast<double>(height_));
-  pages_gauge.Set(static_cast<double>(node_count_));
   if (span.active()) {
     const IoStats delta =
-        (phased ? pool_.PeekThreadIoDelta() : pool_.stats()) - io_before;
+        (phased ? pool.PeekThreadIoDelta() : pool.stats()) - io_before;
     span.SetAttr("nodes_visited", nodes_visited);
     span.SetAttr("results", static_cast<int64_t>(out.size()));
     span.SetAttr("io_reads", delta.physical_reads);

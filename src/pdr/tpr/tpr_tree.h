@@ -81,6 +81,10 @@ class TprTree : public ObjectIndex {
     std::string storage_dir;
     /// Crash-fault injection for the durable store (tests only; not owned).
     FaultInjector* fault_injector = nullptr;
+    /// Non-null: the tree runs over this caller-owned pager instead of
+    /// creating its own (the MVCC copy-on-write seam). Mutually exclusive
+    /// with storage_dir (std::invalid_argument otherwise).
+    Pager* external_pager = nullptr;
   };
 
   explicit TprTree(const Options& options);
@@ -104,6 +108,16 @@ class TprTree : public ObjectIndex {
   std::vector<std::pair<ObjectId, MotionState>> RangeQuery(
       const Rect& window, Tick t) const override;
 
+  /// The range query against an explicit (pool, root) pair: the traversal
+  /// needs nothing else, so an MVCC snapshot query can run it over a
+  /// frozen page view (src/pdr/mvcc/) with the exact instance-method code
+  /// path.
+  static std::vector<std::pair<ObjectId, MotionState>> RangeQueryFrom(
+      BufferPool& pool, PageId root, const Rect& window, Tick t);
+
+  /// The current root page (frozen into MVCC snapshot state at commit).
+  PageId root() const { return root_; }
+
   /// Number of indexed objects.
   size_t size() const override { return leaf_of_.size(); }
 
@@ -124,6 +138,8 @@ class TprTree : public ObjectIndex {
 
   /// Drops the whole buffer cache (cold-start measurement).
   void DropCaches() override { pool_.Clear(); }
+
+  void FlushBufferPool() override { pool_.FlushAll(); }
 
   // Durability (ObjectIndex hooks): flushes the pool and checkpoints the
   // DiskPager with the tree's metadata (clock, root, height, node count,

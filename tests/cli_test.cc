@@ -282,5 +282,39 @@ TEST_F(CliTest, MonitorRejectsDeadlineWithAudit) {
   EXPECT_NE(r.output.find("FR-primary"), std::string::npos) << r.output;
 }
 
+TEST_F(CliTest, ConcurrentMonitorReportsConsistentDigests) {
+  const RunResult r = RunTool("monitor --in " + dataset() +
+                          " --varrho 2 --l 25 --lookahead 2 --concurrent 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("epochs committed"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("cross-reader per-epoch digests consistent"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, ConcurrentRecordReplaysBitIdentical) {
+  char tmpl[] = "/tmp/pdr_cli_mvcc_XXXXXX";
+  const char* wdir = mkdtemp(tmpl);
+  ASSERT_NE(wdir, nullptr);
+  const std::string log = std::string(wdir) + "/mvcc.wlog";
+
+  const RunResult rec = RunTool("record --in " + dataset() + " --log " + log +
+                            " --varrho 2 --l 25 --lookahead 2 --every 2"
+                            " --concurrent 2");
+  EXPECT_EQ(rec.exit_code, 0) << rec.output;
+  EXPECT_NE(rec.output.find("(concurrent)"), std::string::npos) << rec.output;
+
+  for (const std::string threads : {"", " --threads 4"}) {
+    const RunResult verify =
+        RunTool("replay --log " + log + " --verify --digests" + threads);
+    EXPECT_EQ(verify.exit_code, 0) << verify.output;
+    EXPECT_NE(verify.output.find("ticks bit-identical"), std::string::npos)
+        << verify.output;
+    EXPECT_NE(verify.output.find("digest t="), std::string::npos)
+        << verify.output;
+  }
+  std::system((std::string("rm -rf '") + wdir + "'").c_str());
+}
+
 }  // namespace
 }  // namespace pdr

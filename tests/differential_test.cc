@@ -15,9 +15,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pdr/common/random.h"
@@ -25,6 +29,8 @@
 #include "pdr/core/oracle.h"
 #include "pdr/core/pa_engine.h"
 #include "pdr/mobility/generator.h"
+#include "pdr/mvcc/snapshot_manager.h"
+#include "pdr/mvcc/snapshot_query.h"
 #include "pdr/obs/audit.h"
 #include "pdr/obs/workload_log.h"
 #include "pdr/parallel/exec_policy.h"
@@ -381,6 +387,221 @@ TEST(DifferentialTest, PaQualityFloorOnClusteredWorkload) {
   ASSERT_GT(verdict.fr_area, 0.0) << "workload not dense enough to score";
   EXPECT_GE(verdict.recall, 0.3) << "PA missed most of the dense area";
   EXPECT_GE(verdict.precision, 0.3) << "PA mostly hallucinated density";
+}
+
+// ---------------------------------------------------------------------
+// MVCC differential: seeded mixed update/query schedules, snapshot reads
+// vs serialized execution, at serial / 2 / 4 / 8 reader threads, with the
+// same shrink-on-failure reporting as the FR harness above. The deep
+// per-interleaving transcript harness lives in mvcc_interleave_test.cc;
+// this section sweeps many more schedules with a cheaper digest.
+// ---------------------------------------------------------------------
+
+const int kMvccReaderCounts[] = {0, 2, 4, 8};  // 0 = serial (inline)
+
+std::string MvccTranscript(const FrEngine::QueryResult& r, Tick q_t) {
+  std::ostringstream os;
+  os << "q_t=" << q_t << " cells=" << r.accepted_cells << '/'
+     << r.candidate_cells << '/' << r.rejected_cells << " fetched="
+     << r.objects_fetched << " dense=" << r.sweep.dense_rects
+     << " logical=" << r.cost.io.logical_reads << " region=" << std::hexfloat;
+  for (const Rect& rect : r.region.rects()) {
+    os << '[' << rect.x_lo << ',' << rect.y_lo << ',' << rect.x_hi << ','
+       << rect.y_hi << ']';
+  }
+  return os.str();
+}
+
+struct MvccScenario {
+  uint64_t seed = 0;
+  int objects = 0;
+  Tick duration = 0;
+  double rho = 0.0;
+  double l = 20.0;
+};
+
+MvccScenario MakeMvccScenario(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 13);
+  MvccScenario s;
+  s.seed = seed;
+  s.objects = static_cast<int>(rng.UniformInt(60, 200));
+  s.duration = static_cast<Tick>(rng.UniformInt(6, 14));
+  s.l = rng.Uniform(15.0, 30.0);
+  s.rho = rng.Uniform(1.0, 6.0) * s.objects / (kExtent * kExtent);
+  return s;
+}
+
+// One scenario at one reader count: per tick the writer applies the
+// seeded batch, commits an epoch, records the serialized transcript for
+// each scheduled query, and pins a snapshot the readers race later
+// commits to answer. False (with a reason) on the first divergence.
+bool RunMvccScenario(const MvccScenario& s, int objects, int readers,
+                     std::string* why) {
+  mvcc::SnapshotManager snapshots;
+  FrEngine fr({.extent = kExtent,
+               .histogram_side = 16,
+               .horizon = 24,
+               .buffer_pages = 64,
+               .max_update_interval = 6,
+               .snapshots = &snapshots});
+  WorkloadConfig config;
+  config.WithExtent(kExtent);
+  config.num_objects = objects;
+  config.max_update_interval = 6;
+  config.seed = s.seed * 101 + 3;
+  const Dataset ds = GenerateDataset(config, s.duration);
+  Rng rng(s.seed * 0x9E3779B97F4A7C15ULL + 29);
+
+  struct Work {
+    mvcc::Snapshot snap;
+    Tick q_t = 0;
+    std::string expected;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Work> queue;
+  bool writer_done = false;
+  std::string failure;
+
+  auto run_one = [&](Work& w) {
+    const mvcc::Epoch epoch = w.snap.epoch();
+    const std::string got =
+        MvccTranscript(mvcc::SnapshotFrQuery(fr, w.snap, w.q_t, s.rho, s.l),
+                       w.q_t);
+    w.snap.Release();
+    if (got != w.expected) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (failure.empty()) {
+        failure = "epoch " + std::to_string(epoch) + " diverged: want " +
+                  w.expected + " got " + got;
+      }
+    }
+  };
+  auto reader_loop = [&] {
+    for (;;) {
+      Work w;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !queue.empty() || writer_done; });
+        if (queue.empty()) return;
+        w = std::move(queue.front());
+        queue.pop_front();
+      }
+      run_one(w);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int r = 0; r < readers; ++r) pool.emplace_back(reader_loop);
+
+  for (Tick now = 0; now <= ds.duration(); ++now) {
+    fr.AdvanceTo(now);
+    for (const UpdateEvent& e : ds.ticks[now]) fr.Apply(e);
+    fr.PrepareCommit();
+    snapshots.Commit({fr.CaptureState(), nullptr});
+    const int queries = static_cast<int>(rng.UniformInt(0, 2));
+    for (int q = 0; q < queries; ++q) {
+      Work w;
+      w.q_t = now + static_cast<Tick>(rng.UniformInt(0, 5));
+      w.expected = MvccTranscript(fr.Query(w.q_t, s.rho, s.l), w.q_t);
+      w.snap = snapshots.Pin();
+      if (readers == 0) {
+        run_one(w);
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          queue.push_back(std::move(w));
+        }
+        cv.notify_one();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    writer_done = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : pool) t.join();
+  if (!failure.empty()) {
+    *why = "readers=" + std::to_string(readers) + ": " + failure;
+    return false;
+  }
+  return true;
+}
+
+void ShrinkAndFailMvcc(const MvccScenario& s, int readers,
+                       const std::string& first_why) {
+  int failing = s.objects;
+  std::string why = first_why;
+  while (failing > 1) {
+    const int half = failing / 2;
+    std::string half_why;
+    if (RunMvccScenario(s, half, readers, &half_why)) break;
+    failing = half;
+    why = half_why;
+  }
+  ADD_FAILURE() << "mvcc seed=" << s.seed << " objects=" << failing
+                << " (shrunk from " << s.objects << ") rho=" << s.rho
+                << " l=" << s.l << " duration=" << s.duration << ": " << why;
+}
+
+TEST(DifferentialTest, MvccSnapshotsMatchSerializedAcrossSeededSchedules) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    const MvccScenario s = MakeMvccScenario(seed);
+    // Serial for every schedule; threaded sweeps rotate the reader count
+    // per seed to keep the suite fast without losing width coverage.
+    std::string why;
+    if (!RunMvccScenario(s, s.objects, /*readers=*/0, &why)) {
+      ShrinkAndFailMvcc(s, 0, why);
+      continue;
+    }
+    const int readers = kMvccReaderCounts[1 + (seed % 3)];
+    if (!RunMvccScenario(s, s.objects, readers, &why)) {
+      ShrinkAndFailMvcc(s, readers, why);
+    }
+  }
+}
+
+// Concurrent captures are replay-verifiable like serialized ones: a
+// RecordConcurrentDataset log must verify bit-identically at every
+// replay thread count (the concurrent verify path re-derives serialized
+// references per epoch; options.threads must not change the verdict).
+TEST(DifferentialTest, MvccConcurrentCaptureVerifiesAcrossThreadCounts) {
+  char tmpl[] = "/tmp/pdr_diff_mvcc_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    WorkloadConfig config;
+    config.WithExtent(kExtent);
+    config.num_objects = 90 + static_cast<int>(seed) * 25;
+    config.max_update_interval = 5;
+    config.seed = seed * 53 + 11;
+    const Dataset ds = GenerateDataset(config, 8);
+
+    WorkloadLogHeader header;
+    header.rho = 2.0 * config.num_objects / (kExtent * kExtent);
+    header.l = 25.0;
+    header.lookahead = 2;
+    header.every = 2;
+    header.histogram_side = 16;
+    header.horizon = 10;
+    header.buffer_pages = 64;
+    const std::string path =
+        std::string(dir) + "/mvcc" + std::to_string(seed) + ".wlog";
+    RecordConcurrentDataset(ds, path, header, /*queries_per_tick=*/2);
+
+    const Replayer replayer = Replayer::FromFile(path);
+    ASSERT_TRUE(replayer.concurrent());
+    for (int threads : {1, 2, 4, 8}) {
+      ReplayOptions options;
+      options.threads = threads;
+      const ReplayResult result = replayer.Run(options);
+      EXPECT_TRUE(result.ok())
+          << "mvcc seed=" << seed << " threads=" << threads << ": "
+          << result.mismatch_count << " of " << result.ticks
+          << " ticks diverged";
+    }
+  }
+  std::system(("rm -rf '" + std::string(dir) + "'").c_str());
 }
 
 }  // namespace

@@ -145,5 +145,48 @@ TEST(PdrMonitorTest, ResetReportsFullAnswerAgain) {
   EXPECT_TRUE(delta.vanished.IsEmpty());
 }
 
+TEST(PdrMonitorTest, CheckpointHookEveryTickFiresOnEveryEvaluatedTick) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e : Convoy(20, {50, 100}, {0, 0})) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = 15.0 / 100.0, .l = 10.0, .lookahead = 0});
+  int fired = 0;
+  monitor.SetCheckpointHook([&] { ++fired; }, /*every_ticks=*/1);
+  for (Tick now = 0; now <= 4; ++now) {
+    fr.AdvanceTo(now);
+    (void)monitor.OnTick(now);
+    EXPECT_EQ(fired, static_cast<int>(now) + 1) << "now=" << now;
+  }
+}
+
+TEST(PdrMonitorTest, ShedTickSkipsCheckpointHookAndCadence) {
+  FrEngine fr = MakeEngine();
+  for (const UpdateEvent& e : Convoy(20, {50, 100}, {0, 0})) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = 15.0 / 100.0, .l = 10.0, .lookahead = 0});
+  AdmissionController ac({.max_inflight = 1});
+  monitor.SetAdmissionController(&ac);
+  int fired = 0;
+  monitor.SetCheckpointHook([&] { ++fired; }, /*every_ticks=*/2);
+
+  (void)monitor.OnTick(0);  // cadence 1/2, no fire yet
+  EXPECT_EQ(fired, 0);
+
+  // Saturate admission: the shed tick must neither run the hook nor
+  // advance the cadence counter (the standing state did not change).
+  auto held = ac.TryAdmit();
+  ASSERT_TRUE(held.ok());
+  fr.AdvanceTo(1);
+  const auto shed = monitor.OnTick(1);
+  EXPECT_TRUE(shed.shed);
+  EXPECT_EQ(shed.tier, AnswerTier::kShed);
+  EXPECT_EQ(fired, 0);
+
+  // The next evaluated tick is the cadence's 2nd: exactly one fire.
+  held.Release();
+  fr.AdvanceTo(2);
+  const auto resumed = monitor.OnTick(2);
+  EXPECT_FALSE(resumed.shed);
+  EXPECT_EQ(fired, 1);
+}
+
 }  // namespace
 }  // namespace pdr

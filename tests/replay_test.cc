@@ -103,6 +103,68 @@ TEST(ReplayTest, VerifyModeFlagsTamperedDigests) {
   }
 }
 
+std::string RecordConcurrentRun(const std::string& dir, uint64_t seed = 23) {
+  const std::string path = dir + "/mvcc.wlog";
+  RecordConcurrentDataset(SmallDataset(seed), path, SmallHeader(),
+                          /*queries_per_tick=*/2);
+  return path;
+}
+
+TEST(ReplayTest, ConcurrentCaptureVerifiesBitIdentical) {
+  TempDir dir;
+  const Replayer replayer =
+      Replayer::FromFile(RecordConcurrentRun(dir.path()));
+  ASSERT_TRUE(replayer.concurrent());
+  const ReplayResult result = replayer.Run({});
+  EXPECT_TRUE(result.ok()) << result.mismatch_count << " of "
+                           << result.ticks << " ticks diverged";
+  // Cadence 2 over duration 10 -> 6 evaluated ticks x 2 snapshot queries.
+  EXPECT_EQ(result.ticks, 12);
+  EXPECT_GT(result.updates, 0);
+}
+
+TEST(ReplayTest, ConcurrentVerifyFlagsTamperedSnapshotDigest) {
+  TempDir dir;
+  WorkloadLog log = WorkloadLog::Load(RecordConcurrentRun(dir.path()));
+  int tampered = 0;
+  for (WorkloadLogRecord& rec : log.records) {
+    if (rec.kind != WorkloadLogRecord::Kind::kTick) continue;
+    if (++tampered > 1) break;
+    rec.query.digest ^= 0xdeadbeefULL;
+  }
+  ASSERT_EQ(tampered, 2);  // loop breaks on the second tick record
+
+  const ReplayResult result = Replayer{std::move(log)}.Run({});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.mismatch_count, 1);
+  ASSERT_FALSE(result.mismatches.empty());
+  EXPECT_NE(result.mismatches[0].want_digest,
+            result.mismatches[0].got_digest);
+}
+
+TEST(ReplayTest, ConcurrentVerifyRejectsEpochWithoutUpdatesRecord) {
+  // A tick record pinned to an epoch the log has no updates record for
+  // cannot be re-derived; the capture is incomplete and must fail rather
+  // than verify vacuously.
+  TempDir dir;
+  WorkloadLog log = WorkloadLog::Load(RecordConcurrentRun(dir.path()));
+  const int64_t total_ticks = [&] {
+    int64_t n = 0;
+    for (const WorkloadLogRecord& rec : log.records) {
+      if (rec.kind == WorkloadLogRecord::Kind::kTick) ++n;
+    }
+    return n;
+  }();
+  for (WorkloadLogRecord& rec : log.records) {
+    if (rec.kind != WorkloadLogRecord::Kind::kTick) continue;
+    rec.epoch += 1000;  // orphan every snapshot answer
+    rec.query.epoch += 1000;
+  }
+  const ReplayResult result = Replayer{std::move(log)}.Run({});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.mismatch_count, total_ticks);
+}
+
 TEST(ReplayTest, MismatchReportingIsCapped) {
   TempDir dir;
   WorkloadLog log = WorkloadLog::Load(RecordSmallRun(dir.path()));

@@ -112,6 +112,60 @@ TEST(WorkloadLogTest, RecordedRunRoundTripsThroughLoad) {
   EXPECT_EQ(updates, stats.updates);
 }
 
+TEST(WorkloadLogTest, ConcurrentEpochsRoundTripThroughLoad) {
+  TempDir dir;
+  const std::string path = dir.path() + "/mvcc.wlog";
+  const Dataset ds = SmallDataset();
+  {
+    WorkloadRecorder recorder(path, SmallHeader());
+    // Epoch 1: empty batch (written anyway — every epoch needs its
+    // updates record); epoch 2: a real batch; plus one snapshot answer
+    // pinned to each.
+    recorder.OnCommit(0, {}, 1);
+    PdrMonitor::Delta d1;
+    d1.now = 0;
+    d1.q_t = 3;
+    d1.epoch = 1;
+    recorder.RecordTick(d1);
+    recorder.OnCommit(1, ds.ticks[0], 2);
+    PdrMonitor::Delta d2;
+    d2.now = 1;
+    d2.q_t = 4;
+    d2.epoch = 2;
+    recorder.RecordTick(d2);
+  }
+  const WorkloadLog log = WorkloadLog::Load(path);
+  ASSERT_EQ(log.records.size(), 4u);
+  EXPECT_EQ(log.records[0].kind, WorkloadLogRecord::Kind::kUpdates);
+  EXPECT_EQ(log.records[0].epoch, 1u);
+  EXPECT_TRUE(log.records[0].updates.empty());
+  EXPECT_EQ(log.records[1].kind, WorkloadLogRecord::Kind::kTick);
+  EXPECT_EQ(log.records[1].epoch, 1u);
+  EXPECT_EQ(log.records[1].query.epoch, 1u);
+  EXPECT_EQ(log.records[2].epoch, 2u);
+  EXPECT_EQ(log.records[2].updates.size(), ds.ticks[0].size());
+  EXPECT_EQ(log.records[3].query.epoch, 2u);
+  EXPECT_TRUE(Replayer(log).concurrent());
+}
+
+TEST(WorkloadLogTest, SerializedLogsCarryNoEpochsAndStayByteStable) {
+  // Epoch support is strictly additive: a serialized capture writes the
+  // exact pre-MVCC record bytes (no trailing epoch field), loads with
+  // every epoch zero, and is not classified as concurrent.
+  TempDir dir;
+  const std::string path = dir.path() + "/serial.wlog";
+  RecordDataset(SmallDataset(), path, SmallHeader());
+  const WorkloadLog log = WorkloadLog::Load(path);
+  ASSERT_FALSE(log.records.empty());
+  for (const WorkloadLogRecord& rec : log.records) {
+    EXPECT_EQ(rec.epoch, 0u);
+    if (rec.kind == WorkloadLogRecord::Kind::kTick) {
+      EXPECT_EQ(rec.query.epoch, 0u);
+    }
+  }
+  EXPECT_FALSE(Replayer(log).concurrent());
+}
+
 TEST(WorkloadLogTest, TornTailIsAcceptedAsPrefix) {
   TempDir dir;
   const std::string path = dir.path() + "/run.wlog";
