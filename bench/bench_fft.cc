@@ -1,0 +1,100 @@
+// Extension bench: the FFT whole-plane density engine (DESIGN.md §15).
+// Prices the engine's two headline claims on a steady paper workload:
+//
+//   fft_field_build          cost of one whole-plane answer as the raster
+//                            resolution m grows: rasterize + forward
+//                            transform (field_ms), spectral block sums +
+//                            classification (classify_ms), and the cost of
+//                            a second query against the cached field. The
+//                            transform is O(M^2 log M) with M = 2^ceil(log2
+//                            2m), so doubling m should roughly quadruple
+//                            field_ms while the cached query stays flat.
+//   fft_batch_amortization   per-query cost of answering N (rho, l) pairs
+//                            against one tick's field via QueryBatch: one
+//                            transform regardless of N, so per-query cost
+//                            should fall toward the pure classification
+//                            cost as N grows. fields_built counts the
+//                            transforms actually run (always 1 per row).
+//
+// Expected shapes: field_ms grows ~4x per grid doubling; cached_ms and
+// per_query_ms sit well under the fresh-field cost; fields_built == 1 in
+// every amortization row.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace pdr;
+
+Counter& FieldsBuilt() {
+  return MetricsRegistry::Global().GetCounter("pdr.fft.fields_built");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdr;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::Banner(env, "bench_fft",
+                "FFT whole-plane density engine: field build cost and "
+                "batch amortization (§15)");
+
+  const int objects = env.ScaledObjects(100000);
+  const double l = 30.0;
+  const double rho = env.Rho(objects, 2);
+  const bench::SteadyWorkload w = bench::MakeSteadyWorkload(env, objects);
+  const Tick q_t = w.now + env.paper.prediction_window / 2;
+  const Tick horizon = 2 * env.paper.max_update_interval;
+  std::printf("dataset: %d objects, q_t=%d, rho=%.3g, l=%g\n", objects, q_t,
+              rho, l);
+
+  bench::SeriesPrinter build(
+      "fft_field_build",
+      {"grid", "field_ms", "classify_ms", "cached_ms", "accepted_cells"});
+  for (const int grid : {64, 128, 256, 512}) {
+    FftDensityEngine fft(
+        {.extent = env.paper.extent, .grid = grid, .horizon = horizon});
+    ReplayInto(w.dataset, -1, &fft);
+    const auto first = fft.Query(q_t, rho, l);
+    Timer cached_timer;
+    const auto second = fft.Query(q_t, rho, l);
+    const double cached_ms = cached_timer.ElapsedMillis();
+    build.Row({static_cast<double>(grid), first.field_ms, first.classify_ms,
+               cached_ms, static_cast<double>(second.accepted_cells)});
+  }
+  build.Flush();
+
+  bench::SeriesPrinter amortized(
+      "fft_batch_amortization",
+      {"queries", "fields_built", "total_ms", "per_query_ms"});
+  for (const int n : {1, 8, 64}) {
+    FftDensityEngine fft(
+        {.extent = env.paper.extent, .grid = 128, .horizon = horizon});
+    ReplayInto(w.dataset, -1, &fft);
+    // N standing queries against the same tick, thresholds spread around
+    // the paper's rho so classification outcomes differ per query.
+    std::vector<FftDensityEngine::BatchQuery> batch;
+    for (int i = 0; i < n; ++i) {
+      batch.push_back({rho * (0.5 + 1.5 * i / std::max(1, n - 1)), l});
+    }
+    if (n == 1) batch[0] = {rho, l};
+    const int64_t built_before = FieldsBuilt().value();
+    Timer timer;
+    const auto results = fft.QueryBatch(q_t, batch);
+    const double total_ms = timer.ElapsedMillis();
+    const int64_t built =
+        FieldsBuilt().value() - built_before;
+    amortized.Row({static_cast<double>(results.size()),
+                   static_cast<double>(built), total_ms, total_ms / n});
+  }
+  amortized.Flush();
+
+  std::printf(
+      "\nExpected: field_ms grows ~4x per grid doubling while cached_ms "
+      "stays flat; every amortization row builds exactly one field, so "
+      "per_query_ms falls toward the classification floor as N grows.\n");
+  return 0;
+}

@@ -160,7 +160,7 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"info", {"in"}},
       {"query",
        {"in", "varrho", "l", "qt", "engine", "index", "threads", "trace",
-        "deadline-ms", "degrade", "flight-dir"}},
+        "deadline-ms", "degrade", "flight-dir", "fft-grid"}},
       {"explain",
        {"in", "varrho", "l", "qt", "deadline-ms", "degrade", "threads",
         "format", "flight-dir"}},
@@ -177,7 +177,7 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"record",
        {"in", "log", "varrho", "l", "lookahead", "every", "threads",
         "deadline-ms", "max-inflight", "degrade", "degree", "bundle-dir",
-        "flight-dir", "concurrent"}},
+        "flight-dir", "concurrent", "fft-grid"}},
       {"replay", {"log", "bundle", "verify", "bench", "threads", "digests",
                   "jsonl"}},
   };
@@ -280,9 +280,10 @@ int Usage() {
       "[--duration T] [--seed S] [--interval U]\n"
       "  info:    --in FILE\n"
       "  query:   --in FILE --varrho R --l L [--qt T] "
-      "[--engine fr|pa|both] [--index tpr|bx] [--threads N] "
+      "[--engine fr|pa|fft|both] [--index tpr|bx] [--threads N] "
       "[--trace FILE]\n"
-      "           [--deadline-ms D] [--degrade 0|1] [--flight-dir DIR]\n"
+      "           [--deadline-ms D] [--degrade 0|1] [--flight-dir DIR] "
+      "[--fft-grid M]\n"
       "  explain: --in FILE --varrho R --l L [--qt T] [--deadline-ms D] "
       "[--degrade 0|1] [--threads N]\n"
       "           [--format text|json] [--flight-dir DIR]\n"
@@ -307,6 +308,8 @@ int Usage() {
       "[--degree K] [--bundle-dir DIR]\n"
       "           [--flight-dir DIR] [--concurrent Q]  (capture an MVCC "
       "schedule, Q snapshot queries per evaluated tick)\n"
+      "           [--fft-grid M]  (attach the FFT whole-plane rung at "
+      "raster resolution M)\n"
       "  replay:  (--log FILE | --bundle DIR) [--verify | --bench] "
       "[--threads N] [--digests]\n"
       "           [--jsonl FILE]\n");
@@ -412,6 +415,44 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
       std::printf("  certainly dense %.1f sq-miles, possibly dense %.1f\n",
                   result.region.Area(), result.maybe_region.Area());
     }
+    for (size_t i = 0; i < result.region.size() && i < 10; ++i) {
+      std::printf("  %s\n", result.region.rects()[i].ToString().c_str());
+    }
+    ReportFlightDumps(flags);
+    return 0;
+  }
+
+  if (engine == "fft") {
+    // FFT whole-plane rung: one transform answers the query with a
+    // conservative subset + optimistic superset sandwich around exact.
+    // Pinned via the ladder (enable_exact=false) so the answer carries
+    // the same TieredResult provenance a degraded server would emit.
+    FrEngine fr({.extent = extent,
+                 .histogram_side = 100,
+                 .horizon = horizon,
+                 .buffer_pages = PaperConfig().BufferPagesFor(
+                     ds.config.num_objects),
+                 .io_ms = 10.0,
+                 .index = index_name == "bx" ? IndexKind::kBxTree
+                                             : IndexKind::kTprTree,
+                 .max_update_interval = ds.config.max_update_interval,
+                 .exec = ExecFromFlags(flags)});
+    FftDensityEngine fft(
+        {.extent = extent,
+         .grid = std::stoi(FlagOr(flags, "fft-grid", "128")),
+         .horizon = horizon});
+    ReplayInto(ds, -1, &fr);
+    ReplayInto(ds, -1, &fft);
+    ResilienceOptions opts;
+    opts.enable_exact = false;
+    ResilientExecutor exec(&fr, nullptr, opts, &fft);
+    const TieredResult result = exec.Query(q_t, rho, l);
+    std::printf(
+        "tier=%s (grid %dx%d): %zu rects, %.1f sq-miles certainly dense, "
+        "%.1f possibly | %.1f ms\n",
+        AnswerTierName(result.tier), fft.options().grid, fft.options().grid,
+        result.region.size(), result.region.Area(),
+        result.maybe_region.Area(), result.elapsed_ms);
     for (size_t i = 0; i < result.region.size() && i < 10; ++i) {
       std::printf("  %s\n", result.region.rects()[i].ToString().c_str());
     }
@@ -1032,6 +1073,14 @@ int RunRecord(const std::map<std::string, std::string>& flags) {
   header.poly_side = 10;
   header.degree = std::stoi(FlagOr(flags, "degree", "5"));
   header.eval_grid = 1000;
+  const std::string fft_grid = FlagOr(flags, "fft-grid", "");
+  if (!fft_grid.empty()) {
+    header.has_fft = 1;
+    header.fft_grid = std::stoi(fft_grid);
+    // Pin the FFT rung so the capture's tier stamps are deterministic
+    // (deadline-free ladders would otherwise answer exact every tick).
+    header.enable_exact = 0;
+  }
 
   const bool concurrent = flags.count("concurrent") > 0;
   const WorkloadRecorder::Stats stats =
@@ -1077,8 +1126,10 @@ int RunReplay(const std::map<std::string, std::string>& flags) {
               static_cast<long long>(result.ticks),
               static_cast<long long>(result.updates), result.threads,
               replayer.log().torn_tail ? ", torn tail" : "");
-  std::printf("tiers    : exact=%lld approx=%lld histogram=%lld shed=%lld\n",
+  std::printf("tiers    : exact=%lld fft=%lld approx=%lld histogram=%lld "
+              "shed=%lld\n",
               static_cast<long long>(result.tier_counts[0]),
+              static_cast<long long>(result.tier_counts[4]),
               static_cast<long long>(result.tier_counts[1]),
               static_cast<long long>(result.tier_counts[2]),
               static_cast<long long>(result.tier_counts[3]));
@@ -1114,13 +1165,14 @@ int RunReplay(const std::map<std::string, std::string>& flags) {
         "\"p50_ms\":%.6f,\"p95_ms\":%.6f,\"p99_ms\":%.6f,"
         "\"total_ms\":%.3f,"
         "\"p50_cpu_ms\":%.6f,\"p95_cpu_ms\":%.6f,\"p99_cpu_ms\":%.6f,"
-        "\"total_cpu_ms\":%.3f,\"exact\":%lld,\"approx\":%lld,"
+        "\"total_cpu_ms\":%.3f,\"exact\":%lld,\"fft\":%lld,\"approx\":%lld,"
         "\"histogram\":%lld,\"shed\":%lld,\"mismatches\":%lld}}\n",
         static_cast<long long>(result.ticks),
         static_cast<long long>(result.updates), result.threads, result.p50_ms,
         result.p95_ms, result.p99_ms, result.total_ms, result.p50_cpu_ms,
         result.p95_cpu_ms, result.p99_cpu_ms, result.total_cpu_ms,
         static_cast<long long>(result.tier_counts[0]),
+        static_cast<long long>(result.tier_counts[4]),
         static_cast<long long>(result.tier_counts[1]),
         static_cast<long long>(result.tier_counts[2]),
         static_cast<long long>(result.tier_counts[3]),

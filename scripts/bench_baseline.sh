@@ -4,7 +4,9 @@
 # extension (checkpoint cost, WAL volume, recovery time) and the
 # resilience extension (p99 latency and answer-tier mix vs offered load)
 # and the MVCC extension (commit rate and snapshot-query p99 vs reader
-# load) with JSONL output and consolidates the series into one
+# load) and the FFT extension (whole-plane field build cost vs raster
+# resolution, batch amortization vs query count) with JSONL output and
+# consolidates the series into one
 # BENCH_baseline.json at the repo root. Two observability series ride
 # along: the flight-recorder's off/on overhead on the end-to-end query
 # probe and the byte size of one seeded deadline-miss dump pair.
@@ -53,7 +55,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 benches=(bench_fig8_accuracy bench_fig8_memory bench_fig10_cost
-         bench_durability bench_resilience bench_mvcc)
+         bench_durability bench_resilience bench_mvcc bench_fft)
 for b in "${benches[@]}"; do
   if [[ ! -x "${build}/bench/${b}" ]]; then
     echo "error: ${build}/bench/${b} not built (cmake --build ${build})" >&2

@@ -45,7 +45,10 @@ EXTRA_CTEST_ARGS=("$@")
 # Everything that touches the thread pool, the parallel query paths, the
 # buffer pool's read phase, or cross-thread tracing. TSan runs ~10x slower,
 # so the single-threaded math/geometry suites are skipped there (ASan
-# covers them above).
+# covers them above). The FFT lanes (FftTest, FftMetamorphicTest) are
+# single-threaded spectral math and stay out for the same reason;
+# DifferentialTest — which drives the FFT rung against exact FR at
+# 1/2/4/8 threads — is in, so the rung's parallel surface is covered.
 tsan_filter='^(ThreadPoolTest|DifferentialTest|DeterminismTest|BufferPoolTest|PagerTest|IoStatsTest|FrEngineTest|PaEngineTest|PdrMonitorTest|ObsTest|FlightRecorderTest|SloMonitorTest|ResilienceTest|ResilienceSoakTest|MvccInterleaveTest|MvccSoakTest)'
 
 run_config build-check "" -DCMAKE_BUILD_TYPE=Release
@@ -83,10 +86,12 @@ else
   echo "==== overhead gate skipped (bench_micro not built) ===="
 fi
 
-# Replay lane: fresh-capture determinism at 1/2/4/8 threads, the canned
-# fixture against its golden digests, the recording-overhead gate
-# (BM_MonitorTick off/on within 3%), and the replay-bench p99 regression
-# gate against BENCH_baseline.json (scripts/check_replay.sh).
+# Replay lane: fresh-capture determinism at 1/2/4/8 threads (serialized,
+# MVCC, and FFT-rung captures), the canned fixtures — including the
+# FFT-rung pair, whose goldens pin every tick at tier=fft — against their
+# golden digests, the recording-overhead gate (BM_MonitorTick off/on
+# within 3%), and the replay-bench p99 regression gate against
+# BENCH_baseline.json (scripts/check_replay.sh).
 "${repo}/scripts/check_replay.sh" --build "${repo}/build-check"
 
 echo "==== all checks passed ===="

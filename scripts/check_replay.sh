@@ -21,6 +21,15 @@
 #      serialized reference per commit epoch and compares every snapshot
 #      answer against it, so this lane pins the MVCC bit-identity claim
 #      plus the epoch-tagged log format across PRs.
+#   2c. FFT-rung fixture — the same pair for a capture with the FFT
+#      whole-plane rung pinned (tests/fixtures/ci_workload_fft.{wlog,
+#      golden}, recorded via `pdr_tool record --fft-grid 128`). Every
+#      golden digest carries tier=4 (kFft), so this lane pins the FFT
+#      rung's tier stamps, its answer transcripts, and the trailing
+#      has_fft/fft_grid header fields across PRs. Lane 1 additionally
+#      re-captures an FFT-rung run fresh each time and verifies it at
+#      1/4 threads (the spectral path is single-threaded by design; the
+#      exact-FR machinery around it is not).
 #   3. Recording overhead — bench_micro's BM_MonitorTick vs
 #      BM_MonitorTickRecorded probe pair: many short interleaved
 #      repetitions after a warm-up window, min CPU time per side (the
@@ -68,6 +77,8 @@ fail() {
   cp -f "${golden}" "${artifacts}/" 2>/dev/null || true
   cp -f "${repo}/tests/fixtures/ci_workload_mvcc.wlog" \
       "${repo}/tests/fixtures/ci_workload_mvcc.golden" \
+      "${repo}/tests/fixtures/ci_workload_fft.wlog" \
+      "${repo}/tests/fixtures/ci_workload_fft.golden" \
       "${artifacts}/" 2>/dev/null || true
   cp -f "${tmpdir}"/*.wlog "${tmpdir}"/*.digests "${tmpdir}"/*.jsonl \
       "${artifacts}/" 2>/dev/null || true
@@ -96,6 +107,18 @@ for threads in 1 4; do
       --threads "${threads}" >/dev/null \
       || fail "fresh concurrent capture diverged at --threads ${threads}"
   echo "  concurrent threads=${threads}: bit-identical"
+done
+# And for a fresh capture with the FFT rung pinned: the whole-plane
+# transform must answer every tick (tier=4) with thread-invariant digests.
+"${tool}" record --in "${tmpdir}/fresh.pdrd" --log "${tmpdir}/fresh_fft.wlog" \
+    --varrho 3 --l 30 --lookahead 4 --every 2 --fft-grid 128 >/dev/null
+for threads in 1 4; do
+  "${tool}" replay --log "${tmpdir}/fresh_fft.wlog" --verify \
+      --threads "${threads}" >"${tmpdir}/fresh_fft.out" \
+      || fail "fresh FFT-rung capture diverged at --threads ${threads}"
+  grep -q 'fft=11' "${tmpdir}/fresh_fft.out" \
+      || fail "fresh FFT-rung capture did not answer every tick at tier fft"
+  echo "  fft threads=${threads}: bit-identical, all ticks tier=fft"
 done
 
 echo "==== replay lane 2: checked-in fixture matches its golden ===="
@@ -127,6 +150,24 @@ if ! diff -u "${mvcc_golden}" "${tmpdir}/mvcc_got.digests"; then
        "snapshot answers changed (regenerate the pair if intentional)"
 fi
 echo "  $(wc -l <"${mvcc_golden}") golden snapshot digests match"
+
+echo "==== replay lane 2c: FFT-rung fixture matches its golden ===="
+fft_fixture="${repo}/tests/fixtures/ci_workload_fft.wlog"
+fft_golden="${repo}/tests/fixtures/ci_workload_fft.golden"
+if [[ ! -f "${fft_fixture}" || ! -f "${fft_golden}" ]]; then
+  fail "FFT fixture pair missing (${fft_fixture}, ${fft_golden})"
+fi
+"${tool}" replay --log "${fft_fixture}" --verify --digests \
+    >"${tmpdir}/fft_fixture.digests" \
+    || fail "FFT-rung fixture no longer verifies against itself"
+grep '^digest' "${tmpdir}/fft_fixture.digests" >"${tmpdir}/fft_got.digests"
+if ! diff -u "${fft_golden}" "${tmpdir}/fft_got.digests"; then
+  fail "FFT-rung fixture digests diverge from ${fft_golden} —" \
+       "spectral answers changed (regenerate the pair if intentional)"
+fi
+grep -vq 'tier=4' "${tmpdir}/fft_got.digests" \
+    && fail "FFT-rung fixture contains a non-fft tier stamp"
+echo "  $(wc -l <"${fft_golden}") golden fft digests match"
 
 echo "==== replay lane 3: recording overhead on the monitor-tick probe ===="
 bench="${build}/bench/bench_micro"

@@ -1,9 +1,11 @@
 #include "pdr/core/monitor.h"
 
 #include <future>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
+#include "pdr/fft/fft_engine.h"
 #include "pdr/mvcc/snapshot_manager.h"
 #include "pdr/mvcc/snapshot_query.h"
 #include "pdr/obs/flight_recorder.h"
@@ -23,11 +25,12 @@ ResilientExecutor* PdrMonitor::ExecutorForTick() {
   if (pa_ != nullptr) {
     throw std::logic_error(
         "PdrMonitor: the degradation ladder requires FR-primary mode "
-        "(its rungs are FR exact -> PA approximate -> FR histogram)");
+        "(its rungs are FR exact -> FFT field -> PA approximate -> "
+        "FR histogram)");
   }
   if (executor_ == nullptr) {
     executor_ =
-        std::make_unique<ResilientExecutor>(engine_, fallback_, r);
+        std::make_unique<ResilientExecutor>(engine_, fallback_, r, fft_);
   }
   return executor_.get();
 }
@@ -253,6 +256,73 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
   }
   if (recorder_ != nullptr) recorder_->RecordTick(delta);
   return delta;
+}
+
+std::vector<TieredResult> PdrMonitor::QueryBatch(
+    Tick now, const std::vector<BatchQuerySpec>& specs) {
+  if (pa_ != nullptr) {
+    throw std::logic_error(
+        "PdrMonitor::QueryBatch requires FR-primary mode");
+  }
+  TraceSpan span("monitor.batch");
+  Timer timer;
+  std::vector<TieredResult> out(specs.size());
+  // Evaluate in q_t groups so every spec sharing a target tick runs
+  // back-to-back: with an FFT rung attached, the group's first query
+  // rasterizes + transforms and the rest hit the cached field, so each
+  // distinct q_t pays for exactly one transform.
+  std::map<Tick, std::vector<size_t>> by_qt;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    by_qt[now + specs[i].lookahead].push_back(i);
+  }
+  ResilientExecutor* ladder = ExecutorForTick();
+  for (const auto& [q_t, indices] : by_qt) {
+    for (size_t i : indices) {
+      const BatchQuerySpec& s = specs[i];
+      if (ladder != nullptr) {
+        out[i] = ladder->Query(q_t, s.rho, s.l);
+        continue;
+      }
+      // No ladder configured: answer exactly through the FR engine, but
+      // stamp the result in ladder shape so batch callers always consume
+      // TieredResults.
+      Timer query_timer;
+      FrEngine::QueryResult r = engine_->Query(q_t, s.rho, s.l);
+      TieredResult& t = out[i];
+      t.region = std::move(r.region);
+      t.cost = r.cost;
+      t.tier = AnswerTier::kExact;
+      t.elapsed_ms = query_timer.ElapsedMillis();
+      t.explain.query_id = r.query_id;
+      t.explain.q_t = q_t;
+      t.explain.rho = s.rho;
+      t.explain.l = s.l;
+      t.explain.tier = AnswerTier::kExact;
+      t.explain.elapsed_ms = t.elapsed_ms;
+      t.explain.stages.push_back({"filter", r.filter_ms, true});
+      t.explain.stages.push_back({"refine", r.refine_ms, true});
+      t.explain.accepted_cells = r.accepted_cells;
+      t.explain.rejected_cells = r.rejected_cells;
+      t.explain.candidate_cells = r.candidate_cells;
+      t.explain.objects_fetched = r.objects_fetched;
+      t.explain.dense_rects = r.sweep.dense_rects;
+      t.explain.pages_read_physical = r.cost.io.physical_reads;
+      t.explain.pages_read_logical = r.cost.io.logical_reads;
+    }
+  }
+  static Counter& batches =
+      MetricsRegistry::Global().GetCounter("pdr.monitor.batches");
+  static Counter& batch_queries =
+      MetricsRegistry::Global().GetCounter("pdr.monitor.batch_queries");
+  batches.Increment();
+  batch_queries.Add(static_cast<int64_t>(specs.size()));
+  if (span.active()) {
+    span.SetAttr("now", static_cast<int64_t>(now));
+    span.SetAttr("queries", static_cast<int64_t>(specs.size()));
+    span.SetAttr("q_t_groups", static_cast<int64_t>(by_qt.size()));
+    span.SetAttr("elapsed_ms", timer.ElapsedMillis());
+  }
+  return out;
 }
 
 void PdrMonitor::RequireConcurrent(const char* op) const {

@@ -40,6 +40,7 @@
 
 namespace pdr {
 
+class FftDensityEngine;
 class SloMonitor;
 class WorkloadRecorder;
 
@@ -51,8 +52,9 @@ class PdrMonitor {
     Tick lookahead = 0;  ///< q_t = now + lookahead (<= W for completeness)
     /// Deadline / admission-control / degradation policy. Inactive by
     /// default. A per-tick deadline or degradation ladder requires the
-    /// FR-primary mode (the ladder's rungs are FR exact -> PA approximate
-    /// -> FR histogram); OnTick throws std::logic_error otherwise.
+    /// FR-primary mode (the ladder's rungs are FR exact -> FFT field ->
+    /// PA approximate -> FR histogram); OnTick throws std::logic_error
+    /// otherwise.
     ResilienceOptions resilience;
   };
 
@@ -69,7 +71,8 @@ class PdrMonitor {
     /// (non-exact) tier answered and an auditor is attached.
     std::optional<AuditVerdict> audit;
     /// What the answer is worth this tick. kExact unless the resilience
-    /// ladder downgraded (kApprox / kHistogram) or admission control shed
+    /// ladder downgraded (kFft / kApprox / kHistogram) or admission
+    /// control shed
     /// the tick outright (kShed: `current` repeats the previous answer and
     /// appeared/vanished are empty).
     AnswerTier tier = AnswerTier::kExact;
@@ -89,8 +92,9 @@ class PdrMonitor {
     /// empty, because concurrent readers hold no shared standing state
     /// (delta semantics require serialized evaluation order).
     uint64_t epoch = 0;
-    /// kHistogram tier only: the optimistic superset (accepts+candidates);
-    /// everything dense is inside it. Empty at other tiers.
+    /// kHistogram/kFft tiers only: the optimistic superset
+    /// (accepts+candidates); everything dense is inside it. Empty at other
+    /// tiers.
     Region maybe_region;
 
     bool Changed() const {
@@ -123,6 +127,16 @@ class PdrMonitor {
   void SetFallback(PaEngine* fallback) {
     fallback_ = fallback;
     executor_.reset();  // rebuilt lazily with the new fallback
+  }
+
+  /// FR-primary only: attaches the FFT whole-plane density engine as the
+  /// ladder's middle rung (exact -> fft -> approx -> histogram; not owned;
+  /// must be fed the same update stream as the FR engine). Also enables
+  /// QueryBatch amortization: queries on the same q_t share one cached
+  /// transform.
+  void SetFftRung(FftDensityEngine* fft) {
+    fft_ = fft;
+    executor_.reset();  // rebuilt lazily with the new rung
   }
 
   /// Shares an admission controller across monitors/threads (not owned).
@@ -158,6 +172,28 @@ class PdrMonitor {
   /// `now` and fed all updates up to it) and returns the delta against
   /// the previous evaluation.
   Delta OnTick(Tick now);
+
+  /// One query of a same-tick batch: evaluate (rho, l) at q_t = now +
+  /// lookahead. Unlike the standing query, batch specs are ad hoc — a
+  /// dashboard refreshing many thresholds, a dispatcher scanning several
+  /// neighborhood sizes — so they bypass the delta/standing state.
+  struct BatchQuerySpec {
+    double rho = 0.0;
+    double l = 30.0;
+    Tick lookahead = 0;
+  };
+
+  /// FR-primary only: answers every spec at `now` in one pass, grouped by
+  /// q_t so specs sharing a target tick amortize: with an attached FFT
+  /// rung (SetFftRung) the first query on each q_t builds the density
+  /// field — rasterize + one forward transform — and the rest reuse the
+  /// cached spectrum, paying only a kernel multiply + classification
+  /// (EXPERIMENTS.md has the measured amortization curve). Results come
+  /// back in spec order, each stamped with its tier/EXPLAIN provenance
+  /// exactly as a single ladder query would be. Does not touch the
+  /// standing answer, admission control, or the recorder.
+  std::vector<TieredResult> QueryBatch(Tick now,
+                                       const std::vector<BatchQuerySpec>& specs);
 
   /// Forgets the previous answer (the next delta reports everything as
   /// appeared).
@@ -227,6 +263,7 @@ class PdrMonitor {
   FrEngine* engine_ = nullptr;
   PaEngine* pa_ = nullptr;
   PaEngine* fallback_ = nullptr;
+  FftDensityEngine* fft_ = nullptr;
   ShadowAuditor* auditor_ = nullptr;
   CostCalibrator* calibrator_ = nullptr;
   AdmissionController* admission_ = nullptr;  // shared, not owned

@@ -1,0 +1,194 @@
+#include "pdr/fft/fft.h"
+
+#include <cmath>
+#include <utility>
+
+namespace pdr {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Bit-reversal permutation for a power-of-two length n.
+void BitReverse(std::vector<std::complex<double>>& a) {
+  const size_t n = a.size();
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+}  // namespace
+
+int NextPow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  if (n <= 1) return;
+  BitReverse(a);
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::complex<double>& x : a) x *= scale;
+  }
+}
+
+void Fft2D(std::vector<std::complex<double>>& a, int M, bool inverse) {
+  std::vector<std::complex<double>> line(static_cast<size_t>(M));
+  // Rows.
+  for (int r = 0; r < M; ++r) {
+    std::complex<double>* row = a.data() + static_cast<size_t>(r) * M;
+    line.assign(row, row + M);
+    Fft(line, inverse);
+    std::copy(line.begin(), line.end(), row);
+  }
+  // Columns.
+  for (int c = 0; c < M; ++c) {
+    for (int r = 0; r < M; ++r) line[r] = a[static_cast<size_t>(r) * M + c];
+    Fft(line, inverse);
+    for (int r = 0; r < M; ++r) a[static_cast<size_t>(r) * M + c] = line[r];
+  }
+}
+
+std::vector<std::complex<double>> ForwardReal2D(const std::vector<double>& real,
+                                                int m, int M) {
+  std::vector<std::complex<double>> out(static_cast<size_t>(M) * M);
+  // Row pass, two real rows per complex transform: z = row_a + i*row_b has
+  // Z[k] = A[k] + i*B[k], and realness gives A[k] = (Z[k] + conj(Z[-k]))/2,
+  // B[k] = (Z[k] - conj(Z[-k])) / (2i).
+  std::vector<std::complex<double>> z(static_cast<size_t>(M));
+  for (int r = 0; r < m; r += 2) {
+    const double* row_a = real.data() + static_cast<size_t>(r) * m;
+    const bool has_b = r + 1 < m;
+    const double* row_b =
+        has_b ? real.data() + static_cast<size_t>(r + 1) * m : nullptr;
+    for (int c = 0; c < M; ++c) {
+      const double re = c < m ? row_a[c] : 0.0;
+      const double im = has_b && c < m ? row_b[c] : 0.0;
+      z[c] = {re, im};
+    }
+    Fft(z, /*inverse=*/false);
+    for (int k = 0; k < M; ++k) {
+      const std::complex<double> zk = z[k];
+      const std::complex<double> zmk = std::conj(z[(M - k) % M]);
+      out[static_cast<size_t>(r) * M + k] = 0.5 * (zk + zmk);
+      if (has_b) {
+        const std::complex<double> diff = zk - zmk;
+        out[static_cast<size_t>(r + 1) * M + k] =
+            std::complex<double>(0.5 * diff.imag(), -0.5 * diff.real());
+      }
+    }
+  }
+  // Rows m..M-1 are zero padding: their transforms are zero (already so).
+  // Column pass (full complex).
+  std::vector<std::complex<double>> line(static_cast<size_t>(M));
+  for (int c = 0; c < M; ++c) {
+    for (int r = 0; r < M; ++r) line[r] = out[static_cast<size_t>(r) * M + c];
+    Fft(line, /*inverse=*/false);
+    for (int r = 0; r < M; ++r) out[static_cast<size_t>(r) * M + c] = line[r];
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> BoxKernelSpectrum(int half_width, int M) {
+  // The centered box is separable, so its DFT is the product of two
+  // Dirichlet sums D[u] = 1 + 2 * sum_{d=1..h} cos(2*pi*u*d / M) — the
+  // transform of the wrapped 1-D box image, computed in closed form (and
+  // exactly real, as the even symmetry demands).
+  std::vector<double> d(static_cast<size_t>(M));
+  for (int u = 0; u < M; ++u) {
+    double s = 1.0;
+    for (int k = 1; k <= half_width; ++k) {
+      s += 2.0 * std::cos(2.0 * kPi * static_cast<double>(u) *
+                          static_cast<double>(k) / static_cast<double>(M));
+    }
+    d[u] = s;
+  }
+  std::vector<std::complex<double>> out(static_cast<size_t>(M) * M);
+  for (int v = 0; v < M; ++v) {
+    for (int u = 0; u < M; ++u) {
+      out[static_cast<size_t>(v) * M + u] = d[v] * d[u];
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> SpectralBlockSums(
+    const std::vector<std::complex<double>>& field_spectrum,
+    const std::vector<std::complex<double>>& kernel_spectrum, int M, int m,
+    double* max_residual) {
+  std::vector<std::complex<double>> prod(static_cast<size_t>(M) * M);
+  for (size_t i = 0; i < prod.size(); ++i) {
+    prod[i] = field_spectrum[i] * kernel_spectrum[i];
+  }
+  Fft2D(prod, M, /*inverse=*/true);
+  std::vector<int64_t> out(static_cast<size_t>(m) * m);
+  double worst = 0.0;
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m; ++c) {
+      const std::complex<double> v = prod[static_cast<size_t>(r) * M + c];
+      const double rounded = std::nearbyint(v.real());
+      worst = std::max(worst, std::fabs(v.real() - rounded));
+      worst = std::max(worst, std::fabs(v.imag()));
+      out[static_cast<size_t>(r) * m + c] = static_cast<int64_t>(rounded);
+    }
+  }
+  if (max_residual != nullptr) *max_residual = worst;
+  return out;
+}
+
+std::vector<int64_t> DirectBlockSums(const std::vector<double>& counts, int m,
+                                     int half_width) {
+  // 2-D prefix sums over the integer counts, then one clipped block lookup
+  // per cell (cells beyond the grid contribute zero, like the FFT's
+  // zero padding).
+  std::vector<int64_t> prefix(static_cast<size_t>(m + 1) * (m + 1), 0);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m; ++c) {
+      prefix[static_cast<size_t>(r + 1) * (m + 1) + (c + 1)] =
+          prefix[static_cast<size_t>(r) * (m + 1) + (c + 1)] +
+          prefix[static_cast<size_t>(r + 1) * (m + 1) + c] -
+          prefix[static_cast<size_t>(r) * (m + 1) + c] +
+          static_cast<int64_t>(
+              std::llround(counts[static_cast<size_t>(r) * m + c]));
+    }
+  }
+  const auto at = [&](int r, int c) {
+    return prefix[static_cast<size_t>(r) * (m + 1) + c];
+  };
+  std::vector<int64_t> out(static_cast<size_t>(m) * m);
+  for (int r = 0; r < m; ++r) {
+    const int r_lo = std::max(0, r - half_width);
+    const int r_hi = std::min(m - 1, r + half_width);
+    for (int c = 0; c < m; ++c) {
+      const int c_lo = std::max(0, c - half_width);
+      const int c_hi = std::min(m - 1, c + half_width);
+      out[static_cast<size_t>(r) * m + c] = at(r_hi + 1, c_hi + 1) -
+                                            at(r_lo, c_hi + 1) -
+                                            at(r_hi + 1, c_lo) +
+                                            at(r_lo, c_lo);
+    }
+  }
+  return out;
+}
+
+}  // namespace pdr

@@ -1,0 +1,97 @@
+// Radix-2 FFT and spectral box-filter convolution for the whole-plane
+// density engine.
+//
+// Point density (Definition 2) is the object point-mass field convolved
+// with the l-square box kernel, so one rasterize -> FFT -> multiply ->
+// inverse pass yields block sums for *every* grid cell at once in
+// O(M^2 log M), independent of how many queries share the tick. This
+// module provides the numeric plumbing: an iterative radix-2 complex FFT
+// (no external dependencies), a real-to-complex forward 2-D transform
+// that packs row pairs into one complex transform each, an analytic-image
+// box-kernel spectrum, and the multiply + inverse + round step that
+// recovers integer block sums.
+//
+// Exactness contract: raster counts and the box kernel are integers, so
+// the exact (cyclic-wraparound-free) convolution is integer-valued. The
+// FFT computes it with roundoff bounded by O(log2 M) * machine-eps *
+// total mass — around 1e-10 for any realistic configuration — so rounding
+// the inverse transform to the nearest integer reproduces the direct
+// O(n * m^2) integer convolution *bit for bit* as long as the residual
+// stays below 0.5. SpectralBlockSums reports the largest residual it saw;
+// tests/fft_test.cc compares against DirectBlockSums and asserts the
+// bound on every grid it touches, and FftDensityEngine re-checks it on
+// every field (FftRoundoffError past 0.5, which no supported geometry
+// reaches).
+
+#ifndef PDR_FFT_FFT_H_
+#define PDR_FFT_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace pdr {
+
+/// Smallest power of two >= n (n >= 1).
+int NextPow2(int n);
+
+/// In-place iterative radix-2 FFT over `a` (size must be a power of two).
+/// `inverse` applies the conjugate transform and the 1/N scale.
+void Fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// In-place 2-D FFT over a row-major M x M complex grid: M row transforms
+/// followed by M column transforms (separability).
+void Fft2D(std::vector<std::complex<double>>& a, int M, bool inverse);
+
+/// Forward 2-D transform of a real m x m image zero-padded into M x M
+/// (M a power of two, M >= m). The row pass exploits realness: two real
+/// rows are packed into one complex vector, transformed once, and
+/// unpacked by Hermitian symmetry — half the row transforms of the
+/// complex path. Returns the full M x M spectrum.
+std::vector<std::complex<double>> ForwardReal2D(const std::vector<double>& real,
+                                                int m, int M);
+
+/// Spectrum of the centered (2h+1) x (2h+1) box kernel on the M x M torus
+/// (h >= 0). Multiplying a field spectrum by this and inverting yields,
+/// at cell (i, j), the sum of the field over the block of cells within
+/// Chebyshev distance h — the conservative/expansive neighborhood sums of
+/// Algorithm 1, for every cell at once.
+std::vector<std::complex<double>> BoxKernelSpectrum(int half_width, int M);
+
+/// Multiplies the two M x M spectra, inverts, rounds the top-left m x m
+/// window to integers, and returns it row-major. `max_residual` (optional)
+/// receives the largest |raw - round(raw)| observed — the roundoff
+/// witness for the bit-for-bit claim above. The caller must have padded
+/// so the cyclic convolution never wraps (M >= m + half_width).
+std::vector<int64_t> SpectralBlockSums(
+    const std::vector<std::complex<double>>& field_spectrum,
+    const std::vector<std::complex<double>>& kernel_spectrum, int M, int m,
+    double* max_residual = nullptr);
+
+/// Reference direct O(m^2 * h^2) block summation (prefix-sum based, so
+/// actually O(m^2)); the oracle SpectralBlockSums is compared against.
+/// counts is m x m row-major; blocks are clipped at the grid edge (cells
+/// outside the grid contribute zero, matching the zero-padded FFT).
+std::vector<int64_t> DirectBlockSums(const std::vector<double>& counts, int m,
+                                     int half_width);
+
+/// FFT roundoff exceeded the integer-rounding safety margin — the
+/// configuration is outside the bit-for-bit envelope (never expected for
+/// supported grids; a hard error rather than a silently wrong answer).
+class FftRoundoffError : public std::runtime_error {
+ public:
+  explicit FftRoundoffError(double residual)
+      : std::runtime_error("FFT block-sum residual " +
+                           std::to_string(residual) +
+                           " >= 0.5: integer rounding is no longer exact"),
+        residual_(residual) {}
+  double residual() const { return residual_; }
+
+ private:
+  double residual_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_FFT_FFT_H_

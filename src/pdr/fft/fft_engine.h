@@ -1,0 +1,144 @@
+// FFT whole-plane density engine.
+//
+// Answers PDR queries from the *entire* density field at once: rasterize
+// every live object's predicted position at q_t onto an m x m
+// closed-top/right grid (raster.h), run one forward FFT, and then each
+// (rho, l) pair costs only two spectral multiplies + inverse transforms —
+// O(M^2 log M) once per (tick, q_t), O(M^2 log M) per *distinct* block
+// half-width after that, and O(1) per additional query sharing both. That
+// is the batch amortization a tick with many standing queries needs: the
+// per-query marginal cost is independent of the object count and of how
+// many queries share the field.
+//
+// Answer semantics (the documented error bound, DESIGN.md §15): with
+// T = MinObjectsForDensity(rho, l) and the conservative / expansive block
+// sums C and E of raster.h,
+//
+//   C(cell) >= T  ->  accept   (every point of the cell is dense)
+//   E(cell) <  T  ->  reject   (no point of the cell is dense)
+//   otherwise     ->  candidate
+//
+// so `region` (accepts) is a subset of the exact FR answer and
+// `maybe_region` (accepts + candidates) a superset, both up to the
+// measure-zero domain-edge locus raster.h documents; the per-cell count
+// uncertainty is at most E - C, which shrinks as m grows. tests/fft_test.cc
+// asserts the sandwich against exact FR across 200 seeded scenarios and
+// the block sums bit-for-bit against direct convolution.
+//
+// Cancellation: an active QueryControl is checked at the engine's work
+// boundaries — query entry, after rasterization / before the forward
+// transform, and before each kernel multiply + inverse — so the
+// degradation ladder can abandon a field build within one transform
+// quantum. Field and kernel spectra are cached (fields per q_t until the
+// next update, kernels per half-width for the engine's lifetime); a
+// cancelled build leaves no partial cache entry.
+
+#ifndef PDR_FFT_FFT_ENGINE_H_
+#define PDR_FFT_FFT_ENGINE_H_
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pdr/common/errors.h"
+#include "pdr/common/region.h"
+#include "pdr/fft/raster.h"
+#include "pdr/histogram/filter.h"
+#include "pdr/mobility/object.h"
+#include "pdr/resilience/deadline.h"
+
+namespace pdr {
+
+class FftDensityEngine {
+ public:
+  struct Options {
+    double extent = 1000.0;
+    /// Raster resolution m (cells per side). The spectral grid is the
+    /// next power of two >= 2m, so wraparound never reaches the answer
+    /// window for any l.
+    int grid = 128;
+    Tick horizon = 120;  ///< H = U + W, same contract as the other engines
+  };
+
+  struct QueryResult {
+    Region region;        ///< certainly dense: accepted cells
+    Region maybe_region;  ///< accepts + candidates: every dense point is here
+    int64_t accepted_cells = 0;
+    int64_t rejected_cells = 0;
+    int64_t candidate_cells = 0;
+    double field_ms = 0.0;     ///< rasterize + forward FFT (0 on cache hit)
+    double classify_ms = 0.0;  ///< kernel passes + classification
+    bool field_cached = false; ///< the field spectrum was already built
+    int grid = 0;              ///< m this answer was computed at
+  };
+
+  struct BatchQuery {
+    double rho = 0.0;
+    double l = 0.0;
+  };
+
+  explicit FftDensityEngine(const Options& options);
+
+  const Options& options() const { return options_; }
+  const RasterGrid& raster() const { return raster_; }
+
+  void AdvanceTo(Tick now);
+  Tick now() const { return now_; }
+
+  /// Applies one update (same stream as the FR engine); invalidates every
+  /// cached field spectrum.
+  void Apply(const UpdateEvent& update);
+
+  size_t live_objects() const { return table_.size(); }
+
+  /// One snapshot query. Throws HorizonError outside [now, now + H],
+  /// CancelledError at a work boundary when `ctl` fired, and
+  /// FftRoundoffError if the integer-rounding margin is ever exceeded
+  /// (no supported geometry reaches it).
+  QueryResult Query(Tick q_t, double rho, double l,
+                    const QueryControl& ctl = {});
+
+  /// Many (rho, l) pairs against one tick's field: the field is built (or
+  /// reused) once and every distinct half-width's block sums once; each
+  /// additional query is a classification pass only.
+  std::vector<QueryResult> QueryBatch(Tick q_t,
+                                      const std::vector<BatchQuery>& queries,
+                                      const QueryControl& ctl = {});
+
+  /// Block sums over the (2h+1)^2 neighborhood for every cell at q_t,
+  /// computed spectrally (exposed for the metamorphic/differential
+  /// tests). h is clamped to m - 1, past which blocks cover the grid.
+  std::vector<int64_t> BlockSums(Tick q_t, int half_width,
+                                 const QueryControl& ctl = {});
+
+  /// Total raster mass at q_t == number of live in-domain objects
+  /// (mass-conservation witness).
+  int64_t FieldMass(Tick q_t);
+
+ private:
+  struct Field {
+    std::vector<std::complex<double>> spectrum;  ///< M x M forward transform
+    int64_t mass = 0;
+    /// Block sums already inverted for this field, keyed by half-width.
+    std::map<int, std::vector<int64_t>> sums;
+  };
+
+  Field& FieldFor(Tick q_t, const QueryControl& ctl, double* build_ms);
+  const std::vector<int64_t>& SumsFor(Field& field, int half_width,
+                                      const QueryControl& ctl);
+  const std::vector<std::complex<double>>& KernelFor(int half_width);
+
+  Options options_;
+  RasterGrid raster_;
+  Grid report_grid_;  ///< half-open cells for Region output (area-identical)
+  int M_;             ///< spectral side: NextPow2(2 * grid)
+  Tick now_ = 0;
+  ObjectTable table_;
+  std::map<Tick, Field> fields_;
+  std::map<int, std::vector<std::complex<double>>> kernels_;
+};
+
+}  // namespace pdr
+
+#endif  // PDR_FFT_FFT_ENGINE_H_

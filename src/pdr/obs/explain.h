@@ -35,7 +35,7 @@ enum class DowngradeReason : uint8_t;
 /// One ladder stage the query actually ran, in execution order.
 struct ExplainStage {
   /// "filter" | "refine" | "exact" (cancelled before its parts were
-  /// attributed) | "approx" | "histogram"
+  /// attributed) | "fft" | "approx" | "histogram"
   std::string name;
   double spent_ms = 0.0;
   bool completed = true;  ///< false: cancelled mid-stage

@@ -52,6 +52,7 @@ const char* FrEventName(FrEvent kind) {
     case FrEvent::kShed: return "shed";
     case FrEvent::kTaskRun: return "task_run";
     case FrEvent::kCheckpoint: return "checkpoint";
+    case FrEvent::kFftField: return "fft_field";
   }
   return "unknown";
 }
@@ -331,6 +332,10 @@ void AppendArgs(std::string* out, const MicroEvent& e) {
     case FrEvent::kCheckpoint:
       add("tick", e.a);
       add("pages", e.b);
+      break;
+    case FrEvent::kFftField:
+      add("q_t", e.a);
+      add("grid", e.b);
       break;
   }
 }

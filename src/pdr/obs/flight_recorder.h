@@ -72,6 +72,7 @@ enum class FrEvent : uint8_t {
   kShed,            ///< a = tick shed at admission control
   kTaskRun,         ///< a = pool task sequence number
   kCheckpoint,      ///< a = tick, b = pages logged
+  kFftField,        ///< a = q_t the density field was built for, b = grid m
 };
 
 /// Stable lower-case name ("query_begin", "page_fault", ...).

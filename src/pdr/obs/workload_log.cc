@@ -118,6 +118,11 @@ std::string EncodeHeader(const WorkloadLogHeader& h) {
   PutPod(&payload, h.poly_side);
   PutPod(&payload, h.degree);
   PutPod(&payload, h.eval_grid);
+  // Trailing optional fields: the FFT rung. Decoders guard on remaining
+  // bytes, so pre-FFT logs (which stop at eval_grid) still parse and
+  // pre-FFT readers simply ignore the tail they don't know about.
+  PutPod(&payload, h.has_fft);
+  PutPod(&payload, h.fft_grid);
   return payload;
 }
 
@@ -147,6 +152,11 @@ WorkloadLogHeader DecodeHeader(ByteReader* reader) {
   h.poly_side = reader->Get<int32_t>();
   h.degree = reader->Get<int32_t>();
   h.eval_grid = reader->Get<int32_t>();
+  // Optional trailing FFT-rung fields (absent in pre-FFT captures).
+  if (reader->remaining() >= sizeof(uint8_t) + sizeof(int32_t)) {
+    h.has_fft = reader->Get<uint8_t>();
+    h.fft_grid = reader->Get<int32_t>();
+  }
   return h;
 }
 

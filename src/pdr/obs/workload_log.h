@@ -82,6 +82,11 @@ struct WorkloadLogHeader {
   uint8_t enable_exact = 1;
   uint8_t enable_approx = 1;
   uint8_t has_fallback = 0;  ///< a PA fallback engine was attached
+  /// An FFT whole-plane engine was attached as the ladder's middle rung.
+  /// Written as optional trailing header fields (with fft_grid), so logs
+  /// captured before the FFT rung keep their exact bytes and goldens.
+  uint8_t has_fft = 0;
+  int32_t fft_grid = 128;  ///< raster resolution m (cells per axis)
 
   // Execution policy (threads as ExecPolicy encodes it: 1 = serial,
   // 0 = hardware concurrency).

@@ -43,6 +43,9 @@
 #include "pdr/core/pa_engine.h"
 #include "pdr/core/paper_config.h"
 #include "pdr/core/simulation.h"
+#include "pdr/fft/fft.h"
+#include "pdr/fft/fft_engine.h"
+#include "pdr/fft/raster.h"
 #include "pdr/histogram/density_histogram.h"
 #include "pdr/histogram/filter.h"
 #include "pdr/index/object_index.h"

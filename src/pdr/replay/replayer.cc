@@ -12,6 +12,7 @@
 #include "pdr/core/fr_engine.h"
 #include "pdr/core/monitor.h"
 #include "pdr/core/pa_engine.h"
+#include "pdr/fft/fft_engine.h"
 #include "pdr/mvcc/snapshot_manager.h"
 #include "pdr/parallel/exec_policy.h"
 
@@ -43,6 +44,10 @@ PaEngine::Options PaOptionsFromHeader(const WorkloadLogHeader& h,
           .l = h.l,
           .eval_grid = h.eval_grid,
           .exec = exec};
+}
+
+FftDensityEngine::Options FftOptionsFromHeader(const WorkloadLogHeader& h) {
+  return {.extent = h.extent, .grid = h.fft_grid, .horizon = h.horizon};
 }
 
 PdrMonitor::Options MonitorOptionsFromHeader(const WorkloadLogHeader& h) {
@@ -101,7 +106,7 @@ ReplayResult RunConcurrent(const WorkloadLog& log,
 
   auto report = [&](const WorkloadTickRecord& want,
                     const WorkloadTickRecord& got) {
-    result.tier_counts[std::min<uint8_t>(got.tier, 3)] += 1;
+    result.tier_counts[std::min<uint8_t>(got.tier, 4)] += 1;
     result.replayed.push_back(got);
     ++result.ticks;
     if (options.mode == ReplayOptions::Mode::kVerify &&
@@ -204,8 +209,13 @@ ReplayResult Replayer::Run(const ReplayOptions& options) const {
   if (h.has_fallback != 0) {
     pa = std::make_unique<PaEngine>(PaOptionsFromHeader(h, exec));
   }
+  std::unique_ptr<FftDensityEngine> fft;
+  if (h.has_fft != 0) {
+    fft = std::make_unique<FftDensityEngine>(FftOptionsFromHeader(h));
+  }
   PdrMonitor monitor(&fr, MonitorOptionsFromHeader(h));
   if (pa != nullptr) monitor.SetFallback(pa.get());
+  if (fft != nullptr) monitor.SetFftRung(fft.get());
   monitor.SetExecPolicy(exec);
 
   ReplayResult result;
@@ -218,10 +228,12 @@ ReplayResult Replayer::Run(const ReplayOptions& options) const {
   for (const WorkloadLogRecord& rec : log_.records) {
     fr.AdvanceTo(rec.tick);
     if (pa != nullptr) pa->AdvanceTo(rec.tick);
+    if (fft != nullptr) fft->AdvanceTo(rec.tick);
     if (rec.kind == WorkloadLogRecord::Kind::kUpdates) {
       for (const UpdateEvent& e : rec.updates) {
         fr.Apply(e);
         if (pa != nullptr) pa->Apply(e);
+        if (fft != nullptr) fft->Apply(e);
       }
       result.updates += static_cast<int64_t>(rec.updates.size());
       continue;
@@ -243,7 +255,7 @@ ReplayResult Replayer::Run(const ReplayOptions& options) const {
     got.elapsed_ms = delta.elapsed_ms;
     got.digest = TickDigest(delta);
     got.sig_hash = ExplainSignatureHash(delta.explain);
-    result.tier_counts[std::min<uint8_t>(got.tier, 3)] += 1;
+    result.tier_counts[std::min<uint8_t>(got.tier, 4)] += 1;
     result.replayed.push_back(got);
 
     if (options.mode == ReplayOptions::Mode::kVerify &&
@@ -288,8 +300,13 @@ WorkloadRecorder::Stats RecordDataset(const Dataset& dataset,
   if (header.has_fallback != 0) {
     pa = std::make_unique<PaEngine>(PaOptionsFromHeader(header, exec));
   }
+  std::unique_ptr<FftDensityEngine> fft;
+  if (header.has_fft != 0) {
+    fft = std::make_unique<FftDensityEngine>(FftOptionsFromHeader(header));
+  }
   PdrMonitor monitor(&fr, MonitorOptionsFromHeader(header));
   if (pa != nullptr) monitor.SetFallback(pa.get());
+  if (fft != nullptr) monitor.SetFftRung(fft.get());
   monitor.SetExecPolicy(exec);
 
   WorkloadRecorder recorder(log_path, header);
@@ -300,9 +317,11 @@ WorkloadRecorder::Stats RecordDataset(const Dataset& dataset,
   for (Tick now = 0; now <= dataset.duration(); ++now) {
     fr.AdvanceTo(now);
     if (pa != nullptr) pa->AdvanceTo(now);
+    if (fft != nullptr) fft->AdvanceTo(now);
     for (const UpdateEvent& e : dataset.ticks[now]) {
       fr.Apply(e);
       if (pa != nullptr) pa->Apply(e);
+      if (fft != nullptr) fft->Apply(e);
     }
     recorder.OnUpdates(now, dataset.ticks[now]);
     if (now % every == 0) monitor.OnTick(now);
@@ -321,6 +340,7 @@ WorkloadRecorder::Stats RecordConcurrentDataset(const Dataset& dataset,
   header.seed = dataset.config.seed;
   header.duration = dataset.duration();
   header.has_fallback = 0;  // the concurrent path is FR-only
+  header.has_fft = 0;
 
   const ExecPolicy exec = ExecForThreads(header.threads);
   mvcc::SnapshotManager snapshots;

@@ -84,8 +84,8 @@ struct ReplayResult {
   double p99_cpu_ms = 0.0;
 
   /// Achieved answer-tier mix, indexed by AnswerTier (kExact, kApprox,
-  /// kHistogram, kShed).
-  int64_t tier_counts[4] = {0, 0, 0, 0};
+  /// kHistogram, kShed, kFft).
+  int64_t tier_counts[5] = {0, 0, 0, 0, 0};
 
   /// The re-derived per-tick records, parallel to the log's tick records.
   std::vector<WorkloadTickRecord> replayed;
@@ -130,8 +130,9 @@ class Replayer {
 
 /// Capture helper shared by `pdr_tool record`, the CI fixture generator,
 /// and tests: drives `dataset` through freshly built engines (FR primary,
-/// plus a PA fallback when header.has_fallback) with a WorkloadRecorder
-/// attached to the monitor. Dataset-shape header fields (extent,
+/// plus a PA fallback when header.has_fallback and an FFT whole-plane
+/// rung when header.has_fft) with a WorkloadRecorder attached to the
+/// monitor. Dataset-shape header fields (extent,
 /// num_objects, max_update_interval, seed, duration) are overwritten from
 /// `dataset`; all other knobs (query, resilience, engine geometry,
 /// threads) are taken from `header` as passed. A non-empty `bundle_dir`

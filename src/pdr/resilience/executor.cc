@@ -5,6 +5,7 @@
 
 #include "pdr/core/fr_engine.h"
 #include "pdr/core/pa_engine.h"
+#include "pdr/fft/fft_engine.h"
 #include "pdr/histogram/filter.h"
 #include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
@@ -17,6 +18,7 @@ struct ResilienceMetrics {
   Counter& queries;
   Counter& deadline_expired;
   Counter& tier_exact;
+  Counter& tier_fft;
   Counter& tier_approx;
   Counter& tier_histogram;
   Histogram& elapsed_ms;
@@ -32,6 +34,7 @@ struct ResilienceMetrics {
         MetricsRegistry::Global().GetCounter(
             "pdr.resilience.deadline_expired"),
         MetricsRegistry::Global().GetCounter("pdr.resilience.tier_exact"),
+        MetricsRegistry::Global().GetCounter("pdr.resilience.tier_fft"),
         MetricsRegistry::Global().GetCounter("pdr.resilience.tier_approx"),
         MetricsRegistry::Global().GetCounter(
             "pdr.resilience.tier_histogram"),
@@ -54,6 +57,9 @@ void Publish(const TieredResult& result) {
   switch (result.tier) {
     case AnswerTier::kExact:
       m.tier_exact.Increment();
+      break;
+    case AnswerTier::kFft:
+      m.tier_fft.Increment();
       break;
     case AnswerTier::kApprox:
       m.tier_approx.Increment();
@@ -93,6 +99,8 @@ const char* AnswerTierName(AnswerTier tier) {
       return "histogram";
     case AnswerTier::kShed:
       return "shed";
+    case AnswerTier::kFft:
+      return "fft";
   }
   return "?";
 }
@@ -211,6 +219,46 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
     out.downgrade_reason = DowngradeReason::kDisabled;
   }
 
+  // The FFT rung: one whole-plane transform yields a certain/maybe cell
+  // sandwich around the exact answer at the raster's resolution — far
+  // tighter than the histogram floor and amortized across every query on
+  // the same q_t. Any l is fine (kernel spectra are per-l), but q_t must
+  // lie inside the engine's own horizon.
+  if (options_.enable_fft && fft_ != nullptr && q_t >= fft_->now() &&
+      q_t <= fft_->now() + fft_->options().horizon) {
+    FlightRecorder::Record(FrEvent::kTierEnter,
+                           static_cast<int64_t>(AnswerTier::kFft),
+                           static_cast<int64_t>(out.downgrade_reason));
+    const double fft_start_ms = timer.ElapsedMillis();
+    try {
+      FftDensityEngine::QueryResult fft =
+          fft_->Query(q_t, rho, l, ctl);
+      out.region = std::move(fft.region);
+      out.maybe_region = std::move(fft.maybe_region);
+      out.cost = CostBreakdown{};
+      out.cost.cpu_ms = fft.field_ms + fft.classify_ms;
+      out.tier = AnswerTier::kFft;
+      explain.stages.push_back(
+          {"fft", timer.ElapsedMillis() - fft_start_ms, true});
+      explain.accepted_cells = fft.accepted_cells;
+      explain.rejected_cells = fft.rejected_cells;
+      explain.candidate_cells = fft.candidate_cells;
+      return finish(&out);
+    } catch (const CancelledError&) {
+      out.timed_out = true;
+      if (out.downgrade_reason == DowngradeReason::kNone ||
+          out.downgrade_reason == DowngradeReason::kDisabled) {
+        out.downgrade_reason = DowngradeReason::kDeadline;
+      }
+      explain.stages.push_back(
+          {"fft", timer.ElapsedMillis() - fft_start_ms, false});
+      FlightRecorder::Record(
+          FrEvent::kCancelled, static_cast<int64_t>(AnswerTier::kFft),
+          static_cast<int64_t>(timer.ElapsedMillis() * 1000.0));
+      if (!options_.degrade) throw;
+    }
+  }
+
   // The approximate rung is sound only for the PA engine's own fixed l
   // (Section 6) and only inside its horizon; otherwise fall straight
   // through to the histogram floor.
@@ -270,7 +318,8 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
 }
 
 ResilientExecutor::ResilientExecutor(FrEngine* fr, PaEngine* fallback,
-                                     const ResilienceOptions& options)
-    : fr_(fr), fallback_(fallback), options_(options) {}
+                                     const ResilienceOptions& options,
+                                     FftDensityEngine* fft)
+    : fr_(fr), fallback_(fallback), fft_(fft), options_(options) {}
 
 }  // namespace pdr

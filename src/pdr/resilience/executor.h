@@ -7,6 +7,14 @@
 //
 //   kExact      exact FR answer (filter + plane-sweep refinement), run
 //               under the query's deadline/cancel control;
+//   kFft        whole-plane FFT density field (src/pdr/fft) — taken only
+//               when an FftDensityEngine is attached and q_t lies inside
+//               its horizon. `region` is its certainly-dense accept cells
+//               and `maybe_region` the accepts+candidates superset; both
+//               sandwich the exact answer (DESIGN.md §15). Much tighter
+//               than the histogram floor (fine raster vs. the coarse DH
+//               grid) and amortized: every query on the same q_t shares
+//               one cached transform;
 //   kApprox     PA branch-and-bound over the Chebyshev density model —
 //               taken only when a fallback PA engine is attached, its
 //               fixed l matches the query's l, and q_t lies inside its
@@ -44,13 +52,19 @@ namespace pdr {
 
 class FrEngine;
 class PaEngine;
+class FftDensityEngine;
 
-/// The quality tier a deadline-bounded query achieved.
+/// The quality tier a deadline-bounded query achieved. kFft is appended
+/// after kShed so the tier bytes baked into workload-log digests and
+/// golden fixtures keep their values; the *ladder order* (exact -> fft ->
+/// approx -> histogram) is code order in ResilientExecutor::Query, not
+/// enum order.
 enum class AnswerTier : uint8_t {
   kExact = 0,      ///< exact FR answer
   kApprox = 1,     ///< PA Chebyshev approximation
   kHistogram = 2,  ///< filter-only conservative bounds
   kShed = 3,       ///< rejected at admission control; no fresh answer
+  kFft = 4,        ///< FFT whole-plane density sandwich (src/pdr/fft)
 };
 
 const char* AnswerTierName(AnswerTier tier);
@@ -79,7 +93,9 @@ struct ResilienceOptions {
   bool degrade = true;
   /// Rung toggles: a server may pin a cheaper tier under sustained
   /// overload (and tests use them to reach a rung deterministically).
+  /// enable_fft only matters when an FftDensityEngine is attached.
   bool enable_exact = true;
+  bool enable_fft = true;
   bool enable_approx = true;
 
   /// True when any resilience behavior is configured.
@@ -90,9 +106,9 @@ struct ResilienceOptions {
 
 /// A deadline-bounded answer, stamped with how it was obtained.
 struct TieredResult {
-  Region region;  ///< the answer at `tier` (kHistogram: certainly-dense)
-  /// kHistogram only: optimistic accepts+candidates superset — every dense
-  /// point lies inside it. Empty at other tiers.
+  Region region;  ///< the answer at `tier` (kHistogram/kFft: certainly-dense)
+  /// kHistogram and kFft only: optimistic accepts+candidates superset —
+  /// every dense point lies inside it. Empty at other tiers.
   Region maybe_region;
   CostBreakdown cost;  ///< cost of the rung that produced the answer
   AnswerTier tier = AnswerTier::kExact;
@@ -110,11 +126,13 @@ struct TieredResult {
 class ResilientExecutor {
  public:
   /// `fr` is required (the exact rung and the histogram floor both run
-  /// through it); `fallback` may be null, which skips the kApprox rung.
-  /// Neither is owned. The fallback must be fed the same update stream as
+  /// through it); `fallback` may be null, which skips the kApprox rung,
+  /// and `fft` may be null, which skips the kFft rung. None are owned.
+  /// The fallback and fft engines must be fed the same update stream as
   /// `fr`.
   ResilientExecutor(FrEngine* fr, PaEngine* fallback,
-                    const ResilienceOptions& options);
+                    const ResilienceOptions& options,
+                    FftDensityEngine* fft = nullptr);
 
   /// Runs the ladder for snapshot query (rho, l, q_t). `token` optionally
   /// wires external cancellation into every rung. Throws HorizonError for
@@ -128,6 +146,7 @@ class ResilientExecutor {
  private:
   FrEngine* fr_;
   PaEngine* fallback_;
+  FftDensityEngine* fft_;
   ResilienceOptions options_;
 };
 

@@ -28,6 +28,7 @@
 #include "pdr/core/fr_engine.h"
 #include "pdr/core/oracle.h"
 #include "pdr/core/pa_engine.h"
+#include "pdr/fft/fft_engine.h"
 #include "pdr/mobility/generator.h"
 #include "pdr/mvcc/snapshot_manager.h"
 #include "pdr/mvcc/snapshot_query.h"
@@ -280,6 +281,112 @@ TEST(DifferentialTest, GenerousDeadlineBitIdenticalToUnboundedAcross40Seeds) {
       EXPECT_EQ(par.cost.io.logical_reads, plain.cost.io.logical_reads)
           << "seed=" << seed << " threads=" << threads;
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// FFT-rung differential lane: with the exact rung disabled and an
+// FftDensityEngine attached, the ladder must answer at tier kFft with a
+// certain/maybe sandwich around the exact FR answer (the documented error
+// bound, DESIGN.md §15), and the answer must be bit-identical — full
+// hexfloat transcript — no matter how many threads the FR engine runs on
+// (the FFT rung never touches the pool). Shrink-on-failure as above.
+// ---------------------------------------------------------------------
+
+std::string FftTranscript(const TieredResult& r) {
+  std::ostringstream os;
+  os << "tier=" << AnswerTierName(r.tier)
+     << " reason=" << DowngradeReasonName(r.downgrade_reason) << " cells="
+     << r.explain.accepted_cells << '/' << r.explain.candidate_cells << '/'
+     << r.explain.rejected_cells << " region=" << std::hexfloat;
+  for (const Rect& rect : r.region.rects()) {
+    os << '[' << rect.x_lo << ',' << rect.y_lo << ',' << rect.x_hi << ','
+       << rect.y_hi << ']';
+  }
+  os << " maybe=";
+  for (const Rect& rect : r.maybe_region.rects()) {
+    os << '[' << rect.x_lo << ',' << rect.y_lo << ',' << rect.x_hi << ','
+       << rect.y_hi << ']';
+  }
+  return os.str();
+}
+
+bool RunFftRungScenario(const FrScenario& s, int objects, std::string* why) {
+  FrEngine fr({.extent = kExtent,
+               .histogram_side = 16,
+               .horizon = 20,
+               .buffer_pages = 64});
+  FftDensityEngine fft({.extent = kExtent, .grid = 64, .horizon = 20});
+  for (const UpdateEvent& e : FrWorkload(s, objects)) {
+    fr.Apply(e);
+    fft.Apply(e);
+  }
+
+  const Region exact = fr.Query(s.q_t, s.rho, s.l).region;
+  ResilientExecutor exec(&fr, nullptr, {.enable_exact = false}, &fft);
+  const TieredResult serial = exec.Query(s.q_t, s.rho, s.l);
+  if (serial.tier != AnswerTier::kFft) {
+    *why = std::string("tier ") + AnswerTierName(serial.tier) + " != fft";
+    return false;
+  }
+  if (serial.downgrade_reason != DowngradeReason::kDisabled) {
+    *why = std::string("reason ") +
+           DowngradeReasonName(serial.downgrade_reason) + " != disabled";
+    return false;
+  }
+
+  // The documented bound: accepts subset exact subset accepts+candidates
+  // (containment by area; the raster's closed edges differ from the
+  // report grid's half-open edges on a measure-zero set).
+  const double below = RegionDifference(serial.region, exact).Area();
+  if (below > 1e-6) {
+    *why = "fft accepts escape exact FR by area " + std::to_string(below);
+    return false;
+  }
+  const double above = RegionDifference(exact, serial.maybe_region).Area();
+  if (above > 1e-6) {
+    *why = "exact FR escapes fft maybe region by area " +
+           std::to_string(above);
+    return false;
+  }
+
+  // Thread-count invariance, transcript-exact: the FR engine's pool width
+  // must not perturb the FFT rung in any bit.
+  const std::string want = FftTranscript(serial);
+  for (int threads : kPolicies) {
+    fr.SetExecPolicy(ExecPolicy::Parallel(threads));
+    const std::string got = FftTranscript(exec.Query(s.q_t, s.rho, s.l));
+    if (got != want) {
+      *why = "threads=" + std::to_string(threads) +
+             ": transcript diverged\n  want " + want + "\n  got  " + got;
+      return false;
+    }
+  }
+  fr.SetExecPolicy(ExecPolicy::Serial());
+  return true;
+}
+
+void FftShrinkAndFail(const FrScenario& s, const std::string& first_why) {
+  int failing = s.objects;
+  std::string why = first_why;
+  while (failing > 1) {
+    const int half = failing / 2;
+    std::string half_why;
+    if (RunFftRungScenario(s, half, &half_why)) break;
+    failing = half;
+    why = half_why;
+  }
+  ADD_FAILURE() << "seed=" << s.seed << " objects=" << failing
+                << " (shrunk from " << s.objects << ") rho=" << s.rho
+                << " l=" << s.l << " q_t=" << s.q_t
+                << (s.clustered ? " clustered" : " uniform") << ": " << why;
+}
+
+TEST(DifferentialTest, FftRungSandwichesExactFrAcross200Seeds) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const FrScenario s = MakeFrScenario(seed);
+    std::string why;
+    if (!RunFftRungScenario(s, s.objects, &why)) FftShrinkAndFail(s, why);
   }
 }
 

@@ -1,0 +1,340 @@
+// Metamorphic battery for the FFT whole-plane density engine.
+//
+// Each test states a property the density field must respect under a
+// transformation of the *input* — no reference implementation involved:
+//
+//   * translation by whole cells shifts the block-sum field by exactly
+//     those cells;
+//   * reflecting every object through the domain center flips the field;
+//   * mass is conserved: the raster sums to the in-domain object count,
+//     and a grid-covering block reports the total everywhere;
+//   * raising rho can only shrink the accept region and the
+//     accepts+candidates superset (the threshold is monotone);
+//   * edge-exact placements: objects sitting exactly on cell boundaries
+//     and l-square edges classify per the paper's closed-top/right
+//     semantics — pinned against the brute-force oracle with thresholds
+//     straddling n +/- 0.5 objects, the same scheme boundary_test.cc uses
+//     for the exact engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pdr/common/random.h"
+#include "pdr/common/region.h"
+#include "pdr/core/oracle.h"
+#include "pdr/fft/fft_engine.h"
+#include "pdr/fft/raster.h"
+#include "pdr/mobility/object.h"
+
+namespace pdr {
+namespace {
+
+constexpr double kExtent = 200.0;
+constexpr int kGrid = 40;  // cell edge g = 5
+
+UpdateEvent InsertAt(ObjectId id, Vec2 p, Vec2 v = {0.0, 0.0}) {
+  return {0, id, std::nullopt, MotionState{p, v, 0}};
+}
+
+// A motion state that reaches `target` exactly at tick `at` (the
+// boundary_test idiom): start = target - v*at with v chosen so the
+// arithmetic is exact in binary floating point.
+UpdateEvent Reaching(ObjectId id, Vec2 target, Vec2 v, Tick at) {
+  return InsertAt(id, {target.x - v.x * at, target.y - v.y * at}, v);
+}
+
+// Positions strictly inside cells, away from every boundary, so integer
+// cell translations and reflections act exactly.
+std::vector<Vec2> InteriorPositions(int n, uint64_t seed, double lo,
+                                    double hi) {
+  Rng rng(seed);
+  std::vector<Vec2> out;
+  out.reserve(n);
+  const double g = kExtent / kGrid;
+  while (static_cast<int>(out.size()) < n) {
+    Vec2 p{rng.Uniform(lo, hi), rng.Uniform(lo, hi)};
+    const double fx = std::fmod(p.x, g);
+    const double fy = std::fmod(p.y, g);
+    if (fx < 0.5 || fx > g - 0.5 || fy < 0.5 || fy > g - 0.5) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+FftDensityEngine MakeEngine() {
+  return FftDensityEngine({.extent = kExtent, .grid = kGrid, .horizon = 20});
+}
+
+// ---------------------------------------------------------------------------
+// Translation equivariance.
+
+TEST(FftMetamorphicTest, TranslationByWholeCellsShiftsBlockSums) {
+  const double g = kExtent / kGrid;
+  const int dx = 5;  // cells
+  const int dy = 3;
+  const std::vector<Vec2> base = InteriorPositions(80, 21, 40.0, 140.0);
+
+  FftDensityEngine original = MakeEngine();
+  FftDensityEngine translated = MakeEngine();
+  ObjectId id = 0;
+  for (const Vec2& p : base) {
+    original.Apply(InsertAt(id, p));
+    translated.Apply(InsertAt(id, {p.x + dx * g, p.y + dy * g}));
+    ++id;
+  }
+
+  for (int h : {0, 1, 2}) {
+    const std::vector<int64_t> sums_o = original.BlockSums(0, h);
+    const std::vector<int64_t> sums_t = translated.BlockSums(0, h);
+    for (int r = 0; r < kGrid; ++r) {
+      for (int c = 0; c < kGrid; ++c) {
+        // Every object sits well inside the domain in both images and
+        // every nonzero block is unclipped, so the fields must agree as
+        // exact shifted copies wherever both indices exist.
+        if (r - dy < 0 || c - dx < 0) {
+          EXPECT_EQ(sums_t[r * kGrid + c], 0)
+              << "h=" << h << " r=" << r << " c=" << c;
+        } else {
+          EXPECT_EQ(sums_t[r * kGrid + c],
+                    sums_o[(r - dy) * kGrid + (c - dx)])
+              << "h=" << h << " r=" << r << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(FftMetamorphicTest, TranslationByWholeCellsShiftsTheAnswerRegion) {
+  const double g = kExtent / kGrid;
+  const int dx = 4;
+  const int dy = 4;
+  const std::vector<Vec2> base = InteriorPositions(60, 22, 50.0, 120.0);
+
+  FftDensityEngine original = MakeEngine();
+  FftDensityEngine translated = MakeEngine();
+  ObjectId id = 0;
+  for (const Vec2& p : base) {
+    original.Apply(InsertAt(id, p));
+    translated.Apply(InsertAt(id, {p.x + dx * g, p.y + dy * g}));
+    ++id;
+  }
+
+  const double rho = 10.0 / (kExtent * kExtent) * 4.0;
+  const auto a = original.Query(0, rho, 20.0);
+  const auto b = translated.Query(0, rho, 20.0);
+  EXPECT_EQ(a.accepted_cells, b.accepted_cells);
+  EXPECT_EQ(a.candidate_cells, b.candidate_cells);
+
+  Region shifted;
+  for (const Rect& r : a.region.rects()) {
+    shifted.Add(Rect{r.x_lo + dx * g, r.y_lo + dy * g, r.x_hi + dx * g,
+                     r.y_hi + dy * g});
+  }
+  EXPECT_NEAR(SymmetricDifferenceArea(shifted, b.region), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Reflection equivariance.
+
+TEST(FftMetamorphicTest, ReflectionThroughDomainCenterFlipsBlockSums) {
+  const std::vector<Vec2> base = InteriorPositions(80, 23, 10.0, 190.0);
+
+  FftDensityEngine original = MakeEngine();
+  FftDensityEngine reflected = MakeEngine();
+  ObjectId id = 0;
+  for (const Vec2& p : base) {
+    original.Apply(InsertAt(id, p));
+    reflected.Apply(InsertAt(id, {kExtent - p.x, kExtent - p.y}));
+    ++id;
+  }
+
+  for (int h : {0, 1, 3}) {
+    const std::vector<int64_t> sums_o = original.BlockSums(0, h);
+    const std::vector<int64_t> sums_r = reflected.BlockSums(0, h);
+    for (int r = 0; r < kGrid; ++r) {
+      for (int c = 0; c < kGrid; ++c) {
+        // A strictly-interior position in cell j reflects into cell
+        // m-1-j, and edge clipping is symmetric under the full flip, so
+        // the whole field flips exactly.
+        EXPECT_EQ(sums_r[r * kGrid + c],
+                  sums_o[(kGrid - 1 - r) * kGrid + (kGrid - 1 - c)])
+            << "h=" << h << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mass conservation.
+
+TEST(FftMetamorphicTest, MassIsConservedAndGridCoveringBlocksReportIt) {
+  FftDensityEngine fft = MakeEngine();
+  const std::vector<Vec2> base = InteriorPositions(70, 24, 5.0, 195.0);
+  ObjectId id = 0;
+  for (const Vec2& p : base) fft.Apply(InsertAt(id++, p));
+  // Two out-of-domain stragglers must not count.
+  fft.Apply(InsertAt(id++, {-5.0, 50.0}));
+  fft.Apply(InsertAt(id++, {50.0, 250.0}));
+
+  EXPECT_EQ(fft.FieldMass(0), 70);
+
+  // h = m-1 makes every clipped block cover the whole grid.
+  const std::vector<int64_t> sums = fft.BlockSums(0, kGrid - 1);
+  for (size_t i = 0; i < sums.size(); ++i) {
+    ASSERT_EQ(sums[i], 70) << "cell=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity in rho.
+
+TEST(FftMetamorphicTest, RaisingRhoOnlyShrinksBothRegions) {
+  FftDensityEngine fft = MakeEngine();
+  const std::vector<Vec2> base = InteriorPositions(120, 25, 60.0, 140.0);
+  ObjectId id = 0;
+  for (const Vec2& p : base) fft.Apply(InsertAt(id++, p));
+
+  const double l = 24.0;
+  std::optional<FftDensityEngine::QueryResult> previous;
+  for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double rho = scale * 120.0 / (kExtent * kExtent);
+    const auto got = fft.Query(0, rho, l);
+    if (previous) {
+      // region(rho_hi) subset region(rho_lo), same for the superset.
+      EXPECT_NEAR(RegionDifference(got.region, previous->region).Area(), 0.0,
+                  1e-9)
+          << "scale=" << scale;
+      EXPECT_NEAR(
+          RegionDifference(got.maybe_region, previous->maybe_region).Area(),
+          0.0, 1e-9)
+          << "scale=" << scale;
+      EXPECT_LE(got.accepted_cells, previous->accepted_cells);
+    }
+    previous = got;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-exact placements vs. the brute-force oracle (boundary_test scheme:
+// a stack of n objects at an exact position, thresholds at n +/- 0.5).
+
+struct EdgeRig {
+  FftDensityEngine fft{{.extent = kExtent, .grid = kGrid, .horizon = 20}};
+  Oracle oracle{kExtent};
+
+  void Apply(const UpdateEvent& e) {
+    fft.Apply(e);
+    oracle.Apply(e);
+  }
+
+  // Area-based sandwich: accepts subset truth subset maybe.
+  void ExpectSandwich(Tick q_t, double rho, double l) {
+    const auto got = fft.Query(q_t, rho, l);
+    const Region truth = oracle.DenseRegions(q_t, rho, l);
+    EXPECT_NEAR(RegionDifference(got.region, truth).Area(), 0.0, 1e-9);
+    EXPECT_NEAR(RegionDifference(truth, got.maybe_region).Area(), 0.0, 1e-9);
+  }
+};
+
+TEST(FftMetamorphicTest, StackOnGridlineClassifiesPerClosedTopRight) {
+  // n objects exactly at (100, 100) — a raster gridline crossing. Closed
+  // top/right puts them in cell (19, 19), the cell covering (95, 100]^2.
+  constexpr int kN = 8;
+  constexpr double kL = 20.0;  // l/(2g) = 2 -> a = 1, b = 2
+  EdgeRig rig;
+  for (ObjectId i = 0; i < kN; ++i) rig.Apply(InsertAt(i, {100.0, 100.0}));
+
+  // Threshold just below n: T = n, the stack alone satisfies it.
+  const double rho_lo = (kN - 0.5) / (kL * kL);
+  const auto got = rig.fft.Query(0, rho_lo, kL);
+  // Accept block: cells 18..20 both axes -> [90, 105)^2, area 225. Under
+  // open-left binning the stack would land in cell 20 and the accept
+  // square would sit at [95, 110)^2 instead — this pins the convention.
+  EXPECT_EQ(got.accepted_cells, 9);
+  EXPECT_NEAR(got.region.Area(), 225.0, 1e-9);
+  Region expected_accept;
+  expected_accept.Add(Rect{90.0, 90.0, 105.0, 105.0});
+  EXPECT_NEAR(SymmetricDifferenceArea(got.region, expected_accept), 0.0,
+              1e-9);
+  // Maybe block: cells 17..21 -> [85, 110)^2, area 625.
+  EXPECT_NEAR(got.maybe_region.Area(), 625.0, 1e-9);
+  rig.ExpectSandwich(0, rho_lo, kL);
+
+  // Threshold just above n: nothing anywhere can be dense.
+  const double rho_hi = (kN + 0.5) / (kL * kL);
+  const auto none = rig.fft.Query(0, rho_hi, kL);
+  EXPECT_EQ(none.accepted_cells, 0);
+  EXPECT_TRUE(none.region.IsEmpty());
+  EXPECT_TRUE(none.maybe_region.IsEmpty());
+  rig.ExpectSandwich(0, rho_hi, kL);
+}
+
+TEST(FftMetamorphicTest, StackAtDomainCornerStaysInsideTheSandwich) {
+  // The top-right corner (extent, extent) belongs to cell (m-1, m-1)
+  // under closed-top/right; the accept/maybe blocks clip at the edge.
+  constexpr int kN = 6;
+  constexpr double kL = 20.0;
+  EdgeRig rig;
+  for (ObjectId i = 0; i < kN; ++i) rig.Apply(InsertAt(i, {200.0, 200.0}));
+
+  const double rho_lo = (kN - 0.5) / (kL * kL);
+  const auto got = rig.fft.Query(0, rho_lo, kL);
+  // Accept block 38..40 clips to cells 38..39 -> [190, 200)^2, area 100.
+  EXPECT_EQ(got.accepted_cells, 4);
+  EXPECT_NEAR(got.region.Area(), 100.0, 1e-9);
+  rig.ExpectSandwich(0, rho_lo, kL);
+
+  const double rho_hi = (kN + 0.5) / (kL * kL);
+  EXPECT_TRUE(rig.fft.Query(0, rho_hi, kL).region.IsEmpty());
+  rig.ExpectSandwich(0, rho_hi, kL);
+}
+
+TEST(FftMetamorphicTest, MoverArrivingExactlyOnGridlineAtQueryTime) {
+  // Seven objects wait at (100, 100); one arrives exactly at tick 4 (the
+  // start/velocity arithmetic is exact in binary floating point). The
+  // accept square must only appear once the mover lands in the stack's
+  // cell.
+  constexpr double kL = 20.0;
+  EdgeRig rig;
+  for (ObjectId i = 0; i < 7; ++i) rig.Apply(InsertAt(i, {100.0, 100.0}));
+  rig.Apply(Reaching(7, {100.0, 100.0}, {5.0, 0.0}, /*at=*/4));
+
+  const double rho = (8 - 0.5) / (kL * kL);  // T = 8: needs all eight
+  const auto before = rig.fft.Query(0, rho, kL);
+  EXPECT_EQ(before.accepted_cells, 0);
+  rig.ExpectSandwich(0, rho, kL);
+
+  const auto after = rig.fft.Query(4, rho, kL);
+  EXPECT_EQ(after.accepted_cells, 9);
+  EXPECT_NEAR(after.region.Area(), 225.0, 1e-9);
+  rig.ExpectSandwich(4, rho, kL);
+}
+
+TEST(FftMetamorphicTest, RasterAndOracleAgreeOnBoundaryMembership) {
+  // Direct pin of the binning convention the engine shares with
+  // Definition 1: a coordinate on a gridline belongs to the cell whose
+  // closed top/right edge it is.
+  const RasterGrid grid(kExtent, kGrid);
+  for (int j = 1; j < kGrid; ++j) {
+    EXPECT_EQ(grid.ColOf(j * 5.0), j - 1) << "j=" << j;
+  }
+  // And the l-square oracle counts its top/right edge: an object exactly
+  // on the edge of S_l(p) is inside, one on the left/bottom edge is not.
+  Oracle oracle(kExtent);
+  oracle.Apply(InsertAt(0, {110.0, 100.0}));  // on the right edge for p=(100,100)
+  const double rho = 0.5 / 400.0;  // T = 1
+  const Region dense = oracle.DenseRegions(0, rho, 20.0);
+  // p = (100, 100): S_20 = (90, 110] x (90, 110] contains x = 110.
+  EXPECT_FALSE(dense.IsEmpty());
+  EXPECT_NEAR(RegionDifference(
+                  Region({Rect{100.0, 90.0, 100.5, 110.0}}), dense)
+                  .Area(),
+              0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pdr

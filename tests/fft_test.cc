@@ -1,0 +1,431 @@
+// Differential battery for the FFT whole-plane density engine.
+//
+// Two oracles pin the engine down from opposite sides:
+//
+//   * numeric: SpectralBlockSums must reproduce the direct O(m^2)
+//     prefix-sum convolution *bit for bit* — raster counts and the box
+//     kernel are integers, so the exact convolution is integer-valued and
+//     rounding is lossless while the FFT residual stays below 0.5. Every
+//     grid this file touches asserts both the equality and the residual
+//     headroom.
+//   * semantic: across 200 seeded scenarios the engine's accept region
+//     must be a subset of the exact FR answer and its accepts+candidates
+//     superset must contain it (the documented sandwich, DESIGN.md §15).
+//     Containment is asserted by area (the closed-top/right raster edge
+//     vs. the report grid's half-open edge differ on a measure-zero set).
+//     Failures shrink: the object count is halved while the scenario
+//     still fails, and the minimal size is reported with the seed.
+//
+// tests/fft_metamorphic_test.cc holds the invariance battery
+// (translation / reflection / mass / monotonicity / edge-exact
+// placements); tests/differential_test.cc runs the ladder's FFT rung
+// against exact FR across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "pdr/common/random.h"
+#include "pdr/common/region.h"
+#include "pdr/core/fr_engine.h"
+#include "pdr/fft/fft.h"
+#include "pdr/fft/fft_engine.h"
+#include "pdr/fft/raster.h"
+#include "pdr/mobility/generator.h"
+#include "pdr/obs/obs.h"
+#include "pdr/resilience/deadline.h"
+
+namespace pdr {
+namespace {
+
+constexpr double kExtent = 200.0;
+
+// ---------------------------------------------------------------------------
+// Numeric layer: transform round trips.
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1);
+  EXPECT_EQ(NextPow2(2), 2);
+  EXPECT_EQ(NextPow2(3), 4);
+  EXPECT_EQ(NextPow2(16), 16);
+  EXPECT_EQ(NextPow2(17), 32);
+  EXPECT_EQ(NextPow2(255), 256);
+}
+
+TEST(FftTest, ForwardInverseRoundTripIsNearExact) {
+  Rng rng(11);
+  for (int n : {2, 8, 64, 256}) {
+    std::vector<std::complex<double>> a(n);
+    for (auto& z : a) z = {rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    std::vector<std::complex<double>> b = a;
+    Fft(b, /*inverse=*/false);
+    Fft(b, /*inverse=*/true);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(a[i].real(), b[i].real(), 1e-10) << "n=" << n;
+      EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-10) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftTest, ForwardReal2DMatchesFullComplexTransform) {
+  Rng rng(12);
+  const int m = 12;
+  const int M = 32;
+  std::vector<double> img(m * m);
+  for (double& v : img) v = std::floor(rng.Uniform(0.0, 9.0));
+
+  const std::vector<std::complex<double>> packed = ForwardReal2D(img, m, M);
+
+  std::vector<std::complex<double>> direct(M * M, {0.0, 0.0});
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m; ++c) direct[r * M + c] = img[r * m + c];
+  }
+  Fft2D(direct, M, /*inverse=*/false);
+
+  ASSERT_EQ(packed.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(packed[i].real(), direct[i].real(), 1e-9) << "i=" << i;
+    EXPECT_NEAR(packed[i].imag(), direct[i].imag(), 1e-9) << "i=" << i;
+  }
+}
+
+TEST(FftTest, BoxKernelSpectrumMatchesTransformOfBoxImage) {
+  const int M = 32;
+  for (int h : {0, 1, 3, 7}) {
+    const std::vector<std::complex<double>> analytic = BoxKernelSpectrum(h, M);
+    // The centered box on the torus: offsets -h..h wrap to M-h..M-1.
+    std::vector<std::complex<double>> image(M * M, {0.0, 0.0});
+    for (int dy = -h; dy <= h; ++dy) {
+      for (int dx = -h; dx <= h; ++dx) {
+        image[((dy + M) % M) * M + ((dx + M) % M)] = 1.0;
+      }
+    }
+    Fft2D(image, M, /*inverse=*/false);
+    for (size_t i = 0; i < image.size(); ++i) {
+      EXPECT_NEAR(analytic[i].real(), image[i].real(), 1e-8) << "h=" << h;
+      // The analytic spectrum is exactly real (Dirichlet product).
+      EXPECT_EQ(analytic[i].imag(), 0.0);
+      EXPECT_NEAR(image[i].imag(), 0.0, 1e-8) << "h=" << h;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The bit-for-bit differential: spectral block sums vs. direct integer
+// convolution on small grids, including a non-power-of-two m.
+
+TEST(FftTest, SpectralBlockSumsBitIdenticalToDirectConvolution) {
+  Rng rng(13);
+  for (int m : {8, 16, 33}) {
+    const int M = NextPow2(2 * m);
+    std::vector<double> counts(m * m);
+    for (double& c : counts) c = std::floor(rng.Uniform(0.0, 50.0));
+    const std::vector<std::complex<double>> spectrum =
+        ForwardReal2D(counts, m, M);
+    for (int h : {0, 1, 2, 5, m - 1}) {
+      double residual = -1.0;
+      const std::vector<int64_t> spectral =
+          SpectralBlockSums(spectrum, BoxKernelSpectrum(h, M), M, m,
+                            &residual);
+      const std::vector<int64_t> direct = DirectBlockSums(counts, m, h);
+      ASSERT_EQ(spectral.size(), direct.size());
+      for (size_t i = 0; i < direct.size(); ++i) {
+        ASSERT_EQ(spectral[i], direct[i])
+            << "m=" << m << " h=" << h << " cell=" << i;
+      }
+      // The rounding margin must not be anywhere near exhausted.
+      EXPECT_GE(residual, 0.0) << "m=" << m << " h=" << h;
+      EXPECT_LT(residual, 1e-6) << "m=" << m << " h=" << h;
+    }
+  }
+}
+
+TEST(FftTest, SpectralBlockSumsExactForSinglePointMass) {
+  const int m = 16;
+  const int M = NextPow2(2 * m);
+  std::vector<double> counts(m * m, 0.0);
+  counts[5 * m + 9] = 7.0;
+  const auto spectrum = ForwardReal2D(counts, m, M);
+  const int h = 2;
+  const auto sums = SpectralBlockSums(spectrum, BoxKernelSpectrum(h, M), M, m);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m; ++c) {
+      const bool inside = std::abs(r - 5) <= h && std::abs(c - 9) <= h;
+      EXPECT_EQ(sums[r * m + c], inside ? 7 : 0) << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rasterization binning (closed top/right, open left/bottom).
+
+TEST(FftTest, RasterGridBinsClosedTopRight) {
+  const RasterGrid grid(200.0, 40);  // g = 5
+  // A coordinate exactly on a cell boundary belongs to the cell *below*.
+  EXPECT_EQ(grid.ColOf(5.0), 0);
+  EXPECT_EQ(grid.ColOf(5.0 + 1e-9), 1);
+  EXPECT_EQ(grid.ColOf(100.0), 19);
+  EXPECT_EQ(grid.ColOf(100.0 + 1e-9), 20);
+  // Domain edges: x = 0 is clamped into cell 0, x = extent lands in m-1.
+  EXPECT_EQ(grid.ColOf(0.0), 0);
+  EXPECT_EQ(grid.ColOf(200.0), 39);
+}
+
+TEST(FftTest, RasterHalfWidthsCloseWithoutSlackCell) {
+  const RasterGrid grid(200.0, 40);  // g = 5
+  // l = 20: l/(2g) = 2 exactly -> a = 1, b = 2 (no "+1" slack).
+  EXPECT_EQ(grid.ConservativeHalfWidth(20.0), 1);
+  EXPECT_EQ(grid.ExpansiveHalfWidth(20.0), 2);
+  // l = 22: l/(2g) = 2.2 -> a = 1, b = 3.
+  EXPECT_EQ(grid.ConservativeHalfWidth(22.0), 1);
+  EXPECT_EQ(grid.ExpansiveHalfWidth(22.0), 3);
+  // l below one cell: no accept possible.
+  EXPECT_LT(grid.ConservativeHalfWidth(4.0), 0);
+}
+
+TEST(FftTest, RasterizeDropsOutOfDomainAndCountsMass) {
+  const RasterGrid grid(100.0, 10);
+  const std::vector<Vec2> positions = {
+      {5.0, 5.0},   {5.0, 5.0},    {100.0, 100.0}, {0.0, 0.0},
+      {-1.0, 50.0}, {50.0, 101.0}, {30.0, 30.0},
+  };
+  const std::vector<double> counts = RasterizeCounts(grid, positions);
+  double mass = 0.0;
+  for (double c : counts) mass += c;
+  EXPECT_EQ(mass, 5.0);  // the two out-of-domain points are dropped
+  EXPECT_EQ(counts[0 * 10 + 0], 3.0);  // (5,5) x2 and the clamped (0,0)
+  EXPECT_EQ(counts[9 * 10 + 9], 1.0);  // (100,100) in the top cell
+  EXPECT_EQ(counts[2 * 10 + 2], 1.0);  // (30,30) on the (20,30] boundary
+}
+
+// ---------------------------------------------------------------------------
+// Engine sandwich vs. exact FR across 200 seeded scenarios, with
+// shrink-on-failure.
+
+struct Scenario {
+  uint64_t seed = 0;
+  int objects = 0;
+  bool clustered = false;
+  int clusters = 1;
+  double rho = 0.0;
+  double l = 20.0;
+  Tick q_t = 0;
+};
+
+Scenario MakeScenario(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  Scenario s;
+  s.seed = seed;
+  s.objects = static_cast<int>(rng.UniformInt(40, 250));
+  s.clustered = rng.NextDouble() < 0.5;
+  s.clusters = static_cast<int>(rng.UniformInt(1, 4));
+  s.l = rng.Uniform(12.0, 30.0);
+  s.rho = rng.Uniform(0.5, 8.0) * s.objects / (kExtent * kExtent);
+  s.q_t = static_cast<Tick>(rng.UniformInt(0, 5));
+  return s;
+}
+
+std::vector<UpdateEvent> ScenarioWorkload(const Scenario& s, int objects) {
+  return s.clustered
+             ? MakeClusteredInserts(objects, s.clusters, kExtent, 8.0, 0.3,
+                                    s.seed)
+             : MakeUniformInserts(objects, kExtent, 1.5, s.seed);
+}
+
+// One scenario at one size; false (with a reason) when the sandwich or
+// the roundoff contract breaks.
+bool RunSandwichScenario(const Scenario& s, int objects, std::string* why) {
+  FrEngine fr({.extent = kExtent,
+               .histogram_side = 16,
+               .horizon = 20,
+               .buffer_pages = 64});
+  FftDensityEngine fft({.extent = kExtent, .grid = 64, .horizon = 20});
+  for (const UpdateEvent& e : ScenarioWorkload(s, objects)) {
+    fr.Apply(e);
+    fft.Apply(e);
+  }
+
+  const Region exact = fr.Query(s.q_t, s.rho, s.l).region;
+  FftDensityEngine::QueryResult got;
+  try {
+    got = fft.Query(s.q_t, s.rho, s.l);
+  } catch (const FftRoundoffError& e) {
+    *why = std::string("roundoff contract broken: ") + e.what();
+    return false;
+  }
+
+  const double below = RegionDifference(got.region, exact).Area();
+  if (below > 1e-6) {
+    *why = "accept region escapes exact FR by area " + std::to_string(below);
+    return false;
+  }
+  const double above = RegionDifference(exact, got.maybe_region).Area();
+  if (above > 1e-6) {
+    *why = "exact FR escapes maybe region by area " + std::to_string(above);
+    return false;
+  }
+  if (got.maybe_region.Area() < got.region.Area() - 1e-9) {
+    *why = "maybe region smaller than accept region";
+    return false;
+  }
+  if (got.accepted_cells + got.rejected_cells + got.candidate_cells !=
+      64LL * 64LL) {
+    *why = "cell classes do not partition the grid";
+    return false;
+  }
+  return true;
+}
+
+void ShrinkAndFail(const Scenario& s, const std::string& first_why) {
+  int failing = s.objects;
+  std::string why = first_why;
+  while (failing > 1) {
+    const int half = failing / 2;
+    std::string half_why;
+    if (RunSandwichScenario(s, half, &half_why)) break;
+    failing = half;
+    why = half_why;
+  }
+  ADD_FAILURE() << "seed=" << s.seed << " objects=" << failing
+                << " (shrunk from " << s.objects << ") rho=" << s.rho
+                << " l=" << s.l << " q_t=" << s.q_t
+                << (s.clustered ? " clustered" : " uniform") << ": " << why;
+}
+
+TEST(FftTest, SandwichesExactFrAcross200Seeds) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const Scenario s = MakeScenario(seed);
+    std::string why;
+    if (!RunSandwichScenario(s, s.objects, &why)) ShrinkAndFail(s, why);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine mechanics: caching, batch amortization, cancellation, horizon.
+
+std::vector<UpdateEvent> SmallWorkload() {
+  return MakeClusteredInserts(120, 2, kExtent, 8.0, 0.3, /*seed=*/5);
+}
+
+TEST(FftTest, FieldCacheAmortizesQueriesOnOneTick) {
+  FftDensityEngine fft({.extent = kExtent, .grid = 64, .horizon = 20});
+  for (const UpdateEvent& e : SmallWorkload()) fft.Apply(e);
+
+  Counter& built =
+      MetricsRegistry::Global().GetCounter("pdr.fft.fields_built");
+  const int64_t built_before = built.value();
+
+  std::vector<FftDensityEngine::BatchQuery> batch;
+  for (int i = 1; i <= 8; ++i) {
+    batch.push_back({i * 10.0 / (kExtent * kExtent), 20.0 + i});
+  }
+  const auto results = fft.QueryBatch(3, batch);
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(built.value(), built_before + 1);  // one transform for all 8
+  EXPECT_FALSE(results.front().field_cached);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].field_cached) << "i=" << i;
+    EXPECT_EQ(results[i].field_ms, 0.0) << "i=" << i;
+  }
+
+  // A different q_t is a different field.
+  fft.Query(4, batch.front().rho, batch.front().l);
+  EXPECT_EQ(built.value(), built_before + 2);
+}
+
+TEST(FftTest, ApplyInvalidatesCachedFields) {
+  FftDensityEngine fft({.extent = kExtent, .grid = 32, .horizon = 20});
+  for (const UpdateEvent& e : SmallWorkload()) fft.Apply(e);
+  const int64_t mass_before = fft.FieldMass(0);
+  EXPECT_EQ(mass_before, 120);
+
+  // A new insert must invalidate the cached field, not serve stale mass.
+  fft.Apply({0, 9999, std::nullopt, MotionState{{50.0, 50.0}, {0, 0}, 0}});
+  EXPECT_EQ(fft.FieldMass(0), mass_before + 1);
+}
+
+TEST(FftTest, AdvanceToPrunesFieldsBehindTheClock) {
+  FftDensityEngine fft({.extent = kExtent, .grid = 32, .horizon = 20});
+  for (const UpdateEvent& e : SmallWorkload()) fft.Apply(e);
+  Counter& built =
+      MetricsRegistry::Global().GetCounter("pdr.fft.fields_built");
+  fft.Query(0, 0.003, 20.0);
+  fft.Query(5, 0.003, 20.0);
+  const int64_t built_before = built.value();
+  fft.AdvanceTo(5);
+  // Tick 5's field survives the advance; tick 0's is gone (and can no
+  // longer be queried anyway).
+  fft.Query(5, 0.004, 22.0);
+  EXPECT_EQ(built.value(), built_before);
+}
+
+TEST(FftTest, CancellationAtWorkBoundariesLeavesNoPartialState) {
+  FftDensityEngine fft({.extent = kExtent, .grid = 64, .horizon = 20});
+  for (const UpdateEvent& e : SmallWorkload()) fft.Apply(e);
+
+  CancelToken token;
+  token.Cancel();
+  QueryControl ctl;
+  ctl.token = &token;
+  EXPECT_THROW(fft.Query(0, 0.003, 20.0, ctl), CancelledError);
+
+  QueryControl expired;
+  expired.deadline = Deadline::After(0.0);
+  EXPECT_THROW(fft.Query(0, 0.003, 20.0, expired), CancelledError);
+
+  // The cancelled builds left no partial cache entry: the next uncontrolled
+  // query builds the field from scratch and answers normally.
+  Counter& built =
+      MetricsRegistry::Global().GetCounter("pdr.fft.fields_built");
+  const int64_t built_before = built.value();
+  const auto ok = fft.Query(0, 0.003, 20.0);
+  EXPECT_EQ(built.value(), built_before + 1);
+  EXPECT_FALSE(ok.field_cached);
+}
+
+TEST(FftTest, GenerousControlIsBitIdenticalToNoControl) {
+  FftDensityEngine a({.extent = kExtent, .grid = 64, .horizon = 20});
+  FftDensityEngine b({.extent = kExtent, .grid = 64, .horizon = 20});
+  for (const UpdateEvent& e : SmallWorkload()) {
+    a.Apply(e);
+    b.Apply(e);
+  }
+  QueryControl generous;
+  generous.deadline = Deadline::After(1e9);
+  const auto plain = a.Query(2, 0.004, 24.0);
+  const auto controlled = b.Query(2, 0.004, 24.0, generous);
+  EXPECT_EQ(plain.accepted_cells, controlled.accepted_cells);
+  EXPECT_EQ(plain.rejected_cells, controlled.rejected_cells);
+  EXPECT_EQ(plain.candidate_cells, controlled.candidate_cells);
+  EXPECT_EQ(RegionDifference(plain.region, controlled.region).Area(), 0.0);
+  EXPECT_EQ(RegionDifference(controlled.region, plain.region).Area(), 0.0);
+}
+
+TEST(FftTest, QueryOutsideHorizonThrowsHorizonError) {
+  FftDensityEngine fft({.extent = kExtent, .grid = 32, .horizon = 20});
+  for (const UpdateEvent& e : SmallWorkload()) fft.Apply(e);
+  fft.AdvanceTo(5);
+  EXPECT_NO_THROW(fft.Query(5, 0.003, 20.0));
+  EXPECT_NO_THROW(fft.Query(25, 0.003, 20.0));
+  EXPECT_THROW(fft.Query(4, 0.003, 20.0), HorizonError);
+  EXPECT_THROW(fft.Query(26, 0.003, 20.0), HorizonError);
+}
+
+TEST(FftTest, PredictedMotionMovesTheField) {
+  FftDensityEngine fft({.extent = kExtent, .grid = 40, .horizon = 20});
+  // One object moving right at 10 per tick from x = 20.
+  fft.Apply({0, 1, std::nullopt, MotionState{{20.0, 100.0}, {10.0, 0.0}, 0}});
+  const RasterGrid& grid = fft.raster();  // g = 5
+  const auto at0 = fft.BlockSums(0, 0);
+  const auto at4 = fft.BlockSums(4, 0);
+  const int row = grid.RowOf(100.0);
+  EXPECT_EQ(at0[row * 40 + grid.ColOf(20.0)], 1);
+  EXPECT_EQ(at4[row * 40 + grid.ColOf(20.0)], 0);
+  EXPECT_EQ(at4[row * 40 + grid.ColOf(60.0)], 1);
+}
+
+}  // namespace
+}  // namespace pdr

@@ -19,8 +19,10 @@
 #include "pdr/core/monitor.h"
 #include "pdr/core/oracle.h"
 #include "pdr/core/pa_engine.h"
+#include "pdr/fft/fft_engine.h"
 #include "pdr/mobility/generator.h"
 #include "pdr/obs/audit.h"
+#include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/resilience/admission.h"
 #include "pdr/resilience/deadline.h"
@@ -389,6 +391,129 @@ TEST(ResilienceTest, LadderValidatesHorizonBeforeDegrading) {
 }
 
 // ---------------------------------------------------------------------------
+// The FFT rung: ladder placement (exact -> fft -> approx -> histogram),
+// cancellation at the engine's work boundaries, and reason stamping.
+
+struct FftLadderRig : LadderRig {
+  FftDensityEngine fft{{.extent = kExtent, .grid = 64, .horizon = kHorizon}};
+
+  FftLadderRig() {
+    for (const UpdateEvent& e : Workload()) fft.Apply(e);
+  }
+};
+
+TEST(ResilienceTest, LadderPrefersFftOverApproxWhenExactDisabled) {
+  FftLadderRig rig;
+  // Both the FFT rung and the PA rung could answer (l matches PA's fixed
+  // l); the FFT rung must win — it sits directly below exact.
+  ResilientExecutor exec(&rig.fr, &rig.pa, {.enable_exact = false},
+                         &rig.fft);
+  const TieredResult result = exec.Query(0, rig.rho, kL);
+  EXPECT_EQ(result.tier, AnswerTier::kFft);
+  EXPECT_EQ(result.downgrade_reason, DowngradeReason::kDisabled);
+  EXPECT_FALSE(result.timed_out);
+
+  // The documented bound: accepts subset exact subset accepts+candidates.
+  const auto exact = rig.fr.Query(0, rig.rho, kL);
+  EXPECT_NEAR(RegionDifference(result.region, exact.region).Area(), 0.0,
+              1e-9);
+  EXPECT_NEAR(RegionDifference(exact.region, result.maybe_region).Area(),
+              0.0, 1e-9);
+}
+
+TEST(ResilienceTest, LadderFftAnswersForLsThePaRungCannotServe) {
+  FftLadderRig rig;
+  // PA is pinned to kL; the FFT rung handles any l (kernels are per-l).
+  ResilientExecutor exec(&rig.fr, &rig.pa, {.enable_exact = false},
+                         &rig.fft);
+  const TieredResult result = exec.Query(0, rig.rho, kL + 5.0);
+  EXPECT_EQ(result.tier, AnswerTier::kFft);
+}
+
+TEST(ResilienceTest, LadderSkipsFftWhenDisabledByPolicy) {
+  FftLadderRig rig;
+  ResilientExecutor exec(&rig.fr, &rig.pa,
+                         {.enable_exact = false, .enable_fft = false},
+                         &rig.fft);
+  const TieredResult result = exec.Query(0, rig.rho, kL);
+  EXPECT_EQ(result.tier, AnswerTier::kApprox);
+}
+
+TEST(ResilienceTest, LadderSkipsFftOutsideItsHorizon) {
+  FftLadderRig rig;
+  FftDensityEngine myopic({.extent = kExtent, .grid = 64, .horizon = 2});
+  for (const UpdateEvent& e : Workload()) myopic.Apply(e);
+  ResilientExecutor exec(&rig.fr, &rig.pa, {.enable_exact = false},
+                         &myopic);
+  EXPECT_EQ(exec.Query(2, rig.rho, kL).tier, AnswerTier::kFft);
+  // q_t = 5 is inside the FR/PA horizon but beyond the FFT engine's own:
+  // the ladder must fall through to the approx rung, not throw.
+  EXPECT_EQ(exec.Query(5, rig.rho, kL).tier, AnswerTier::kApprox);
+}
+
+TEST(ResilienceTest, LadderDeadlineMissWalksExactFftApproxHistogram) {
+  FftLadderRig rig;
+  ResilientExecutor exec(&rig.fr, &rig.pa, {.deadline_ms = 1e-9}, &rig.fft);
+  const TieredResult result = exec.Query(0, rig.rho, kL);
+  // Every deadline-controlled rung cancels at its entry boundary; only
+  // the histogram floor (never cancelled) answers. The stage record
+  // proves the walk order: the FFT rung ran after exact and before PA.
+  EXPECT_EQ(result.tier, AnswerTier::kHistogram);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.downgrade_reason, DowngradeReason::kDeadline);
+  ASSERT_EQ(result.explain.stages.size(), 4u);
+  EXPECT_EQ(result.explain.stages[0].name, "exact");
+  EXPECT_FALSE(result.explain.stages[0].completed);
+  EXPECT_EQ(result.explain.stages[1].name, "fft");
+  EXPECT_FALSE(result.explain.stages[1].completed);
+  EXPECT_EQ(result.explain.stages[2].name, "approx");
+  EXPECT_FALSE(result.explain.stages[2].completed);
+  EXPECT_EQ(result.explain.stages[3].name, "histogram");
+  EXPECT_TRUE(result.explain.stages[3].completed);
+}
+
+TEST(ResilienceTest, LadderFftCancellationWithoutDegradePropagates) {
+  FftLadderRig rig;
+  ResilientExecutor exec(
+      &rig.fr, &rig.pa,
+      {.deadline_ms = 1e-9, .degrade = false, .enable_exact = false},
+      &rig.fft);
+  EXPECT_THROW(exec.Query(0, rig.rho, kL), CancelledError);
+}
+
+TEST(ResilienceTest, LadderRecordsFftFieldAndCancellationEvents) {
+  FftLadderRig rig;
+  FlightRecorder::SetEnabled(true);
+  FlightRecorder::Global().Reset();
+
+  ResilientExecutor ok(&rig.fr, &rig.pa, {.enable_exact = false}, &rig.fft);
+  ASSERT_EQ(ok.Query(0, rig.rho, kL).tier, AnswerTier::kFft);
+  ResilientExecutor expired(&rig.fr, &rig.pa, {.deadline_ms = 1e-9},
+                            &rig.fft);
+  ASSERT_TRUE(expired.Query(0, rig.rho, kL).timed_out);
+
+  bool saw_enter = false, saw_field = false, saw_cancel = false;
+  for (const MicroEvent& e : FlightRecorder::Global().Snapshot()) {
+    if (e.kind == FrEvent::kTierEnter &&
+        e.a == static_cast<int64_t>(AnswerTier::kFft)) {
+      saw_enter = true;
+    }
+    if (e.kind == FrEvent::kFftField && e.a == 0 && e.b == 64) {
+      saw_field = true;
+    }
+    if (e.kind == FrEvent::kCancelled &&
+        e.a == static_cast<int64_t>(AnswerTier::kFft)) {
+      saw_cancel = true;
+    }
+  }
+  EXPECT_TRUE(saw_enter);
+  EXPECT_TRUE(saw_field);
+  EXPECT_TRUE(saw_cancel);
+  FlightRecorder::SetEnabled(false);
+  FlightRecorder::Global().Reset();
+}
+
+// ---------------------------------------------------------------------------
 // Transient I/O faults: bounded retry, metrics-visible, never tripping
 // crash recovery.
 
@@ -550,6 +675,83 @@ TEST(ResilienceTest, MonitorOffersDegradedAnswersToTheAuditor) {
   // The histogram tier is pessimistic: whatever it claims dense is dense.
   EXPECT_GE(delta.audit->precision, 1.0 - 1e-9);
   PdrObs::SetEnabled(was_enabled);
+}
+
+TEST(ResilienceTest, MonitorFftRungAnswersTheStandingQuery) {
+  FrEngine fr(FrOpts());
+  // grid=128 keeps the conservative window (half-width 2, ~7.8 units) wide
+  // enough to certify the convoy's core at l=10; at grid=64 the window
+  // degenerates to one cell and the subset is legitimately empty.
+  FftDensityEngine fft({.extent = kExtent, .grid = 128, .horizon = kHorizon});
+  for (const UpdateEvent& e : Convoy(30)) {
+    fr.Apply(e);
+    fft.Apply(e);
+  }
+  PdrMonitor::Options opts{.rho = 20.0 / 100.0, .l = 10.0, .lookahead = 0};
+  opts.resilience.enable_exact = false;  // pin the fft rung
+  PdrMonitor monitor(&fr, opts);
+  monitor.SetFftRung(&fft);
+  const auto delta = monitor.OnTick(0);
+  EXPECT_EQ(delta.tier, AnswerTier::kFft);
+  EXPECT_EQ(delta.downgrade_reason, DowngradeReason::kDisabled);
+  EXPECT_FALSE(delta.current.IsEmpty());
+  // The optimistic superset rides along on the delta for fft answers.
+  const auto exact = fr.Query(0, opts.rho, opts.l);
+  EXPECT_NEAR(RegionDifference(delta.current, exact.region).Area(), 0.0,
+              1e-9);
+  EXPECT_NEAR(RegionDifference(exact.region, delta.maybe_region).Area(), 0.0,
+              1e-9);
+}
+
+TEST(ResilienceTest, MonitorQueryBatchAmortizesOneFieldPerTargetTick) {
+  FrEngine fr(FrOpts());
+  FftDensityEngine fft({.extent = kExtent, .grid = 64, .horizon = kHorizon});
+  for (const UpdateEvent& e : Workload()) {
+    fr.Apply(e);
+    fft.Apply(e);
+  }
+  PdrMonitor::Options opts{.rho = WorkloadRho(), .l = kL, .lookahead = 0};
+  opts.resilience.enable_exact = false;
+  PdrMonitor monitor(&fr, opts);
+  monitor.SetFftRung(&fft);
+
+  Counter& built =
+      MetricsRegistry::Global().GetCounter("pdr.fft.fields_built");
+  const int64_t built_before = built.value();
+
+  // Eight specs over two distinct target ticks: exactly two transforms.
+  std::vector<PdrMonitor::BatchQuerySpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back({WorkloadRho() * (0.5 + 0.3 * i), kL + i, /*lookahead=*/0});
+  }
+  specs.push_back({WorkloadRho(), kL, /*lookahead=*/2});
+  specs.push_back({WorkloadRho() * 2.0, kL + 3.0, /*lookahead=*/2});
+
+  const std::vector<TieredResult> results = monitor.QueryBatch(0, specs);
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(built.value(), built_before + 2);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].tier, AnswerTier::kFft) << "i=" << i;
+    EXPECT_EQ(results[i].explain.q_t,
+              static_cast<Tick>(specs[i].lookahead))
+        << "i=" << i;
+  }
+}
+
+TEST(ResilienceTest, MonitorQueryBatchWithoutLadderAnswersExact) {
+  FrEngine fr(FrOpts());
+  for (const UpdateEvent& e : Workload()) fr.Apply(e);
+  PdrMonitor monitor(&fr, {.rho = WorkloadRho(), .l = kL, .lookahead = 0});
+  const std::vector<PdrMonitor::BatchQuerySpec> specs = {
+      {WorkloadRho(), kL, 0}, {WorkloadRho() * 2.0, kL - 5.0, 1}};
+  const auto results = monitor.QueryBatch(0, specs);
+  ASSERT_EQ(results.size(), 2u);
+  for (const TieredResult& r : results) {
+    EXPECT_EQ(r.tier, AnswerTier::kExact);
+    EXPECT_EQ(r.explain.stages.size(), 2u);
+  }
+  EXPECT_TRUE(SameRects(results[0].region,
+                        fr.Query(0, WorkloadRho(), kL).region));
 }
 
 TEST(ResilienceTest, MonitorLadderRequiresFrPrimary) {
