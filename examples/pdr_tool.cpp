@@ -21,6 +21,7 @@
 //                 [--checkpoint-every K]
 //   pdr_tool recover --in city.pdrd --wal-dir DIR [--index tpr|bx]
 //                    [--varrho R] [--l L] [--qt T]
+//   pdr_tool fsck --wal-dir DIR [--repair] [--json]
 //   pdr_tool record --in city.pdrd --log run.wlog --varrho R --l L
 //                   [--lookahead W] [--every K] [--threads N]
 //                   [--deadline-ms D] [--max-inflight M] [--degrade 0|1]
@@ -97,6 +98,17 @@
 // if the last run died mid-checkpoint — and answers a query from the
 // recovered state alone, without replaying the dataset (--in supplies
 // only the workload configuration, which must match the save run).
+//
+// `fsck` verifies a durable store offline against the per-page integrity
+// trailers (DESIGN.md §16) without constructing a pager: every damaged
+// slot is reported (page, offset, expected/actual checksum, whether a
+// committed WAL image covers it) instead of stopping at the first.
+// `--repair` rewrites WAL-covered slots in place; `--json` emits the
+// report as one JSON object. Exit 0 = clean or fully repairable/repaired,
+// 3 = unrepairable damage (or untrusted store metadata). `monitor
+// --wal-dir DIR` runs the standing query durably over DIR and, with
+// `--scrub-budget P`, verifies P pages of the store per evaluated tick
+// from the monitor's scrub hook, healing silent damage online.
 
 #include <sys/stat.h>
 
@@ -168,12 +180,13 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
        {"in", "varrho", "l", "lookahead", "every", "threads", "trace",
         "audit-rate", "report", "interval", "degree", "fail-on-drift",
         "deadline-ms", "max-inflight", "degrade", "flight-dir", "slo-ms",
-        "concurrent"}},
+        "concurrent", "wal-dir", "scrub-budget", "checkpoint-every"}},
       {"stats",
        {"in", "varrho", "l", "qt", "engine", "index", "queries", "json",
         "format"}},
       {"save", {"in", "wal-dir", "index", "checkpoint-every"}},
       {"recover", {"in", "wal-dir", "index", "varrho", "l", "qt"}},
+      {"fsck", {"wal-dir", "repair", "json"}},
       {"record",
        {"in", "log", "varrho", "l", "lookahead", "every", "threads",
         "deadline-ms", "max-inflight", "degrade", "degree", "bundle-dir",
@@ -295,6 +308,9 @@ int Usage() {
       "[--flight-dir DIR] [--slo-ms D]\n"
       "           [--concurrent N]  (MVCC mode: N snapshot-reader "
       "threads run against the update stream)\n"
+      "           [--wal-dir DIR] [--checkpoint-every K] "
+      "[--scrub-budget P]  (durable standing query; scrub P pages per "
+      "evaluated tick)\n"
       "  stats:   --in FILE --varrho R --l L [--qt T] "
       "[--engine fr|pa|both] [--index tpr|bx] [--queries N] [--json FILE]\n"
       "           [--format text|prometheus]\n"
@@ -302,6 +318,8 @@ int Usage() {
       "[--checkpoint-every K]\n"
       "  recover: --in FILE --wal-dir DIR [--index tpr|bx] "
       "[--varrho R] [--l L] [--qt T]\n"
+      "  fsck:    --wal-dir DIR [--repair] [--json]  (offline store "
+      "verify/repair; exit 3 when unrepairable)\n"
       "  record:  --in FILE --log FILE --varrho R --l L [--lookahead W] "
       "[--every K] [--threads N]\n"
       "           [--deadline-ms D] [--max-inflight M] [--degrade 0|1] "
@@ -665,6 +683,31 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
     return 2;
   }
   const double slo_ms = std::stod(FlagOr(flags, "slo-ms", "0"));
+  // --wal-dir: the standing query runs durably (WAL + checkpoints in the
+  // directory); --scrub-budget then verifies that many store pages per
+  // evaluated tick from the monitor's scrub hook (DESIGN.md §16).
+  const std::string wal_dir = FlagOr(flags, "wal-dir", "");
+  const long long scrub_budget =
+      std::stoll(FlagOr(flags, "scrub-budget", "0"));
+  const Tick ckpt_every = std::stoi(FlagOr(flags, "checkpoint-every", "1"));
+  if (!wal_dir.empty()) {
+    if (mkdir(wal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "error: cannot create %s: %s\n", wal_dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    struct stat st;
+    if (stat((wal_dir + "/checkpoint.pdr").c_str(), &st) == 0 ||
+        stat((wal_dir + "/data.pdr").c_str(), &st) == 0) {
+      std::fprintf(stderr,
+                   "error: %s already holds a store; delete it first\n",
+                   wal_dir.c_str());
+      return 1;
+    }
+  } else if (scrub_budget > 0) {
+    std::fprintf(stderr, "error: --scrub-budget needs --wal-dir\n");
+    return 2;
+  }
   TraceOutput trace(FlagOr(flags, "trace", ""));
   if (!ArmFlightRecorder(flags)) return 1;
   const double extent = ds.config.extent;
@@ -700,7 +743,8 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
                    PaperConfig().BufferPagesFor(ds.config.num_objects),
                .io_ms = 10.0,
                .max_update_interval = ds.config.max_update_interval,
-               .exec = ExecFromFlags(flags)});
+               .exec = ExecFromFlags(flags),
+               .storage_dir = wal_dir});
   CostCalibrator calibrator(&fr);
 
   // Audit mode runs the standing query on PA and shadow-audits against
@@ -750,6 +794,18 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
                             .eval_grid = 1000,
                             .exec = ExecFromFlags(flags)});
       monitor->SetFallback(pa.get());
+    }
+  }
+  DiskPager* disk = fr.index().disk();
+  if (disk != nullptr) {
+    // Durable standing query: checkpoint on a tick cadence so recovery
+    // distance stays bounded, and (optionally) scrub a page budget per
+    // evaluated tick so at-rest damage is found while the system serves.
+    monitor->SetCheckpointHook([&fr] { fr.Checkpoint(); },
+                               std::max<Tick>(1, ckpt_every));
+    if (scrub_budget > 0) {
+      monitor->SetScrubHook(
+          [disk, scrub_budget] { disk->Scrub(scrub_budget); });
     }
   }
 
@@ -841,6 +897,22 @@ int RunMonitor(const std::map<std::string, std::string>& flags) {
                  slo->alerts().size(),
                  static_cast<long long>(slo->samples()),
                  slo->alerting() ? " (still alerting)" : "");
+  }
+  if (disk != nullptr) {
+    fr.Checkpoint();  // final durable point: the full replayed stream
+    std::fprintf(human, "durable : epoch %llu in %s\n",
+                 static_cast<unsigned long long>(disk->epoch()),
+                 wal_dir.c_str());
+    if (scrub_budget > 0) {
+      const ScrubStats& ss = disk->scrub_stats();
+      std::fprintf(human,
+                   "scrub   : %lld pages verified, %lld repaired, "
+                   "%lld unrepairable (budget %lld/tick)\n",
+                   static_cast<long long>(ss.pages_scanned),
+                   static_cast<long long>(ss.pages_repaired),
+                   static_cast<long long>(ss.pages_unrepairable),
+                   scrub_budget);
+    }
   }
   ReportFlightDumps(flags);
   return 0;
@@ -1015,12 +1087,18 @@ int RunRecover(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(disk->epoch()),
               rs.recovery_ms);
   std::printf("wal redo    : %lld committed batches, %lld page images "
-              "applied, %lld record%s discarded%s\n",
+              "applied, %lld record%s discarded%s%s\n",
               static_cast<long long>(rs.batches_applied),
               static_cast<long long>(rs.redo_records),
               static_cast<long long>(rs.discarded_records),
               rs.discarded_records == 1 ? "" : "s",
-              rs.torn_tail ? " (torn tail)" : "");
+              rs.torn_tail ? " (torn tail)" : "",
+              rs.interior_corruption ? " (WAL INTERIOR CORRUPTION)" : "");
+  if (rs.pages_repaired > 0) {
+    std::printf("repair      : %lld damaged page slot%s healed by redo\n",
+                static_cast<long long>(rs.pages_repaired),
+                rs.pages_repaired == 1 ? "" : "s");
+  }
 
   if (flags.count("varrho") > 0) {
     const double varrho = std::stod(FlagOr(flags, "varrho", "1"));
@@ -1041,6 +1119,51 @@ int RunRecover(const std::map<std::string, std::string>& flags) {
     }
   }
   return 0;
+}
+
+int RunFsckCmd(const std::map<std::string, std::string>& flags) {
+  FsckOptions options;
+  options.repair = flags.count("repair") > 0;
+  const FsckReport report = RunFsck(FlagOr(flags, "wal-dir", ""), options);
+  if (flags.count("json") > 0) {
+    std::printf("%s\n", report.ToJson().c_str());
+    return report.exit_code();
+  }
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "fsck: %s\n", report.error.c_str());
+    return report.exit_code();
+  }
+  std::printf("fsck %s: epoch %llu, checkpoint %s, data header %s\n",
+              report.dir.c_str(),
+              static_cast<unsigned long long>(report.epoch),
+              report.checkpoint_ok ? "ok" : "superseded by WAL",
+              report.data_header_ok ? "ok" : "BAD");
+  std::printf("wal   : %lld committed batch(es), %lld record(s) "
+              "discarded%s%s\n",
+              static_cast<long long>(report.wal_batches),
+              static_cast<long long>(report.wal_records_discarded),
+              report.wal_torn_tail ? ", torn tail" : "",
+              report.wal_interior_corruption ? ", INTERIOR CORRUPTION"
+                                             : "");
+  std::printf("pages : %lld total, %lld free, %lld ok, %lld repairable, "
+              "%lld repaired, %lld unrepairable\n",
+              static_cast<long long>(report.pages_total),
+              static_cast<long long>(report.pages_free),
+              static_cast<long long>(report.pages_ok),
+              static_cast<long long>(report.pages_repairable),
+              static_cast<long long>(report.pages_repaired),
+              static_cast<long long>(report.pages_unrepairable));
+  for (const FsckDamagedPage& d : report.damaged) {
+    std::printf("  page %u at offset %llu: expected %016llx actual %016llx "
+                "(%s)\n",
+                d.id, static_cast<unsigned long long>(d.offset),
+                static_cast<unsigned long long>(d.expected),
+                static_cast<unsigned long long>(d.actual),
+                d.repaired ? "repaired"
+                           : d.redo_covered ? "repairable from WAL"
+                                            : "UNREPAIRABLE");
+  }
+  return report.exit_code();
 }
 
 int RunRecord(const std::map<std::string, std::string>& flags) {
@@ -1229,10 +1352,10 @@ int main(int argc, char** argv) {
                    "error: 'replay' requires exactly one of --log/--bundle\n");
       return Usage();
     }
-  } else {
+  } else if (command != "fsck") {
     if (!HasRequired(flags, command.c_str(), {"in"})) return Usage();
   }
-  if (command == "save" || command == "recover") {
+  if (command == "save" || command == "recover" || command == "fsck") {
     if (!HasRequired(flags, command.c_str(), {"wal-dir"})) return Usage();
   }
   if (command == "record" &&
@@ -1248,6 +1371,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return RunStats(flags);
     if (command == "save") return RunSave(flags);
     if (command == "recover") return RunRecover(flags);
+    if (command == "fsck") return RunFsckCmd(flags);
     if (command == "record") return RunRecord(flags);
     if (command == "replay") return RunReplay(flags);
   } catch (const std::exception& e) {

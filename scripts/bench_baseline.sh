@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the accuracy/cost benches that track the paper's headline figures
 # (Fig. 8 accuracy, Fig. 8 memory, Fig. 10 cost) plus the durability
-# extension (checkpoint cost, WAL volume, recovery time) and the
+# extension (checkpoint cost, WAL volume, recovery time, and the
+# online-scrub overhead series: verification cost per tick vs page
+# budget) and the
 # resilience extension (p99 latency and answer-tier mix vs offered load)
 # and the MVCC extension (commit rate and snapshot-query p99 vs reader
 # load) and the FFT extension (whole-plane field build cost vs raster

@@ -5,7 +5,9 @@
 # instrumentation, and a TSan build (-DPDR_SANITIZE=thread) that runs the
 # concurrency-sensitive subset (thread pool, parallel engines, buffer pool,
 # tracing, resilience) — then re-runs the fault-injection suites in the
-# ASan tree with the full crash + transient matrix (PDR_CRASH_SWEEP=full)
+# ASan tree with the full crash + transient matrix (PDR_CRASH_SWEEP=full),
+# the silent-corruption battery with the full flip-position matrix
+# (PDR_CORRUPT_SWEEP=full),
 # and the resilience soak lane (PDR_SOAK=full: seeded overload against the
 # admission controller and a transient-fault storm under a wall-clock
 # budget) in the release tree, the flight-recorder overhead gate
@@ -64,6 +66,16 @@ crash_filter='RecoverySweepTest|TransientSweepTest|MonitorDurabilityTest|WalTest
 echo "==== crash matrix (build-asan, PDR_CRASH_SWEEP=full) ===="
 (cd "${repo}/build-asan" && PDR_CRASH_SWEEP=full ctest --output-on-failure \
     -j "${jobs}" -R "${crash_filter}" "${EXTRA_CTEST_ARGS[@]+"${EXTRA_CTEST_ARGS[@]}"}")
+
+# Corruption matrix: the silent-corruption battery in the ASan tree with
+# the full flip-position matrix (every live page x every hot/cold damage
+# class; the default run does one position per class — see
+# tests/corruption_test.cc). Proves detection is total and self-healing
+# bit-exact under instrumentation.
+corrupt_filter='CorruptionTest|CorruptionSweepTest'
+echo "==== corruption matrix (build-asan, PDR_CORRUPT_SWEEP=full) ===="
+(cd "${repo}/build-asan" && PDR_CORRUPT_SWEEP=full ctest --output-on-failure \
+    -j "${jobs}" -R "${corrupt_filter}" "${EXTRA_CTEST_ARGS[@]+"${EXTRA_CTEST_ARGS[@]}"}")
 
 # Soak lane: the resilience suites at full scale in the release tree —
 # sustained overload against the shared admission controller plus a

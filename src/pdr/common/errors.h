@@ -3,12 +3,62 @@
 #ifndef PDR_COMMON_ERRORS_H_
 #define PDR_COMMON_ERRORS_H_
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "pdr/common/geometry.h"
 
 namespace pdr {
+
+/// Silent data corruption caught by an integrity check: a stored checksum
+/// disagrees with the bytes it covers. Raised by the storage layer when a
+/// page trailer, checkpoint descriptor, or snapshot version fails
+/// verification and no redundant copy can heal it (see
+/// storage/page_format.h for the trailer format and DESIGN.md §16 for the
+/// threat model). Distinct from CrashError (the process "died"; state is
+/// consistent) and TransientExhaustedError (I/O kept failing; bytes are
+/// intact): here the device *lied* — the read succeeded but returned
+/// damaged data, so the caller must not serve the page as an answer.
+class CorruptionError : public std::runtime_error {
+ public:
+  CorruptionError(const std::string& file, uint32_t page_id, uint64_t offset,
+                  uint64_t expected, uint64_t actual)
+      : std::runtime_error("corruption detected: " + file + " page " +
+                           (page_id == static_cast<uint32_t>(-1)
+                                ? std::string("-")
+                                : std::to_string(page_id)) +
+                           " at offset " + std::to_string(offset) +
+                           ": checksum expected " + Hex(expected) +
+                           ", actual " + Hex(actual)),
+        file_(file),
+        page_id_(page_id),
+        offset_(offset),
+        expected_(expected),
+        actual_(actual) {}
+
+  const std::string& file() const { return file_; }
+  uint32_t page_id() const { return page_id_; }
+  uint64_t offset() const { return offset_; }
+  uint64_t expected() const { return expected_; }
+  uint64_t actual() const { return actual_; }
+
+ private:
+  static std::string Hex(uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string out = "0x";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out += digits[(v >> shift) & 0xF];
+    }
+    return out;
+  }
+
+  std::string file_;
+  uint32_t page_id_;
+  uint64_t offset_;
+  uint64_t expected_;
+  uint64_t actual_;
+};
 
 /// A query timestamp outside the engine's horizon [now, now + H].
 ///

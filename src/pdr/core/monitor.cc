@@ -239,6 +239,7 @@ PdrMonitor::Delta PdrMonitor::OnTick(Tick now) {
     ticks_since_checkpoint_ = 0;
     checkpoint_hook_();
   }
+  if (scrub_hook_) scrub_hook_();
 
   if (span.active()) {
     span.SetAttr("now", static_cast<int64_t>(now));

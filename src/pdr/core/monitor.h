@@ -211,6 +211,16 @@ class PdrMonitor {
     ticks_since_checkpoint_ = 0;
   }
 
+  /// Online-scrub cadence: `hook` runs once per evaluated tick, after the
+  /// tick's query (and any checkpoint) — typically DiskPager::Scrub with
+  /// a small page budget, so the whole store gets verified incrementally
+  /// while the system serves. The per-tick cost bound lives in the hook's
+  /// budget, not here. Empty hook disables. Shed ticks skip it (they do
+  /// no storage work to amortize against).
+  void SetScrubHook(std::function<void()> hook) {
+    scrub_hook_ = std::move(hook);
+  }
+
   // --- MVCC concurrent mode (DESIGN.md §14) ------------------------------
   //
   // FR-primary with the engine built over a SnapshotManager
@@ -281,6 +291,7 @@ class PdrMonitor {
   std::function<void()> checkpoint_hook_;
   Tick checkpoint_every_ = 0;
   Tick ticks_since_checkpoint_ = 0;
+  std::function<void()> scrub_hook_;
 };
 
 }  // namespace pdr

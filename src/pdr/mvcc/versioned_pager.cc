@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "pdr/storage/page_format.h"
+
 namespace pdr {
 namespace mvcc {
 namespace {
@@ -44,7 +46,11 @@ void VersionedPager::PublishDirty() {
   for (const PageId id : dirty_) {
     dirty_set_[id] = 0;
     if (freed_.count(id) != 0) continue;  // freed after the write: tombstone
-    versions_.Publish(id, epoch, std::make_shared<Page>(mem_.PageAt(id)));
+    auto version = std::make_shared<VersionedPage>();
+    version->page = mem_.PageAt(id);
+    version->epoch = epoch;
+    version->checksum = ComputePageChecksum(version->page, id, epoch);
+    versions_.Publish(id, epoch, std::move(version));
     ++published_;
   }
   dirty_.clear();
@@ -57,12 +63,22 @@ void VersionedPager::PublishDirty() {
 }
 
 void SnapshotPager::ReadPage(PageId id, Page* out) const {
-  const std::shared_ptr<const Page> page = source_->ResolvePage(id, epoch_);
-  if (page == nullptr) {
+  const std::shared_ptr<const VersionedPage> version =
+      source_->ResolvePage(id, epoch_);
+  if (version == nullptr) {
     throw std::logic_error(
         "SnapshotPager: page has no version at the pinned epoch");
   }
-  *out = *page;
+  // Re-verify the checksum stamped at publish: a version damaged while
+  // parked in the chain has no redundant copy (the live store has moved
+  // on), so detection — not self-healing — is the contract here.
+  const uint64_t actual = ComputePageChecksum(version->page, id,
+                                              version->epoch);
+  if (actual != version->checksum) {
+    ThrowCorruption("mvcc:version-chain", id, version->epoch,
+                    version->checksum, actual);
+  }
+  *out = version->page;
 }
 
 PageId SnapshotPager::Allocate() {

@@ -28,6 +28,18 @@
 namespace pdr {
 namespace mvcc {
 
+/// An immutable published page version plus the integrity checksum
+/// computed when it was published (page bytes bound to page id and the
+/// publishing epoch — same binding as the on-disk trailer, with the
+/// epoch standing in for the LSN). Snapshot reads re-verify it, so a
+/// version damaged while parked in the chain (RAM rot under long-lived
+/// snapshots) is detected instead of served.
+struct VersionedPage {
+  Page page;
+  Epoch epoch = 0;        ///< epoch the version was published at
+  uint64_t checksum = 0;  ///< ComputePageChecksum(page, id, epoch)
+};
+
 class VersionedPager : public Pager, public ReclaimableStore {
  public:
   /// Registers with `manager` (not owned) for commit-time reclamation.
@@ -52,7 +64,8 @@ class VersionedPager : public Pager, public ReclaimableStore {
 
   /// The version of `id` visible at `epoch` (any thread; null when the
   /// page has no version at or below the epoch).
-  std::shared_ptr<const Page> ResolvePage(PageId id, Epoch epoch) const {
+  std::shared_ptr<const VersionedPage> ResolvePage(PageId id,
+                                                   Epoch epoch) const {
     return versions_.Resolve(id, epoch);
   }
 
@@ -71,7 +84,7 @@ class VersionedPager : public Pager, public ReclaimableStore {
  private:
   SnapshotManager* manager_;
   MemPager mem_;
-  VersionStore<Page> versions_;
+  VersionStore<VersionedPage> versions_;
   std::vector<PageId> dirty_;       // insertion order, deduped via dirty_set_
   std::vector<uint8_t> dirty_set_;  // indexed by PageId
   std::unordered_set<PageId> freed_;

@@ -53,6 +53,7 @@ const char* FrEventName(FrEvent kind) {
     case FrEvent::kTaskRun: return "task_run";
     case FrEvent::kCheckpoint: return "checkpoint";
     case FrEvent::kFftField: return "fft_field";
+    case FrEvent::kCorruption: return "corruption";
   }
   return "unknown";
 }
@@ -336,6 +337,10 @@ void AppendArgs(std::string* out, const MicroEvent& e) {
     case FrEvent::kFftField:
       add("q_t", e.a);
       add("grid", e.b);
+      break;
+    case FrEvent::kCorruption:
+      add("page", e.a);
+      add("repaired", e.b);
       break;
   }
 }

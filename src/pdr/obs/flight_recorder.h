@@ -73,6 +73,7 @@ enum class FrEvent : uint8_t {
   kTaskRun,         ///< a = pool task sequence number
   kCheckpoint,      ///< a = tick, b = pages logged
   kFftField,        ///< a = q_t the density field was built for, b = grid m
+  kCorruption,      ///< a = page id (-1 = checkpoint blob), b = 1 repaired
 };
 
 /// Stable lower-case name ("query_begin", "page_fault", ...).
@@ -96,7 +97,8 @@ class FlightRecorder {
     kOnDrift = 1u << 1,
     kOnCrash = 1u << 2,
     kOnSloAlert = 1u << 3,
-    kAllTriggers = 0xFu,
+    kOnCorruption = 1u << 4,
+    kAllTriggers = 0x1Fu,
   };
 
   struct Options {

@@ -70,6 +70,8 @@
 #include "pdr/resilience/executor.h"
 #include "pdr/storage/disk_pager.h"
 #include "pdr/storage/fault_injector.h"
+#include "pdr/storage/fsck.h"
+#include "pdr/storage/page_format.h"
 #include "pdr/storage/wal.h"
 #include "pdr/sweep/plane_sweep.h"
 #include "pdr/tpr/tpr_tree.h"

@@ -7,6 +7,7 @@
 #include "pdr/core/pa_engine.h"
 #include "pdr/fft/fft_engine.h"
 #include "pdr/histogram/filter.h"
+#include "pdr/common/errors.h"
 #include "pdr/obs/flight_recorder.h"
 #include "pdr/obs/obs.h"
 #include "pdr/storage/fault_injector.h"
@@ -23,10 +24,12 @@ struct ResilienceMetrics {
   Counter& tier_histogram;
   Histogram& elapsed_ms;
   // Labeled downgrade-reason counters: the SLO monitor reads these to
-  // tell overload (deadline) apart from storage trouble (transient).
+  // tell overload (deadline) apart from storage trouble (transient,
+  // corruption).
   Counter& reason_deadline;
   Counter& reason_transient;
   Counter& reason_disabled;
+  Counter& reason_corruption;
 
   static ResilienceMetrics& Get() {
     static ResilienceMetrics m{
@@ -45,6 +48,8 @@ struct ResilienceMetrics {
             "pdr.resilience.downgrade_reason", "reason", "transient")),
         MetricsRegistry::Global().GetCounter(WithLabel(
             "pdr.resilience.downgrade_reason", "reason", "disabled")),
+        MetricsRegistry::Global().GetCounter(WithLabel(
+            "pdr.resilience.downgrade_reason", "reason", "corruption")),
     };
     return m;
   }
@@ -79,6 +84,9 @@ void Publish(const TieredResult& result) {
       break;
     case DowngradeReason::kDisabled:
       m.reason_disabled.Increment();
+      break;
+    case DowngradeReason::kCorruption:
+      m.reason_corruption.Increment();
       break;
     case DowngradeReason::kNone:
     case DowngradeReason::kShed:  // counted by the shedding caller
@@ -117,6 +125,8 @@ const char* DowngradeReasonName(DowngradeReason reason) {
       return "transient";
     case DowngradeReason::kDisabled:
       return "disabled";
+    case DowngradeReason::kCorruption:
+      return "corruption";
   }
   return "?";
 }
@@ -211,6 +221,17 @@ TieredResult ResilientExecutor::Query(Tick q_t, double rho, double l,
       // degrade and label the cause so operators see "storage", not
       // "overload".
       out.downgrade_reason = DowngradeReason::kTransient;
+      explain.stages.push_back(
+          {"exact", timer.ElapsedMillis() - exact_start_ms, false});
+      if (!options_.degrade) throw;
+    } catch (const CorruptionError&) {
+      // A page with no healthy copy surfaced mid-query. Answering exactly
+      // from damaged bytes would be a silent wrong answer — the one
+      // outcome this system must never produce — so fall to the
+      // in-memory rungs, which never touch the damaged store, and label
+      // the downgrade so operators see "corruption", not "overload".
+      // (Detection already fired the kOnCorruption flight dump.)
+      out.downgrade_reason = DowngradeReason::kCorruption;
       explain.stages.push_back(
           {"exact", timer.ElapsedMillis() - exact_start_ms, false});
       if (!options_.degrade) throw;

@@ -70,14 +70,16 @@ enum class AnswerTier : uint8_t {
 const char* AnswerTierName(AnswerTier tier);
 
 /// Why a query ended below kExact. Distinguishes overload (deadline,
-/// shed) from storage trouble (transient-retry exhaustion) so the SLO
-/// monitor and operators can tell the failure domains apart.
+/// shed) from storage trouble (transient-retry exhaustion, unrepairable
+/// page corruption) so the SLO monitor and operators can tell the
+/// failure domains apart.
 enum class DowngradeReason : uint8_t {
-  kNone = 0,       ///< answered at kExact
-  kDeadline = 1,   ///< a rung was cancelled by the budget / cancel token
-  kShed = 2,       ///< rejected at admission control (stamped by callers)
-  kTransient = 3,  ///< storage transient-retry exhaustion on a rung
-  kDisabled = 4,   ///< the exact rung was switched off by policy
+  kNone = 0,        ///< answered at kExact
+  kDeadline = 1,    ///< a rung was cancelled by the budget / cancel token
+  kShed = 2,        ///< rejected at admission control (stamped by callers)
+  kTransient = 3,   ///< storage transient-retry exhaustion on a rung
+  kDisabled = 4,    ///< the exact rung was switched off by policy
+  kCorruption = 5,  ///< an unrepairable page made the exact rung unsafe
 };
 
 const char* DowngradeReasonName(DowngradeReason reason);

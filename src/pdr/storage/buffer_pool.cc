@@ -253,7 +253,16 @@ BufferPool::PageRef BufferPool::FetchMissLocked(PageId id) {
   const size_t frame = AcquireFrameLocked();
   Frame& f = frames_[frame];
   f.id = id;
-  pager_->ReadPage(id, &f.page);
+  try {
+    pager_->ReadPage(id, &f.page);
+  } catch (...) {
+    // Verified fill failed (e.g. CorruptionError): release the acquired
+    // frame or it would leak — neither resident nor free — and the pool
+    // would shrink by one frame per failed read.
+    f.id = kInvalidPageId;
+    free_frames_.push_back(frame);
+    throw;
+  }
   f.dirty = false;
   frame_of_[id] = frame;
   PinLocked(frame);
@@ -299,7 +308,13 @@ BufferPool::PageRef BufferPool::Fetch(PageId id) {
   const size_t frame = AcquireFrameLocked();
   Frame& f = frames_[frame];
   f.id = id;
-  pager_->ReadPage(id, &f.page);
+  try {
+    pager_->ReadPage(id, &f.page);
+  } catch (...) {
+    f.id = kInvalidPageId;  // see FetchMissLocked: don't leak the frame
+    free_frames_.push_back(frame);
+    throw;
+  }
   f.dirty = false;
   frame_of_[id] = frame;
   PinLocked(frame);

@@ -1,5 +1,7 @@
 #include "pdr/storage/fault_injector.h"
 
+#include <cstdio>
+
 #include "pdr/obs/flight_recorder.h"
 
 namespace pdr {
@@ -13,6 +15,22 @@ namespace pdr {
 CrashError::CrashError(const std::string& what) : std::runtime_error(what) {
   FlightRecorder::Global().TriggerDump(FlightRecorder::kOnCrash, "crash",
                                        FlightRecorder::CurrentQueryId());
+}
+
+bool FlipBitInFile(const std::string& path, uint64_t byte_offset,
+                   int bit_index) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return false;
+  bool ok = false;
+  unsigned char byte = 0;
+  if (std::fseek(f, static_cast<long>(byte_offset), SEEK_SET) == 0 &&
+      std::fread(&byte, 1, 1, f) == 1) {
+    byte ^= static_cast<unsigned char>(1u << (bit_index & 7));
+    ok = std::fseek(f, static_cast<long>(byte_offset), SEEK_SET) == 0 &&
+         std::fwrite(&byte, 1, 1, f) == 1;
+  }
+  std::fclose(f);
+  return ok;
 }
 
 }  // namespace pdr

@@ -33,6 +33,24 @@
 // naturally from a k-wide window. Transient faults never fire at the same
 // point as the armed crash (the crash wins) and are disjoint from the
 // fire-once crash semantics.
+//
+// A third fault family models *silent corruption* (bit-rot, firmware bugs,
+// misbehaving write caches): an armed corrupt point makes the write
+// SUCCEED — no exception, no poisoning, the caller believes everything
+// worked — but the bytes that reach the file are damaged. Two modes:
+//
+//   * kBitFlip           — one seeded bit in the byte range is inverted
+//                          (classic single-event upset).
+//   * kSilentCorruption  — a seeded ~16-byte run is XORed with 0xA5
+//                          (firmware scribbling a cache line).
+//
+// Damage placement is deterministic in (seed, point index) so a corruption
+// sweep reproduces bit-for-bit. Corrupt arming is fire-once and loses to
+// an armed crash at the same index, mirroring the transient rules, and it
+// does NOT change the fault-point numbering of unarmed runs, so crash-sweep
+// rehearsal counts stay valid. For at-rest ("cold") damage between runs —
+// where no fault point executes — use FlipBitInFile directly on the store
+// files.
 
 #ifndef PDR_STORAGE_FAULT_INJECTOR_H_
 #define PDR_STORAGE_FAULT_INJECTOR_H_
@@ -70,6 +88,19 @@ enum class CrashMode {
   kTruncatedTail,
 };
 
+/// How an armed corruption point damages the bytes it intercepts.
+enum class CorruptMode {
+  kBitFlip,           ///< invert one seeded bit
+  kSilentCorruption,  ///< XOR a seeded ~16-byte run with 0xA5
+};
+
+/// At-rest damage: flips bit `bit_index` (0–7) of the byte at
+/// `byte_offset` in `path`, in place. Models cold bit-rot that happens
+/// between process runs, where no fault point ever executes. Returns false
+/// when the file cannot be opened or is shorter than the offset.
+bool FlipBitInFile(const std::string& path, uint64_t byte_offset,
+                   int bit_index);
+
 class FaultInjector {
  public:
   /// What the intercepted operation must do.
@@ -78,6 +109,7 @@ class FaultInjector {
     kCrash,          ///< skip the operation and throw CrashError
     kTornThenCrash,  ///< write a prefix / chop the tail, then throw
     kTransientFail,  ///< skip the operation and report a retryable error
+    kCorruptWrite,   ///< perform the operation but damage the bytes first
   };
 
   explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
@@ -118,6 +150,43 @@ class FaultInjector {
     transient_failures_ = 0;
   }
 
+  /// Arms silent corruption at fault point `point` (same numbering as
+  /// Arm). Fire-once; an armed crash at the same index wins. The
+  /// intercepted write proceeds normally except the buffer it persists is
+  /// damaged per `mode` — the caller sees success.
+  void ArmCorrupt(int64_t point, CorruptMode mode) {
+    corrupt_at_ = point;
+    corrupt_mode_ = mode;
+    corrupt_fired_ = false;
+  }
+  void DisarmCorrupt() { corrupt_at_ = -1; }
+
+  /// Whether the armed corruption point has fired. Sweeps assert this to
+  /// distinguish "damage was injected and healed" from "the armed point
+  /// was never reached" — both look like a clean run from the outside.
+  bool corrupt_fired() const { return corrupt_fired_; }
+  CorruptMode corrupt_mode() const { return corrupt_mode_; }
+
+  /// Damages `n` bytes at `buf` in place, deterministic in (seed, armed
+  /// point index). Called by the storage primitive on kCorruptWrite with
+  /// a copy of the caller's buffer. No-op when n == 0.
+  void ApplyCorruption(void* buf, size_t n) const {
+    if (n == 0) return;
+    unsigned char* bytes = static_cast<unsigned char*>(buf);
+    const uint64_t h =
+        (seed_ * 0x9e3779b97f4a7c15ull) ^
+        (static_cast<uint64_t>(corrupt_at_) * 0xff51afd7ed558ccdull);
+    if (corrupt_mode_ == CorruptMode::kBitFlip) {
+      bytes[h % n] ^= static_cast<unsigned char>(1u << ((h >> 8) % 8));
+      return;
+    }
+    // kSilentCorruption: a cache-line-ish run of bytes XORed with a
+    // constant, clamped to the buffer.
+    const size_t run = n < 16 ? n : 16;
+    const size_t start = static_cast<size_t>(h % (n - run + 1));
+    for (size_t i = 0; i < run; ++i) bytes[start + i] ^= 0xA5u;
+  }
+
   /// Transient failures delivered since the last transient arming.
   int64_t transient_fired() const { return transient_fired_; }
 
@@ -136,6 +205,10 @@ class FaultInjector {
     if (TransientAt(index)) {
       ++transient_fired_;
       return Action::kTransientFail;
+    }
+    if (!corrupt_fired_ && index == corrupt_at_) {
+      corrupt_fired_ = true;
+      return Action::kCorruptWrite;
     }
     return Action::kProceed;
   }
@@ -184,6 +257,9 @@ class FaultInjector {
   int64_t transient_period_ = 0;   // > 0: recurring mode
   int transient_failures_ = 0;
   int64_t transient_fired_ = 0;
+  int64_t corrupt_at_ = -1;
+  CorruptMode corrupt_mode_ = CorruptMode::kBitFlip;
+  bool corrupt_fired_ = false;
   std::vector<std::string> op_log_;
 };
 

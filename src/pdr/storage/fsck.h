@@ -1,0 +1,92 @@
+// Offline store verifier and repairer (`pdr_tool fsck`).
+//
+// RunFsck walks a durable store directory (data.pdr / wal.log /
+// checkpoint.pdr) with the raw file formats — NOT through DiskPager —
+// so it can examine damage the pager's constructor would refuse to open:
+// a page slot whose trailer fails with no covering WAL redo image makes
+// DiskPager throw CorruptionError, while fsck reports every such page and
+// keeps going. The verdict per live page:
+//
+//   ok            the slot's trailer verifies (possibly stale relative to
+//                 a committed WAL image — recovery's redo supersedes it,
+//                 so the store is still openable)
+//   repairable    the trailer fails but a committed WAL after-image covers
+//                 the page: recovery heals it; `repair: true` rewrites the
+//                 slot from that image immediately
+//   unrepairable  the trailer fails and nothing in the store can
+//                 reconstruct the page — at-rest damage past the
+//                 redundancy; the store will refuse to open
+//
+// Exit-code contract (FsckReport::exit_code): 0 for a clean or fully
+// repairable/repaired store, 3 when anything is unrepairable or the store
+// metadata itself (checkpoint descriptor with no committed WAL batch to
+// supersede it, data-file header) cannot be trusted.
+
+#ifndef PDR_STORAGE_FSCK_H_
+#define PDR_STORAGE_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdr/storage/pager.h"
+
+namespace pdr {
+
+struct FsckOptions {
+  /// Rewrite every repairable slot from its committed WAL after-image
+  /// (image ++ trailer, fsynced once at the end). Off: report only.
+  bool repair = false;
+};
+
+/// One live page whose slot trailer failed verification.
+struct FsckDamagedPage {
+  PageId id = kInvalidPageId;
+  uint64_t offset = 0;    ///< slot offset in data.pdr
+  uint64_t expected = 0;  ///< trailer's stored checksum
+  uint64_t actual = 0;    ///< checksum of the bytes actually on disk
+  bool redo_covered = false;  ///< a committed WAL image reconstructs it
+  bool repaired = false;      ///< slot rewritten (repair mode only)
+};
+
+struct FsckReport {
+  std::string dir;
+  /// Fatal problem that stopped the walk (missing store, untrusted
+  /// metadata); empty when every page could be examined.
+  std::string error;
+
+  bool checkpoint_ok = false;   ///< descriptor checksum/magic verified
+  bool data_header_ok = false;  ///< data.pdr magic/version verified
+  bool wal_torn_tail = false;
+  bool wal_interior_corruption = false;
+  int64_t wal_batches = 0;            ///< committed batches in the log
+  int64_t wal_records_discarded = 0;  ///< uncommitted tail records
+  uint64_t epoch = 0;
+
+  int64_t pages_total = 0;  ///< allocated pages per the adopted state
+  int64_t pages_free = 0;
+  int64_t pages_ok = 0;
+  int64_t pages_repairable = 0;    ///< damaged, WAL-covered, not rewritten
+  int64_t pages_repaired = 0;      ///< damaged, rewritten from the WAL
+  int64_t pages_unrepairable = 0;  ///< damaged past all redundancy
+  std::vector<FsckDamagedPage> damaged;
+
+  /// 3 when the store cannot be (or could not fully be) trusted:
+  /// unrepairable pages or a fatal error. 0 otherwise — including
+  /// repairable damage, which recovery heals on the next open.
+  int exit_code() const {
+    return (!error.empty() || pages_unrepairable > 0) ? 3 : 0;
+  }
+
+  /// The whole report as one JSON object (machine-readable mode).
+  std::string ToJson() const;
+};
+
+/// Verifies (and with options.repair, heals) the store in `dir`.
+/// Never throws on damage — damage is the report's subject matter; only
+/// I/O failures (unopenable directory) surface as exceptions.
+FsckReport RunFsck(const std::string& dir, const FsckOptions& options = {});
+
+}  // namespace pdr
+
+#endif  // PDR_STORAGE_FSCK_H_

@@ -1,0 +1,95 @@
+// Per-page integrity trailer: the at-rest detection layer of the
+// silent-corruption defense (DESIGN.md §16).
+//
+// data.pdr format v2 stores each page in a fixed-size *slot*:
+//
+//   [file header zone: kPageSize bytes, DataFileHeader at offset 0]
+//   [slot 0: page bytes ++ PageTrailer][slot 1: ...] ...
+//
+//   PageTrailer := {u32 magic "PDRT", u32 version, u64 lsn,
+//                   u64 fnv1a64(page_id ++ lsn ++ page bytes)}
+//
+// The checksum is seeded with the page id and the WAL LSN of the
+// after-image the slot persists, so a slot that checks out is known to be
+// (a) uncorrupted, (b) the page it claims to be (a misdirected write to
+// the wrong offset fails the id binding), and (c) the *version* the pager
+// expects (a stale-but-intact slot fails the LSN binding during verified
+// reads). DiskPager stamps trailers when it converges dirty pages and
+// verifies them on every read path; the scrubber and fsck walk the slots
+// offline. See disk_pager.h for who repairs what from where.
+
+#ifndef PDR_STORAGE_PAGE_FORMAT_H_
+#define PDR_STORAGE_PAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pdr/common/errors.h"
+#include "pdr/obs/flight_recorder.h"
+#include "pdr/storage/pager.h"
+#include "pdr/storage/serde.h"
+
+namespace pdr {
+
+inline constexpr uint32_t kPageTrailerMagic = 0x54524450u;  // "PDRT"
+inline constexpr uint32_t kPageTrailerVersion = 1;
+
+struct PageTrailer {
+  uint32_t magic = kPageTrailerMagic;
+  uint32_t version = kPageTrailerVersion;
+  uint64_t lsn = 0;       ///< WAL LSN of the after-image this slot holds
+  uint64_t checksum = 0;  ///< ComputePageChecksum(page, id, lsn)
+};
+static_assert(sizeof(PageTrailer) == 24, "trailer layout is on-disk format");
+
+/// On-disk size of one page slot (page bytes + trailer).
+inline constexpr size_t kSlotSize = kPageSize + sizeof(PageTrailer);
+
+/// Byte offset of page `id`'s slot in data.pdr v2. The first kPageSize
+/// bytes are the header zone (DataFileHeader at offset 0, rest reserved).
+inline uint64_t SlotOffset(PageId id) {
+  return kPageSize + static_cast<uint64_t>(id) * kSlotSize;
+}
+
+/// Content checksum bound to the page identity and version (see file
+/// comment). FNV-1a-64 chained over page_id, lsn, then the page bytes.
+inline uint64_t ComputePageChecksum(const Page& page, PageId id,
+                                    uint64_t lsn) {
+  uint64_t c = Fnv1a64(&id, sizeof(id));
+  c = Fnv1a64(&lsn, sizeof(lsn), c);
+  return Fnv1a64(page.bytes.data(), kPageSize, c);
+}
+
+inline PageTrailer MakePageTrailer(const Page& page, PageId id,
+                                   uint64_t lsn) {
+  PageTrailer t;
+  t.lsn = lsn;
+  t.checksum = ComputePageChecksum(page, id, lsn);
+  return t;
+}
+
+/// Structural + content validation of a slot read back from disk.
+inline bool PageTrailerValid(const PageTrailer& t, const Page& page,
+                             PageId id) {
+  return t.magic == kPageTrailerMagic && t.version == kPageTrailerVersion &&
+         t.checksum == ComputePageChecksum(page, id, t.lsn);
+}
+
+/// The single chokepoint for surfacing an unrepairable integrity failure:
+/// records the corruption micro-event, fires the flight recorder's
+/// kOnCorruption dump trigger (a repro bundle before any handler unwinds,
+/// mirroring CrashError's kOnCrash hook), then throws the typed error.
+[[noreturn]] inline void ThrowCorruption(const std::string& file, PageId id,
+                                         uint64_t offset, uint64_t expected,
+                                         uint64_t actual) {
+  FlightRecorder::Record(FrEvent::kCorruption, static_cast<int64_t>(id),
+                         /*repaired=*/0);
+  FlightRecorder::Global().TriggerDump(FlightRecorder::kOnCorruption,
+                                       "corruption",
+                                       FlightRecorder::CurrentQueryId());
+  throw CorruptionError(file, id, offset, expected, actual);
+}
+
+}  // namespace pdr
+
+#endif  // PDR_STORAGE_PAGE_FORMAT_H_

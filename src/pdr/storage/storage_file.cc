@@ -10,6 +10,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "pdr/obs/obs.h"
 
@@ -96,6 +97,16 @@ void StorageFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
     poisoned_ = true;
     throw CrashError("injected crash before " + op_prefix_ + ".write");
   }
+  // Silent corruption: the write "succeeds" but a damaged copy of the
+  // buffer reaches the file. No throw, no poisoning — the caller cannot
+  // tell anything went wrong, which is the whole point of the model.
+  std::vector<char> corrupted;
+  if (action == FaultInjector::Action::kCorruptWrite) {
+    corrupted.assign(static_cast<const char*>(buf),
+                     static_cast<const char*>(buf) + n);
+    injector_->ApplyCorruption(corrupted.data(), corrupted.size());
+    buf = corrupted.data();
+  }
   size_t to_write = n;
   bool chop_tail = false;
   if (action == FaultInjector::Action::kTornThenCrash) {
@@ -136,8 +147,12 @@ void StorageFile::WriteAt(uint64_t offset, const void* buf, size_t n) {
 
 void StorageFile::Sync() {
   if (poisoned_) return;
-  if (CheckFault("sync") != FaultInjector::Action::kProceed) {
+  const FaultInjector::Action action = CheckFault("sync");
+  if (action != FaultInjector::Action::kProceed &&
+      action != FaultInjector::Action::kCorruptWrite) {
     // All crash modes are equivalent for fsync: it simply never happened.
+    // A corrupt point landing here is a no-op — there are no bytes to
+    // damage — but it must not crash, or corrupt-sweep numbering breaks.
     poisoned_ = true;
     throw CrashError("injected crash at " + op_prefix_ + ".sync");
   }
@@ -146,7 +161,9 @@ void StorageFile::Sync() {
 
 void StorageFile::Truncate(uint64_t size) {
   if (poisoned_) return;
-  if (CheckFault("truncate") != FaultInjector::Action::kProceed) {
+  const FaultInjector::Action action = CheckFault("truncate");
+  if (action != FaultInjector::Action::kProceed &&
+      action != FaultInjector::Action::kCorruptWrite) {
     poisoned_ = true;
     throw CrashError("injected crash at " + op_prefix_ + ".truncate");
   }
@@ -173,7 +190,9 @@ void AtomicWriteFile(const std::string& path, const std::string& contents,
   }
   if (injector != nullptr) {
     const std::string op = std::string(op_prefix) + ".rename";
-    if (CheckOpRetrying(injector, op) != FaultInjector::Action::kProceed) {
+    const FaultInjector::Action action = CheckOpRetrying(injector, op);
+    if (action != FaultInjector::Action::kProceed &&
+        action != FaultInjector::Action::kCorruptWrite) {
       throw CrashError("injected crash before " + op);
     }
   }
@@ -189,7 +208,9 @@ void SyncDir(const std::string& dir_path, const char* op_prefix,
              FaultInjector* injector) {
   if (injector != nullptr) {
     const std::string op = std::string(op_prefix) + ".dirsync";
-    if (CheckOpRetrying(injector, op) != FaultInjector::Action::kProceed) {
+    const FaultInjector::Action action = CheckOpRetrying(injector, op);
+    if (action != FaultInjector::Action::kProceed &&
+        action != FaultInjector::Action::kCorruptWrite) {
       // Like a file fsync, all crash modes are equivalent: it never ran.
       throw CrashError("injected crash at " + op);
     }

@@ -56,6 +56,34 @@ Counter& CommitCounter() {
   static Counter& c = MetricsRegistry::Global().GetCounter("pdr.wal.commits");
   return c;
 }
+Counter& InteriorCorruptionCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("pdr.wal.interior_corruption");
+  return c;
+}
+
+/// Whether a fully-valid record sits anywhere in raw[from, size). Used to
+/// classify scan-stopping damage: a torn tail has nothing valid after it
+/// (the crash lost everything from the damage on), while at-rest
+/// corruption leaves the records appended *after* the damaged one intact.
+/// Records with lsn < min_lsn are stale leftovers from before a header
+/// rewrite, not evidence of a valid suffix.
+bool ValidRecordBeyond(const std::string& raw, uint64_t from, Lsn min_lsn) {
+  const uint64_t size = raw.size();
+  for (uint64_t q = from; q + sizeof(WalRecordHeader) <= size; ++q) {
+    WalRecordHeader rec;
+    std::memcpy(&rec, raw.data() + q, sizeof(rec));
+    if (rec.magic != kRecordMagic) continue;
+    if (rec.type != Wal::kPage && rec.type != Wal::kCommit) continue;
+    if (rec.lsn < min_lsn) continue;
+    if (rec.type == Wal::kPage && rec.payload_len != kPageSize) continue;
+    if (q + sizeof(rec) + rec.payload_len > size) continue;
+    if (RecordChecksum(rec, raw.data() + q + sizeof(rec)) == rec.checksum) {
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -174,21 +202,22 @@ Wal::ScanResult Wal::Scan() const {
   Batch pending;
   uint64_t pos = sizeof(WalFileHeader);
   Lsn expected_lsn = header.start_lsn;
+  bool damaged = false;
   while (pos + sizeof(WalRecordHeader) <= size) {
     WalRecordHeader rec;
     std::memcpy(&rec, raw.data() + pos, sizeof(rec));
     if (rec.magic != kRecordMagic || rec.lsn != expected_lsn ||
         (rec.type == kPage && rec.payload_len != kPageSize)) {
-      result.torn_tail = true;
+      damaged = true;
       break;
     }
     if (pos + sizeof(rec) + rec.payload_len > size) {
-      result.torn_tail = true;  // record chopped mid-payload
+      damaged = true;  // record chopped mid-payload
       break;
     }
     const char* payload = raw.data() + pos + sizeof(rec);
     if (RecordChecksum(rec, payload) != rec.checksum) {
-      result.torn_tail = true;
+      damaged = true;
       break;
     }
     pos += sizeof(rec) + rec.payload_len;
@@ -196,9 +225,11 @@ Wal::ScanResult Wal::Scan() const {
     result.records_scanned++;
     result.next_lsn = rec.lsn + 1;
     if (rec.type == kPage) {
-      Page image;
-      std::memcpy(image.bytes.data(), payload, kPageSize);
-      pending.pages.emplace_back(rec.page_id, image);
+      PageImage pi;
+      pi.id = rec.page_id;
+      pi.lsn = rec.lsn;
+      std::memcpy(pi.image.bytes.data(), payload, kPageSize);
+      pending.pages.push_back(std::move(pi));
     } else {
       pending.commit_payload.assign(payload, rec.payload_len);
       pending.commit_lsn = rec.lsn;
@@ -206,7 +237,21 @@ Wal::ScanResult Wal::Scan() const {
       pending = Batch{};
     }
   }
-  if (pos < size && !result.torn_tail) result.torn_tail = true;
+  if (!damaged && pos < size) damaged = true;  // sub-header trailing bytes
+  if (damaged) {
+    // Classify: damage followed by an intact record is impossible under
+    // the crash model (a killed appender loses the damaged byte AND
+    // everything after it), so it must be at-rest alteration inside the
+    // durable region. Recovery semantics are unchanged either way — the
+    // suffix is unreachable without its damaged predecessor — but the
+    // operator alert is very different.
+    if (ValidRecordBeyond(raw, pos, expected_lsn)) {
+      result.interior_corruption = true;
+      InteriorCorruptionCounter().Increment();
+    } else {
+      result.torn_tail = true;
+    }
+  }
   result.records_discarded = static_cast<int64_t>(pending.pages.size());
   return result;
 }

@@ -58,10 +58,18 @@ class Wal {
  public:
   enum RecordType : uint8_t { kPage = 1, kCommit = 2 };
 
+  /// One recovered page after-image with the LSN it was logged under —
+  /// the LSN the page trailer binds on converge (see page_format.h).
+  struct PageImage {
+    PageId id = kInvalidPageId;
+    Lsn lsn = 0;
+    Page image;
+  };
+
   /// One committed batch recovered from the log: the page after-images
   /// appended since the previous commit, plus the commit's metadata.
   struct Batch {
-    std::vector<std::pair<PageId, Page>> pages;
+    std::vector<PageImage> pages;
     std::string commit_payload;
     Lsn commit_lsn = 0;
   };
@@ -70,7 +78,18 @@ class Wal {
     std::vector<Batch> batches;
     int64_t records_scanned = 0;
     int64_t records_discarded = 0;  ///< torn/uncommitted tail records
-    bool torn_tail = false;         ///< checksum/truncation stopped the scan
+    /// The scan stopped at damage consistent with a crash: the file ends
+    /// at (or shortly after) the last valid record, with no intact record
+    /// beyond the damage. Expected after a kill; recovery absorbs it.
+    bool torn_tail = false;
+    /// The scan stopped at damage with a fully-valid record *beyond* it —
+    /// a crash cannot produce that shape (appends are strictly ordered
+    /// before the tail), so bytes inside the durable region were altered
+    /// at rest. Counted in pdr.wal.interior_corruption; recovery still
+    /// stops at the damage (the suffix is unreachable without its
+    /// predecessor), but the caller should not treat the log as merely
+    /// torn. Mutually exclusive with torn_tail.
+    bool interior_corruption = false;
     Lsn next_lsn = 0;
   };
 
@@ -102,9 +121,12 @@ class Wal {
   void Reset();
 
   /// Reads the log from the start: checksum-validates every record,
-  /// groups them into committed batches, and discards the torn tail.
-  /// Never throws on corruption — a corrupt or truncated log is simply a
-  /// shorter one.
+  /// groups them into committed batches, and stops at the first damaged
+  /// byte. Never throws on corruption — damage only shortens the usable
+  /// prefix. The *classification* of the damage is reported: a tail that
+  /// simply ends (torn_tail, the normal crash shape) versus damage with
+  /// intact records beyond it (interior_corruption, which no crash can
+  /// produce — see ScanResult).
   ScanResult Scan() const;
 
   Lsn next_lsn() const { return next_lsn_; }

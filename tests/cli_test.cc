@@ -5,11 +5,17 @@
 // plus a gen/info/query round trip and the deadline-bounded query path.
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "pdr/storage/disk_pager.h"
+#include "pdr/storage/fault_injector.h"
+#include "pdr/storage/page_format.h"
 
 namespace pdr {
 namespace {
@@ -290,6 +296,172 @@ TEST_F(CliTest, ConcurrentMonitorReportsConsistentDigests) {
   EXPECT_NE(r.output.find("cross-reader per-epoch digests consistent"),
             std::string::npos)
       << r.output;
+}
+
+TEST_F(CliTest, FsckCleanStoreExitsZero) {
+  char tmpl[] = "/tmp/pdr_cli_fsck_XXXXXX";
+  const char* wdir = mkdtemp(tmpl);
+  ASSERT_NE(wdir, nullptr);
+  const std::string store = std::string(wdir) + "/store";
+
+  const RunResult save =
+      RunTool("save --in " + dataset() + " --wal-dir " + store);
+  ASSERT_EQ(save.exit_code, 0) << save.output;
+
+  const RunResult fsck = RunTool("fsck --wal-dir " + store);
+  EXPECT_EQ(fsck.exit_code, 0) << fsck.output;
+  EXPECT_NE(fsck.output.find("checkpoint ok"), std::string::npos)
+      << fsck.output;
+  EXPECT_NE(fsck.output.find("0 unrepairable"), std::string::npos)
+      << fsck.output;
+  std::system((std::string("rm -rf '") + wdir + "'").c_str());
+}
+
+TEST_F(CliTest, FsckUnrepairableDamageExitsThreeAndReportsJson) {
+  char tmpl[] = "/tmp/pdr_cli_fsck_XXXXXX";
+  const char* wdir = mkdtemp(tmpl);
+  ASSERT_NE(wdir, nullptr);
+  const std::string store = std::string(wdir) + "/store";
+  ASSERT_EQ(RunTool("save --in " + dataset() + " --wal-dir " + store)
+                .exit_code,
+            0);
+  // Cold bit-rot on a cleanly saved store: the WAL is empty, so nothing
+  // can reconstruct the page.
+  ASSERT_TRUE(FlipBitInFile(store + "/data.pdr", SlotOffset(0) + 99, 3));
+
+  const RunResult fsck = RunTool("fsck --wal-dir " + store);
+  EXPECT_EQ(fsck.exit_code, 3) << fsck.output;
+  EXPECT_NE(fsck.output.find("UNREPAIRABLE"), std::string::npos)
+      << fsck.output;
+
+  const RunResult json = RunTool("fsck --wal-dir " + store + " --json");
+  EXPECT_EQ(json.exit_code, 3) << json.output;
+  EXPECT_NE(json.output.find("\"exit_code\":3"), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"pages_unrepairable\":1"), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"redo_covered\":false"), std::string::npos)
+      << json.output;
+
+  // The damaged store also refuses to recover through the normal path.
+  const RunResult recover =
+      RunTool("recover --in " + dataset() + " --wal-dir " + store);
+  EXPECT_EQ(recover.exit_code, 1) << recover.output;
+  std::system((std::string("rm -rf '") + wdir + "'").c_str());
+}
+
+TEST_F(CliTest, FsckRepairHealsRedoCoveredDamageThenRecoverSucceeds) {
+  char tmpl[] = "/tmp/pdr_cli_fsck_XXXXXX";
+  const char* wdir = mkdtemp(tmpl);
+  ASSERT_NE(wdir, nullptr);
+  const std::string store = std::string(wdir) + "/store";
+  ASSERT_EQ(::mkdir(store.c_str(), 0775), 0);
+
+  // A store crashed mid-converge: checkpoint 2's batch is committed in
+  // the WAL but no slot write happened, then cold damage lands on a
+  // covered slot. (Built through the library — the CLI has no crash
+  // injection — then verified and repaired through the real binary.)
+  const auto fill = [](DiskPager* pager, int phase) {
+    for (PageId id = 0; id < 4; ++id) {
+      if (phase == 0) EXPECT_EQ(pager->Allocate(), id);
+      Page p;
+      for (size_t b = 0; b < kPageSize; ++b) {
+        p.bytes[b] =
+            static_cast<std::byte>((phase * 211 + id * 131 + b * 7) & 0xFF);
+      }
+      pager->WritePage(id, p);
+    }
+  };
+  int64_t crash_at = -1;
+  {
+    FaultInjector counter;
+    char rt[] = "/tmp/pdr_cli_fsck_XXXXXX";
+    const char* rdir = mkdtemp(rt);
+    ASSERT_NE(rdir, nullptr);
+    DiskPager pager(rdir, &counter);
+    fill(&pager, 0);
+    pager.Checkpoint("a");
+    fill(&pager, 1);  // re-dirty the same pages
+    const size_t before = counter.op_log().size();
+    pager.Checkpoint("b");
+    bool synced = false;
+    for (size_t i = before; i < counter.op_log().size(); ++i) {
+      if (counter.op_log()[i] == "wal.sync") synced = true;
+      if (synced && counter.op_log()[i] == "data.write") {
+        crash_at = static_cast<int64_t>(i);
+        break;
+      }
+    }
+    std::system((std::string("rm -rf '") + rdir + "'").c_str());
+  }
+  ASSERT_GE(crash_at, 0);
+  {
+    FaultInjector injector;
+    injector.Arm(crash_at, CrashMode::kClean);
+    DiskPager pager(store, &injector);
+    fill(&pager, 0);
+    pager.Checkpoint("a");
+    fill(&pager, 1);
+    EXPECT_THROW(pager.Checkpoint("b"), CrashError);
+  }
+  ASSERT_TRUE(FlipBitInFile(store + "/data.pdr", SlotOffset(2) + 77, 1));
+
+  // Report-only: the damage is visible but covered by the WAL.
+  const RunResult dry = RunTool("fsck --wal-dir " + store);
+  EXPECT_EQ(dry.exit_code, 0) << dry.output;
+  EXPECT_NE(dry.output.find("repairable from WAL"), std::string::npos)
+      << dry.output;
+
+  // Repair heals the slot in place; a second pass finds nothing damaged.
+  const RunResult repair = RunTool("fsck --wal-dir " + store + " --repair");
+  EXPECT_EQ(repair.exit_code, 0) << repair.output;
+  EXPECT_NE(repair.output.find("(repaired)"), std::string::npos)
+      << repair.output;
+  const RunResult clean = RunTool("fsck --wal-dir " + store + " --json");
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_NE(clean.output.find("\"damaged\":[]"), std::string::npos)
+      << clean.output;
+
+  // And the store opens: recovery replays the committed batch on top of
+  // the healed slots and surfaces checkpoint-b state.
+  DiskPager recovered(store);
+  EXPECT_TRUE(recovered.recovered());
+  EXPECT_EQ(recovered.recovered_meta(), "b");
+  for (PageId id = 0; id < 4; ++id) {
+    Page got;
+    recovered.ReadPage(id, &got);
+    EXPECT_EQ(got.bytes[0],
+              static_cast<std::byte>((211 + id * 131) & 0xFF))
+        << "page " << id;
+  }
+  std::system((std::string("rm -rf '") + wdir + "'").c_str());
+}
+
+TEST_F(CliTest, MonitorScrubBudgetRequiresWalDir) {
+  const RunResult r =
+      RunTool("monitor --in " + dataset() + " --scrub-budget 4");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--scrub-budget needs --wal-dir"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, DurableMonitorScrubsAndCheckpoints) {
+  char tmpl[] = "/tmp/pdr_cli_fsck_XXXXXX";
+  const char* wdir = mkdtemp(tmpl);
+  ASSERT_NE(wdir, nullptr);
+  const std::string store = std::string(wdir) + "/store";
+  const RunResult r = RunTool("monitor --in " + dataset() +
+                              " --varrho 2 --l 25 --lookahead 2 --wal-dir " +
+                              store + " --checkpoint-every 2 --scrub-budget 8");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("durable :"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("scrub   :"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 unrepairable"), std::string::npos) << r.output;
+
+  const RunResult fsck = RunTool("fsck --wal-dir " + store);
+  EXPECT_EQ(fsck.exit_code, 0) << fsck.output;
+  std::system((std::string("rm -rf '") + wdir + "'").c_str());
 }
 
 TEST_F(CliTest, ConcurrentRecordReplaysBitIdentical) {

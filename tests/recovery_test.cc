@@ -43,6 +43,7 @@
 #include "pdr/replay/replayer.h"
 #include "pdr/storage/disk_pager.h"
 #include "pdr/storage/fault_injector.h"
+#include "pdr/storage/page_format.h"
 #include "transcript_util.h"
 
 namespace pdr {
@@ -243,6 +244,49 @@ TEST_P(RecoverySweepTest, RecoveredEngineContinuesToIdenticalFuture) {
   ASSERT_EQ(FrSuiteTranscript(&fr, BaseRho(), kL), base.a_t);
   Replay(ds, kPhaseSplit + 1, ds.duration(), &fr);
   fr.Checkpoint();
+  EXPECT_EQ(FrSuiteTranscript(&fr, BaseRho(), kL), base.b_t);
+}
+
+TEST_P(RecoverySweepTest, StaleCheckpointWithDamagedDataHealsFromWalRedo) {
+  // The compound failure the trailer layer exists for: a crash after
+  // checkpoint 2's durable point (the WAL batch is committed) but before
+  // any slot write leaves checkpoint.pdr valid-but-STALE — and then cold
+  // bit-rot lands on a data slot while the machine is down. Recovery must
+  // detect the damaged slot, heal it from the committed WAL after-image,
+  // count it in recovery_stats().pages_repaired, and converge to the
+  // checkpoint-2 answers bit-identically.
+  const IndexKind kind = GetParam();
+  const Dataset ds = MakeWorkload();
+  const SweepBaseline base = Rehearse(ds, kind);
+
+  TempDir dir;
+  FaultInjector inject;
+  // last_old2 is checkpoint 2's commit flush write; +1 is its fsync (the
+  // durable point), +2 the first slot write of the converge.
+  inject.Arm(base.last_old2 + 2, CrashMode::kClean);
+  try {
+    FrEngine fr(Opts(kind, dir.path(), &inject));
+    RunBothPhases(ds, &fr);
+    FAIL() << "armed crash did not fire";
+  } catch (const CrashError&) {
+  }
+  ASSERT_EQ(inject.op_log()[base.last_old2 + 2], "data.write")
+      << "checkpoint protocol shape changed";
+
+  // At-rest damage on a slot the committed batch covers (scanning the WAL
+  // tells us which pages those are, exactly as recovery will).
+  Wal wal(dir.path() + "/wal.log", WalOptions{}, nullptr);
+  const Wal::ScanResult scan = wal.Scan();
+  ASSERT_FALSE(scan.batches.empty());
+  const PageId covered = scan.batches.back().pages.front().id;
+  ASSERT_TRUE(FlipBitInFile(dir.path() + "/data.pdr",
+                            SlotOffset(covered) + 123, 5));
+
+  FrEngine fr(Opts(kind, dir.path(), nullptr));
+  ASSERT_TRUE(fr.recovered());
+  const DiskPager* disk = fr.index().disk();
+  ASSERT_NE(disk, nullptr);
+  EXPECT_GE(disk->recovery_stats().pages_repaired, 1);
   EXPECT_EQ(FrSuiteTranscript(&fr, BaseRho(), kL), base.b_t);
 }
 

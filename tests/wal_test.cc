@@ -14,6 +14,7 @@
 #include <fstream>
 #include <string>
 
+#include "pdr/common/errors.h"
 #include "pdr/storage/disk_pager.h"
 #include "pdr/storage/fault_injector.h"
 #include "pdr/storage/storage_file.h"
@@ -183,12 +184,14 @@ TEST(WalTest, AppendScanRoundTrip) {
   EXPECT_EQ(scan.records_discarded, 0);
   ASSERT_EQ(scan.batches.size(), 2u);
   ASSERT_EQ(scan.batches[0].pages.size(), 2u);
-  EXPECT_EQ(scan.batches[0].pages[0].first, 3u);
-  EXPECT_EQ(scan.batches[0].pages[0].second.bytes, a.bytes);
-  EXPECT_EQ(scan.batches[0].pages[1].first, 7u);
+  EXPECT_EQ(scan.batches[0].pages[0].id, 3u);
+  EXPECT_EQ(scan.batches[0].pages[0].lsn, 0u);
+  EXPECT_EQ(scan.batches[0].pages[0].image.bytes, a.bytes);
+  EXPECT_EQ(scan.batches[0].pages[1].id, 7u);
+  EXPECT_EQ(scan.batches[0].pages[1].lsn, 1u);
   EXPECT_EQ(scan.batches[0].commit_payload, "meta-blob-1");
   ASSERT_EQ(scan.batches[1].pages.size(), 1u);
-  EXPECT_EQ(scan.batches[1].pages[0].second.bytes, b.bytes);
+  EXPECT_EQ(scan.batches[1].pages[0].image.bytes, b.bytes);
   EXPECT_EQ(scan.batches[1].commit_payload, "meta-blob-2");
   EXPECT_EQ(scan.next_lsn, 5u);
 }
@@ -231,7 +234,10 @@ TEST(WalTest, TruncatedTailStopsScanCleanly) {
   const Wal::ScanResult scan = wal.Scan();
   ASSERT_EQ(scan.batches.size(), 1u);
   EXPECT_EQ(scan.batches[0].commit_payload, "one");
+  // Truncation leaves no valid record past the damage: a crash artifact,
+  // not device damage.
   EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.interior_corruption);
 }
 
 TEST(WalTest, CorruptChecksumStopsScan) {
@@ -245,7 +251,11 @@ TEST(WalTest, CorruptChecksumStopsScan) {
     wal.AppendCommit("two");
     wal.Sync();
   }
-  // Flip one payload byte inside the second batch.
+  // Flip one payload byte inside the second batch's page record. The
+  // commit record for "two" sits intact *beyond* the damage, which no
+  // torn write can produce (appends damage only the tail): the scan
+  // still stops there, but classifies the log as interior-corrupt
+  // rather than torn.
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
     f.seekg(0, std::ios::end);
@@ -258,7 +268,39 @@ TEST(WalTest, CorruptChecksumStopsScan) {
   const Wal::ScanResult scan = wal.Scan();
   ASSERT_EQ(scan.batches.size(), 1u);
   EXPECT_EQ(scan.batches[0].commit_payload, "one");
+  EXPECT_TRUE(scan.interior_corruption);
+  EXPECT_FALSE(scan.torn_tail);
+}
+
+TEST(WalTest, DamagedFinalRecordIsTornNotInterior) {
+  // Damage whose only casualty is the *last* record is indistinguishable
+  // from a torn append — there is no valid record beyond it — so it must
+  // classify as torn_tail, keeping the crash sweeps quiet.
+  TempDir dir;
+  const std::string path = dir.File("wal.log");
+  {
+    Wal wal(path, WalOptions{}, nullptr);
+    wal.AppendPage(0, MakePage(1));
+    wal.AppendCommit("one");
+    wal.AppendPage(1, MakePage(2));
+    wal.AppendCommit("two");
+    wal.Sync();
+  }
+  // Flip a byte inside the final (commit) record's checksum region: the
+  // last few bytes of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<uint64_t>(f.tellg());
+    f.seekp(static_cast<std::streamoff>(size - 1));
+    char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  Wal wal(path, WalOptions{}, nullptr);
+  const Wal::ScanResult scan = wal.Scan();
+  ASSERT_EQ(scan.batches.size(), 1u);
   EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.interior_corruption);
 }
 
 TEST(WalTest, ResetEmptiesLogAndKeepsLsnMonotone) {
@@ -520,9 +562,10 @@ TEST(DiskPagerTest, GarbageCheckpointFileIsRejected) {
     f << "this is not a checkpoint";
   }
   // checkpoint.pdr is published atomically, so a corrupt one is operator
-  // damage, not a crash artifact: refuse loudly rather than silently
-  // starting empty.
-  EXPECT_THROW(DiskPager pager(dir.path()), std::runtime_error);
+  // damage, not a crash artifact: refuse loudly — with the typed
+  // corruption error carrying file/offset/checksum forensics — rather
+  // than silently starting empty.
+  EXPECT_THROW(DiskPager pager(dir.path()), CorruptionError);
 }
 
 }  // namespace
